@@ -1,0 +1,25 @@
+//! Figure 10 bench: the injected versioned-op latency sweep.
+
+use bench::bench_cfg;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osim_cpu::MachineCfg;
+use osim_workloads::btree;
+
+fn fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    let cfg = bench_cfg(100, 48, 4);
+    for extra in [0u64, 2, 6, 10] {
+        g.bench_with_input(BenchmarkId::new("btree_versioned_8c", extra), &extra, |b, &e| {
+            b.iter(|| {
+                let mut m = MachineCfg::paper(8);
+                m.omgr.versioned_extra_latency = e;
+                btree::run_versioned(m, &cfg).assert_ok().cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 6 bench: one parallel-versioned and one sequential-unversioned
+//! run per benchmark (the ratio of simulated cycles is the figure's bar).
+
+use bench::bench_cfg;
+use criterion::{criterion_group, criterion_main, Criterion};
+use osim_cpu::MachineCfg;
+use osim_workloads::levenshtein::LevCfg;
+use osim_workloads::matmul::MatmulCfg;
+use osim_workloads::{btree, hashtable, levenshtein, linked_list, matmul, rbtree};
+
+fn fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    let cfg = bench_cfg(80, 48, 4);
+    g.bench_function("linked_list/versioned_8c", |b| {
+        b.iter(|| linked_list::run_versioned(MachineCfg::paper(8), &cfg).assert_ok().cycles)
+    });
+    g.bench_function("linked_list/unversioned_seq", |b| {
+        b.iter(|| linked_list::run_unversioned(MachineCfg::paper(1), &cfg).assert_ok().cycles)
+    });
+    g.bench_function("btree/versioned_8c", |b| {
+        b.iter(|| btree::run_versioned(MachineCfg::paper(8), &cfg).assert_ok().cycles)
+    });
+    g.bench_function("btree/unversioned_seq", |b| {
+        b.iter(|| btree::run_unversioned(MachineCfg::paper(1), &cfg).assert_ok().cycles)
+    });
+    g.bench_function("hashtable/versioned_8c", |b| {
+        b.iter(|| hashtable::run_versioned(MachineCfg::paper(8), &cfg).assert_ok().cycles)
+    });
+    g.bench_function("hashtable/unversioned_seq", |b| {
+        b.iter(|| hashtable::run_unversioned(MachineCfg::paper(1), &cfg).assert_ok().cycles)
+    });
+    g.bench_function("rbtree/versioned_8c", |b| {
+        b.iter(|| rbtree::run_versioned(MachineCfg::paper(8), &cfg).assert_ok().cycles)
+    });
+    g.bench_function("rbtree/unversioned_seq", |b| {
+        b.iter(|| rbtree::run_unversioned(MachineCfg::paper(1), &cfg).assert_ok().cycles)
+    });
+    let mat = MatmulCfg { n: 12, seed: 1 };
+    g.bench_function("matmul/versioned_8c", |b| {
+        b.iter(|| matmul::run_versioned(MachineCfg::paper(8), &mat).assert_ok().cycles)
+    });
+    g.bench_function("matmul/unversioned_seq", |b| {
+        b.iter(|| matmul::run_unversioned(MachineCfg::paper(1), &mat).assert_ok().cycles)
+    });
+    let lev = LevCfg { len: 32, seed: 2 };
+    g.bench_function("levenshtein/versioned_8c", |b| {
+        b.iter(|| levenshtein::run_versioned(MachineCfg::paper(8), &lev).assert_ok().cycles)
+    });
+    g.bench_function("levenshtein/unversioned_seq", |b| {
+        b.iter(|| levenshtein::run_unversioned(MachineCfg::paper(1), &lev).assert_ok().cycles)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 7 bench: the core-count sweep of versioned runs.
+
+use bench::bench_cfg;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osim_cpu::MachineCfg;
+use osim_workloads::{btree, linked_list};
+
+fn fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    let cfg = bench_cfg(100, 48, 4);
+    for cores in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("linked_list", cores), &cores, |b, &cores| {
+            b.iter(|| linked_list::run_versioned(MachineCfg::paper(cores), &cfg).assert_ok().cycles)
+        });
+        g.bench_with_input(BenchmarkId::new("btree", cores), &cores, |b, &cores| {
+            b.iter(|| btree::run_versioned(MachineCfg::paper(cores), &cfg).assert_ok().cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

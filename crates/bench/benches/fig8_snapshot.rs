@@ -1,0 +1,36 @@
+//! Figure 8 bench: versioned BST vs the read-write-lock baseline on the
+//! scans+inserts mix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osim_cpu::MachineCfg;
+use osim_workloads::btree;
+use osim_workloads::harness::DsCfg;
+
+fn cfg(scan_range: u32) -> DsCfg {
+    DsCfg {
+        initial: 100,
+        ops: 48,
+        reads_per_write: 3,
+        scan_range,
+        key_space: 400,
+        seed: 0xf8,
+        insert_only: true,
+    }
+}
+
+fn fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    for range in [1u32, 8, 64] {
+        g.bench_with_input(BenchmarkId::new("versioned_8c", range), &range, |b, &r| {
+            b.iter(|| btree::run_versioned(MachineCfg::paper(8), &cfg(r)).assert_ok().cycles)
+        });
+        g.bench_with_input(BenchmarkId::new("rwlock_8c", range), &range, |b, &r| {
+            b.iter(|| btree::run_rwlock(MachineCfg::paper(8), &cfg(r)).assert_ok().cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 9 bench: the L1 size sweep.
+
+use bench::bench_cfg;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osim_cpu::MachineCfg;
+use osim_mem::CacheCfg;
+use osim_workloads::btree;
+
+fn fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    let cfg = bench_cfg(100, 48, 4);
+    for kb in [8u32, 32, 128] {
+        g.bench_with_input(BenchmarkId::new("btree_versioned_8c", kb), &kb, |b, &kb| {
+            b.iter(|| {
+                let mut m = MachineCfg::paper(8);
+                m.hier.l1 = CacheCfg::l1_sized(kb);
+                btree::run_versioned(m, &cfg).assert_ok().cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! §IV-F bench: the collecting vs non-collecting configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use osim_cpu::MachineCfg;
+use osim_uarch::GcConfig;
+use osim_workloads::harness::DsCfg;
+use osim_workloads::linked_list;
+
+fn cfg() -> DsCfg {
+    DsCfg {
+        initial: 10,
+        ops: 200,
+        reads_per_write: 1,
+        scan_range: 0,
+        key_space: 64,
+        seed: 0x6c,
+        insert_only: false,
+    }
+}
+
+fn gc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gc_overhead");
+    g.sample_size(10);
+    g.bench_function("tight_watermark", |b| {
+        b.iter(|| {
+            let mut m = MachineCfg::paper(1);
+            m.omgr.initial_free_blocks = 512;
+            m.omgr.refill_blocks = 256;
+            m.omgr.gc = GcConfig { watermark: 448 };
+            linked_list::run_versioned_with(m, &cfg(), true).assert_ok().cycles
+        })
+    });
+    g.bench_function("plentiful_no_gc", |b| {
+        b.iter(|| {
+            let mut m = MachineCfg::paper(1);
+            m.omgr.initial_free_blocks = 1 << 16;
+            m.omgr.gc = GcConfig { watermark: 0 };
+            linked_list::run_versioned_with(m, &cfg(), true).assert_ok().cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, gc);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Shared configuration for the criterion benches.
+//!
+//! Every bench here drives a *simulation*; what criterion measures is the
+//! host time to simulate one configuration, which tracks the simulated
+//! cycle count closely for a fixed machine. The figures themselves are
+//! regenerated (in simulated cycles, with full validation) by
+//! `cargo run -p osim-experiments --release -- <figN>`; the benches keep
+//! the same sweeps continuously exercised and timed at a criterion-friendly
+//! size.
+
+use osim_workloads::harness::DsCfg;
+
+/// A bench-sized irregular workload (small enough for criterion's
+/// repeated sampling).
+pub fn bench_cfg(initial: usize, ops: usize, reads_per_write: u32) -> DsCfg {
+    DsCfg {
+        initial,
+        ops,
+        reads_per_write,
+        scan_range: 0,
+        key_space: initial as u32 * 4,
+        seed: 0xbe,
+        insert_only: false,
+    }
+}

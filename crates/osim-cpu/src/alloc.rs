@@ -1,0 +1,171 @@
+//! Runtime memory allocator over the simulated 32-bit address space.
+//!
+//! Two regions are managed:
+//!
+//! * a **conventional heap** of ordinary data pages (workload nodes, arrays,
+//!   lock words), with size-class free lists so deleted nodes can be reused
+//!   by unversioned baselines;
+//! * a **versioned root region** of `VersionedRoot` pages, handed out one
+//!   4-byte root word at a time. Root words are never recycled during a run,
+//!   following §III-C ("the simplest solution is for programs to delay the
+//!   recycling of memory ... until points of execution where no parallel
+//!   tasks are executing").
+//!
+//! Allocator bookkeeping itself is functional (it models the runtime's
+//! malloc metadata, whose cost the caller charges as instructions via
+//! [`crate::TaskCtx::work`]).
+
+use std::collections::HashMap;
+
+use osim_mem::{MemSys, PageFlags, PAGE_SIZE};
+
+/// The runtime allocator.
+#[derive(Default)]
+pub struct SimAlloc {
+    data_cursor: u32,
+    data_end: u32,
+    root_cursor: u32,
+    root_end: u32,
+    /// Size-class free lists for the conventional heap.
+    free: HashMap<u32, Vec<u32>>,
+    /// Bytes handed out from the conventional heap (net of frees).
+    pub data_live: u64,
+    /// Root words handed out.
+    pub roots_live: u64,
+}
+
+impl SimAlloc {
+    /// Creates an empty allocator; regions grow on demand.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn round(bytes: u32) -> u32 {
+        bytes.max(4).next_multiple_of(8)
+    }
+
+    /// Allocates `bytes` of conventional data, 8-byte aligned.
+    ///
+    /// Panics if the simulated RAM is exhausted (workloads are sized well
+    /// under the Table II 64 GB).
+    pub fn alloc_data(&mut self, ms: &mut MemSys, bytes: u32) -> u32 {
+        let size = Self::round(bytes);
+        self.data_live += size as u64;
+        if let Some(va) = self.free.get_mut(&size).and_then(Vec::pop) {
+            return va;
+        }
+        if self.data_cursor + size > self.data_end || self.data_cursor == 0 {
+            let pages = size.div_ceil(PAGE_SIZE).max(4);
+            let base = ms
+                .map_zeroed(pages, PageFlags::Conventional)
+                .expect("simulated RAM exhausted");
+            // Virtual pages are contiguous, so if the fresh block adjoins
+            // the old region just extend it; otherwise restart the cursor.
+            if base != self.data_end || self.data_cursor == 0 {
+                self.data_cursor = base;
+            }
+            self.data_end = base + pages * PAGE_SIZE;
+        }
+        let va = self.data_cursor;
+        self.data_cursor += size;
+        va
+    }
+
+    /// Returns a conventional allocation of `bytes` to its size class.
+    pub fn free_data(&mut self, va: u32, bytes: u32) {
+        let size = Self::round(bytes);
+        self.data_live = self.data_live.saturating_sub(size as u64);
+        self.free.entry(size).or_default().push(va);
+    }
+
+    /// Allocates one zeroed O-structure root word.
+    pub fn alloc_root(&mut self, ms: &mut MemSys) -> u32 {
+        if self.root_cursor + 4 > self.root_end || self.root_cursor == 0 {
+            let pages = 4;
+            let base = ms
+                .map_zeroed(pages, PageFlags::VersionedRoot)
+                .expect("simulated RAM exhausted");
+            if base != self.root_end || self.root_cursor == 0 {
+                self.root_cursor = base;
+            }
+            self.root_end = base + pages * PAGE_SIZE;
+        }
+        let va = self.root_cursor;
+        self.root_cursor += 4;
+        self.roots_live += 1;
+        va
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osim_mem::HierarchyCfg;
+
+    fn ms() -> MemSys {
+        MemSys::new(HierarchyCfg::paper(1), 64 << 20)
+    }
+
+    #[test]
+    fn data_allocations_are_disjoint_and_aligned() {
+        let mut ms = ms();
+        let mut a = SimAlloc::new();
+        let x = a.alloc_data(&mut ms, 12);
+        let y = a.alloc_data(&mut ms, 12);
+        assert_eq!(x % 8, 0);
+        assert_eq!(y % 8, 0);
+        assert!(y >= x + 16, "12 rounds to 16");
+        ms.phys
+            .write_u32(ms.pt.translate_conventional(x).unwrap(), 1);
+        ms.phys
+            .write_u32(ms.pt.translate_conventional(y).unwrap(), 2);
+        assert_eq!(ms.phys.read_u32(ms.pt.translate_conventional(x).unwrap()), 1);
+    }
+
+    #[test]
+    fn free_then_alloc_reuses() {
+        let mut ms = ms();
+        let mut a = SimAlloc::new();
+        let x = a.alloc_data(&mut ms, 24);
+        a.free_data(x, 24);
+        let y = a.alloc_data(&mut ms, 24);
+        assert_eq!(x, y);
+        assert_eq!(a.data_live, 24);
+    }
+
+    #[test]
+    fn large_allocation_spans_pages() {
+        let mut ms = ms();
+        let mut a = SimAlloc::new();
+        let big = a.alloc_data(&mut ms, 3 * PAGE_SIZE);
+        // Touch first and last byte's words.
+        let pa0 = ms.pt.translate_conventional(big).unwrap();
+        let pa1 = ms
+            .pt
+            .translate_conventional(big + 3 * PAGE_SIZE - 4)
+            .unwrap();
+        ms.phys.write_u32(pa0, 1);
+        ms.phys.write_u32(pa1, 2);
+    }
+
+    #[test]
+    fn roots_come_from_versioned_pages() {
+        let mut ms = ms();
+        let mut a = SimAlloc::new();
+        let r = a.alloc_root(&mut ms);
+        assert!(ms.pt.translate_versioned(r).is_ok());
+        assert!(ms.pt.translate_conventional(r).is_err());
+        let r2 = a.alloc_root(&mut ms);
+        assert_eq!(r2, r + 4);
+        assert_eq!(a.roots_live, 2);
+    }
+
+    #[test]
+    fn heap_and_roots_do_not_overlap() {
+        let mut ms = ms();
+        let mut a = SimAlloc::new();
+        let d = a.alloc_data(&mut ms, 64);
+        let r = a.alloc_root(&mut ms);
+        assert_ne!(d / PAGE_SIZE, r / PAGE_SIZE);
+    }
+}

@@ -1,0 +1,397 @@
+//! The task-side instruction interface.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use osim_engine::{Cycle, Gate, SimHandle};
+use osim_mem::AccessKind;
+use osim_uarch::{OpOutcome, TaskId, Version};
+
+use crate::machine::MachineState;
+use crate::trace::{OpKind, TraceRecord};
+
+/// The instruction interface one task programs against.
+///
+/// Every method models one or more instructions of the paper's extended
+/// ISA. Memory operations suspend the issuing core for the exact modeled
+/// latency; the blocking O-structure flavours additionally park the core on
+/// the structure's wait gate until a `STORE-VERSION`/`UNLOCK-VERSION`
+/// arrives, charging the wait as stall cycles.
+///
+/// Faults (protection violations, double-stores, …) abort the simulation
+/// with a panic — in hardware they would kill the process, and in the test
+/// suite they are asserted on directly through the `osim-uarch` API.
+///
+/// Setting the `OSIM_TRACE` environment variable prints lock/unlock/stall
+/// events to stderr — a quick live view when debugging a deadlocking
+/// protocol; for structured capture use [`crate::Machine::enable_trace`].
+#[derive(Clone)]
+pub struct TaskCtx {
+    core: usize,
+    tid: u32,
+    st: Rc<RefCell<MachineState>>,
+    h: SimHandle,
+    /// One-shot tag: the next versioned operation is a data-structure root
+    /// entry (for the §IV-D root-stall statistics).
+    root_tag: Rc<Cell<bool>>,
+}
+
+impl TaskCtx {
+    pub(crate) fn new(core: usize, tid: u32, st: Rc<RefCell<MachineState>>, h: SimHandle) -> Self {
+        TaskCtx {
+            core,
+            tid,
+            st,
+            h,
+            root_tag: Rc::new(Cell::new(false)),
+        }
+    }
+
+    /// The core this task runs on.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// This task's id (doubles as its version under the runtime rules).
+    pub fn tid(&self) -> TaskId {
+        self.tid
+    }
+
+    /// A context identical to this one but with a different task id.
+    pub fn with_tid(&self, tid: TaskId) -> TaskCtx {
+        TaskCtx {
+            tid,
+            root_tag: Rc::new(Cell::new(false)),
+            ..self.clone()
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.h.now()
+    }
+
+    /// The engine handle (for gates and sleeps in test harnesses).
+    pub fn handle(&self) -> &SimHandle {
+        &self.h
+    }
+
+    // ------------------------------------------------------------------
+    // Plain computation
+    // ------------------------------------------------------------------
+
+    /// Executes `instrs` non-memory instructions on this 2-way in-order
+    /// core: `ceil(instrs / issue_width)` cycles.
+    pub async fn work(&self, instrs: u64) {
+        let start = self.h.now();
+        let cycles = {
+            let mut st = self.st.borrow_mut();
+            st.cpu.instructions += instrs;
+            instrs.div_ceil(st.issue_width)
+        };
+        self.h.sleep(cycles).await;
+        self.trace(OpKind::Work, 0, 0, start, false);
+    }
+
+    // ------------------------------------------------------------------
+    // Conventional memory
+    // ------------------------------------------------------------------
+
+    /// Conventional 32-bit load.
+    pub async fn load_u32(&self, va: u32) -> u32 {
+        let (latency, val) = {
+            let mut st = self.st.borrow_mut();
+            let MachineState { ms, cpu, .. } = &mut *st;
+            let pa = ms.pt.translate_conventional(va).unwrap_or_else(|f| panic!("{f}"));
+            let acc = ms.hier.access(self.core, pa, AccessKind::Read);
+            cpu.instructions += 1;
+            cpu.loads += 1;
+            (acc.latency, ms.phys.read_u32(pa))
+        };
+        self.h.sleep(latency).await;
+        self.trace(OpKind::Load, va, 0, self.h.now() - latency, false);
+        val
+    }
+
+    /// Conventional 32-bit store.
+    pub async fn store_u32(&self, va: u32, val: u32) {
+        let latency = {
+            let mut st = self.st.borrow_mut();
+            let MachineState { ms, cpu, .. } = &mut *st;
+            let pa = ms.pt.translate_conventional(va).unwrap_or_else(|f| panic!("{f}"));
+            let acc = ms.hier.access(self.core, pa, AccessKind::Write);
+            cpu.instructions += 1;
+            cpu.stores += 1;
+            ms.phys.write_u32(pa, val);
+            acc.latency
+        };
+        self.h.sleep(latency).await;
+        self.trace(OpKind::Store, va, 0, self.h.now() - latency, false);
+    }
+
+    /// Atomic compare-and-swap on a conventional word. Returns the value
+    /// observed before the operation (success ⇔ it equals `expected`).
+    pub async fn cas_u32(&self, va: u32, expected: u32, new: u32) -> u32 {
+        let (latency, old) = {
+            let mut st = self.st.borrow_mut();
+            let MachineState { ms, cpu, .. } = &mut *st;
+            let pa = ms.pt.translate_conventional(va).unwrap_or_else(|f| panic!("{f}"));
+            let acc = ms.hier.access(self.core, pa, AccessKind::Write);
+            cpu.instructions += 1;
+            cpu.cas_ops += 1;
+            let old = ms.phys.read_u32(pa);
+            if old == expected {
+                ms.phys.write_u32(pa, new);
+            }
+            (acc.latency, old)
+        };
+        self.h.sleep(latency).await;
+        self.trace(OpKind::Cas, va, 0, self.h.now() - latency, false);
+        old
+    }
+
+    // ------------------------------------------------------------------
+    // O-structure operations
+    // ------------------------------------------------------------------
+
+    /// Tags the *next* versioned operation as a data-structure root entry,
+    /// feeding the §IV-D root-stall statistics.
+    pub fn tag_root(&self) {
+        self.root_tag.set(true);
+    }
+
+    /// `LOAD-VERSION`: blocks until version `v` exists and is unlocked.
+    pub async fn load_version(&self, va: u32, v: Version) -> u32 {
+        self.versioned_load(va, v, false, false).await.1
+    }
+
+    /// `LOAD-LATEST`: blocks until some version ≤ `cap` exists, unlocked.
+    /// Returns `(version, value)`.
+    pub async fn load_latest(&self, va: u32, cap: Version) -> (Version, u32) {
+        self.versioned_load(va, cap, true, false).await
+    }
+
+    /// `LOCK-LOAD-VERSION`: exact load + lock as this task.
+    pub async fn lock_load_version(&self, va: u32, v: Version) -> u32 {
+        self.versioned_load(va, v, false, true).await.1
+    }
+
+    /// `LOCK-LOAD-LATEST`: capped load + lock as this task.
+    /// Returns `(version, value)` — the version is needed for the matching
+    /// `UNLOCK-VERSION`.
+    pub async fn lock_load_latest(&self, va: u32, cap: Version) -> (Version, u32) {
+        self.versioned_load(va, cap, true, true).await
+    }
+
+    async fn versioned_load(
+        &self,
+        va: u32,
+        v: Version,
+        latest: bool,
+        lock: bool,
+    ) -> (Version, u32) {
+        let op_start = self.h.now();
+        let root = self.root_tag.take();
+        {
+            let mut st = self.st.borrow_mut();
+            st.cpu.versioned_ops += 1;
+            st.cpu.versioned_loads += 1;
+            if root {
+                st.cpu.root_loads += 1;
+            }
+        }
+        let mut stalled = false;
+        loop {
+            let out = {
+                let mut st = self.st.borrow_mut();
+                let MachineState { ms, omgr, .. } = &mut *st;
+                let r = match (latest, lock) {
+                    (false, false) => omgr.load_version(ms, self.core, va, v),
+                    (true, false) => omgr.load_latest(ms, self.core, va, v),
+                    (false, true) => omgr.lock_load_version(ms, self.core, va, v, self.tid),
+                    (true, true) => omgr.lock_load_latest(ms, self.core, va, v, self.tid),
+                };
+                r.unwrap_or_else(|f| panic!("task {}: {f}", self.tid))
+            };
+            match out {
+                OpOutcome::Done {
+                    value,
+                    version,
+                    latency,
+                } => {
+                    if lock && std::env::var_os("OSIM_TRACE").is_some() {
+                        eprintln!(
+                            "[{}] task {} LOCKED va={va:#x} version={version}",
+                            self.h.now(),
+                            self.tid
+                        );
+                    }
+                    self.h.sleep(latency).await;
+                    if stalled {
+                        let mut st = self.st.borrow_mut();
+                        st.cpu.versioned_loads_stalled += 1;
+                        if root {
+                            st.cpu.root_loads_stalled += 1;
+                        }
+                    }
+                    let kind = if lock {
+                        OpKind::VersionedLockLoad
+                    } else {
+                        OpKind::VersionedLoad
+                    };
+                    self.trace(kind, va, version, op_start, stalled);
+                    // A successful lock changes the structure's state;
+                    // nothing can be *unblocked* by it, so no wake-up.
+                    return (version, value);
+                }
+                OpOutcome::Blocked { reason, latency } => {
+                    if std::env::var_os("OSIM_TRACE").is_some() {
+                        eprintln!(
+                            "[{}] task {} core {} blocked {:?} va={:#x} v={} latest={} lock={}",
+                            self.h.now(),
+                            self.tid,
+                            self.core,
+                            reason,
+                            va,
+                            v,
+                            latest,
+                            lock
+                        );
+                    }
+                    stalled = true;
+                    let stall_start = self.h.now();
+                    // Take the ticket *now*, before sleeping off the failed
+                    // attempt's latency: a store/unlock landing during that
+                    // sleep must still wake us.
+                    let ticket = self.gate_for(va).ticket();
+                    self.h.sleep(latency).await;
+                    ticket.await;
+                    let mut st = self.st.borrow_mut();
+                    st.cpu.stall_cycles += self.h.now() - stall_start;
+                }
+            }
+        }
+    }
+
+    /// `STORE-VERSION`: creates version `v` holding `val` and wakes any
+    /// task stalled on this O-structure.
+    pub async fn store_version(&self, va: u32, v: Version, val: u32) {
+        let latency = {
+            let mut st = self.st.borrow_mut();
+            st.cpu.versioned_ops += 1;
+            let MachineState { ms, omgr, .. } = &mut *st;
+            omgr.store_version(ms, self.core, va, v, val)
+                .unwrap_or_else(|f| panic!("task {}: {f}", self.tid))
+                .latency()
+        };
+        self.h.sleep(latency).await;
+        self.trace(OpKind::VersionedStore, va, v, self.h.now() - latency, false);
+        self.gate_for(va).open();
+    }
+
+    /// `UNLOCK-VERSION`: unlocks `vl` (held by this task); with
+    /// `create = Some(vn)` also creates unlocked version `vn` carrying the
+    /// same value. Wakes stalled tasks.
+    pub async fn unlock_version(&self, va: u32, vl: Version, create: Option<Version>) {
+        if std::env::var_os("OSIM_TRACE").is_some() {
+            eprintln!(
+                "[{}] task {} UNLOCK va={va:#x} vl={vl} create={create:?}",
+                self.h.now(),
+                self.tid
+            );
+        }
+        let latency = {
+            let mut st = self.st.borrow_mut();
+            st.cpu.versioned_ops += 1;
+            let MachineState { ms, omgr, .. } = &mut *st;
+            omgr.unlock_version(ms, self.core, va, vl, self.tid, create)
+                .unwrap_or_else(|f| panic!("task {}: {f}", self.tid))
+                .latency()
+        };
+        self.h.sleep(latency).await;
+        self.trace(OpKind::Unlock, va, vl, self.h.now() - latency, false);
+        self.gate_for(va).open();
+    }
+
+    // ------------------------------------------------------------------
+    // Task lifecycle (TASK-BEGIN / TASK-END)
+    // ------------------------------------------------------------------
+
+    /// `TASK-BEGIN`: reports this task as active to the version manager.
+    pub fn task_begin(&self) {
+        self.st.borrow_mut().omgr.task_begin(self.tid);
+    }
+
+    /// `TASK-END`: reports completion; may finalize a GC phase.
+    pub fn task_end(&self) {
+        let mut st = self.st.borrow_mut();
+        let MachineState { ms, omgr, cpu, .. } = &mut *st;
+        omgr.task_end(ms, self.tid);
+        cpu.tasks_run += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Runtime services
+    // ------------------------------------------------------------------
+
+    /// Allocates `bytes` of conventional heap, charging the runtime's
+    /// malloc instruction budget.
+    pub async fn malloc(&self, bytes: u32) -> u32 {
+        let (va, instrs) = {
+            let mut st = self.st.borrow_mut();
+            let instrs = st.malloc_instrs;
+            let MachineState { ms, alloc, .. } = &mut *st;
+            (alloc.alloc_data(ms, bytes), instrs)
+        };
+        self.work(instrs).await;
+        va
+    }
+
+    /// Frees a conventional heap allocation.
+    pub async fn free(&self, va: u32, bytes: u32) {
+        let instrs = {
+            let mut st = self.st.borrow_mut();
+            st.alloc.free_data(va, bytes);
+            st.malloc_instrs
+        };
+        self.work(instrs).await;
+    }
+
+    /// Allocates one fresh O-structure root word (a versioned address with
+    /// no versions yet).
+    pub async fn malloc_root(&self) -> u32 {
+        let (va, instrs) = {
+            let mut st = self.st.borrow_mut();
+            let instrs = st.malloc_instrs;
+            let MachineState { ms, alloc, .. } = &mut *st;
+            (alloc.alloc_root(ms), instrs)
+        };
+        self.work(instrs).await;
+        va
+    }
+
+    /// Appends a trace record if tracing is enabled (end = now).
+    fn trace(&self, kind: OpKind, va: u32, version: u32, start: Cycle, stalled: bool) {
+        let mut st = self.st.borrow_mut();
+        if st.trace.enabled() {
+            st.trace.push(TraceRecord {
+                core: self.core,
+                tid: self.tid,
+                kind,
+                va,
+                version,
+                start,
+                end: self.h.now(),
+                stalled,
+            });
+        }
+    }
+
+    fn gate_for(&self, va: u32) -> Gate {
+        let mut st = self.st.borrow_mut();
+        st.gates
+            .entry(va)
+            .or_insert_with(|| self.h.gate())
+            .clone()
+    }
+}

@@ -1,0 +1,190 @@
+//! A simulated multicore machine (Table II).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use osim_engine::{Cycle, Gate, RunError, Sim, SimHandle};
+use osim_mem::{HierarchyCfg, MemSys};
+use osim_uarch::{OManager, OManagerCfg};
+
+use crate::alloc::SimAlloc;
+use crate::ctx::TaskCtx;
+use crate::trace::Trace;
+use crate::runtime::{self, TaskFn};
+use crate::stats::CpuStats;
+
+/// Machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineCfg {
+    /// Number of cores.
+    pub cores: usize,
+    /// Cache hierarchy (Table II defaults via [`HierarchyCfg::paper`]).
+    pub hier: HierarchyCfg,
+    /// O-structure manager configuration.
+    pub omgr: OManagerCfg,
+    /// Simulated RAM budget in bytes.
+    pub ram_bytes: u64,
+    /// Superscalar issue width (Table II: 2-way in-order).
+    pub issue_width: u64,
+    /// Instruction cost charged for one runtime `malloc`/`free` call.
+    pub malloc_instrs: u64,
+}
+
+impl MachineCfg {
+    /// The paper's platform with `cores` cores.
+    pub fn paper(cores: usize) -> Self {
+        MachineCfg {
+            cores,
+            hier: HierarchyCfg::paper(cores),
+            omgr: OManagerCfg::default(),
+            // The paper lists 64 GB; a 32-bit physical space caps at 4 GiB,
+            // which every workload fits in comfortably.
+            ram_bytes: 1 << 32,
+            issue_width: 2,
+            malloc_instrs: 40,
+        }
+    }
+}
+
+/// Mutable machine state shared by all cores.
+pub struct MachineState {
+    /// Memory system (caches, physical memory, page table).
+    pub ms: MemSys,
+    /// O-structure manager.
+    pub omgr: OManager,
+    /// Runtime allocator.
+    pub alloc: SimAlloc,
+    /// Core-side statistics.
+    pub cpu: CpuStats,
+    /// Per-O-structure wait gates (keyed by root virtual address).
+    pub(crate) gates: HashMap<u32, Gate>,
+    /// Optional per-operation execution trace.
+    pub trace: Trace,
+    pub(crate) issue_width: u64,
+    pub(crate) malloc_instrs: u64,
+}
+
+/// Timing report for one [`Machine::run_tasks`] phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseReport {
+    /// Simulated cycle at which the phase started.
+    pub start: Cycle,
+    /// Simulated cycle at which the last task finished.
+    pub end: Cycle,
+}
+
+impl PhaseReport {
+    /// Cycles elapsed during the phase.
+    pub fn cycles(&self) -> Cycle {
+        self.end - self.start
+    }
+}
+
+/// One simulated machine: engine + memory system + O-structure manager.
+pub struct Machine {
+    sim: Sim,
+    state: Rc<RefCell<MachineState>>,
+    cfg: MachineCfg,
+    next_tid: u32,
+}
+
+impl Machine {
+    /// Builds a machine; panics if the initial free-list carve fails.
+    pub fn new(cfg: MachineCfg) -> Self {
+        let mut ms = MemSys::new(cfg.hier.clone(), cfg.ram_bytes);
+        let omgr = OManager::new(cfg.omgr, &mut ms).expect("initial version-block carve");
+        let state = MachineState {
+            ms,
+            omgr,
+            alloc: SimAlloc::new(),
+            cpu: CpuStats::default(),
+            gates: HashMap::new(),
+            trace: Trace::disabled(),
+            issue_width: cfg.issue_width,
+            malloc_instrs: cfg.malloc_instrs,
+        };
+        Machine {
+            sim: Sim::new(),
+            state: Rc::new(RefCell::new(state)),
+            cfg,
+            next_tid: 1,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cfg.cores
+    }
+
+    /// The configuration this machine was built with.
+    pub fn cfg(&self) -> &MachineCfg {
+        &self.cfg
+    }
+
+    /// Shared machine state (memory, manager, statistics).
+    pub fn state(&self) -> Rc<RefCell<MachineState>> {
+        Rc::clone(&self.state)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.sim.now()
+    }
+
+    /// The task id that the next [`Machine::run_tasks`] phase will assign to
+    /// its first task. Workload harnesses use this to precompute the entry
+    /// versions of their in-order root protocol.
+    pub fn next_tid(&self) -> u32 {
+        self.next_tid
+    }
+
+    /// A context pinned to `core` with task id `tid` — for direct use in
+    /// tests and single-task programs. Most code goes through
+    /// [`Machine::run_tasks`] instead.
+    pub fn ctx(&self, core: usize, tid: u32) -> TaskCtx {
+        assert!(core < self.cfg.cores, "core {core} out of range");
+        TaskCtx::new(core, tid, Rc::clone(&self.state), self.sim.handle())
+    }
+
+    /// Engine handle (for spawning bespoke simulation tasks).
+    pub fn handle(&self) -> SimHandle {
+        self.sim.handle()
+    }
+
+    /// Runs `tasks` to completion under the static scheduler: task `i` is
+    /// assigned to core `i % cores`, tasks on one core run in order, and
+    /// task ids continue from previous phases (so versions stay monotonic
+    /// across population and measurement phases).
+    ///
+    /// Returns the phase timing or the deadlock report.
+    pub fn run_tasks(&mut self, tasks: Vec<TaskFn>) -> Result<PhaseReport, RunError> {
+        let first_tid = self.next_tid;
+        self.next_tid += tasks.len() as u32;
+        let start = self.sim.now();
+        runtime::spawn_static(
+            &self.sim,
+            Rc::clone(&self.state),
+            self.cfg.cores,
+            first_tid,
+            tasks,
+        );
+        let end = self.sim.run()?;
+        Ok(PhaseReport { start, end })
+    }
+
+    /// Enables per-operation tracing with a bounded buffer (records beyond
+    /// `capacity` are counted but dropped). See [`crate::trace`].
+    pub fn enable_trace(&self, capacity: usize) {
+        self.state.borrow_mut().trace = Trace::with_capacity(capacity);
+    }
+
+    /// Resets every statistics counter (cpu, memory, manager) — used
+    /// between the warm-up and measurement phases of an experiment.
+    pub fn reset_stats(&self) {
+        let mut st = self.state.borrow_mut();
+        st.cpu.reset();
+        st.ms.hier.stats.reset();
+        st.omgr.stats.reset();
+    }
+}

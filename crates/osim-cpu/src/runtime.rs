@@ -1,0 +1,82 @@
+//! The software task scheduler (§IV-A).
+//!
+//! The paper's runtime divides sequential code into tasks and assigns them
+//! to cores statically ("a static assignment of tasks to cores. This policy
+//! imposes a minimal runtime overhead, but neglects load imbalance"). Task
+//! ids reflect sequential program order, which is what makes versions
+//! reflect program order (garbage-collection rule 1).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+use osim_engine::Sim;
+
+use crate::ctx::TaskCtx;
+use crate::machine::MachineState;
+
+/// A boxed task body.
+pub type TaskFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// A task: a closure from its execution context to its body.
+pub type TaskFn = Box<dyn FnOnce(TaskCtx) -> TaskFuture>;
+
+/// Wraps an async closure as a [`TaskFn`].
+///
+/// ```ignore
+/// let t = task(|ctx| async move { ctx.work(10).await; });
+/// ```
+pub fn task<F, Fut>(f: F) -> TaskFn
+where
+    F: FnOnce(TaskCtx) -> Fut + 'static,
+    Fut: Future<Output = ()> + 'static,
+{
+    Box::new(move |ctx| Box::pin(f(ctx)))
+}
+
+/// Spawns one driver per core onto `sim`. Task `i` (zero-based) gets id
+/// `first_tid + i` and runs on core `i % cores`; each driver executes its
+/// tasks in order, bracketing them with `TASK-BEGIN`/`TASK-END`.
+pub(crate) fn spawn_static(
+    sim: &Sim,
+    st: Rc<RefCell<MachineState>>,
+    cores: usize,
+    first_tid: u32,
+    tasks: Vec<TaskFn>,
+) {
+    let mut queues: Vec<VecDeque<(u32, TaskFn)>> = (0..cores).map(|_| VecDeque::new()).collect();
+    for (i, t) in tasks.into_iter().enumerate() {
+        queues[i % cores].push_back((first_tid + i as u32, t));
+    }
+    for (core, queue) in queues.into_iter().enumerate() {
+        if queue.is_empty() {
+            continue;
+        }
+        let st = Rc::clone(&st);
+        let handle = sim.handle();
+        sim.spawn(async move {
+            // `TASK-END` of task k is issued *after* `TASK-BEGIN` of task
+            // k+P on the same core. Per-core queues run in ascending id
+            // order, so every queued task is protected by a still-active
+            // lower-id task: the collector's active window can never slide
+            // past a task that has not begun (GC rule 3 at creation
+            // granularity), yet it does slide forward as cores retire
+            // tasks, enabling on-the-fly collection phases.
+            let mut prev: Option<TaskCtx> = None;
+            for (tid, body) in queue {
+                let ctx = TaskCtx::new(core, tid, Rc::clone(&st), handle.clone());
+                ctx.task_begin();
+                if let Some(p) = prev.take() {
+                    p.task_end();
+                }
+                body(ctx.clone()).await;
+                prev = Some(ctx);
+            }
+            if let Some(p) = prev.take() {
+                p.task_end();
+            }
+        });
+    }
+}

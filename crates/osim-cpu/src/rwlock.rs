@@ -1,0 +1,85 @@
+//! A reader–writer lock over conventional simulated memory.
+//!
+//! The baseline of the paper's snapshot-isolation comparison (Figure 8,
+//! §IV-C): "an unversioned binary tree using a read-write lock". The lock
+//! word lives in ordinary simulated memory and is manipulated with the
+//! simulated CAS, so its coherence traffic and serialization show up in the
+//! measured cycle counts exactly as a real lock's would.
+//!
+//! Layout of the lock word: bit 31 = writer held, bits 0–30 = reader count.
+
+use crate::ctx::TaskCtx;
+
+const WRITER: u32 = 1 << 31;
+
+/// Cycles a core backs off after a failed acquisition attempt.
+const BACKOFF: u64 = 24;
+
+/// A reader–writer lock at a fixed simulated address.
+///
+/// Writer-preferring is deliberately *not* implemented; like the paper's
+/// baseline, readers and writers simply exclude each other, which is what
+/// "separates reads and writes, eliminating synchronizations but also
+/// concurrency".
+#[derive(Clone, Copy, Debug)]
+pub struct SimRwLock {
+    /// Virtual address of the lock word (conventional page).
+    pub va: u32,
+}
+
+impl SimRwLock {
+    /// Wraps an existing zero-initialized word as a lock.
+    pub fn at(va: u32) -> Self {
+        SimRwLock { va }
+    }
+
+    /// Allocates a fresh lock word on the conventional heap.
+    pub async fn alloc(ctx: &TaskCtx) -> Self {
+        let va = ctx.malloc(4).await;
+        ctx.store_u32(va, 0).await;
+        SimRwLock { va }
+    }
+
+    /// Acquires the lock in shared (reader) mode.
+    pub async fn read_lock(&self, ctx: &TaskCtx) {
+        loop {
+            let cur = ctx.load_u32(self.va).await;
+            if cur & WRITER == 0 {
+                let seen = ctx.cas_u32(self.va, cur, cur + 1).await;
+                if seen == cur {
+                    return;
+                }
+            }
+            ctx.work(BACKOFF * 2).await; // spin backoff
+        }
+    }
+
+    /// Releases a shared hold.
+    pub async fn read_unlock(&self, ctx: &TaskCtx) {
+        loop {
+            let cur = ctx.load_u32(self.va).await;
+            debug_assert!(cur & WRITER == 0 && cur > 0, "read_unlock without hold");
+            let seen = ctx.cas_u32(self.va, cur, cur - 1).await;
+            if seen == cur {
+                return;
+            }
+        }
+    }
+
+    /// Acquires the lock exclusively (writer mode).
+    pub async fn write_lock(&self, ctx: &TaskCtx) {
+        loop {
+            let seen = ctx.cas_u32(self.va, 0, WRITER).await;
+            if seen == 0 {
+                return;
+            }
+            ctx.work(BACKOFF * 2).await;
+        }
+    }
+
+    /// Releases an exclusive hold.
+    pub async fn write_unlock(&self, ctx: &TaskCtx) {
+        let seen = ctx.cas_u32(self.va, WRITER, 0).await;
+        debug_assert_eq!(seen, WRITER, "write_unlock without hold");
+    }
+}

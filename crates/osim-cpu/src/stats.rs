@@ -1,0 +1,76 @@
+//! Execution statistics collected by the cores.
+
+/// Counters accumulated across all cores of a machine.
+///
+/// Together with [`osim_mem::MemStats`] and [`osim_uarch::OStats`] these
+/// regenerate every secondary number the paper quotes: stall fractions of
+/// versioned loads (§IV-D), root-entry stall rates, and instruction mix.
+#[derive(Debug, Clone, Default)]
+pub struct CpuStats {
+    /// Instructions issued (memory ops count as one instruction each).
+    pub instructions: u64,
+    /// Conventional loads performed.
+    pub loads: u64,
+    /// Conventional stores performed.
+    pub stores: u64,
+    /// Atomic compare-and-swap operations.
+    pub cas_ops: u64,
+    /// Versioned operations of any kind.
+    pub versioned_ops: u64,
+    /// Versioned loads (all four load flavours).
+    pub versioned_loads: u64,
+    /// Versioned loads that stalled at least once before completing.
+    pub versioned_loads_stalled: u64,
+    /// Versioned loads tagged as data-structure *root* entries.
+    pub root_loads: u64,
+    /// Tagged root loads that stalled at least once.
+    pub root_loads_stalled: u64,
+    /// Total cycles cores spent stalled on blocked versioned operations.
+    pub stall_cycles: u64,
+    /// Tasks executed to completion.
+    pub tasks_run: u64,
+}
+
+impl CpuStats {
+    /// Fraction of versioned loads that stalled, in [0, 1].
+    pub fn versioned_stall_rate(&self) -> f64 {
+        frac(self.versioned_loads_stalled, self.versioned_loads)
+    }
+
+    /// Fraction of root loads that stalled, in [0, 1].
+    pub fn root_stall_rate(&self) -> f64 {
+        frac(self.root_loads_stalled, self.root_loads)
+    }
+
+    /// Resets every counter.
+    pub fn reset(&mut self) {
+        *self = CpuStats::default();
+    }
+}
+
+fn frac(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let mut s = CpuStats::default();
+        assert_eq!(s.versioned_stall_rate(), 0.0);
+        s.versioned_loads = 10;
+        s.versioned_loads_stalled = 4;
+        assert!((s.versioned_stall_rate() - 0.4).abs() < 1e-12);
+        s.root_loads = 5;
+        s.root_loads_stalled = 5;
+        assert_eq!(s.root_stall_rate(), 1.0);
+        s.reset();
+        assert_eq!(s.versioned_loads, 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Per-operation execution tracing.
+//!
+//! When enabled, every instruction-interface operation appends one record:
+//! who issued it, what it touched, when it started and finished, and
+//! whether it stalled. Traces are how simulator results stop being a
+//! single opaque cycle count — the analysis half regenerates per-op
+//! latency distributions and stall breakdowns, and `to_csv` exports for
+//! external tooling.
+//!
+//! Tracing is off by default (zero overhead beyond a branch); enable it
+//! with [`crate::Machine::enable_trace`].
+
+use osim_engine::Cycle;
+
+/// What kind of operation a record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Plain computation (`work`).
+    Work,
+    /// Conventional load.
+    Load,
+    /// Conventional store.
+    Store,
+    /// Atomic compare-and-swap.
+    Cas,
+    /// `LOAD-VERSION` / `LOAD-LATEST` (plain).
+    VersionedLoad,
+    /// `LOCK-LOAD-VERSION` / `LOCK-LOAD-LATEST`.
+    VersionedLockLoad,
+    /// `STORE-VERSION`.
+    VersionedStore,
+    /// `UNLOCK-VERSION`.
+    Unlock,
+}
+
+impl OpKind {
+    /// Short stable name (CSV column value).
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Work => "work",
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+            OpKind::Cas => "cas",
+            OpKind::VersionedLoad => "vload",
+            OpKind::VersionedLockLoad => "vlockload",
+            OpKind::VersionedStore => "vstore",
+            OpKind::Unlock => "unlock",
+        }
+    }
+
+    /// All kinds, for summary iteration.
+    pub const ALL: [OpKind; 8] = [
+        OpKind::Work,
+        OpKind::Load,
+        OpKind::Store,
+        OpKind::Cas,
+        OpKind::VersionedLoad,
+        OpKind::VersionedLockLoad,
+        OpKind::VersionedStore,
+        OpKind::Unlock,
+    ];
+}
+
+/// One traced operation.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceRecord {
+    /// Issuing core.
+    pub core: usize,
+    /// Issuing task.
+    pub tid: u32,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Virtual address touched (0 for `Work`).
+    pub va: u32,
+    /// Version named by a versioned op (0 otherwise).
+    pub version: u32,
+    /// Issue cycle.
+    pub start: Cycle,
+    /// Completion cycle.
+    pub end: Cycle,
+    /// True if the op stalled (blocked versioned flavours only).
+    pub stalled: bool,
+}
+
+/// A bounded in-memory trace.
+#[derive(Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    capacity: usize,
+    /// Records dropped after the buffer filled.
+    pub dropped: u64,
+}
+
+impl Trace {
+    pub(crate) fn disabled() -> Self {
+        Trace::default()
+    }
+
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            records: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, r: TraceRecord) {
+        if self.records.len() < self.capacity {
+            self.records.push(r);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The captured records, in issue order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Aggregates the trace per operation kind.
+    pub fn summary(&self) -> TraceSummary {
+        let mut s = TraceSummary::default();
+        for r in &self.records {
+            let idx = OpKind::ALL.iter().position(|k| *k == r.kind).expect("known kind");
+            let row = &mut s.per_kind[idx];
+            row.count += 1;
+            row.total_cycles += r.end - r.start;
+            row.max_cycles = row.max_cycles.max(r.end - r.start);
+            if r.stalled {
+                row.stalled += 1;
+            }
+        }
+        s
+    }
+
+    /// Writes the trace as CSV (`core,tid,kind,va,version,start,end,stalled`).
+    pub fn to_csv(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        writeln!(out, "core,tid,kind,va,version,start,end,stalled")?;
+        for r in &self.records {
+            writeln!(
+                out,
+                "{},{},{},{:#x},{},{},{},{}",
+                r.core,
+                r.tid,
+                r.kind.name(),
+                r.va,
+                r.version,
+                r.start,
+                r.end,
+                u8::from(r.stalled)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate statistics for one operation kind.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KindStats {
+    /// Operations recorded.
+    pub count: u64,
+    /// Sum of per-op latency.
+    pub total_cycles: u64,
+    /// Worst per-op latency.
+    pub max_cycles: u64,
+    /// Operations that stalled at least once.
+    pub stalled: u64,
+}
+
+impl KindStats {
+    /// Mean latency in cycles (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.count as f64
+        }
+    }
+}
+
+/// Per-kind aggregates, indexed in [`OpKind::ALL`] order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceSummary {
+    /// One row per [`OpKind::ALL`] entry.
+    pub per_kind: [KindStats; 8],
+}
+
+impl TraceSummary {
+    /// Stats for one kind.
+    pub fn of(&self, kind: OpKind) -> KindStats {
+        let idx = OpKind::ALL.iter().position(|k| *k == kind).expect("known kind");
+        self.per_kind[idx]
+    }
+}
+
+impl std::fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:<10} {:>9} {:>10} {:>8} {:>9}", "op", "count", "mean cyc", "max", "stalled")?;
+        for kind in OpKind::ALL {
+            let s = self.of(kind);
+            if s.count == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:<10} {:>9} {:>10.1} {:>8} {:>9}",
+                kind.name(),
+                s.count,
+                s.mean(),
+                s.max_cycles,
+                s.stalled
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: OpKind, start: Cycle, end: Cycle, stalled: bool) -> TraceRecord {
+        TraceRecord {
+            core: 0,
+            tid: 1,
+            kind,
+            va: 0x1000,
+            version: 3,
+            start,
+            end,
+            stalled,
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_per_kind() {
+        let mut t = Trace::with_capacity(16);
+        t.push(rec(OpKind::VersionedLoad, 0, 10, false));
+        t.push(rec(OpKind::VersionedLoad, 10, 40, true));
+        t.push(rec(OpKind::Store, 40, 44, false));
+        let s = t.summary();
+        let v = s.of(OpKind::VersionedLoad);
+        assert_eq!(v.count, 2);
+        assert_eq!(v.total_cycles, 40);
+        assert_eq!(v.max_cycles, 30);
+        assert_eq!(v.stalled, 1);
+        assert!((v.mean() - 20.0).abs() < 1e-9);
+        assert_eq!(s.of(OpKind::Store).count, 1);
+        assert_eq!(s.of(OpKind::Cas).count, 0);
+    }
+
+    #[test]
+    fn capacity_bounds_and_counts_drops() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..5 {
+            t.push(rec(OpKind::Work, i, i + 1, false));
+        }
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.dropped, 3);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Trace::with_capacity(4);
+        t.push(rec(OpKind::Unlock, 5, 9, false));
+        let mut buf = Vec::new();
+        t.to_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap(), "core,tid,kind,va,version,start,end,stalled");
+        assert_eq!(lines.next().unwrap(), "0,1,unlock,0x1000,3,5,9,0");
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let t = Trace::disabled();
+        assert!(!t.enabled());
+        assert!(t.records().is_empty());
+    }
+}

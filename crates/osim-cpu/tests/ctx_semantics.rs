@@ -1,0 +1,188 @@
+//! Instruction-interface semantics: CAS, allocator services, statistics
+//! tagging, and the blocking flavours under contention.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use osim_cpu::{task, Machine, MachineCfg};
+
+fn machine(cores: usize) -> Machine {
+    Machine::new(MachineCfg::paper(cores))
+}
+
+fn alloc_data(m: &Machine, bytes: u32) -> u32 {
+    let st = m.state();
+    let mut st = st.borrow_mut();
+    let s = &mut *st;
+    s.alloc.alloc_data(&mut s.ms, bytes)
+}
+
+fn alloc_root(m: &Machine) -> u32 {
+    let st = m.state();
+    let mut st = st.borrow_mut();
+    let s = &mut *st;
+    s.alloc.alloc_root(&mut s.ms)
+}
+
+#[test]
+fn cas_success_and_failure_semantics() {
+    let mut m = machine(1);
+    let word = alloc_data(&m, 4);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let log2 = Rc::clone(&log);
+    m.run_tasks(vec![task(move |ctx| async move {
+        ctx.store_u32(word, 5).await;
+        // Failing CAS returns the observed value and writes nothing.
+        let seen = ctx.cas_u32(word, 4, 9).await;
+        let after = ctx.load_u32(word).await;
+        log2.borrow_mut().push(("fail", seen, after));
+        // Succeeding CAS returns the expected value and writes.
+        let seen = ctx.cas_u32(word, 5, 9).await;
+        let after = ctx.load_u32(word).await;
+        log2.borrow_mut().push(("ok", seen, after));
+    })])
+    .unwrap();
+    assert_eq!(*log.borrow(), vec![("fail", 5, 5), ("ok", 5, 9)]);
+}
+
+#[test]
+fn cas_serializes_racing_increments() {
+    let mut m = machine(8);
+    let word = alloc_data(&m, 4);
+    let tasks = (0..32)
+        .map(|_| {
+            task(move |ctx| async move {
+                loop {
+                    let v = ctx.load_u32(word).await;
+                    if ctx.cas_u32(word, v, v + 1).await == v {
+                        break;
+                    }
+                    ctx.work(16).await;
+                }
+            })
+        })
+        .collect();
+    m.run_tasks(tasks).unwrap();
+    let st = m.state();
+    let st = st.borrow();
+    let pa = st.ms.pt.translate_conventional(word).unwrap();
+    assert_eq!(st.ms.phys.read_u32(pa), 32);
+}
+
+#[test]
+fn malloc_regions_are_usable_and_disjoint() {
+    let mut m = machine(1);
+    let seen = Rc::new(RefCell::new(Vec::new()));
+    let seen2 = Rc::clone(&seen);
+    m.run_tasks(vec![task(move |ctx| async move {
+        let a = ctx.malloc(16).await;
+        let b = ctx.malloc(16).await;
+        let r = ctx.malloc_root().await;
+        ctx.store_u32(a, 1).await;
+        ctx.store_u32(b, 2).await;
+        ctx.store_version(r, 1, 3).await;
+        let va = ctx.load_u32(a).await;
+        let vb = ctx.load_u32(b).await;
+        let vr = ctx.load_version(r, 1).await;
+        seen2.borrow_mut().push((va, vb, vr));
+        // Freed data memory is recycled for the same size class.
+        ctx.free(a, 16).await;
+        let c = ctx.malloc(16).await;
+        seen2.borrow_mut().push((a, c, 0));
+    })])
+    .unwrap();
+    let seen = seen.borrow();
+    assert_eq!(seen[0], (1, 2, 3));
+    assert_eq!(seen[1].0, seen[1].1, "size-class reuse");
+}
+
+#[test]
+fn root_tag_is_consumed_by_exactly_one_op() {
+    let mut m = machine(1);
+    let r = alloc_root(&m);
+    m.run_tasks(vec![task(move |ctx| async move {
+        ctx.store_version(r, 1, 7).await;
+        ctx.tag_root();
+        ctx.load_version(r, 1).await; // tagged
+        ctx.load_version(r, 1).await; // untagged
+        ctx.load_version(r, 1).await; // untagged
+    })])
+    .unwrap();
+    let st = m.state();
+    let st = st.borrow();
+    assert_eq!(st.cpu.root_loads, 1);
+    assert_eq!(st.cpu.versioned_loads, 3);
+}
+
+#[test]
+fn lock_contention_counts_stalls_for_the_loser() {
+    let mut m = machine(2);
+    let r = alloc_root(&m);
+    let mut tasks = vec![task(move |ctx| async move {
+        ctx.store_version(r, 1, 0).await;
+        let _ = ctx.lock_load_version(r, 1).await;
+        ctx.work(2_000).await; // hold the lock for a while
+        ctx.unlock_version(r, 1, None).await;
+    })];
+    tasks.push(task(move |ctx| async move {
+        // Arrive well inside the first task's 1000-cycle critical section.
+        ctx.work(1_000).await;
+        let _ = ctx.lock_load_version(r, 1).await;
+        ctx.unlock_version(r, 1, None).await;
+    }));
+    m.run_tasks(tasks).unwrap();
+    let st = m.state();
+    let st = st.borrow();
+    assert_eq!(st.cpu.versioned_loads_stalled, 1);
+    assert!(st.cpu.stall_cycles >= 500);
+}
+
+#[test]
+fn unlock_rename_wakes_exact_version_waiters() {
+    // A waiter on an exact version that only the rename creates.
+    let mut m = machine(2);
+    let r = alloc_root(&m);
+    let woke = Rc::new(RefCell::new(0u64));
+    let woke2 = Rc::clone(&woke);
+    let tasks = vec![
+        task(move |ctx| async move {
+            ctx.store_version(r, 1, 42).await;
+            let _ = ctx.lock_load_version(r, 1).await;
+            ctx.work(1_000).await;
+            ctx.unlock_version(r, 1, Some(2)).await;
+        }),
+        task(move |ctx| async move {
+            let v = ctx.load_version(r, 2).await; // exists only after rename
+            *woke2.borrow_mut() = ctx.now();
+            assert_eq!(v, 42);
+        }),
+    ];
+    m.run_tasks(tasks).unwrap();
+    assert!(*woke.borrow() >= 500, "waiter woke after the rename");
+}
+
+#[test]
+fn per_phase_task_ids_feed_the_gc_window() {
+    let mut m = machine(2);
+    let r = alloc_root(&m);
+    m.run_tasks(vec![task(move |ctx| async move {
+        ctx.store_version(r, 16, 0).await;
+    })])
+    .unwrap();
+    // Second phase: ids continue, so versions stay monotonic.
+    m.run_tasks(vec![
+        task(move |ctx| async move {
+            assert_eq!(ctx.tid(), 2);
+            ctx.store_version(r, 32, 1).await;
+        }),
+        task(move |ctx| async move {
+            assert_eq!(ctx.tid(), 3);
+            let (v, _) = ctx.load_latest(r, 48).await;
+            assert_eq!(v, 32);
+        }),
+    ])
+    .unwrap();
+    let st = m.state();
+    let st = st.borrow();
+    assert_eq!(st.cpu.tasks_run, 3);
+}

@@ -1,0 +1,416 @@
+//! The time-ordered single-threaded executor.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use crate::time::Cycle;
+
+/// Identifier of a spawned simulation task (a hardware context, usually).
+pub type TaskId = usize;
+
+type BoxedTask = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Why [`Sim::run`] stopped before all tasks completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The event queue drained while tasks were still pending: every pending
+    /// task is blocked on a [`crate::Gate`] that nobody will open. For the
+    /// O-structures simulator this means a versioned load is waiting for a
+    /// version that no remaining task will ever create.
+    Deadlock {
+        /// Simulated time at which the deadlock was detected.
+        now: Cycle,
+        /// Number of tasks still blocked.
+        blocked: usize,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Deadlock { now, blocked } => write!(
+                f,
+                "simulation deadlock at cycle {now}: {blocked} task(s) blocked forever"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+pub(crate) struct Inner {
+    now: Cycle,
+    next_seq: u64,
+    /// Min-heap of `(wake_time, sequence, task)`. The sequence number makes
+    /// the pop order a total order, which makes runs deterministic.
+    heap: BinaryHeap<Reverse<(Cycle, u64, TaskId)>>,
+    tasks: Vec<Option<BoxedTask>>,
+    live: usize,
+    /// Task currently being polled; leaf futures read this to learn who they
+    /// belong to.
+    current: Option<TaskId>,
+}
+
+impl Inner {
+    pub(crate) fn schedule(&mut self, at: Cycle, task: TaskId) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let at = at.max(self.now);
+        self.heap.push(Reverse((at, seq, task)));
+    }
+
+    pub(crate) fn now(&self) -> Cycle {
+        self.now
+    }
+
+    pub(crate) fn current_task(&self) -> TaskId {
+        self.current
+            .expect("engine primitive used outside of a simulation task poll")
+    }
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// Create one, [`spawn`](Sim::spawn) the hardware contexts, then [`run`](Sim::run).
+pub struct Sim {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Creates an empty simulation at cycle 0.
+    pub fn new() -> Self {
+        Sim {
+            inner: Rc::new(RefCell::new(Inner {
+                now: 0,
+                next_seq: 0,
+                heap: BinaryHeap::new(),
+                tasks: Vec::new(),
+                live: 0,
+                current: None,
+            })),
+        }
+    }
+
+    /// Returns a cloneable handle used by tasks to interact with simulated
+    /// time (sleep, spawn, gates).
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+
+    /// Spawns a task; it becomes runnable at the current simulated time.
+    pub fn spawn(&self, fut: impl Future<Output = ()> + 'static) -> TaskId {
+        self.handle().spawn(fut)
+    }
+
+    /// Runs until every task has completed.
+    ///
+    /// Returns the final simulated time, or a [`RunError::Deadlock`] if some
+    /// tasks can never make progress again.
+    pub fn run(&self) -> Result<Cycle, RunError> {
+        loop {
+            let (at, task) = {
+                let mut inner = self.inner.borrow_mut();
+                match inner.heap.pop() {
+                    Some(Reverse((at, _, task))) => (at, task),
+                    None => {
+                        let now = inner.now;
+                        let blocked = inner.live;
+                        // Break the task<->handle Rc cycle so dropped Sims
+                        // release their task closures even on deadlock.
+                        if blocked > 0 {
+                            inner.tasks.clear();
+                            return Err(RunError::Deadlock { now, blocked });
+                        }
+                        return Ok(now);
+                    }
+                }
+            };
+            let mut fut = {
+                let mut inner = self.inner.borrow_mut();
+                debug_assert!(at >= inner.now, "time went backwards");
+                inner.now = at;
+                match inner.tasks[task].take() {
+                    Some(f) => {
+                        inner.current = Some(task);
+                        f
+                    }
+                    // Stale event for a task that already finished.
+                    None => continue,
+                }
+            };
+            let waker = Waker::noop();
+            let mut cx = Context::from_waker(waker);
+            let done = fut.as_mut().poll(&mut cx).is_ready();
+            let mut inner = self.inner.borrow_mut();
+            inner.current = None;
+            if done {
+                inner.live -= 1;
+            } else {
+                inner.tasks[task] = Some(fut);
+            }
+        }
+    }
+
+    /// Current simulated time in cycles.
+    pub fn now(&self) -> Cycle {
+        self.inner.borrow().now
+    }
+}
+
+/// A cloneable handle to the simulation, usable from inside tasks.
+#[derive(Clone)]
+pub struct SimHandle {
+    pub(crate) inner: Rc<RefCell<Inner>>,
+}
+
+impl SimHandle {
+    /// Current simulated time in cycles.
+    pub fn now(&self) -> Cycle {
+        self.inner.borrow().now
+    }
+
+    /// Number of tasks that have been spawned and not yet completed.
+    pub fn live_tasks(&self) -> usize {
+        self.inner.borrow().live
+    }
+
+    /// Spawns a new task, runnable at the current simulated time.
+    pub fn spawn(&self, fut: impl Future<Output = ()> + 'static) -> TaskId {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.tasks.len();
+        inner.tasks.push(Some(Box::pin(fut)));
+        inner.live += 1;
+        let now = inner.now;
+        inner.schedule(now, id);
+        id
+    }
+
+    /// Suspends the calling task for `cycles` simulated cycles.
+    ///
+    /// `sleep(0)` yields: the task is rescheduled at the current time behind
+    /// every event already queued for this cycle.
+    pub fn sleep(&self, cycles: Cycle) -> Sleep {
+        Sleep {
+            inner: Rc::clone(&self.inner),
+            until: None,
+            duration: cycles,
+            armed: false,
+        }
+    }
+
+    /// Suspends the calling task until the given absolute cycle (no-op if it
+    /// is already in the past).
+    pub fn sleep_until(&self, at: Cycle) -> Sleep {
+        Sleep {
+            inner: Rc::clone(&self.inner),
+            until: Some(at),
+            duration: 0,
+            armed: false,
+        }
+    }
+
+    /// Creates a new [`crate::Gate`] bound to this simulation.
+    pub fn gate(&self) -> crate::Gate {
+        crate::Gate::new(Rc::clone(&self.inner))
+    }
+}
+
+/// Future returned by [`SimHandle::sleep`] / [`SimHandle::sleep_until`].
+pub struct Sleep {
+    inner: Rc<RefCell<Inner>>,
+    /// Absolute deadline; `None` means "relative `duration` from first poll".
+    until: Option<Cycle>,
+    duration: Cycle,
+    armed: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        let mut inner = this.inner.borrow_mut();
+        if this.armed {
+            // Even `sleep(0)` goes through the queue once so a yield is a
+            // real scheduling point; by then `now >= deadline` always holds.
+            return if inner.now >= this.until.expect("armed sleep has deadline") {
+                Poll::Ready(())
+            } else {
+                Poll::Pending // spurious poll before the deadline
+            };
+        }
+        let deadline = match this.until {
+            Some(at) => at,
+            None => inner.now + this.duration,
+        };
+        this.until = Some(deadline);
+        this.armed = true;
+        let task = inner.current_task();
+        inner.schedule(deadline, task);
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn empty_sim_finishes_at_zero() {
+        let sim = Sim::new();
+        assert_eq!(sim.run(), Ok(0));
+    }
+
+    #[test]
+    fn sleep_advances_time() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        sim.spawn(async move {
+            assert_eq!(h.now(), 0);
+            h.sleep(7).await;
+            assert_eq!(h.now(), 7);
+            h.sleep(3).await;
+            assert_eq!(h.now(), 10);
+        });
+        assert_eq!(sim.run(), Ok(10));
+    }
+
+    #[test]
+    fn sleep_until_past_is_noop() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        sim.spawn(async move {
+            h.sleep(5).await;
+            h.sleep_until(3).await;
+            assert_eq!(h.now(), 5);
+            h.sleep_until(9).await;
+            assert_eq!(h.now(), 9);
+        });
+        assert_eq!(sim.run(), Ok(9));
+    }
+
+    #[test]
+    fn tasks_interleave_in_time_order() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<(u32, Cycle)>>> = Rc::default();
+        for (id, period) in [(0u32, 3u64), (1, 5)] {
+            let h = sim.handle();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                for _ in 0..3 {
+                    h.sleep(period).await;
+                    log.borrow_mut().push((id, h.now()));
+                }
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(
+            *log.borrow(),
+            vec![(0, 3), (1, 5), (0, 6), (0, 9), (1, 10), (1, 15)]
+        );
+    }
+
+    #[test]
+    fn same_cycle_ties_break_by_schedule_order() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        for id in 0..4u32 {
+            let h = sim.handle();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                h.sleep(10).await;
+                log.borrow_mut().push(id);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_sleep_is_a_yield_point() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        {
+            let log = Rc::clone(&log);
+            let h = sim.handle();
+            sim.spawn(async move {
+                log.borrow_mut().push(1);
+                h.sleep(0).await;
+                log.borrow_mut().push(3);
+            });
+        }
+        {
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                log.borrow_mut().push(2);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn dynamic_spawn_runs_at_current_time() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let hit = Rc::new(Cell::new(0u64));
+        let hit2 = Rc::clone(&hit);
+        sim.spawn(async move {
+            h.sleep(12).await;
+            let h2 = h.clone();
+            let hit3 = Rc::clone(&hit2);
+            h.spawn(async move {
+                h2.sleep(5).await;
+                hit3.set(h2.now());
+            });
+        });
+        assert_eq!(sim.run(), Ok(17));
+        assert_eq!(hit.get(), 17);
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let gate = h.gate();
+        sim.spawn(async move {
+            gate.wait().await; // nobody will ever open this
+        });
+        assert_eq!(sim.run(), Err(RunError::Deadlock { now: 0, blocked: 1 }));
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        fn one_run() -> Vec<(u32, Cycle)> {
+            let sim = Sim::new();
+            let log: Rc<RefCell<Vec<(u32, Cycle)>>> = Rc::default();
+            for id in 0..8u32 {
+                let h = sim.handle();
+                let log = Rc::clone(&log);
+                sim.spawn(async move {
+                    for k in 0..20u64 {
+                        h.sleep((id as u64 * 7 + k * 3) % 11 + 1).await;
+                        log.borrow_mut().push((id, h.now()));
+                    }
+                });
+            }
+            sim.run().unwrap();
+            Rc::try_unwrap(log).unwrap().into_inner()
+        }
+        assert_eq!(one_run(), one_run());
+    }
+}

@@ -1,0 +1,267 @@
+//! Wait/notify primitive for simulation tasks.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use crate::executor::{Inner, TaskId};
+use crate::time::Cycle;
+
+#[derive(Default)]
+struct GateState {
+    /// `(task, woken-flag)` for every task currently parked on this gate.
+    waiters: Vec<(TaskId, Rc<RefCell<bool>>)>,
+}
+
+/// A broadcast wait/notify point.
+///
+/// Tasks park on a gate with [`Gate::wait`]; another task releases all of
+/// them with [`Gate::open`] (wake at the current cycle) or
+/// [`Gate::open_at`] (wake at a later cycle, e.g. when the store that
+/// satisfies a blocked versioned load completes).
+///
+/// Gates implement the *stall* behaviour of O-structure operations: a blocked
+/// `LOAD-VERSION` parks on the gate of its O-structure's address and re-checks
+/// its condition each time a `STORE-VERSION` / `UNLOCK-VERSION` to that
+/// address opens the gate. Spurious wake-ups are therefore part of the
+/// contract — callers must re-check and re-wait in a loop.
+#[derive(Clone)]
+pub struct Gate {
+    engine: Rc<RefCell<Inner>>,
+    state: Rc<RefCell<GateState>>,
+}
+
+impl Gate {
+    pub(crate) fn new(engine: Rc<RefCell<Inner>>) -> Self {
+        Gate {
+            engine,
+            state: Rc::default(),
+        }
+    }
+
+    /// Parks the calling task until the next [`Gate::open`].
+    pub fn wait(&self) -> Wait {
+        Wait {
+            gate: self.clone(),
+            woken: None,
+        }
+    }
+
+    /// Registers the calling task on the gate *immediately* and returns a
+    /// future that resolves once the gate opens.
+    ///
+    /// Unlike [`Gate::wait`] (which registers at first poll), a ticket
+    /// taken synchronously right after checking a condition cannot miss a
+    /// wake-up that lands before the task actually suspends — the
+    /// check-then-park race that blocked versioned operations would
+    /// otherwise have while they sleep off their attempt latency.
+    pub fn ticket(&self) -> Wait {
+        let flag = Rc::new(RefCell::new(false));
+        let task = self.engine.borrow().current_task();
+        self.state
+            .borrow_mut()
+            .waiters
+            .push((task, Rc::clone(&flag)));
+        Wait {
+            gate: self.clone(),
+            woken: Some(flag),
+        }
+    }
+
+    /// Wakes every task currently parked on this gate at the current cycle.
+    pub fn open(&self) {
+        let now = self.engine.borrow().now();
+        self.open_at(now);
+    }
+
+    /// Wakes every task currently parked on this gate at cycle `at`
+    /// (clamped to the present).
+    pub fn open_at(&self, at: Cycle) {
+        let mut st = self.state.borrow_mut();
+        if st.waiters.is_empty() {
+            return;
+        }
+        let mut engine = self.engine.borrow_mut();
+        for (task, flag) in st.waiters.drain(..) {
+            *flag.borrow_mut() = true;
+            engine.schedule(at, task);
+        }
+    }
+
+    /// Number of tasks currently parked.
+    pub fn waiting(&self) -> usize {
+        self.state.borrow().waiters.len()
+    }
+}
+
+/// Future returned by [`Gate::wait`].
+pub struct Wait {
+    gate: Gate,
+    woken: Option<Rc<RefCell<bool>>>,
+}
+
+impl Future for Wait {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        match &this.woken {
+            Some(flag) => {
+                if *flag.borrow() {
+                    Poll::Ready(())
+                } else {
+                    Poll::Pending
+                }
+            }
+            None => {
+                let flag = Rc::new(RefCell::new(false));
+                let task = this.gate.engine.borrow().current_task();
+                this.gate
+                    .state
+                    .borrow_mut()
+                    .waiters
+                    .push((task, Rc::clone(&flag)));
+                this.woken = Some(flag);
+                Poll::Pending
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sim;
+    use std::cell::Cell;
+
+    #[test]
+    fn open_wakes_all_waiters_at_given_time() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let gate = h.gate();
+        let woken = Rc::new(RefCell::new(Vec::new()));
+        for id in 0..3u32 {
+            let h = sim.handle();
+            let gate = gate.clone();
+            let woken = Rc::clone(&woken);
+            sim.spawn(async move {
+                gate.wait().await;
+                woken.borrow_mut().push((id, h.now()));
+            });
+        }
+        {
+            let h = sim.handle();
+            let gate = gate.clone();
+            sim.spawn(async move {
+                h.sleep(50).await;
+                gate.open_at(h.now() + 4);
+            });
+        }
+        assert_eq!(sim.run(), Ok(54));
+        assert_eq!(*woken.borrow(), vec![(0, 54), (1, 54), (2, 54)]);
+    }
+
+    #[test]
+    fn open_with_no_waiters_is_noop() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let gate = h.gate();
+        sim.spawn(async move {
+            gate.open();
+            assert_eq!(gate.waiting(), 0);
+        });
+        assert_eq!(sim.run(), Ok(0));
+    }
+
+    #[test]
+    fn wait_loop_recheck_pattern() {
+        // The canonical blocked-versioned-load shape: re-check a condition
+        // after every wake until it holds.
+        let sim = Sim::new();
+        let h = sim.handle();
+        let gate = h.gate();
+        let value = Rc::new(Cell::new(0u32));
+        {
+            let h = sim.handle();
+            let gate = gate.clone();
+            let value = Rc::clone(&value);
+            sim.spawn(async move {
+                while value.get() < 3 {
+                    gate.wait().await;
+                }
+                assert_eq!(h.now(), 30);
+            });
+        }
+        {
+            let h = sim.handle();
+            let gate = gate.clone();
+            let value = Rc::clone(&value);
+            sim.spawn(async move {
+                for _ in 0..3 {
+                    h.sleep(10).await;
+                    value.set(value.get() + 1);
+                    gate.open();
+                }
+            });
+        }
+        assert_eq!(sim.run(), Ok(30));
+    }
+
+    #[test]
+    fn ticket_taken_before_open_survives_a_sleep() {
+        // The lost-wakeup regression: check state, take a ticket, sleep,
+        // then await the ticket. An open() landing during the sleep must
+        // still wake the waiter.
+        let sim = Sim::new();
+        let h = sim.handle();
+        let gate = h.gate();
+        {
+            let gate = gate.clone();
+            let h = h.clone();
+            sim.spawn(async move {
+                let ticket = gate.ticket();
+                h.sleep(100).await; // opener fires at t=10, mid-sleep
+                ticket.await;
+                assert_eq!(h.now(), 100);
+            });
+        }
+        {
+            let gate = gate.clone();
+            let h = h.clone();
+            sim.spawn(async move {
+                h.sleep(10).await;
+                gate.open();
+            });
+        }
+        assert_eq!(sim.run(), Ok(100));
+    }
+
+    #[test]
+    fn waiters_parked_after_open_are_not_woken_by_it() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let gate = h.gate();
+        {
+            let gate = gate.clone();
+            let h = h.clone();
+            sim.spawn(async move {
+                h.sleep(5).await;
+                gate.open();
+            });
+        }
+        {
+            let gate = gate.clone();
+            let h = h.clone();
+            sim.spawn(async move {
+                h.sleep(10).await;
+                gate.wait().await; // parked after the only open() — deadlock
+            });
+        }
+        assert!(matches!(
+            sim.run(),
+            Err(crate::RunError::Deadlock { now: 10, blocked: 1 })
+        ));
+    }
+}

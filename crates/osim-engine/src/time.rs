@@ -1,0 +1,8 @@
+//! Simulated time.
+
+/// Simulated time, measured in processor clock cycles.
+///
+/// The paper's platform runs at 2 GHz (Table II), so one cycle is 0.5 ns and
+/// the 60 ns DRAM latency is 120 cycles. All latencies in the simulator are
+/// expressed in this unit.
+pub type Cycle = u64;

@@ -1,0 +1,107 @@
+//! Property-based tests of the simulation engine: determinism and timing
+//! laws over arbitrary task programs.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use osim_engine::{Cycle, Sim};
+
+/// A little task program: alternate sleeps and gate interactions.
+#[derive(Debug, Clone)]
+enum Step {
+    Sleep(u8),
+    OpenGate(u8),
+    WaitGate(u8),
+}
+
+fn program_strategy() -> impl Strategy<Value = Vec<Vec<Step>>> {
+    let step = prop_oneof![
+        (1u8..20).prop_map(Step::Sleep),
+        (0u8..3).prop_map(Step::OpenGate),
+        (0u8..3).prop_map(Step::WaitGate),
+    ];
+    proptest::collection::vec(proptest::collection::vec(step, 0..12), 1..6)
+}
+
+/// Runs a program, returning `(end_time, per-task event log)`. Waits that
+/// would deadlock are bounded by a janitor task that opens all gates at a
+/// late time.
+fn execute(programs: &[Vec<Step>]) -> (Cycle, Vec<(usize, Cycle)>) {
+    let sim = Sim::new();
+    let h = sim.handle();
+    let gates: Vec<_> = (0..3).map(|_| h.gate()).collect();
+    let log: Rc<RefCell<Vec<(usize, Cycle)>>> = Rc::default();
+    for (id, prog) in programs.iter().enumerate() {
+        let h = sim.handle();
+        let gates = gates.clone();
+        let prog = prog.clone();
+        let log = Rc::clone(&log);
+        sim.spawn(async move {
+            for step in prog {
+                match step {
+                    Step::Sleep(n) => h.sleep(n as u64).await,
+                    Step::OpenGate(g) => gates[g as usize].open(),
+                    Step::WaitGate(g) => gates[g as usize].wait().await,
+                }
+                log.borrow_mut().push((id, h.now()));
+            }
+        });
+    }
+    // Janitor: periodically open every gate so no wait is forever.
+    {
+        let h = sim.handle();
+        let gates = gates.clone();
+        sim.spawn(async move {
+            for _ in 0..64 {
+                h.sleep(50).await;
+                for g in &gates {
+                    g.open();
+                }
+            }
+        });
+    }
+    let end = sim.run().expect("janitor prevents deadlock");
+    let log = Rc::try_unwrap(log).unwrap().into_inner();
+    (end, log)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Identical programs produce identical event interleavings.
+    #[test]
+    fn runs_are_deterministic(programs in program_strategy()) {
+        prop_assert_eq!(execute(&programs), execute(&programs));
+    }
+
+    /// Per-task event times never go backwards, and no event happens after
+    /// the simulation reports its end time.
+    #[test]
+    fn time_is_monotonic_per_task(programs in program_strategy()) {
+        let (end, log) = execute(&programs);
+        let mut last = vec![0u64; programs.len()];
+        for (id, at) in log {
+            prop_assert!(at >= last[id], "task {} went back in time", id);
+            prop_assert!(at <= end);
+            last[id] = at;
+        }
+    }
+
+    /// A task's sleeps alone lower-bound the end time.
+    #[test]
+    fn sleep_sums_lower_bound_the_end(programs in program_strategy()) {
+        let (end, _) = execute(&programs);
+        for prog in &programs {
+            let sum: u64 = prog
+                .iter()
+                .map(|s| match s {
+                    Step::Sleep(n) => *n as u64,
+                    _ => 0,
+                })
+                .sum();
+            prop_assert!(end >= sum);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Shared experiment plumbing: workload scales, benchmark dispatch, and
+//! table formatting.
+
+use osim_cpu::MachineCfg;
+use osim_mem::CacheCfg;
+use osim_workloads::harness::{DsCfg, DsResult};
+use osim_workloads::levenshtein::LevCfg;
+use osim_workloads::matmul::MatmulCfg;
+use osim_workloads::{btree, hashtable, levenshtein, linked_list, matmul, rbtree};
+
+/// Workload sizes for one harness invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Initial elements of the "small" irregular configurations.
+    pub small: usize,
+    /// Initial elements of the "large" irregular configurations.
+    pub large: usize,
+    /// Measured operations per irregular run.
+    pub ops: usize,
+    /// Matrix dimension.
+    pub mat_n: usize,
+    /// Levenshtein string length.
+    pub lev_len: usize,
+}
+
+impl Scale {
+    /// The paper's sizes (Table/figure captions): slow but faithful.
+    pub fn paper() -> Self {
+        Scale {
+            small: 1000,
+            large: 10_000,
+            ops: 1024,
+            mat_n: 100,
+            lev_len: 1000,
+        }
+    }
+
+    /// Scaled-down sizes preserving every qualitative effect.
+    pub fn quick() -> Self {
+        Scale {
+            small: 200,
+            large: 1000,
+            ops: 256,
+            mat_n: 28,
+            lev_len: 96,
+        }
+    }
+
+    /// A DsCfg for an irregular benchmark.
+    pub fn ds(&self, large: bool, reads_per_write: u32) -> DsCfg {
+        let initial = if large { self.large } else { self.small };
+        DsCfg {
+            initial,
+            ops: self.ops,
+            reads_per_write,
+            scan_range: 0,
+            key_space: initial as u32 * 4,
+            seed: 0x0511,
+            insert_only: false,
+        }
+    }
+}
+
+/// The six benchmarks of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bench {
+    LinkedList,
+    BinaryTree,
+    HashTable,
+    RbTree,
+    Levenshtein,
+    MatrixMul,
+}
+
+impl Bench {
+    /// The irregular (data-structure) benchmarks.
+    pub const IRREGULAR: [Bench; 4] = [
+        Bench::LinkedList,
+        Bench::BinaryTree,
+        Bench::HashTable,
+        Bench::RbTree,
+    ];
+
+    /// All six.
+    pub const ALL: [Bench; 6] = [
+        Bench::LinkedList,
+        Bench::BinaryTree,
+        Bench::HashTable,
+        Bench::RbTree,
+        Bench::Levenshtein,
+        Bench::MatrixMul,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Bench::LinkedList => "Linked list",
+            Bench::BinaryTree => "Binary tree",
+            Bench::HashTable => "Hash table",
+            Bench::RbTree => "R-B tree",
+            Bench::Levenshtein => "Levenshtein",
+            Bench::MatrixMul => "Matrix mul.",
+        }
+    }
+
+    /// Runs the versioned variant.
+    pub fn run_versioned(&self, mcfg: MachineCfg, scale: &Scale, large: bool, rpw: u32) -> DsResult {
+        match self {
+            Bench::LinkedList => linked_list::run_versioned(mcfg, &scale.ds(large, rpw)),
+            Bench::BinaryTree => btree::run_versioned(mcfg, &scale.ds(large, rpw)),
+            Bench::HashTable => hashtable::run_versioned(mcfg, &scale.ds(large, rpw)),
+            Bench::RbTree => rbtree::run_versioned(mcfg, &scale.ds(large, rpw)),
+            Bench::Levenshtein => levenshtein::run_versioned(
+                mcfg,
+                &LevCfg {
+                    len: scale.lev_len,
+                    seed: 2,
+                },
+            ),
+            Bench::MatrixMul => matmul::run_versioned(
+                mcfg,
+                &MatmulCfg {
+                    n: scale.mat_n,
+                    seed: 1,
+                },
+            ),
+        }
+    }
+
+    /// Runs the unversioned sequential baseline.
+    pub fn run_unversioned(&self, mcfg: MachineCfg, scale: &Scale, large: bool, rpw: u32) -> DsResult {
+        match self {
+            Bench::LinkedList => linked_list::run_unversioned(mcfg, &scale.ds(large, rpw)),
+            Bench::BinaryTree => btree::run_unversioned(mcfg, &scale.ds(large, rpw)),
+            Bench::HashTable => hashtable::run_unversioned(mcfg, &scale.ds(large, rpw)),
+            Bench::RbTree => rbtree::run_unversioned(mcfg, &scale.ds(large, rpw)),
+            Bench::Levenshtein => levenshtein::run_unversioned(
+                mcfg,
+                &LevCfg {
+                    len: scale.lev_len,
+                    seed: 2,
+                },
+            ),
+            Bench::MatrixMul => matmul::run_unversioned(
+                mcfg,
+                &MatmulCfg {
+                    n: scale.mat_n,
+                    seed: 1,
+                },
+            ),
+        }
+    }
+}
+
+/// A machine configuration derived from the paper's, with experiment knobs.
+pub fn machine(cores: usize, l1_kb: Option<u32>, extra_latency: u64) -> MachineCfg {
+    let mut cfg = MachineCfg::paper(cores);
+    if let Some(kb) = l1_kb {
+        cfg.hier.l1 = CacheCfg::l1_sized(kb);
+    }
+    cfg.omgr.versioned_extra_latency = extra_latency;
+    cfg
+}
+
+/// Prints Table II.
+pub fn print_config() {
+    println!("## Table II — the experimental platform\n");
+    let cfg = MachineCfg::paper(32);
+    println!("| Parameter | Value |");
+    println!("|---|---|");
+    println!(
+        "| Processor | {}-way in-order, 2 GHz ({} cores max in these runs) |",
+        cfg.issue_width, cfg.cores
+    );
+    println!(
+        "| L1 D-cache | {} KB, {}-way, 64 B lines, {} cycles hit |",
+        cfg.hier.l1.size_bytes / 1024,
+        cfg.hier.l1.assoc,
+        cfg.hier.l1.hit_latency
+    );
+    println!(
+        "| L2 cache | 1.5 MB x cores shared, {}-way, 64 B lines, {} cycles hit |",
+        cfg.hier.l2.assoc, cfg.hier.l2.hit_latency
+    );
+    println!(
+        "| Memory | {} cycle latency (60 ns at 2 GHz) |",
+        cfg.hier.dram_latency
+    );
+    println!();
+}
+
+/// Asserts a run validated and returns it (experiments must never report
+/// numbers from an incorrect execution).
+pub fn checked(r: DsResult, what: &str) -> DsResult {
+    assert!(r.ok, "{what}: validation failed: {}", r.detail);
+    r
+}
+
+/// Formats a ratio to two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Percentage formatting.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}

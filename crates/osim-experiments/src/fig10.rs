@@ -1,0 +1,49 @@
+//! Figure 10: sensitivity to versioned-operation latency.
+//!
+//! The paper cannot know the exact RTL latency of the extended L1 logic,
+//! so it injects a fixed 2–10 cycle penalty into every versioned operation
+//! and measures the slowdown: up to 16% at 10 cycles, much milder at
+//! realistic 2–4 cycle penalties.
+
+use crate::common::{checked, machine, Bench, Scale};
+
+const EXTRA: [u64; 5] = [2, 4, 6, 8, 10];
+
+pub fn run(scale: &Scale) {
+    println!("## Figure 10 — slowdown from injecting latency into versioned ops (vs no injection)\n");
+    println!("scale: {scale:?}\n");
+    println!("| Benchmark | Variant | +2cy | +4cy | +6cy | +8cy | +10cy |");
+    println!("|---|---|---|---|---|---|---|");
+
+    for bench in Bench::ALL {
+        for (variant, cores) in [("1T", 1), ("32T", 32)] {
+            let base = checked(
+                bench.run_versioned(machine(cores, None, 0), scale, true, 4),
+                bench.name(),
+            )
+            .cycles as f64;
+            let row: Vec<String> = EXTRA
+                .iter()
+                .map(|&e| {
+                    let c = checked(
+                        bench.run_versioned(machine(cores, None, e), scale, true, 4),
+                        bench.name(),
+                    )
+                    .cycles as f64;
+                    // Negative = slowdown, matching the paper's plot.
+                    format!("{:+.1}%", (base / c - 1.0) * 100.0)
+                })
+                .collect();
+            println!(
+                "| {} | {variant} | {} | {} | {} | {} | {} |",
+                bench.name(),
+                row[0],
+                row[1],
+                row[2],
+                row[3],
+                row[4]
+            );
+        }
+    }
+    println!();
+}

@@ -1,0 +1,97 @@
+//! Figure 6: speedup of parallel versioned (32 cores) over sequential
+//! unversioned execution.
+//!
+//! Paper shape: small benchmarks (1000 elements) and large (10000);
+//! read-intensive (4R-1W) and write-intensive (1R-1W); irregular
+//! pointer-heavy codes reach up to ~19x (the paper's headline), matmul and
+//! Levenshtein scale almost linearly despite the fixed versioning
+//! overhead.
+
+use crate::common::{checked, f2, machine, pct, Bench, Scale};
+
+pub fn run(scale: &Scale, stats: bool) {
+    const CORES: usize = 32;
+    println!("## Figure 6 — speedup of parallel versioned ({CORES} cores) over sequential unversioned\n");
+    println!("scale: {scale:?}\n");
+    let mut header = "| Benchmark | Small 4R-1W | Small 1R-1W | Large 4R-1W | Large 1R-1W |".to_string();
+    if stats {
+        header.push_str(" L1 hit | vload stall | root stall |");
+    }
+    println!("{header}");
+    println!(
+        "|---|---|---|---|---|{}",
+        if stats { "---|---|---|" } else { "" }
+    );
+
+    for bench in Bench::IRREGULAR {
+        let mut cells = Vec::new();
+        let mut last = None;
+        for (large, rpw) in [(false, 4), (false, 1), (true, 4), (true, 1)] {
+            let seq = checked(
+                bench.run_unversioned(machine(1, None, 0), scale, large, rpw),
+                bench.name(),
+            );
+            let par = checked(
+                bench.run_versioned(machine(CORES, None, 0), scale, large, rpw),
+                bench.name(),
+            );
+            cells.push(f2(seq.cycles as f64 / par.cycles as f64));
+            last = Some(par);
+        }
+        let mut row = format!(
+            "| {} | {} | {} | {} | {} |",
+            bench.name(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3]
+        );
+        if stats {
+            let par = last.expect("ran");
+            row.push_str(&format!(
+                " {} | {} | {} |",
+                pct(par.mem.l1_hit_rate()),
+                pct(par.cpu.versioned_stall_rate()),
+                pct(par.cpu.root_stall_rate()),
+            ));
+        }
+        println!("{row}");
+    }
+
+    // The regular benchmarks have a single configuration each.
+    for bench in [Bench::Levenshtein, Bench::MatrixMul] {
+        let seq = checked(
+            bench.run_unversioned(machine(1, None, 0), scale, false, 4),
+            bench.name(),
+        );
+        let par = checked(
+            bench.run_versioned(machine(CORES, None, 0), scale, false, 4),
+            bench.name(),
+        );
+        let s = f2(seq.cycles as f64 / par.cycles as f64);
+        let mut row = format!("| {} | {s} | {s} | {s} | {s} |", bench.name());
+        if stats {
+            row.push_str(&format!(
+                " {} | {} | - |",
+                pct(par.mem.l1_hit_rate()),
+                pct(par.cpu.versioned_stall_rate()),
+            ));
+        }
+        println!("{row}");
+    }
+
+    // The §IV-B single-thread overhead observation (matmul ~2.5x in the
+    // paper): versioned sequential vs unversioned sequential.
+    let unv = checked(
+        Bench::MatrixMul.run_unversioned(machine(1, None, 0), scale, false, 4),
+        "matmul",
+    );
+    let ver = checked(
+        Bench::MatrixMul.run_versioned(machine(1, None, 0), scale, false, 4),
+        "matmul",
+    );
+    println!(
+        "\nsingle-thread versioning overhead (matmul): {}x slower than unversioned (paper: ~2.5x)\n",
+        f2(ver.cycles as f64 / unv.cycles as f64)
+    );
+}

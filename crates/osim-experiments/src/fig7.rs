@@ -1,0 +1,56 @@
+//! Figure 7: scalability — speedup over the sequential *versioned* run
+//! (self-speedup), large read-intensive configurations, 4–32 cores.
+
+use crate::common::{checked, f2, machine, pct, Bench, Scale};
+
+const CORE_COUNTS: [usize; 4] = [4, 8, 16, 32];
+
+pub fn run(scale: &Scale, stats: bool) {
+    println!("## Figure 7 — scalability (speedup over sequential versioned; large, read-intensive)\n");
+    println!("scale: {scale:?}\n");
+    let mut header = "| Benchmark | 4 | 8 | 16 | 32 |".to_string();
+    if stats {
+        header.push_str(" L1 hit @32 | vload stall @32 |");
+    }
+    println!("{header}");
+    println!("|---|---|---|---|---|{}", if stats { "---|---|" } else { "" });
+
+    for bench in Bench::ALL {
+        let large = true;
+        let rpw = 4;
+        let base = checked(
+            bench.run_versioned(machine(1, None, 0), scale, large, rpw),
+            bench.name(),
+        );
+        let mut cells = Vec::new();
+        let mut at32 = None;
+        for cores in CORE_COUNTS {
+            let par = checked(
+                bench.run_versioned(machine(cores, None, 0), scale, large, rpw),
+                bench.name(),
+            );
+            cells.push(f2(base.cycles as f64 / par.cycles as f64));
+            if cores == 32 {
+                at32 = Some(par);
+            }
+        }
+        let mut row = format!(
+            "| {} | {} | {} | {} | {} |",
+            bench.name(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3]
+        );
+        if stats {
+            let par = at32.expect("ran 32");
+            row.push_str(&format!(
+                " {} | {} |",
+                pct(par.mem.l1_hit_rate()),
+                pct(par.cpu.versioned_stall_rate()),
+            ));
+        }
+        println!("{row}");
+    }
+    println!();
+}

@@ -1,0 +1,66 @@
+//! Figure 8: snapshot isolation — versioned binary tree vs an unversioned
+//! tree protected by a read-write lock.
+//!
+//! Paper setup: initial tree of 10000, scans and inserts 3:1, scan ranges
+//! 1/8/64, 4–32 cores. Expected shape: the versioned tree loses at low
+//! core counts (fixed versioning overhead) and wins as cores grow because
+//! scans overlap inserts; the paper reports average self-speedups of 12.2
+//! (versioned) vs 7.9 (rwlock) and an average versioned advantage of 16%.
+
+use osim_workloads::btree;
+use osim_workloads::harness::DsCfg;
+
+use crate::common::{checked, f2, machine, Scale};
+
+const CORE_COUNTS: [usize; 4] = [4, 8, 16, 32];
+const SCAN_RANGES: [u32; 3] = [1, 8, 64];
+
+fn cfg(scale: &Scale, scan_range: u32) -> DsCfg {
+    DsCfg {
+        initial: scale.large,
+        ops: scale.ops,
+        reads_per_write: 3, // 3 scans per insert
+        scan_range,
+        key_space: scale.large as u32 * 4,
+        seed: 0x0f18,
+        insert_only: true,
+    }
+}
+
+pub fn run(scale: &Scale) {
+    println!("## Figure 8 — versioned BST vs read-write-lock BST (ratio > 1 means versioned faster)\n");
+    println!(
+        "scale: {scale:?}; mix: 3 scans : 1 insert, initial {} elements\n",
+        scale.large
+    );
+    println!("| Scan range | 4 | 8 | 16 | 32 | versioned self-speedup @32 | rwlock self-speedup @32 |");
+    println!("|---|---|---|---|---|---|---|");
+
+    for range in SCAN_RANGES {
+        let c = cfg(scale, range);
+        let vseq = checked(btree::run_versioned(machine(1, None, 0), &c), "bst v1");
+        let rseq = checked(btree::run_rwlock(machine(1, None, 0), &c), "bst rw1");
+        let mut cells = Vec::new();
+        let mut self_v = 0.0;
+        let mut self_r = 0.0;
+        for cores in CORE_COUNTS {
+            let v = checked(btree::run_versioned(machine(cores, None, 0), &c), "bst v");
+            let r = checked(btree::run_rwlock(machine(cores, None, 0), &c), "bst rw");
+            cells.push(f2(r.cycles as f64 / v.cycles as f64));
+            if cores == 32 {
+                self_v = vseq.cycles as f64 / v.cycles as f64;
+                self_r = rseq.cycles as f64 / r.cycles as f64;
+            }
+        }
+        println!(
+            "| {range} | {} | {} | {} | {} | {} | {} |",
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+            f2(self_v),
+            f2(self_r)
+        );
+    }
+    println!();
+}

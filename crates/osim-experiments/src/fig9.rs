@@ -1,0 +1,47 @@
+//! Figure 9: L1 size sensitivity.
+//!
+//! The paper varies the L1 from 8 kB to 128 kB (32 kB baseline) for the
+//! unversioned sequential (U), versioned single-core (1T) and versioned
+//! 32-core (32T) runs of the large read-intensive benchmarks, and finds
+//! effects of at most ~1.23x — pointer-heavy codes are cache-size
+//! insensitive.
+
+use crate::common::{checked, f2, machine, Bench, Scale};
+
+const SIZES_KB: [u32; 5] = [8, 16, 32, 64, 128];
+
+pub fn run(scale: &Scale) {
+    println!("## Figure 9 — speedup vs the 32 kB L1 baseline (U / 1T / 32T)\n");
+    println!("scale: {scale:?}\n");
+    println!("| Benchmark | Variant | 8kB | 16kB | 32kB | 64kB | 128kB |");
+    println!("|---|---|---|---|---|---|---|");
+
+    for bench in Bench::ALL {
+        for (variant, cores, versioned) in [("U", 1, false), ("1T", 1, true), ("32T", 32, true)] {
+            let cycles: Vec<u64> = SIZES_KB
+                .iter()
+                .map(|&kb| {
+                    let m = machine(cores, Some(kb), 0);
+                    let r = if versioned {
+                        bench.run_versioned(m, scale, true, 4)
+                    } else {
+                        bench.run_unversioned(m, scale, true, 4)
+                    };
+                    checked(r, bench.name()).cycles
+                })
+                .collect();
+            let base = cycles[2] as f64; // 32 kB
+            let row: Vec<String> = cycles.iter().map(|&c| f2(base / c as f64)).collect();
+            println!(
+                "| {} | {variant} | {} | {} | {} | {} | {} |",
+                bench.name(),
+                row[0],
+                row[1],
+                row[2],
+                row[3],
+                row[4]
+            );
+        }
+    }
+    println!();
+}

@@ -1,0 +1,73 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§IV) from the simulator.
+//!
+//! ```text
+//! cargo run -p osim-experiments --release -- <experiment> [--full] [--stats]
+//!
+//! experiments:
+//!   config   Table II   — the simulated platform configuration
+//!   fig6     Figure 6   — speedup of 32-core versioned over sequential unversioned
+//!   fig7     Figure 7   — scalability (4..32 cores) over 1-core versioned
+//!   fig8     Figure 8   — versioned BST vs read-write-lock BST (snapshot isolation)
+//!   fig9     Figure 9   — L1 size sensitivity (8 kB .. 128 kB)
+//!   fig10    Figure 10  — injected versioned-op latency (2..10 cycles)
+//!   gc       §IV-F      — garbage collection and version-sorting overhead
+//!   trace               — per-operation latency/stall breakdown (tracer demo)
+//!   all      everything above
+//! ```
+//!
+//! `--full` uses the paper's workload sizes (slow: gem5 took hours on
+//! these too); the default is a proportionally scaled-down configuration
+//! that preserves every qualitative effect. `--stats` appends the §IV-D
+//! secondary statistics (hit rates, stall rates) to fig6/fig7 rows.
+
+use std::env;
+
+mod common;
+mod fig10;
+mod fig6;
+mod fig7;
+mod fig8;
+mod fig9;
+mod gc;
+mod trace_cmd;
+
+use common::Scale;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let stats = args.iter().any(|a| a == "--stats");
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("help");
+    let scale = if full { Scale::paper() } else { Scale::quick() };
+
+    match cmd {
+        "config" => common::print_config(),
+        "fig6" => fig6::run(&scale, stats),
+        "fig7" => fig7::run(&scale, stats),
+        "fig8" => fig8::run(&scale),
+        "fig9" => fig9::run(&scale),
+        "fig10" => fig10::run(&scale),
+        "gc" => gc::run(&scale),
+        "trace" => trace_cmd::run(&scale),
+        "all" => {
+            common::print_config();
+            fig6::run(&scale, stats);
+            fig7::run(&scale, stats);
+            fig8::run(&scale);
+            fig9::run(&scale);
+            fig10::run(&scale);
+            gc::run(&scale);
+        }
+        _ => {
+            eprintln!(
+                "usage: osim-experiments <config|fig6|fig7|fig8|fig9|fig10|gc|trace|all> [--full] [--stats]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

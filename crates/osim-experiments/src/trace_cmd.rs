@@ -1,0 +1,42 @@
+//! `trace`: run one workload with per-operation tracing and print the
+//! latency/stall breakdown — the observability view behind the figures.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use osim_cpu::{task, Machine, MachineCfg};
+
+use crate::common::Scale;
+
+pub fn run(scale: &Scale) {
+    println!("## Execution trace — producer/consumer chain + pipelined list segment\n");
+    let mut m = Machine::new(MachineCfg::paper(4));
+    m.enable_trace(1 << 20);
+    let root = {
+        let st = m.state();
+        let mut st = st.borrow_mut();
+        let s = &mut *st;
+        s.alloc.alloc_root(&mut s.ms)
+    };
+    let n = (scale.ops as u32).clamp(16, 512);
+    let sum = Rc::new(RefCell::new(0u64));
+    let mut tasks = vec![task(move |ctx| async move {
+        ctx.store_version(root, 16, 1).await;
+    })];
+    for _ in 0..n {
+        let sum = Rc::clone(&sum);
+        tasks.push(task(move |ctx| async move {
+            let tid = ctx.tid();
+            let (vl, v) = ctx.lock_load_latest(root, tid * 16 + 15).await;
+            ctx.work(v as u64 % 31 + 8).await;
+            ctx.unlock_version(root, vl, Some(tid * 16 + 15)).await;
+            *sum.borrow_mut() += v as u64;
+        }));
+    }
+    let report = m.run_tasks(tasks).expect("no deadlock");
+    let st = m.state();
+    let st = st.borrow();
+    println!("{} tasks, {} cycles, {} records ({} dropped)\n",
+        n + 1, report.cycles(), st.trace.records().len(), st.trace.dropped);
+    println!("{}", st.trace.summary());
+}

@@ -1,0 +1,296 @@
+//! Set-associative cache model (tags + MESI state, LRU replacement).
+
+use crate::LINE_BYTES;
+
+/// Cache geometry and hit latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCfg {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheCfg {
+    /// The paper's L1 D-cache: 32 KB, 8-way, 64 B lines, 4-cycle hits.
+    pub fn l1_paper() -> Self {
+        CacheCfg {
+            size_bytes: 32 * 1024,
+            assoc: 8,
+            hit_latency: 4,
+        }
+    }
+
+    /// An L1 of `kb` kilobytes, keeping the paper's associativity and
+    /// latency — the Figure 9 sweep (8 kB – 128 kB).
+    pub fn l1_sized(kb: u32) -> Self {
+        CacheCfg {
+            size_bytes: kb * 1024,
+            assoc: 8,
+            hit_latency: 4,
+        }
+    }
+
+    /// The paper's shared L2: 1.5 MB per core, 16-way, 35-cycle hits.
+    pub fn l2_paper(cores: usize) -> Self {
+        CacheCfg {
+            size_bytes: (3 * 1024 * 1024 / 2) * cores as u32,
+            assoc: 16,
+            hit_latency: 35,
+        }
+    }
+
+    fn n_sets(&self) -> u32 {
+        (self.size_bytes / LINE_BYTES / self.assoc).max(1)
+    }
+}
+
+/// MESI stable states; Invalid is represented by absence from the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mesi {
+    Modified,
+    Exclusive,
+    Shared,
+}
+
+/// What a cache line holds.
+///
+/// `Compressed` lines are the paper's compressed version-block lines: eight
+/// `(data, version-offset, lock-offset)` entries for one O-structure. They
+/// share the L1's sets and ways with ordinary data lines ("caches that are
+/// at least two-way associative can store both compressed and uncompressed
+/// versions of an O-structure at the same time"). Their tag is the physical
+/// address of the O-structure's root word, which uniquely identifies the
+/// version-block list; the entry payloads live in the O-structure manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineKind {
+    Data,
+    Compressed,
+}
+
+/// Metadata for one resident cache line.
+#[derive(Debug, Clone, Copy)]
+pub struct Line {
+    /// Line-aligned physical address for `Data`; root word physical address
+    /// for `Compressed`.
+    pub tag: u32,
+    pub kind: LineKind,
+    pub state: Mesi,
+    lru: u64,
+}
+
+/// A set-associative, LRU, write-back cache holding metadata only.
+pub struct Cache {
+    cfg: CacheCfg,
+    n_sets: u32,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(cfg: CacheCfg) -> Self {
+        let n_sets = cfg.n_sets();
+        Cache {
+            cfg,
+            n_sets,
+            sets: (0..n_sets).map(|_| Vec::new()).collect(),
+            tick: 0,
+        }
+    }
+
+    /// This cache's configuration.
+    pub fn cfg(&self) -> &CacheCfg {
+        &self.cfg
+    }
+
+    /// Hit latency in cycles.
+    pub fn hit_latency(&self) -> u64 {
+        self.cfg.hit_latency
+    }
+
+    /// Set index. Data lines index by line address; compressed lines index
+    /// by their root *word* (O-structure identity), spreading structures
+    /// whose root words share a line across sets — hardware indexes these
+    /// by the version-block list's location, which is similarly spread.
+    #[inline]
+    fn set_of_kind(&self, tag: u32, kind: LineKind) -> usize {
+        let idx = match kind {
+            LineKind::Data => tag / LINE_BYTES,
+            LineKind::Compressed => tag / 4,
+        };
+        (idx % self.n_sets) as usize
+    }
+
+    /// Looks a line up and refreshes its LRU position. Returns its state.
+    pub fn probe(&mut self, tag: u32, kind: LineKind) -> Option<Mesi> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of_kind(tag, kind);
+        let line = self.sets[set]
+            .iter_mut()
+            .find(|l| l.tag == tag && l.kind == kind)?;
+        line.lru = tick;
+        Some(line.state)
+    }
+
+    /// Looks a line up without touching LRU state (used by coherence
+    /// snoops, which must not perturb replacement decisions).
+    pub fn peek(&self, tag: u32, kind: LineKind) -> Option<Mesi> {
+        let set = self.set_of_kind(tag, kind);
+        self.sets[set]
+            .iter()
+            .find(|l| l.tag == tag && l.kind == kind)
+            .map(|l| l.state)
+    }
+
+    /// Changes the MESI state of a resident line. Panics if absent.
+    pub fn set_state(&mut self, tag: u32, kind: LineKind, state: Mesi) {
+        let set = self.set_of_kind(tag, kind);
+        self.sets[set]
+            .iter_mut()
+            .find(|l| l.tag == tag && l.kind == kind)
+            .expect("set_state on absent line")
+            .state = state;
+    }
+
+    /// Inserts a line, evicting the LRU victim of its set if full.
+    /// Returns the victim, if any.
+    ///
+    /// If the line is already resident its state is updated in place.
+    pub fn fill(&mut self, tag: u32, kind: LineKind, state: Mesi) -> Option<Line> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of_kind(tag, kind);
+        let ways = self.cfg.assoc as usize;
+        let lines = &mut self.sets[set];
+        if let Some(line) = lines.iter_mut().find(|l| l.tag == tag && l.kind == kind) {
+            line.state = state;
+            line.lru = tick;
+            return None;
+        }
+        let victim = if lines.len() >= ways {
+            let (idx, _) = lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .expect("non-empty set");
+            Some(lines.swap_remove(idx))
+        } else {
+            None
+        };
+        lines.push(Line {
+            tag,
+            kind,
+            state,
+            lru: tick,
+        });
+        victim
+    }
+
+    /// Removes a line, returning it if it was resident.
+    pub fn invalidate(&mut self, tag: u32, kind: LineKind) -> Option<Line> {
+        let set = self.set_of_kind(tag, kind);
+        let lines = &mut self.sets[set];
+        let idx = lines
+            .iter()
+            .position(|l| l.tag == tag && l.kind == kind)?;
+        Some(lines.swap_remove(idx))
+    }
+
+    /// Number of resident lines (all sets, both kinds).
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Drops every resident line (used when reconfiguring between runs).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways of 64 B lines.
+        Cache::new(CacheCfg {
+            size_bytes: 256,
+            assoc: 2,
+            hit_latency: 4,
+        })
+    }
+
+    #[test]
+    fn fill_then_probe_hits() {
+        let mut c = tiny();
+        assert_eq!(c.probe(0x0, LineKind::Data), None);
+        assert!(c.fill(0x0, LineKind::Data, Mesi::Exclusive).is_none());
+        assert_eq!(c.probe(0x0, LineKind::Data), Some(Mesi::Exclusive));
+    }
+
+    #[test]
+    fn lru_eviction_picks_coldest() {
+        let mut c = tiny();
+        // Set 0 holds lines whose (addr/64) is even: 0x0, 0x80, 0x100...
+        c.fill(0x000, LineKind::Data, Mesi::Shared);
+        c.fill(0x080, LineKind::Data, Mesi::Shared);
+        c.probe(0x000, LineKind::Data); // make 0x0 the hottest
+        let victim = c.fill(0x100, LineKind::Data, Mesi::Shared).unwrap();
+        assert_eq!(victim.tag, 0x080);
+        assert_eq!(c.peek(0x000, LineKind::Data), Some(Mesi::Shared));
+        assert_eq!(c.peek(0x100, LineKind::Data), Some(Mesi::Shared));
+    }
+
+    #[test]
+    fn data_and_compressed_with_same_tag_coexist() {
+        let mut c = tiny();
+        c.fill(0x40, LineKind::Data, Mesi::Modified);
+        c.fill(0x40, LineKind::Compressed, Mesi::Exclusive);
+        assert_eq!(c.peek(0x40, LineKind::Data), Some(Mesi::Modified));
+        assert_eq!(c.peek(0x40, LineKind::Compressed), Some(Mesi::Exclusive));
+        assert_eq!(c.resident(), 2);
+    }
+
+    #[test]
+    fn refill_updates_state_in_place() {
+        let mut c = tiny();
+        c.fill(0x0, LineKind::Data, Mesi::Shared);
+        assert!(c.fill(0x0, LineKind::Data, Mesi::Modified).is_none());
+        assert_eq!(c.peek(0x0, LineKind::Data), Some(Mesi::Modified));
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        c.fill(0x0, LineKind::Data, Mesi::Shared);
+        let line = c.invalidate(0x0, LineKind::Data).unwrap();
+        assert_eq!(line.tag, 0x0);
+        assert_eq!(c.probe(0x0, LineKind::Data), None);
+        assert!(c.invalidate(0x0, LineKind::Data).is_none());
+    }
+
+    #[test]
+    fn peek_does_not_touch_lru() {
+        let mut c = tiny();
+        c.fill(0x000, LineKind::Data, Mesi::Shared);
+        c.fill(0x080, LineKind::Data, Mesi::Shared);
+        c.peek(0x000, LineKind::Data); // must not refresh 0x000
+        let victim = c.fill(0x100, LineKind::Data, Mesi::Shared).unwrap();
+        assert_eq!(victim.tag, 0x000);
+    }
+
+    #[test]
+    fn paper_l1_geometry() {
+        let cfg = CacheCfg::l1_paper();
+        assert_eq!(cfg.n_sets(), 64); // 32 KiB / 64 B / 8 ways
+        let c = Cache::new(CacheCfg::l2_paper(32));
+        assert_eq!(c.cfg().size_bytes, 48 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,60 @@
+//! Architectural faults raised by the simulated memory system.
+
+/// A protection or addressing fault, as defined in §III of the paper
+/// ("Addressing and protection").
+///
+/// In real hardware these would be delivered to the operating system; in the
+/// simulator they surface as `Err` values so tests can assert that the
+/// protection model actually rejects each class of illegal access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Virtual address has no page-table mapping.
+    NotMapped { va: u32 },
+    /// A conventional `LOAD`/`STORE` touched a page whose version-block bit
+    /// is set (either a versioned-root page or a version-block pool page).
+    ConventionalAccessToVersionedPage { va: u32 },
+    /// An O-structure instruction referenced a page whose version-block bit
+    /// is *not* set.
+    VersionedAccessToConventionalPage { va: u32 },
+    /// An O-structure access reached a version block whose head bit is
+    /// clear, i.e. user code tried to enter a version-block list somewhere
+    /// other than its head.
+    NotListHead { pa: u32 },
+    /// `UNLOCK-VERSION` for a version the task does not hold locked.
+    NotLockOwner { va: u32, version: u32 },
+    /// `STORE-VERSION` for a version that already exists (versions are
+    /// write-once: "Once created, a version can be locked but not modified").
+    VersionExists { va: u32, version: u32 },
+    /// The version-block free list was exhausted and the OS refill trap also
+    /// could not produce memory (simulated RAM budget exceeded).
+    OutOfVersionBlocks,
+    /// Misaligned O-structure root access (roots are 4-byte words).
+    Misaligned { va: u32 },
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::NotMapped { va } => write!(f, "page fault: va {va:#010x} not mapped"),
+            Fault::ConventionalAccessToVersionedPage { va } => {
+                write!(f, "conventional access to versioned page at va {va:#010x}")
+            }
+            Fault::VersionedAccessToConventionalPage { va } => {
+                write!(f, "versioned access to conventional page at va {va:#010x}")
+            }
+            Fault::NotListHead { pa } => {
+                write!(f, "version block at pa {pa:#010x} is not a list head")
+            }
+            Fault::NotLockOwner { va, version } => {
+                write!(f, "unlock of version {version} at va {va:#010x} by non-owner")
+            }
+            Fault::VersionExists { va, version } => {
+                write!(f, "store to existing version {version} at va {va:#010x}")
+            }
+            Fault::OutOfVersionBlocks => write!(f, "version block storage exhausted"),
+            Fault::Misaligned { va } => write!(f, "misaligned O-structure access at {va:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}

@@ -1,0 +1,453 @@
+//! The cache hierarchy: per-core L1s, shared inclusive L2, DRAM, and
+//! invalidation-based coherence.
+
+use crate::cache::{Cache, CacheCfg, LineKind, Mesi};
+use crate::stats::MemStats;
+use crate::line_of;
+
+/// Full hierarchy configuration.
+#[derive(Debug, Clone)]
+pub struct HierarchyCfg {
+    /// Number of cores (each gets a private L1 D-cache).
+    pub cores: usize,
+    /// L1 geometry/latency.
+    pub l1: CacheCfg,
+    /// Shared L2 geometry/latency. The paper scales L2 capacity with the
+    /// core count (1.5 MB × #cores); use [`CacheCfg::l2_paper`].
+    pub l2: CacheCfg,
+    /// DRAM access latency in cycles (60 ns at 2 GHz = 120 cycles).
+    pub dram_latency: u64,
+}
+
+impl HierarchyCfg {
+    /// The configuration of Table II for `cores` cores.
+    pub fn paper(cores: usize) -> Self {
+        HierarchyCfg {
+            cores,
+            l1: CacheCfg::l1_paper(),
+            l2: CacheCfg::l2_paper(cores),
+            dram_latency: 120,
+        }
+    }
+}
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Local L1 hit.
+    L1,
+    /// Dirty data forwarded from another core's L1.
+    RemoteL1,
+    /// Shared L2 hit.
+    L2,
+    /// Main memory.
+    Dram,
+}
+
+/// Kind of demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Demand load.
+    Read,
+    /// Demand store (requires exclusive ownership).
+    Write,
+    /// Load that must not allocate in the local L1 — used for the
+    /// intermediate blocks of a version-list walk ("to avoid cache
+    /// pollution, only the block that holds the requested version is
+    /// inserted into the cache"). Still allocates in the shared L2.
+    ReadNoAlloc,
+}
+
+/// Outcome of a hierarchy access.
+#[derive(Debug, Clone)]
+pub struct AccessResult {
+    /// Latency in cycles.
+    pub latency: u64,
+    /// Level that satisfied the access.
+    pub level: Level,
+    /// Compressed O-structure lines (identified by `(core, root_pa)`) that
+    /// were evicted or invalidated as a side effect. The O-structure manager
+    /// must drop its payloads for these.
+    pub dropped_compressed: Vec<(usize, u32)>,
+}
+
+/// Per-core L1s over a shared inclusive L2 over DRAM.
+pub struct Hierarchy {
+    cfg: HierarchyCfg,
+    l1s: Vec<Cache>,
+    l2: Cache,
+    /// Counters; `reset` between warm-up and measurement phases.
+    pub stats: MemStats,
+}
+
+impl Hierarchy {
+    /// Builds an empty hierarchy.
+    pub fn new(cfg: HierarchyCfg) -> Self {
+        let l1s = (0..cfg.cores).map(|_| Cache::new(cfg.l1)).collect();
+        let l2 = Cache::new(cfg.l2);
+        let stats = MemStats::new(cfg.cores);
+        Hierarchy {
+            cfg,
+            l1s,
+            l2,
+            stats,
+        }
+    }
+
+    /// The configuration this hierarchy was built with.
+    pub fn cfg(&self) -> &HierarchyCfg {
+        &self.cfg
+    }
+
+    /// Performs a demand access by `core` to physical address `pa`.
+    ///
+    /// Updates MESI state, fills/evicts lines and returns the latency. The
+    /// access is for a *data* line; compressed O-structure lines have their
+    /// own entry points below.
+    pub fn access(&mut self, core: usize, pa: u32, kind: AccessKind) -> AccessResult {
+        let line = line_of(pa);
+        let mut dropped = Vec::new();
+        let is_write = kind == AccessKind::Write;
+
+        if let Some(state) = self.l1s[core].probe(line, LineKind::Data) {
+            // L1 hit.
+            if is_write {
+                self.stats.l1_write_hits[core] += 1;
+                if state == Mesi::Shared {
+                    // Upgrade: invalidate every other copy.
+                    self.stats.upgrades += 1;
+                    self.invalidate_others(core, line);
+                }
+                self.l1s[core].set_state(line, LineKind::Data, Mesi::Modified);
+            } else {
+                self.stats.l1_read_hits[core] += 1;
+            }
+            return AccessResult {
+                latency: self.cfg.l1.hit_latency,
+                level: Level::L1,
+                dropped_compressed: dropped,
+            };
+        }
+
+        // L1 miss.
+        if is_write {
+            self.stats.l1_write_misses[core] += 1;
+        } else {
+            self.stats.l1_read_misses[core] += 1;
+        }
+
+        // Snoop other L1s for a dirty copy.
+        let dirty_owner = (0..self.cfg.cores)
+            .filter(|&c| c != core)
+            .find(|&c| self.l1s[c].peek(line, LineKind::Data) == Some(Mesi::Modified));
+
+        let (level, latency) = if let Some(owner) = dirty_owner {
+            // Cache-to-cache forward; the paper notes LLC and remote-L1
+            // latencies are comparable, so we charge the L2 hit latency.
+            self.stats.remote_forwards += 1;
+            // Write the dirty data back into the L2 (stays inclusive).
+            self.l2.fill(line, LineKind::Data, Mesi::Modified);
+            if is_write {
+                self.l1s[owner].invalidate(line, LineKind::Data);
+                self.stats.invalidations += 1;
+            } else {
+                self.l1s[owner].set_state(line, LineKind::Data, Mesi::Shared);
+            }
+            (Level::RemoteL1, self.cfg.l2.hit_latency)
+        } else if self.l2.probe(line, LineKind::Data).is_some() {
+            if is_write {
+                self.invalidate_others(core, line);
+            }
+            (Level::L2, self.cfg.l2.hit_latency)
+        } else {
+            // DRAM fill; allocate in L2 (inclusive).
+            self.stats.l2_misses += 1;
+            if let Some(victim) = self.l2.fill(line, LineKind::Data, Mesi::Exclusive) {
+                self.back_invalidate(victim.tag, &mut dropped);
+            }
+            (Level::Dram, self.cfg.dram_latency)
+        };
+        if level == Level::L2 {
+            self.stats.l2_hits += 1;
+        }
+
+        // Fill the local L1 unless the caller asked not to pollute it.
+        if kind != AccessKind::ReadNoAlloc {
+            let others_share = (0..self.cfg.cores)
+                .filter(|&c| c != core)
+                .any(|c| self.l1s[c].peek(line, LineKind::Data).is_some());
+            let state = if is_write {
+                Mesi::Modified
+            } else if others_share {
+                Mesi::Shared
+            } else {
+                Mesi::Exclusive
+            };
+            // Keep peers coherent: a read next to sharers demotes everyone.
+            if !is_write && others_share {
+                for c in (0..self.cfg.cores).filter(|&c| c != core) {
+                    if self.l1s[c].peek(line, LineKind::Data).is_some() {
+                        self.l1s[c].set_state(line, LineKind::Data, Mesi::Shared);
+                    }
+                }
+            }
+            if let Some(victim) = self.l1s[core].fill(line, LineKind::Data, state) {
+                if victim.kind == LineKind::Compressed {
+                    dropped.push((core, victim.tag));
+                }
+            }
+        }
+
+        AccessResult {
+            latency,
+            level,
+            dropped_compressed: dropped,
+        }
+    }
+
+    /// Installs the line containing `pa` into `core`'s L1 without charging
+    /// latency or demand-access statistics.
+    ///
+    /// Used for the version block that *matched* during a full list walk:
+    /// the walk already paid for fetching it (as a no-allocate read), and
+    /// the paper's pollution rule says exactly this one block is then
+    /// inserted into the cache. Returns compressed lines evicted by the
+    /// fill.
+    pub fn fill_local(&mut self, core: usize, pa: u32) -> Vec<(usize, u32)> {
+        let line = line_of(pa);
+        let mut dropped = Vec::new();
+        if self.l1s[core].peek(line, LineKind::Data).is_some() {
+            return dropped;
+        }
+        let others_share = (0..self.cfg.cores)
+            .filter(|&c| c != core)
+            .any(|c| self.l1s[c].peek(line, LineKind::Data).is_some());
+        let state = if others_share {
+            Mesi::Shared
+        } else {
+            Mesi::Exclusive
+        };
+        if let Some(victim) = self.l1s[core].fill(line, LineKind::Data, state) {
+            if victim.kind == LineKind::Compressed {
+                dropped.push((core, victim.tag));
+            }
+        }
+        dropped
+    }
+
+    /// Invalidates every remote L1 copy of `line` (write upgrade / RFO).
+    fn invalidate_others(&mut self, core: usize, line: u32) {
+        for c in (0..self.cfg.cores).filter(|&c| c != core) {
+            if self.l1s[c].invalidate(line, LineKind::Data).is_some() {
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Enforces inclusion: when the L2 evicts a line, every L1 copy goes too.
+    fn back_invalidate(&mut self, line: u32, dropped: &mut Vec<(usize, u32)>) {
+        for c in 0..self.cfg.cores {
+            if self.l1s[c].invalidate(line, LineKind::Data).is_some() {
+                self.stats.back_invalidations += 1;
+            }
+        }
+        let _ = dropped; // compressed lines are not L2-backed; nothing to drop
+    }
+
+    // ------------------------------------------------------------------
+    // Compressed O-structure lines (§III-A). Tagged by the physical address
+    // of the O-structure's root word; payloads live in `osim-uarch`.
+    // ------------------------------------------------------------------
+
+    /// Probes `core`'s L1 for the compressed line of the O-structure rooted
+    /// at `root_pa`. Returns true on hit (and counts it).
+    pub fn compressed_probe(&mut self, core: usize, root_pa: u32) -> bool {
+        let hit = self.l1s[core]
+            .probe(root_pa, LineKind::Compressed)
+            .is_some();
+        if hit {
+            self.stats.compressed_hits += 1;
+        } else {
+            self.stats.compressed_misses += 1;
+        }
+        hit
+    }
+
+    /// Allocates (or refreshes) the compressed line for `root_pa` in
+    /// `core`'s L1, reporting any compressed victim that had to be evicted.
+    pub fn compressed_fill(&mut self, core: usize, root_pa: u32) -> Vec<(usize, u32)> {
+        let mut dropped = Vec::new();
+        if let Some(victim) = self.l1s[core].fill(root_pa, LineKind::Compressed, Mesi::Exclusive) {
+            if victim.kind == LineKind::Compressed {
+                dropped.push((core, victim.tag));
+            }
+        }
+        dropped
+    }
+
+    /// Drops `core`'s own compressed line for `root_pa`, if resident.
+    pub fn compressed_drop(&mut self, core: usize, root_pa: u32) -> bool {
+        self.l1s[core]
+            .invalidate(root_pa, LineKind::Compressed)
+            .is_some()
+    }
+
+    /// Coherence broadcast: a version store/lock/unlock by `core` modified
+    /// the O-structure rooted at `root_pa`, so every *other* core's
+    /// compressed line for it is discarded (the paper's "simplest course of
+    /// action"). Returns the dropped `(core, root_pa)` pairs.
+    pub fn compressed_invalidate_others(&mut self, core: usize, root_pa: u32) -> Vec<(usize, u32)> {
+        let mut dropped = Vec::new();
+        for c in (0..self.cfg.cores).filter(|&c| c != core) {
+            if self.l1s[c].invalidate(root_pa, LineKind::Compressed).is_some() {
+                self.stats.compressed_coherence_drops += 1;
+                dropped.push((c, root_pa));
+            }
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hier(cores: usize) -> Hierarchy {
+        Hierarchy::new(HierarchyCfg::paper(cores))
+    }
+
+    #[test]
+    fn cold_read_goes_to_dram_then_hits_l1() {
+        let mut h = hier(2);
+        let r = h.access(0, 0x1000, AccessKind::Read);
+        assert_eq!(r.level, Level::Dram);
+        assert_eq!(r.latency, 120);
+        let r = h.access(0, 0x1004, AccessKind::Read); // same line
+        assert_eq!(r.level, Level::L1);
+        assert_eq!(r.latency, 4);
+        assert_eq!(h.stats.l1_read_hits[0], 1);
+        assert_eq!(h.stats.l1_read_misses[0], 1);
+    }
+
+    #[test]
+    fn second_core_hits_shared_l2() {
+        let mut h = hier(2);
+        h.access(0, 0x1000, AccessKind::Read);
+        let r = h.access(1, 0x1000, AccessKind::Read);
+        assert_eq!(r.level, Level::L2);
+        assert_eq!(r.latency, 35);
+    }
+
+    #[test]
+    fn dirty_remote_line_is_forwarded() {
+        let mut h = hier(2);
+        h.access(0, 0x1000, AccessKind::Read);
+        h.access(0, 0x1000, AccessKind::Write); // E -> M locally
+        let r = h.access(1, 0x1000, AccessKind::Read);
+        assert_eq!(r.level, Level::RemoteL1);
+        assert_eq!(h.stats.remote_forwards, 1);
+        // Both ends are now Shared; a write by core 1 must invalidate core 0.
+        let r = h.access(1, 0x1000, AccessKind::Write);
+        assert_eq!(r.level, Level::L1);
+        assert!(h.stats.upgrades >= 1);
+        assert!(h.stats.invalidations >= 1);
+        // Core 0 lost its copy.
+        let r = h.access(0, 0x1000, AccessKind::Read);
+        assert_ne!(r.level, Level::L1);
+    }
+
+    #[test]
+    fn write_miss_invalidates_remote_dirty_owner() {
+        let mut h = hier(2);
+        h.access(0, 0x2000, AccessKind::Write); // core 0 owns dirty
+        let r = h.access(1, 0x2000, AccessKind::Write);
+        assert_eq!(r.level, Level::RemoteL1);
+        assert_eq!(h.stats.invalidations, 1);
+        // Core 1 now owns it exclusively.
+        let r = h.access(1, 0x2000, AccessKind::Write);
+        assert_eq!(r.level, Level::L1);
+    }
+
+    #[test]
+    fn read_no_alloc_skips_l1() {
+        let mut h = hier(1);
+        let r = h.access(0, 0x3000, AccessKind::ReadNoAlloc);
+        assert_eq!(r.level, Level::Dram);
+        // Not in L1: the next read hits L2 (which was filled), not L1.
+        let r = h.access(0, 0x3000, AccessKind::Read);
+        assert_eq!(r.level, Level::L2);
+        let r = h.access(0, 0x3000, AccessKind::Read);
+        assert_eq!(r.level, Level::L1);
+    }
+
+    #[test]
+    fn l1_capacity_eviction() {
+        // 32 KB, 8-way, 64 sets: 9 lines mapping to the same set evict one.
+        let mut h = hier(1);
+        for i in 0..9u32 {
+            // Stride of 64 sets * 64 B = 4096 keeps the set index equal.
+            h.access(0, i * 4096, AccessKind::Read);
+        }
+        let r = h.access(0, 0, AccessKind::Read);
+        assert_ne!(r.level, Level::L1, "LRU line must have been evicted");
+    }
+
+    #[test]
+    fn compressed_lines_probe_fill_drop() {
+        let mut h = hier(2);
+        let root = 0x4010;
+        assert!(!h.compressed_probe(0, root));
+        h.compressed_fill(0, root);
+        assert!(h.compressed_probe(0, root));
+        // Other cores do not see it.
+        assert!(!h.compressed_probe(1, root));
+        h.compressed_fill(1, root);
+        // A store by core 0 invalidates core 1's copy only.
+        let dropped = h.compressed_invalidate_others(0, root);
+        assert_eq!(dropped, vec![(1, root)]);
+        assert!(h.compressed_probe(0, root));
+        assert!(!h.compressed_probe(1, root));
+        assert_eq!(h.stats.compressed_coherence_drops, 1);
+    }
+
+    #[test]
+    fn compressed_and_data_share_l1_capacity() {
+        let mut h = hier(1);
+        // Fill one set with 8 data lines, then a compressed fill evicts one.
+        for i in 0..8u32 {
+            h.access(0, i * 4096, AccessKind::Read);
+        }
+        let dropped = h.compressed_fill(0, 0); // maps to set 0 as well
+        assert!(dropped.is_empty(), "victim was a data line, not compressed");
+        assert!(h.compressed_probe(0, 0), "compressed line is resident");
+        // The victim was the LRU data line (0x0); the hottest one survives.
+        let r = h.access(0, 7 * 4096, AccessKind::Read);
+        assert_eq!(r.level, Level::L1);
+        let r = h.access(0, 0, AccessKind::Read);
+        assert_ne!(r.level, Level::L1, "LRU data line was evicted");
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = hier(4);
+        let mut b = hier(4);
+        let seq: Vec<(usize, u32, AccessKind)> = (0..2000)
+            .map(|i| {
+                let core = (i * 7) % 4;
+                let pa = ((i * 193) % 4096) as u32 * 64;
+                let kind = match i % 3 {
+                    0 => AccessKind::Read,
+                    1 => AccessKind::Write,
+                    _ => AccessKind::ReadNoAlloc,
+                };
+                (core, pa, kind)
+            })
+            .collect();
+        for &(c, pa, k) in &seq {
+            let ra = a.access(c, pa, k);
+            let rb = b.access(c, pa, k);
+            assert_eq!(ra.latency, rb.latency);
+            assert_eq!(ra.level, rb.level);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Compressed version-block cache lines (§III-A, "Data compression").
+//!
+//! Eight version-block entries are packed into one 64-byte L1 line: an
+//! 18-bit *version base*, a 4-bit line offset (absorbed here into
+//! [`CompressedLine::head_version`] book-keeping) and eight entries of
+//! `(32-bit data, 14-bit version offset, 14-bit lock offset)`. The only
+//! restriction compression imposes is that all versions and lockers cached
+//! in one line fall within a 2^14 window above the base.
+//!
+//! The *payload* modeled here pairs with an L1 slot tracked by
+//! [`osim_mem::Hierarchy`] (kind `Compressed`, tagged by the O-structure's
+//! root physical address). When the hierarchy reports that slot evicted or
+//! invalidated, the manager drops the payload.
+
+use crate::{TaskId, Version};
+
+/// Window covered by one compressed line: versions in `[base, base + 2^14)`.
+pub const VERSION_WINDOW: u32 = 1 << 14;
+
+/// One compressed version-block entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CEntry {
+    /// Full version id (stored in hardware as a 14-bit offset from the base).
+    pub version: Version,
+    /// Full locker id, 0 if unlocked (stored as a 14-bit offset).
+    pub locked_by: TaskId,
+    /// The datum.
+    pub data: u32,
+    /// Physical address of the backing version block. Hardware recovers
+    /// this from the version-block list; we carry it so lock/unlock hits
+    /// can write the right block without a second walk. It does not change
+    /// the modeled line size (the paper's entries are 60 bits and we only
+    /// ever charge one L1 lookup for a direct access).
+    pub block_pa: u32,
+}
+
+/// Payload of one compressed version-block line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompressedLine {
+    /// Version base; all entries satisfy `base <= version < base + 2^14`.
+    base: Version,
+    entries: Vec<CEntry>,
+    /// LRU ticks, parallel to `entries`.
+    lru: Vec<u64>,
+    tick: u64,
+    /// Version at the head of the version-block list, if this line knows it.
+    /// Only when the head version is itself cached can a `LOAD-LATEST` be
+    /// answered directly (otherwise a newer version might exist in memory).
+    head_version: Option<Version>,
+}
+
+/// Capacity of a compressed line (8 entries per 64-byte line).
+pub const ENTRIES_PER_LINE: usize = 8;
+
+impl CompressedLine {
+    /// An empty line.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up an exact version.
+    pub fn get(&self, version: Version) -> Option<&CEntry> {
+        self.entries.iter().find(|e| e.version == version)
+    }
+
+    /// Marks `version` most recently used.
+    pub fn touch(&mut self, version: Version) {
+        self.tick += 1;
+        if let Some(i) = self.entries.iter().position(|e| e.version == version) {
+            self.lru[i] = self.tick;
+        }
+    }
+
+    /// The version at the list head, if known to this line.
+    pub fn head_version(&self) -> Option<Version> {
+        self.head_version
+    }
+
+    /// Records which version currently heads the list (or forgets it).
+    pub fn set_head_version(&mut self, v: Option<Version>) {
+        self.head_version = v;
+    }
+
+    /// Answers `LOAD-LATEST(cap)` directly if this line can prove the
+    /// answer: the head version must be cached here and `head <= cap`
+    /// (the head is the globally newest version, so it is the latest one
+    /// not exceeding `cap`).
+    pub fn latest_capped(&self, cap: Version) -> Option<&CEntry> {
+        let head = self.head_version?;
+        if head <= cap {
+            self.get(head)
+        } else {
+            None
+        }
+    }
+
+    /// Tries to insert (or update) an entry; fails if the version or locker
+    /// cannot be expressed in this line's 2^14 window. The LRU entry is
+    /// evicted when all eight slots are full.
+    pub fn insert(&mut self, e: CEntry) -> bool {
+        if self.entries.is_empty() {
+            // An empty line re-bases itself to the incoming version.
+            self.base = e.version & !(VERSION_WINDOW - 1);
+        }
+        if !self.fits(e.version) || (e.locked_by != 0 && !self.fits(e.locked_by)) {
+            return false;
+        }
+        self.tick += 1;
+        if let Some(i) = self.entries.iter().position(|x| x.version == e.version) {
+            self.entries[i] = e;
+            self.lru[i] = self.tick;
+            return true;
+        }
+        if self.entries.len() == ENTRIES_PER_LINE {
+            let (victim, _) = self
+                .lru
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &t)| t)
+                .expect("full line");
+            if self.head_version == Some(self.entries[victim].version) {
+                self.head_version = None;
+            }
+            self.entries.swap_remove(victim);
+            self.lru.swap_remove(victim);
+        }
+        self.entries.push(e);
+        self.lru.push(self.tick);
+        true
+    }
+
+    /// Updates the lock field of a cached version in place. Returns false
+    /// if the version is not cached or the locker does not fit the window.
+    pub fn set_lock(&mut self, version: Version, locked_by: TaskId) -> bool {
+        if locked_by != 0 && !self.fits(locked_by) {
+            return false;
+        }
+        match self.entries.iter_mut().find(|e| e.version == version) {
+            Some(e) => {
+                e.locked_by = locked_by;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a version from the line (e.g. its block was reclaimed).
+    pub fn remove(&mut self, version: Version) {
+        if let Some(i) = self.entries.iter().position(|e| e.version == version) {
+            self.entries.swap_remove(i);
+            self.lru.swap_remove(i);
+            if self.head_version == Some(version) {
+                self.head_version = None;
+            }
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// All cached entries (order is unspecified).
+    pub fn entries_ref(&self) -> &[CEntry] {
+        &self.entries
+    }
+
+    /// True if no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn fits(&self, v: u32) -> bool {
+        v >= self.base && v - self.base < VERSION_WINDOW
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(version: u32, data: u32) -> CEntry {
+        CEntry {
+            version,
+            locked_by: 0,
+            data,
+            block_pa: version * 16,
+        }
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut l = CompressedLine::new();
+        assert!(l.insert(e(100, 7)));
+        assert_eq!(l.get(100).unwrap().data, 7);
+        assert!(l.get(99).is_none());
+    }
+
+    #[test]
+    fn window_restriction() {
+        let mut l = CompressedLine::new();
+        assert!(l.insert(e(100, 1)));
+        // 100 rounds down to base 0; 0x3fff fits, 0x4000 does not.
+        assert!(l.insert(e(VERSION_WINDOW - 1, 2)));
+        assert!(!l.insert(e(VERSION_WINDOW, 3)), "outside the 2^14 window");
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn empty_line_rebases() {
+        let mut l = CompressedLine::new();
+        assert!(l.insert(e(5 * VERSION_WINDOW + 3, 1)));
+        assert!(l.insert(e(5 * VERSION_WINDOW + 9, 2)));
+        assert!(!l.insert(e(3, 9)), "below the re-based window");
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut l = CompressedLine::new();
+        for v in 0..8 {
+            assert!(l.insert(e(v, v)));
+        }
+        l.touch(0); // keep version 0 hot; version 1 is now LRU
+        assert!(l.insert(e(8, 8)));
+        assert_eq!(l.len(), 8);
+        assert!(l.get(1).is_none(), "LRU victim evicted");
+        assert!(l.get(0).is_some());
+        assert!(l.get(8).is_some());
+    }
+
+    #[test]
+    fn latest_capped_requires_known_head() {
+        let mut l = CompressedLine::new();
+        l.insert(e(10, 1));
+        assert!(l.latest_capped(20).is_none(), "head unknown");
+        l.set_head_version(Some(10));
+        assert_eq!(l.latest_capped(20).unwrap().version, 10);
+        assert_eq!(l.latest_capped(10).unwrap().version, 10);
+        assert!(l.latest_capped(9).is_none(), "head newer than cap");
+    }
+
+    #[test]
+    fn evicting_head_entry_forgets_head() {
+        let mut l = CompressedLine::new();
+        for v in 0..8 {
+            l.insert(e(v, v));
+        }
+        l.set_head_version(Some(7));
+        for v in 1..8 {
+            l.touch(v); // version 0... wait, make 7 the LRU
+        }
+        // Make 7 coldest: touch all others.
+        for v in 0..7 {
+            l.touch(v);
+        }
+        l.insert(e(9, 9));
+        assert!(l.get(7).is_none());
+        assert_eq!(l.head_version(), None);
+    }
+
+    #[test]
+    fn set_lock_updates_in_place() {
+        let mut l = CompressedLine::new();
+        l.insert(e(4, 0));
+        assert!(l.set_lock(4, 9));
+        assert_eq!(l.get(4).unwrap().locked_by, 9);
+        assert!(l.set_lock(4, 0));
+        assert_eq!(l.get(4).unwrap().locked_by, 0);
+        assert!(!l.set_lock(5, 9), "absent version");
+    }
+
+    #[test]
+    fn oversized_locker_rejected() {
+        let mut l = CompressedLine::new();
+        l.insert(e(4, 0));
+        assert!(
+            !l.set_lock(4, 2 * VERSION_WINDOW),
+            "locker outside window cannot be compressed"
+        );
+    }
+
+    #[test]
+    fn remove_clears_entry_and_head() {
+        let mut l = CompressedLine::new();
+        l.insert(e(4, 0));
+        l.set_head_version(Some(4));
+        l.remove(4);
+        assert!(l.is_empty());
+        assert_eq!(l.head_version(), None);
+    }
+
+    #[test]
+    fn reinsert_same_version_updates() {
+        let mut l = CompressedLine::new();
+        l.insert(e(4, 1));
+        l.insert(e(4, 2));
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.get(4).unwrap().data, 2);
+    }
+}

@@ -1,0 +1,1092 @@
+//! The O-structure manager: versioned operations, free list, and the
+//! Memory Version Manager's garbage collector (§III of the paper).
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use osim_mem::{line_of, AccessKind, Fault, MemSys, PageFlags, PAGE_SIZE};
+
+use crate::compressed::{CEntry, CompressedLine};
+use crate::vblock::{VBlock, VBLOCK_BYTES};
+use crate::{TaskId, Version};
+
+/// Garbage-collection configuration (§III-B).
+#[derive(Debug, Clone, Copy)]
+pub struct GcConfig {
+    /// Start a collection phase when the free list drops below this many
+    /// blocks. 0 disables the collector entirely (the §IV-F "plentiful"
+    /// baseline).
+    pub watermark: u32,
+}
+
+/// Configuration of the O-structure manager.
+#[derive(Debug, Clone, Copy)]
+pub struct OManagerCfg {
+    /// Version blocks carved at boot.
+    pub initial_free_blocks: u32,
+    /// Version blocks the OS trap adds when the free list empties.
+    pub refill_blocks: u32,
+    /// Cost of the OS free-list refill trap, in cycles.
+    pub trap_latency: u64,
+    /// Fixed extra latency injected into *every* versioned operation — the
+    /// knob behind Figure 10 (0 in the baseline; the paper sweeps 2–10).
+    pub versioned_extra_latency: u64,
+    /// Keep version-block lists sorted (newest first). Disabling this is the
+    /// §IV-F "no version sorting" ablation: stores always prepend and
+    /// lookups must scan the whole list.
+    pub sorted_insertion: bool,
+    /// Garbage collector settings.
+    pub gc: GcConfig,
+}
+
+impl Default for OManagerCfg {
+    fn default() -> Self {
+        OManagerCfg {
+            initial_free_blocks: 1 << 16,
+            refill_blocks: 1 << 12,
+            trap_latency: 500,
+            versioned_extra_latency: 0,
+            sorted_insertion: true,
+            gc: GcConfig { watermark: 1 << 10 },
+        }
+    }
+}
+
+/// Counters kept by the manager.
+#[derive(Debug, Clone, Default)]
+pub struct OStats {
+    /// Versioned loads (plain and locking) answered by a compressed line.
+    pub direct_hits: u64,
+    /// Versioned operations that walked the version-block list.
+    pub full_lookups: u64,
+    /// Version blocks read during walks (unique lines charged).
+    pub walk_reads: u64,
+    /// `STORE-VERSION` operations completed (including unlock-created).
+    pub stores: u64,
+    /// Version blocks allocated from the free list.
+    pub allocated_blocks: u64,
+    /// Version blocks reclaimed by the collector.
+    pub reclaimed_blocks: u64,
+    /// Garbage-collection phases completed.
+    pub gc_phases: u64,
+    /// OS traps taken to refill the free list.
+    pub refill_traps: u64,
+}
+
+impl OStats {
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        *self = OStats::default();
+    }
+}
+
+/// Why a versioned operation could not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockReason {
+    /// The requested version (or any version ≤ the cap) does not exist yet.
+    VersionAbsent,
+    /// The target version exists but is locked.
+    VersionLocked,
+}
+
+/// Result of one versioned operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// The operation completed.
+    Done {
+        /// Loaded/stored datum.
+        value: u32,
+        /// The version actually accessed (relevant for `LOAD-LATEST`).
+        version: Version,
+        /// Cycles charged.
+        latency: u64,
+    },
+    /// The operation must stall; the issuing core should retry once the
+    /// O-structure changes. The cycles spent discovering this are charged.
+    Blocked {
+        reason: BlockReason,
+        latency: u64,
+    },
+}
+
+impl OpOutcome {
+    /// Latency charged by this attempt.
+    pub fn latency(&self) -> u64 {
+        match *self {
+            OpOutcome::Done { latency, .. } | OpOutcome::Blocked { latency, .. } => latency,
+        }
+    }
+}
+
+/// State of an in-flight collection phase.
+struct GcPhase {
+    /// "Youngest active task recorded" at phase start (§III-B), widened to
+    /// the highest task id ever begun so that out-of-order spawning
+    /// cannot create a reader for a pending block after the phase started.
+    boundary: TaskId,
+    /// `(root_pa, block_pa)` pairs moved from the shadowed list.
+    pending: Vec<(u32, u32)>,
+}
+
+/// The O-structure manager: per-core compressed-line payloads plus the
+/// shared free list and garbage collector.
+pub struct OManager {
+    cfg: OManagerCfg,
+    /// Physical address of the first free version block (0 = empty).
+    free_head: u32,
+    free_count: u32,
+    /// Compressed-line payloads, keyed by `(core, root_pa)`. The matching
+    /// L1 slot is tracked by the hierarchy; both are kept in sync.
+    compressed: HashMap<(usize, u32), CompressedLine>,
+    /// Shadowed version blocks: `(root_pa, block_pa)`.
+    shadowed: Vec<(u32, u32)>,
+    /// With `sorted_insertion` off, roots whose list order has actually
+    /// been violated by an out-of-order store. Lists not in this set are
+    /// still descending (in-order creation, "the common case in real
+    /// programs"), so lookups may keep their early exits.
+    unsorted_roots: HashSet<u32>,
+    gc_phase: Option<GcPhase>,
+    /// Currently active task ids.
+    active: BTreeSet<TaskId>,
+    /// Highest task id ever begun.
+    max_id_seen: u32,
+    /// Counters; reset between warm-up and measurement.
+    pub stats: OStats,
+}
+
+impl OManager {
+    /// Creates a manager and carves its initial free list out of fresh
+    /// version-block pool pages.
+    pub fn new(cfg: OManagerCfg, ms: &mut MemSys) -> Result<Self, Fault> {
+        let mut mgr = OManager {
+            cfg,
+            free_head: 0,
+            free_count: 0,
+            compressed: HashMap::new(),
+            shadowed: Vec::new(),
+            unsorted_roots: HashSet::new(),
+            gc_phase: None,
+            active: BTreeSet::new(),
+            max_id_seen: 0,
+            stats: OStats::default(),
+        };
+        mgr.carve(ms, cfg.initial_free_blocks)?;
+        Ok(mgr)
+    }
+
+    /// The configuration in force.
+    pub fn cfg(&self) -> &OManagerCfg {
+        &self.cfg
+    }
+
+    /// Blocks currently on the free list.
+    pub fn free_blocks(&self) -> u32 {
+        self.free_count
+    }
+
+    /// Entries currently on the shadowed list (awaiting a GC phase).
+    pub fn shadowed_len(&self) -> usize {
+        self.shadowed.len()
+    }
+
+    /// True while a collection phase is pending finalization.
+    pub fn gc_phase_active(&self) -> bool {
+        self.gc_phase.is_some()
+    }
+
+    /// Whether the list rooted at `root_pa` is known to be in descending
+    /// version order (always true with sorted insertion).
+    fn list_sorted(&self, root_pa: u32) -> bool {
+        self.cfg.sorted_insertion || !self.unsorted_roots.contains(&root_pa)
+    }
+
+    // ------------------------------------------------------------------
+    // Free list (§III "Free-list")
+    // ------------------------------------------------------------------
+
+    /// Carves `blocks` fresh version blocks from new pool pages and links
+    /// them onto the free list. This is the protected OS-side operation.
+    fn carve(&mut self, ms: &mut MemSys, blocks: u32) -> Result<(), Fault> {
+        let per_page = PAGE_SIZE / VBLOCK_BYTES;
+        let pages = blocks.div_ceil(per_page);
+        for _ in 0..pages {
+            let ppn = ms.phys.alloc_page().ok_or(Fault::OutOfVersionBlocks)?;
+            // Mark the page as version-block storage so user-mode accesses
+            // fault; the VA itself is never handed to user code.
+            ms.pt.map_next(ppn, PageFlags::VBlockPool);
+            let base = ppn * PAGE_SIZE;
+            for i in 0..per_page {
+                let pa = base + i * VBLOCK_BYTES;
+                self.push_free(ms, pa);
+            }
+        }
+        Ok(())
+    }
+
+    /// Links a block onto the free list (functional write; free-list
+    /// maintenance happens off the critical path).
+    fn push_free(&mut self, ms: &mut MemSys, pa: u32) {
+        let blk = VBlock {
+            pa,
+            version: 0,
+            next: self.free_head,
+            head: false,
+            shadowed: false,
+            locked_by: 0,
+            data: 0,
+        };
+        blk.write(&mut ms.phys);
+        self.free_head = pa;
+        self.free_count += 1;
+    }
+
+    /// Pops a block from the free list, trapping to the OS for a refill if
+    /// it is empty. Returns `(block_pa, latency)`.
+    ///
+    /// The Memory Version Manager keeps the free-list head (and its link)
+    /// staged off the critical path — "unused version blocks are stored in
+    /// a free-list that is managed mostly by the hardware" — so a pop
+    /// costs one L1-class access rather than a demand miss, and the fresh
+    /// block's line is installed locally so the immediately following
+    /// full-block write hits (a write-no-fetch: the old contents are dead).
+    fn alloc_block(&mut self, ms: &mut MemSys, core: usize) -> Result<(u32, u64), Fault> {
+        let mut latency = 0;
+        if self.free_count == 0 {
+            self.stats.refill_traps += 1;
+            latency += self.cfg.trap_latency;
+            self.carve(ms, self.cfg.refill_blocks)?;
+        }
+        let pa = self.free_head;
+        debug_assert_ne!(pa, 0, "free list non-empty after refill");
+        latency += 4; // staged free-list pop: L1-class latency
+        let dropped = ms.hier.fill_local(core, pa);
+        self.prune(&dropped);
+        let blk = VBlock::read(&ms.phys, pa);
+        self.free_head = blk.next;
+        self.free_count -= 1;
+        self.stats.allocated_blocks += 1;
+        self.maybe_start_gc();
+        Ok((pa, latency))
+    }
+
+    // ------------------------------------------------------------------
+    // Garbage collection (§III-B)
+    // ------------------------------------------------------------------
+
+    /// Registers the beginning of task `tid` (the `TASK-BEGIN` instruction).
+    pub fn task_begin(&mut self, tid: TaskId) {
+        debug_assert!(tid > 0, "task id 0 is reserved for 'unlocked'");
+        if let Some(&oldest) = self.active.first() {
+            debug_assert!(
+                tid >= oldest,
+                "rule 3 violated: task {tid} created below the oldest active task {oldest}"
+            );
+        }
+        self.active.insert(tid);
+        self.max_id_seen = self.max_id_seen.max(tid);
+    }
+
+    /// Registers the end of task `tid` (the `TASK-END` instruction) and
+    /// gives the collector a chance to finalize a pending phase.
+    pub fn task_end(&mut self, ms: &mut MemSys, tid: TaskId) {
+        self.active.remove(&tid);
+        self.maybe_finalize_gc(ms);
+    }
+
+    /// Starts a collection phase if the watermark is crossed and shadowed
+    /// blocks are available.
+    fn maybe_start_gc(&mut self) {
+        if self.cfg.gc.watermark == 0
+            || self.gc_phase.is_some()
+            || self.shadowed.is_empty()
+            || self.free_count >= self.cfg.gc.watermark
+        {
+            return;
+        }
+        let youngest_active = self.active.last().copied().unwrap_or(0);
+        let boundary = youngest_active.max(self.max_id_seen);
+        let pending = std::mem::take(&mut self.shadowed);
+        self.gc_phase = Some(GcPhase { boundary, pending });
+    }
+
+    /// Finalizes the current phase once the oldest active task is younger
+    /// than the recorded boundary, moving pending blocks to the free list.
+    fn maybe_finalize_gc(&mut self, ms: &mut MemSys) {
+        let ready = match (&self.gc_phase, self.active.first()) {
+            (Some(_), None) => true,
+            (Some(ph), Some(&oldest)) => oldest > ph.boundary,
+            (None, _) => false,
+        };
+        if !ready {
+            return;
+        }
+        let phase = self.gc_phase.take().expect("phase checked above");
+        let mut reclaimed: HashSet<u32> = HashSet::new();
+        for (root_pa, block_pa) in phase.pending {
+            let blk = VBlock::read(&ms.phys, block_pa);
+            if !blk.unlocked() {
+                // A leaked lock: keep the block alive rather than corrupt
+                // the structure (debug builds flag the protocol violation).
+                debug_assert!(false, "shadowed block {block_pa:#010x} still locked");
+                self.shadowed.push((root_pa, block_pa));
+                continue;
+            }
+            if self.unlink(ms, root_pa, block_pa) {
+                self.push_free(ms, block_pa);
+                reclaimed.insert(block_pa);
+                self.stats.reclaimed_blocks += 1;
+            }
+        }
+        // Any compressed line that cached a reclaimed block is stale;
+        // conservatively drop the whole line (GC phases are rare).
+        if !reclaimed.is_empty() {
+            self.compressed
+                .retain(|_, line| !line_contains_any(line, &reclaimed));
+        }
+        self.stats.gc_phases += 1;
+    }
+
+    /// Unlinks `block_pa` from the list rooted at `root_pa` (background
+    /// hardware operation, no timing). Returns false if the block was not
+    /// found (already unlinked).
+    fn unlink(&mut self, ms: &mut MemSys, root_pa: u32, block_pa: u32) -> bool {
+        let head = ms.phys.read_u32(root_pa);
+        if head == 0 {
+            return false;
+        }
+        if head == block_pa {
+            // A shadowed block has a newer version, so it is never the head
+            // while that newer version is still linked; reaching here means
+            // the protocol was violated.
+            debug_assert!(false, "shadowed block at head of list");
+            return false;
+        }
+        let mut prev = head;
+        loop {
+            let prev_blk = VBlock::read(&ms.phys, prev);
+            if prev_blk.next == 0 {
+                return false;
+            }
+            if prev_blk.next == block_pa {
+                let victim = VBlock::read(&ms.phys, block_pa);
+                let mut updated = prev_blk;
+                updated.next = victim.next;
+                updated.write(&mut ms.phys);
+                return true;
+            }
+            prev = prev_blk.next;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Compressed-line plumbing
+    // ------------------------------------------------------------------
+
+    /// Removes payloads whose L1 slots were evicted or invalidated.
+    fn prune(&mut self, dropped: &[(usize, u32)]) {
+        for &(core, root_pa) in dropped {
+            self.compressed.remove(&(core, root_pa));
+        }
+    }
+
+    /// Direct-access probe: returns a clone of the compressed entry for
+    /// (core, root) if both the L1 slot and the payload are present.
+    fn compressed_line(&mut self, ms: &mut MemSys, core: usize, root_pa: u32) -> Option<&mut CompressedLine> {
+        let slot_hit = ms.hier.compressed_probe(core, root_pa);
+        if !slot_hit {
+            self.compressed.remove(&(core, root_pa));
+            return None;
+        }
+        self.compressed.get_mut(&(core, root_pa))
+    }
+
+    /// Installs/updates this core's compressed line with an entry, allocating
+    /// the L1 slot if needed.
+    fn compressed_install(
+        &mut self,
+        ms: &mut MemSys,
+        core: usize,
+        root_pa: u32,
+        entry: CEntry,
+        head_version: Option<Version>,
+    ) {
+        let dropped = ms.hier.compressed_fill(core, root_pa);
+        self.prune(&dropped);
+        let line = self
+            .compressed
+            .entry((core, root_pa))
+            .or_default();
+        if !line.insert(entry) {
+            // The version does not fit this line's 2^14 window (stale base):
+            // rebuild the line around the new version, as hardware would
+            // rebuild a discarded compressed block.
+            *line = CompressedLine::new();
+            let ok = line.insert(entry);
+            debug_assert!(ok || entry.locked_by != 0, "fresh line rejects only odd lockers");
+        }
+        if let Some(h) = head_version {
+            if line.get(h).is_some() {
+                line.set_head_version(Some(h));
+            }
+        }
+    }
+
+    /// Coherence: a mutation of the structure rooted at `root_pa` by `core`
+    /// discards every other core's compressed line for it.
+    fn compressed_coherence(&mut self, ms: &mut MemSys, core: usize, root_pa: u32) {
+        let dropped = ms.hier.compressed_invalidate_others(core, root_pa);
+        self.prune(&dropped);
+    }
+
+    // ------------------------------------------------------------------
+    // The versioned operations (§II-A)
+    // ------------------------------------------------------------------
+
+    /// `LOAD-VERSION`: load the exact version `v` of the O-structure at
+    /// virtual address `va`.
+    pub fn load_version(
+        &mut self,
+        ms: &mut MemSys,
+        core: usize,
+        va: u32,
+        v: Version,
+    ) -> Result<OpOutcome, Fault> {
+        self.load_impl(ms, core, va, v, false, 0)
+    }
+
+    /// `LOAD-LATEST`: load the highest created version ≤ `cap`.
+    pub fn load_latest(
+        &mut self,
+        ms: &mut MemSys,
+        core: usize,
+        va: u32,
+        cap: Version,
+    ) -> Result<OpOutcome, Fault> {
+        self.load_impl(ms, core, va, cap, true, 0)
+    }
+
+    /// `LOCK-LOAD-VERSION`: exact load + lock by task `tid`.
+    pub fn lock_load_version(
+        &mut self,
+        ms: &mut MemSys,
+        core: usize,
+        va: u32,
+        v: Version,
+        tid: TaskId,
+    ) -> Result<OpOutcome, Fault> {
+        debug_assert!(tid > 0);
+        self.load_impl(ms, core, va, v, false, tid)
+    }
+
+    /// `LOCK-LOAD-LATEST`: capped load + lock by task `tid`.
+    pub fn lock_load_latest(
+        &mut self,
+        ms: &mut MemSys,
+        core: usize,
+        va: u32,
+        cap: Version,
+        tid: TaskId,
+    ) -> Result<OpOutcome, Fault> {
+        debug_assert!(tid > 0);
+        self.load_impl(ms, core, va, cap, true, tid)
+    }
+
+    /// Shared implementation of the four load flavours. `lock_as == 0`
+    /// means no lock is taken.
+    fn load_impl(
+        &mut self,
+        ms: &mut MemSys,
+        core: usize,
+        va: u32,
+        v: Version,
+        latest: bool,
+        lock_as: TaskId,
+    ) -> Result<OpOutcome, Fault> {
+        let root_pa = ms.pt.translate_versioned(va)?;
+        let mut latency = self.cfg.versioned_extra_latency;
+        let l1_hit = 4; // compressed lines live in the L1
+
+        // --- Direct access -------------------------------------------------
+        let direct = match self.compressed_line(ms, core, root_pa) {
+            Some(line) => {
+                let found = if latest {
+                    line.latest_capped(v).copied()
+                } else {
+                    line.get(v).copied()
+                };
+                if let Some(e) = &found {
+                    if e.locked_by == 0 {
+                        line.touch(e.version);
+                    }
+                }
+                found
+            }
+            None => None,
+        };
+        {
+            if let Some(e) = direct {
+                latency += l1_hit;
+                if e.locked_by != 0 {
+                    return Ok(OpOutcome::Blocked {
+                        reason: BlockReason::VersionLocked,
+                        latency,
+                    });
+                }
+                self.stats.direct_hits += 1;
+                if lock_as != 0 {
+                    // Acquire the lock: write the backing version block.
+                    latency += ms.hier.access(core, e.block_pa, AccessKind::Write).latency;
+                    let mut blk = VBlock::read(&ms.phys, e.block_pa);
+                    debug_assert!(blk.unlocked());
+                    blk.locked_by = lock_as;
+                    blk.write(&mut ms.phys);
+                    if let Some(line) = self.compressed.get_mut(&(core, root_pa)) {
+                        if !line.set_lock(e.version, lock_as) {
+                            line.remove(e.version);
+                        }
+                    }
+                    self.compressed_coherence(ms, core, root_pa);
+                }
+                return Ok(OpOutcome::Done {
+                    value: e.data,
+                    version: e.version,
+                    latency,
+                });
+            }
+        }
+
+        // --- Full lookup ----------------------------------------------------
+        self.stats.full_lookups += 1;
+        let root = ms.hier.access(core, root_pa, AccessKind::Read);
+        latency += root.latency;
+        self.prune(&root.dropped_compressed);
+
+        let head_pa = ms.phys.read_u32(root_pa);
+        if head_pa == 0 {
+            return Ok(OpOutcome::Blocked {
+                reason: BlockReason::VersionAbsent,
+                latency,
+            });
+        }
+
+        let sorted = self.list_sorted(root_pa);
+        let mut touched: HashSet<u32> = HashSet::new();
+        let mut cur = head_pa;
+        let mut first = true;
+        let mut head_version = 0;
+        // Only genuinely out-of-order lists force a full scan.
+        let mut best: Option<VBlock> = None;
+        loop {
+            let line = line_of(cur);
+            if touched.insert(line) {
+                let acc = ms.hier.access(core, cur, AccessKind::ReadNoAlloc);
+                latency += acc.latency;
+                self.prune(&acc.dropped_compressed);
+                self.stats.walk_reads += 1;
+            }
+            let blk = VBlock::read(&ms.phys, cur);
+            if first {
+                if !blk.head {
+                    return Err(Fault::NotListHead { pa: cur });
+                }
+                head_version = blk.version;
+                first = false;
+            }
+            let matched = if latest { blk.version <= v } else { blk.version == v };
+            if matched {
+                if sorted {
+                    best = Some(blk);
+                    break;
+                }
+                // Unsorted: remember the best candidate and keep scanning.
+                match best {
+                    Some(b) if b.version >= blk.version => {}
+                    _ => best = Some(blk),
+                }
+                if !latest {
+                    break; // exact match; duplicates are impossible
+                }
+            } else if sorted && blk.version < v {
+                break; // sorted: nothing older can match an exact load
+            }
+            if blk.next == 0 {
+                break;
+            }
+            cur = blk.next;
+        }
+
+        let Some(blk) = best else {
+            return Ok(OpOutcome::Blocked {
+                reason: BlockReason::VersionAbsent,
+                latency,
+            });
+        };
+        if !blk.unlocked() {
+            return Ok(OpOutcome::Blocked {
+                reason: BlockReason::VersionLocked,
+                latency,
+            });
+        }
+
+        // Cache the matching block (pollution rule: only this one).
+        let dropped = ms.hier.fill_local(core, blk.pa);
+        self.prune(&dropped);
+
+        let mut locked_by = 0;
+        if lock_as != 0 {
+            latency += ms.hier.access(core, blk.pa, AccessKind::Write).latency;
+            let mut b = blk;
+            b.locked_by = lock_as;
+            b.write(&mut ms.phys);
+            locked_by = lock_as;
+        }
+
+        // Refresh this core's compressed line with the accessed version.
+        // Only in sorted mode does the list head prove "newest overall",
+        // which is what `latest_capped` needs.
+        let known_head = (sorted && blk.pa == head_pa).then_some(head_version);
+        self.compressed_install(
+            ms,
+            core,
+            root_pa,
+            CEntry {
+                version: blk.version,
+                locked_by,
+                data: blk.data,
+                block_pa: blk.pa,
+            },
+            known_head,
+        );
+        if lock_as != 0 {
+            self.compressed_coherence(ms, core, root_pa);
+        }
+
+        Ok(OpOutcome::Done {
+            value: blk.data,
+            version: blk.version,
+            latency,
+        })
+    }
+
+    /// Front insertion with a known head (the store fast path): allocate,
+    /// link ahead of the current head, demote the old head's head bit and
+    /// register it on the shadowed list.
+    #[allow(clippy::too_many_arguments)]
+    fn store_at_front(
+        &mut self,
+        ms: &mut MemSys,
+        core: usize,
+        root_pa: u32,
+        v: Version,
+        data: u32,
+        old_head_pa: u32,
+        mut latency: u64,
+    ) -> Result<OpOutcome, Fault> {
+        debug_assert_eq!(
+            ms.phys.read_u32(root_pa),
+            old_head_pa,
+            "compressed line's head is stale"
+        );
+        let (new_pa, alloc_lat) = self.alloc_block(ms, core)?;
+        latency += alloc_lat;
+        let new_blk = VBlock {
+            pa: new_pa,
+            version: v,
+            next: old_head_pa,
+            head: true,
+            shadowed: false,
+            locked_by: 0,
+            data,
+        };
+        new_blk.write(&mut ms.phys);
+        latency += ms.hier.access(core, new_pa, AccessKind::Write).latency;
+        latency += ms.hier.access(core, root_pa, AccessKind::Write).latency;
+        ms.phys.write_u32(root_pa, new_pa);
+        let mut oh = VBlock::read(&ms.phys, old_head_pa);
+        oh.head = false;
+        let shadow = !oh.shadowed;
+        oh.shadowed = true;
+        oh.write(&mut ms.phys);
+        latency += ms.hier.access(core, old_head_pa, AccessKind::Write).latency;
+        if shadow {
+            self.shadowed.push((root_pa, old_head_pa));
+        }
+        self.stats.stores += 1;
+        let head_version = self.list_sorted(root_pa).then_some(v);
+        self.compressed_install(
+            ms,
+            core,
+            root_pa,
+            CEntry {
+                version: v,
+                locked_by: 0,
+                data,
+                block_pa: new_pa,
+            },
+            head_version,
+        );
+        self.compressed_coherence(ms, core, root_pa);
+        Ok(OpOutcome::Done {
+            value: data,
+            version: v,
+            latency,
+        })
+    }
+
+    /// `STORE-VERSION`: create version `v` with datum `data`.
+    pub fn store_version(
+        &mut self,
+        ms: &mut MemSys,
+        core: usize,
+        va: u32,
+        v: Version,
+        data: u32,
+    ) -> Result<OpOutcome, Fault> {
+        let root_pa = ms.pt.translate_versioned(va)?;
+        let mut latency = self.cfg.versioned_extra_latency;
+
+        // Direct-access fast path: when this core's compressed line knows
+        // the head version and `v` is a fresh maximum, the front insertion
+        // point is known from one cache lookup — no list walk, mirroring
+        // what direct access does for loads.
+        let fast = match self.compressed_line(ms, core, root_pa) {
+            Some(line) => match line.head_version() {
+                Some(h) if v > h => line.get(h).map(|e| (h, e.block_pa)),
+                _ => None,
+            },
+            None => None,
+        };
+        if let Some((_, head_block_pa)) = fast {
+            latency += 4; // the compressed-line lookup
+            return self.store_at_front(ms, core, root_pa, v, data, head_block_pa, latency);
+        }
+
+        // Read the root to find the insertion point.
+        let root = ms.hier.access(core, root_pa, AccessKind::Read);
+        latency += root.latency;
+        self.prune(&root.dropped_compressed);
+        let head_pa = ms.phys.read_u32(root_pa);
+
+        // Find `prev` (last block with version > v) and the follower.
+        let mut prev: Option<VBlock> = None;
+        let mut follower: Option<VBlock> = None;
+        if head_pa != 0 {
+            let was_sorted = self.list_sorted(root_pa);
+            let mut touched: HashSet<u32> = HashSet::new();
+            let mut cur = head_pa;
+            let mut first = true;
+            loop {
+                let line = line_of(cur);
+                if touched.insert(line) {
+                    let acc = ms.hier.access(core, cur, AccessKind::ReadNoAlloc);
+                    latency += acc.latency;
+                    self.prune(&acc.dropped_compressed);
+                    self.stats.walk_reads += 1;
+                }
+                let blk = VBlock::read(&ms.phys, cur);
+                if first && !blk.head {
+                    return Err(Fault::NotListHead { pa: cur });
+                }
+                if blk.version == v {
+                    return Err(Fault::VersionExists { va, version: v });
+                }
+                if self.cfg.sorted_insertion {
+                    if blk.version < v {
+                        follower = Some(blk);
+                        break;
+                    }
+                    prev = Some(blk);
+                    if blk.next == 0 {
+                        break;
+                    }
+                    cur = blk.next;
+                } else {
+                    // Unsorted mode: always prepend. Versions created in
+                    // order keep the list sorted anyway (the paper's common
+                    // case), which lets the duplicate scan stop at the head;
+                    // only lists whose order was actually violated pay a
+                    // full scan.
+                    if first && was_sorted && blk.version < v {
+                        break; // prepend of a fresh maximum: no duplicate possible
+                    }
+                    if blk.next == 0 {
+                        break;
+                    }
+                    cur = blk.next;
+                }
+                first = false;
+            }
+            if !self.cfg.sorted_insertion {
+                prev = None;
+                let head_blk = VBlock::read(&ms.phys, head_pa);
+                if v < head_blk.version {
+                    // An out-of-order prepend breaks the list's order.
+                    self.unsorted_roots.insert(root_pa);
+                }
+                follower = Some(head_blk);
+            }
+        }
+
+        // Allocate and fill the new block.
+        let (new_pa, alloc_lat) = self.alloc_block(ms, core)?;
+        latency += alloc_lat;
+        let at_front = prev.is_none();
+        let next_pa = match &follower {
+            Some(f) => f.pa,
+            None => 0,
+        };
+        let new_blk = VBlock {
+            pa: new_pa,
+            version: v,
+            next: next_pa,
+            head: at_front,
+            shadowed: false,
+            locked_by: 0,
+            data,
+        };
+        new_blk.write(&mut ms.phys);
+        latency += ms.hier.access(core, new_pa, AccessKind::Write).latency;
+
+        // Link it in. The two lines involved are acquired for exclusive
+        // access; in the simulator operations are serialized by timestamps,
+        // so the paper's re-check/retry protocol always succeeds on the
+        // first try and we charge the two exclusive accesses.
+        if at_front {
+            latency += ms.hier.access(core, root_pa, AccessKind::Write).latency;
+            ms.phys.write_u32(root_pa, new_pa);
+            if let Some(old_head) = &follower {
+                // Clear the old head bit (same exclusive access pattern).
+                let mut oh = *old_head;
+                oh.head = false;
+                oh.write(&mut ms.phys);
+                latency += ms.hier.access(core, oh.pa, AccessKind::Write).latency;
+            }
+        } else {
+            let mut p = prev.expect("not at front");
+            p.next = new_pa;
+            p.write(&mut ms.phys);
+            latency += ms.hier.access(core, p.pa, AccessKind::Write).latency;
+        }
+
+        // Shadow the next-older version (Figure 5): creating v makes the
+        // version just below it unreachable for tasks ≥ v. (An
+        // out-of-order prepend of an *older* version shadows nothing.)
+        if let Some(f) = &follower {
+            let mut fb = VBlock::read(&ms.phys, f.pa);
+            if !fb.shadowed && fb.version < v {
+                fb.shadowed = true;
+                fb.write(&mut ms.phys);
+                self.shadowed.push((root_pa, fb.pa));
+            }
+        }
+
+        self.stats.stores += 1;
+
+        // Compressed-line upkeep: update ours, discard everyone else's.
+        // `head_version` on the compressed line means "newest version
+        // overall", which a front insertion proves whenever the list is
+        // still in descending order.
+        let head_version = (self.list_sorted(root_pa) && at_front).then_some(v);
+        self.compressed_install(
+            ms,
+            core,
+            root_pa,
+            CEntry {
+                version: v,
+                locked_by: 0,
+                data,
+                block_pa: new_pa,
+            },
+            head_version,
+        );
+        if !at_front {
+            // Our line may claim to know the head; it still does (the head
+            // did not change), so nothing to fix. Remote lines are dropped.
+        }
+        self.compressed_coherence(ms, core, root_pa);
+
+        Ok(OpOutcome::Done {
+            value: data,
+            version: v,
+            latency,
+        })
+    }
+
+    /// `UNLOCK-VERSION`: unlock version `vl` (held by `tid`), optionally
+    /// creating a new unlocked version `vn` carrying the same datum.
+    pub fn unlock_version(
+        &mut self,
+        ms: &mut MemSys,
+        core: usize,
+        va: u32,
+        vl: Version,
+        tid: TaskId,
+        create: Option<Version>,
+    ) -> Result<OpOutcome, Fault> {
+        let root_pa = ms.pt.translate_versioned(va)?;
+        let mut latency = self.cfg.versioned_extra_latency;
+
+        // Locate the block holding vl: via our compressed line if possible,
+        // else by walking.
+        let block_pa = match self.compressed_line(ms, core, root_pa) {
+            Some(line) => line.get(vl).map(|e| e.block_pa),
+            None => None,
+        };
+        let (block_pa, walk_latency) = match block_pa {
+            Some(pa) => {
+                self.stats.direct_hits += 1;
+                (pa, 4)
+            }
+            None => {
+                self.stats.full_lookups += 1;
+                let root = ms.hier.access(core, root_pa, AccessKind::Read);
+                let mut lat = root.latency;
+                self.prune(&root.dropped_compressed);
+                let sorted = self.list_sorted(root_pa);
+                let mut cur = ms.phys.read_u32(root_pa);
+                let mut touched: HashSet<u32> = HashSet::new();
+                let mut found = None;
+                let mut first = true;
+                while cur != 0 {
+                    let line = line_of(cur);
+                    if touched.insert(line) {
+                        let acc = ms.hier.access(core, cur, AccessKind::ReadNoAlloc);
+                        lat += acc.latency;
+                        self.prune(&acc.dropped_compressed);
+                        self.stats.walk_reads += 1;
+                    }
+                    let blk = VBlock::read(&ms.phys, cur);
+                    if first && !blk.head {
+                        return Err(Fault::NotListHead { pa: cur });
+                    }
+                    first = false;
+                    if blk.version == vl {
+                        found = Some(blk.pa);
+                        break;
+                    }
+                    if sorted && blk.version < vl {
+                        break;
+                    }
+                    cur = blk.next;
+                }
+                match found {
+                    Some(pa) => (pa, lat),
+                    None => return Err(Fault::NotLockOwner { va, version: vl }),
+                }
+            }
+        };
+        latency += walk_latency;
+
+        let mut blk = VBlock::read(&ms.phys, block_pa);
+        if blk.locked_by != tid {
+            return Err(Fault::NotLockOwner { va, version: vl });
+        }
+        blk.locked_by = 0;
+        blk.write(&mut ms.phys);
+        latency += ms.hier.access(core, block_pa, AccessKind::Write).latency;
+
+        if let Some(line) = self.compressed.get_mut(&(core, root_pa)) {
+            let _ = line.set_lock(vl, 0);
+        }
+        self.compressed_coherence(ms, core, root_pa);
+
+        let value = blk.data;
+        if let Some(vn) = create {
+            let store = self.store_version(ms, core, va, vn, value)?;
+            latency += store.latency().saturating_sub(self.cfg.versioned_extra_latency);
+        }
+
+        Ok(OpOutcome::Done {
+            value,
+            version: vl,
+            latency,
+        })
+    }
+
+    /// Releases an entire O-structure (§III-C, "Allocating and Freeing
+    /// O-structures"): every version block of the list rooted at `va` goes
+    /// back to the free list and the root word is reset to null, after
+    /// which the address behaves like a fresh O-structure again.
+    ///
+    /// The caller owns the safety contract the paper states: "no unfinished
+    /// task may access that location as an O-structure" — i.e. call this
+    /// only at quiescent points (the paper's suggested policy for delayed
+    /// memory recycling). Locked blocks indicate a violated contract and
+    /// fault.
+    pub fn release_structure(&mut self, ms: &mut MemSys, va: u32) -> Result<u32, Fault> {
+        let root_pa = ms.pt.translate_versioned(va)?;
+        let mut cur = ms.phys.read_u32(root_pa);
+        let mut freed = 0;
+        let mut first = true;
+        while cur != 0 {
+            let blk = VBlock::read(&ms.phys, cur);
+            if first && !blk.head {
+                return Err(Fault::NotListHead { pa: cur });
+            }
+            first = false;
+            if !blk.unlocked() {
+                return Err(Fault::NotLockOwner {
+                    va,
+                    version: blk.version,
+                });
+            }
+            let next = blk.next;
+            self.push_free(ms, cur);
+            freed += 1;
+            cur = next;
+        }
+        ms.phys.write_u32(root_pa, 0);
+        // Blocks returned to the free list may still sit on the shadowed
+        // list; drop those entries (they are already free).
+        self.shadowed.retain(|&(r, _)| r != root_pa);
+        if let Some(phase) = &mut self.gc_phase {
+            phase.pending.retain(|&(r, _)| r != root_pa);
+        }
+        // Every cached view of this structure is now stale.
+        for core in 0..ms.hier.cfg().cores {
+            ms.hier.compressed_drop(core, root_pa);
+            self.compressed.remove(&(core, root_pa));
+        }
+        self.stats.reclaimed_blocks += freed as u64;
+        self.unsorted_roots.remove(&root_pa);
+        Ok(freed)
+    }
+
+    // ------------------------------------------------------------------
+    // Functional inspection (zero-timing; tests and validation harness)
+    // ------------------------------------------------------------------
+
+    /// Returns every `(version, data, locked_by)` of the O-structure at
+    /// `va`, newest first, without touching timing state.
+    pub fn peek_versions(&self, ms: &MemSys, va: u32) -> Result<Vec<(Version, u32, TaskId)>, Fault> {
+        let root_pa = ms.pt.translate_versioned(va)?;
+        let mut out = Vec::new();
+        let mut cur = ms.phys.read_u32(root_pa);
+        while cur != 0 {
+            let blk = VBlock::read(&ms.phys, cur);
+            out.push((blk.version, blk.data, blk.locked_by));
+            cur = blk.next;
+        }
+        Ok(out)
+    }
+
+    /// Functional `LOAD-LATEST` (no timing): the newest version ≤ `cap`.
+    pub fn peek_latest(&self, ms: &MemSys, va: u32, cap: Version) -> Result<Option<(Version, u32)>, Fault> {
+        Ok(self
+            .peek_versions(ms, va)?
+            .into_iter()
+            .filter(|&(ver, _, _)| ver <= cap)
+            .max_by_key(|&(ver, _, _)| ver)
+            .map(|(ver, data, _)| (ver, data)))
+    }
+}
+
+/// True if any entry of the line references a reclaimed block.
+fn line_contains_any(line: &CompressedLine, reclaimed: &HashSet<u32>) -> bool {
+    // CompressedLine does not expose iteration; test via its public API by
+    // checking each reclaimed block address. Small sets keep this cheap.
+    reclaimed.iter().any(|&pa| line_has_block(line, pa))
+}
+
+fn line_has_block(line: &CompressedLine, pa: u32) -> bool {
+    line.entries_ref().iter().any(|e| e.block_pa == pa)
+}

@@ -1,0 +1,518 @@
+//! Semantic tests for the O-structure operations (§II-A of the paper),
+//! exercised through the full microarchitectural path: page table, caches,
+//! version-block lists and compressed lines.
+
+use osim_mem::{Fault, HierarchyCfg, MemSys, PageFlags};
+use osim_uarch::{BlockReason, GcConfig, OManager, OManagerCfg, OpOutcome};
+
+fn setup(cores: usize, cfg: OManagerCfg) -> (MemSys, OManager, u32) {
+    let mut ms = MemSys::new(HierarchyCfg::paper(cores), 64 << 20);
+    let va = ms.map_zeroed(1, PageFlags::VersionedRoot).unwrap();
+    let mgr = OManager::new(cfg, &mut ms).unwrap();
+    (ms, mgr, va)
+}
+
+fn default_setup() -> (MemSys, OManager, u32) {
+    setup(2, OManagerCfg::default())
+}
+
+fn value_of(out: OpOutcome) -> u32 {
+    match out {
+        OpOutcome::Done { value, .. } => value,
+        other => panic!("expected Done, got {other:?}"),
+    }
+}
+
+fn version_of(out: OpOutcome) -> u32 {
+    match out {
+        OpOutcome::Done { version, .. } => version,
+        other => panic!("expected Done, got {other:?}"),
+    }
+}
+
+fn reason_of(out: OpOutcome) -> BlockReason {
+    match out {
+        OpOutcome::Blocked { reason, .. } => reason,
+        other => panic!("expected Blocked, got {other:?}"),
+    }
+}
+
+#[test]
+fn store_then_load_exact() {
+    let (mut ms, mut mgr, va) = default_setup();
+    mgr.store_version(&mut ms, 0, va, 3, 0x2a).unwrap();
+    let out = mgr.load_version(&mut ms, 0, va, 3).unwrap();
+    assert_eq!(value_of(out), 0x2a);
+}
+
+#[test]
+fn load_of_absent_version_blocks() {
+    let (mut ms, mut mgr, va) = default_setup();
+    let out = mgr.load_version(&mut ms, 0, va, 1).unwrap();
+    assert_eq!(reason_of(out), BlockReason::VersionAbsent);
+    mgr.store_version(&mut ms, 0, va, 2, 9).unwrap();
+    // Version 1 still does not exist; only version 2 does.
+    let out = mgr.load_version(&mut ms, 0, va, 1).unwrap();
+    assert_eq!(reason_of(out), BlockReason::VersionAbsent);
+}
+
+#[test]
+fn out_of_order_version_creation() {
+    // §II-A: "version 2 may be stored to and loaded from before version 1
+    // is created" — the renaming behaviour.
+    let (mut ms, mut mgr, va) = default_setup();
+    mgr.store_version(&mut ms, 0, va, 2, 22).unwrap();
+    assert_eq!(value_of(mgr.load_version(&mut ms, 0, va, 2).unwrap()), 22);
+    mgr.store_version(&mut ms, 0, va, 1, 11).unwrap();
+    assert_eq!(value_of(mgr.load_version(&mut ms, 0, va, 1).unwrap()), 11);
+    assert_eq!(value_of(mgr.load_version(&mut ms, 0, va, 2).unwrap()), 22);
+    // The list is kept sorted newest-first regardless of creation order.
+    let vers: Vec<u32> = mgr
+        .peek_versions(&ms, va)
+        .unwrap()
+        .iter()
+        .map(|&(v, _, _)| v)
+        .collect();
+    assert_eq!(vers, vec![2, 1]);
+}
+
+#[test]
+fn all_created_versions_remain_loadable() {
+    let (mut ms, mut mgr, va) = default_setup();
+    for v in 1..=20u32 {
+        mgr.store_version(&mut ms, 0, va, v, v * 100).unwrap();
+    }
+    for v in 1..=20u32 {
+        assert_eq!(value_of(mgr.load_version(&mut ms, 0, va, v).unwrap()), v * 100);
+    }
+}
+
+#[test]
+fn versions_are_immutable() {
+    let (mut ms, mut mgr, va) = default_setup();
+    mgr.store_version(&mut ms, 0, va, 5, 1).unwrap();
+    assert_eq!(
+        mgr.store_version(&mut ms, 0, va, 5, 2),
+        Err(Fault::VersionExists { va, version: 5 })
+    );
+    assert_eq!(value_of(mgr.load_version(&mut ms, 0, va, 5).unwrap()), 1);
+}
+
+#[test]
+fn load_latest_picks_highest_not_exceeding_cap() {
+    let (mut ms, mut mgr, va) = default_setup();
+    for v in [2u32, 5, 9] {
+        mgr.store_version(&mut ms, 0, va, v, v).unwrap();
+    }
+    for (cap, want_ver) in [(2u32, 2u32), (3, 2), (5, 5), (8, 5), (9, 9), (100, 9)] {
+        let out = mgr.load_latest(&mut ms, 0, va, cap).unwrap();
+        assert_eq!(version_of(out), want_ver, "cap {cap}");
+        assert_eq!(value_of(mgr.load_latest(&mut ms, 0, va, cap).unwrap()), want_ver);
+    }
+    // Below every version: blocks.
+    let out = mgr.load_latest(&mut ms, 0, va, 1).unwrap();
+    assert_eq!(reason_of(out), BlockReason::VersionAbsent);
+}
+
+#[test]
+fn lock_blocks_exact_loads_of_that_version_only() {
+    let (mut ms, mut mgr, va) = default_setup();
+    mgr.store_version(&mut ms, 0, va, 1, 10).unwrap();
+    mgr.store_version(&mut ms, 0, va, 2, 20).unwrap();
+    let out = mgr.lock_load_version(&mut ms, 0, va, 1, 7).unwrap();
+    assert_eq!(value_of(out), 10);
+    // Same version: stalls (even from another core).
+    let out = mgr.load_version(&mut ms, 1, va, 1).unwrap();
+    assert_eq!(reason_of(out), BlockReason::VersionLocked);
+    // "If another version of the same location is locked, the lock is
+    // ignored": version 2 loads fine.
+    assert_eq!(value_of(mgr.load_version(&mut ms, 1, va, 2).unwrap()), 20);
+}
+
+#[test]
+fn locking_a_locked_version_stalls() {
+    let (mut ms, mut mgr, va) = default_setup();
+    mgr.store_version(&mut ms, 0, va, 1, 10).unwrap();
+    mgr.lock_load_version(&mut ms, 0, va, 1, 7).unwrap();
+    let out = mgr.lock_load_version(&mut ms, 1, va, 1, 8).unwrap();
+    assert_eq!(reason_of(out), BlockReason::VersionLocked);
+}
+
+#[test]
+fn unlock_requires_owner() {
+    let (mut ms, mut mgr, va) = default_setup();
+    mgr.store_version(&mut ms, 0, va, 1, 10).unwrap();
+    mgr.lock_load_version(&mut ms, 0, va, 1, 7).unwrap();
+    assert_eq!(
+        mgr.unlock_version(&mut ms, 1, va, 1, 8, None),
+        Err(Fault::NotLockOwner { va, version: 1 })
+    );
+    mgr.unlock_version(&mut ms, 0, va, 1, 7, None).unwrap();
+    assert_eq!(value_of(mgr.load_version(&mut ms, 1, va, 1).unwrap()), 10);
+}
+
+#[test]
+fn unlock_with_create_copies_value() {
+    // UNLOCK-VERSION(vl, vn): "optionally create a new version vn with the
+    // same value as that stored in version vl; vn is left unlocked".
+    let (mut ms, mut mgr, va) = default_setup();
+    mgr.store_version(&mut ms, 0, va, 3, 33).unwrap();
+    mgr.lock_load_version(&mut ms, 0, va, 3, 3).unwrap();
+    mgr.unlock_version(&mut ms, 0, va, 3, 3, Some(4)).unwrap();
+    let out = mgr.load_version(&mut ms, 1, va, 4).unwrap();
+    assert_eq!(value_of(out), 33);
+    // Both versions exist and are unlocked.
+    let vers = mgr.peek_versions(&ms, va).unwrap();
+    assert_eq!(vers, vec![(4, 33, 0), (3, 33, 0)]);
+}
+
+#[test]
+fn load_latest_blocks_when_latest_is_locked() {
+    let (mut ms, mut mgr, va) = default_setup();
+    mgr.store_version(&mut ms, 0, va, 1, 10).unwrap();
+    mgr.store_version(&mut ms, 0, va, 5, 50).unwrap();
+    mgr.lock_load_version(&mut ms, 0, va, 5, 9).unwrap();
+    // Latest ≤ 7 is version 5 which is locked: the call blocks (it does
+    // NOT fall back to version 1 — ordering would break).
+    let out = mgr.load_latest(&mut ms, 1, va, 7).unwrap();
+    assert_eq!(reason_of(out), BlockReason::VersionLocked);
+    // But a cap below 5 is served by version 1 regardless of the lock.
+    assert_eq!(value_of(mgr.load_latest(&mut ms, 1, va, 4).unwrap()), 10);
+}
+
+#[test]
+fn hand_over_hand_unlock_create_orders_follower() {
+    // The §IV-D traversal idiom: predecessor holds the latest version
+    // locked, follower's LOCK-LOAD-LATEST stalls, unlock(+1) releases it.
+    let (mut ms, mut mgr, va) = default_setup();
+    mgr.store_version(&mut ms, 0, va, 1, 77).unwrap();
+    // Task 1 (predecessor) locks latest ≤ 1.
+    let out = mgr.lock_load_latest(&mut ms, 0, va, 1, 1).unwrap();
+    assert_eq!(version_of(out), 1);
+    // Task 2 (follower) tries to lock latest ≤ 2: stalls on the lock.
+    let out = mgr.lock_load_latest(&mut ms, 1, va, 2, 2).unwrap();
+    assert_eq!(reason_of(out), BlockReason::VersionLocked);
+    // Predecessor unlocks, renaming to version 2.
+    mgr.unlock_version(&mut ms, 0, va, 1, 1, Some(2)).unwrap();
+    // Follower retries and now locks version 2.
+    let out = mgr.lock_load_latest(&mut ms, 1, va, 2, 2).unwrap();
+    assert_eq!(version_of(out), 2);
+    assert_eq!(value_of(mgr.load_version(&mut ms, 0, va, 1).unwrap()), 77);
+}
+
+#[test]
+fn direct_access_is_faster_than_full_lookup() {
+    let (mut ms, mut mgr, va) = default_setup();
+    for v in 1..=8u32 {
+        mgr.store_version(&mut ms, 0, va, v, v).unwrap();
+    }
+    // A cold load from core 1 walks the list.
+    let cold = mgr.load_version(&mut ms, 1, va, 8).unwrap();
+    let direct_before = mgr.stats.direct_hits;
+    // The second identical load is a compressed-line direct hit.
+    let warm = mgr.load_version(&mut ms, 1, va, 8).unwrap();
+    assert!(mgr.stats.direct_hits > direct_before, "second load is direct");
+    assert!(
+        warm.latency() < cold.latency(),
+        "direct {} < full {}",
+        warm.latency(),
+        cold.latency()
+    );
+}
+
+#[test]
+fn remote_store_discards_compressed_line() {
+    let (mut ms, mut mgr, va) = default_setup();
+    mgr.store_version(&mut ms, 0, va, 1, 1).unwrap();
+    // Core 1 warms its compressed line.
+    mgr.load_version(&mut ms, 1, va, 1).unwrap();
+    mgr.load_version(&mut ms, 1, va, 1).unwrap();
+    let drops_before = ms.hier.stats.compressed_coherence_drops;
+    // Core 0 stores a new version: coherence discards core 1's line.
+    mgr.store_version(&mut ms, 0, va, 2, 2).unwrap();
+    assert!(ms.hier.stats.compressed_coherence_drops > drops_before);
+    let full_before = mgr.stats.full_lookups;
+    mgr.load_version(&mut ms, 1, va, 1).unwrap();
+    assert!(mgr.stats.full_lookups > full_before, "line was rebuilt by a walk");
+}
+
+#[test]
+fn versioned_ops_fault_on_conventional_pages() {
+    let (mut ms, mut mgr, _va) = default_setup();
+    let conv = ms.map_zeroed(1, PageFlags::Conventional).unwrap();
+    assert_eq!(
+        mgr.load_version(&mut ms, 0, conv, 1),
+        Err(Fault::VersionedAccessToConventionalPage { va: conv })
+    );
+    assert_eq!(
+        mgr.store_version(&mut ms, 0, conv, 1, 0),
+        Err(Fault::VersionedAccessToConventionalPage { va: conv })
+    );
+}
+
+#[test]
+fn extra_latency_knob_inflates_every_versioned_op() {
+    // The Figure 10 mechanism: inject N cycles into each versioned access.
+    let run = |extra: u64| {
+        let cfg = OManagerCfg {
+            versioned_extra_latency: extra,
+            ..OManagerCfg::default()
+        };
+        let (mut ms, mut mgr, va) = setup(1, cfg);
+        let s = mgr.store_version(&mut ms, 0, va, 1, 1).unwrap().latency();
+        let l = mgr.load_version(&mut ms, 0, va, 1).unwrap().latency();
+        (s, l)
+    };
+    let (s0, l0) = run(0);
+    let (s10, l10) = run(10);
+    assert_eq!(s10, s0 + 10);
+    assert_eq!(l10, l0 + 10);
+}
+
+#[test]
+fn unsorted_mode_still_correct() {
+    let cfg = OManagerCfg {
+        sorted_insertion: false,
+        ..OManagerCfg::default()
+    };
+    let (mut ms, mut mgr, va) = setup(1, cfg);
+    for v in [4u32, 1, 3, 2] {
+        mgr.store_version(&mut ms, 0, va, v, v * 10).unwrap();
+    }
+    for v in 1..=4u32 {
+        assert_eq!(value_of(mgr.load_version(&mut ms, 0, va, v).unwrap()), v * 10);
+    }
+    assert_eq!(version_of(mgr.load_latest(&mut ms, 0, va, 3).unwrap()), 3);
+    assert_eq!(
+        mgr.store_version(&mut ms, 0, va, 4, 0),
+        Err(Fault::VersionExists { va, version: 4 })
+    );
+}
+
+// ----------------------------------------------------------------------
+// Garbage collection (§III-B)
+// ----------------------------------------------------------------------
+
+fn gc_cfg() -> OManagerCfg {
+    OManagerCfg {
+        initial_free_blocks: 256,
+        refill_blocks: 256,
+        gc: GcConfig { watermark: 10_000 }, // trigger on every allocation
+        ..OManagerCfg::default()
+    }
+}
+
+#[test]
+fn shadowed_version_is_reclaimed_after_tasks_pass() {
+    let (mut ms, mut mgr, va) = setup(1, gc_cfg());
+    mgr.task_begin(1);
+    mgr.store_version(&mut ms, 0, va, 1, 10).unwrap();
+    mgr.task_begin(2);
+    mgr.store_version(&mut ms, 0, va, 2, 20).unwrap(); // shadows v1
+    assert_eq!(mgr.shadowed_len(), 1);
+    mgr.task_begin(3);
+    mgr.store_version(&mut ms, 0, va, 3, 30).unwrap(); // phase starts
+    assert!(mgr.gc_phase_active());
+    // Version 1 is shadowed but still accessible ("The blocks may still be
+    // accessed by the program").
+    assert_eq!(value_of(mgr.load_version(&mut ms, 0, va, 1).unwrap()), 10);
+    mgr.task_end(&mut ms, 1);
+    mgr.task_end(&mut ms, 2);
+    assert!(mgr.gc_phase_active(), "task 3 still active");
+    mgr.task_end(&mut ms, 3);
+    assert!(!mgr.gc_phase_active());
+    assert_eq!(mgr.stats.gc_phases, 1);
+    assert_eq!(mgr.stats.reclaimed_blocks, 1);
+    // Version 1 is gone; 2 and 3 remain.
+    let vers: Vec<u32> = mgr
+        .peek_versions(&ms, va)
+        .unwrap()
+        .iter()
+        .map(|&(v, _, _)| v)
+        .collect();
+    assert_eq!(vers, vec![3, 2]);
+    let out = mgr.load_version(&mut ms, 0, va, 1).unwrap();
+    assert_eq!(reason_of(out), BlockReason::VersionAbsent);
+}
+
+#[test]
+fn gc_waits_for_old_readers() {
+    let (mut ms, mut mgr, va) = setup(1, gc_cfg());
+    mgr.task_begin(1);
+    mgr.store_version(&mut ms, 0, va, 1, 10).unwrap();
+    mgr.task_begin(2);
+    mgr.store_version(&mut ms, 0, va, 2, 20).unwrap();
+    mgr.task_begin(3);
+    mgr.store_version(&mut ms, 0, va, 3, 30).unwrap(); // phase starts
+    // Tasks 2 and 3 end, but task 1 (old) is still running: no reclaim.
+    mgr.task_end(&mut ms, 3);
+    mgr.task_end(&mut ms, 2);
+    assert!(mgr.gc_phase_active());
+    assert_eq!(value_of(mgr.load_version(&mut ms, 0, va, 1).unwrap()), 10);
+    mgr.task_end(&mut ms, 1);
+    assert!(!mgr.gc_phase_active());
+    assert_eq!(mgr.stats.reclaimed_blocks, 1);
+}
+
+#[test]
+fn gc_recovers_free_blocks() {
+    let (mut ms, mut mgr, va) = setup(1, gc_cfg());
+    let initial_free = mgr.free_blocks();
+    // A long chain of stores, each shadowing its predecessor, with task
+    // windows closing as we go.
+    for t in 1..=100u32 {
+        mgr.task_begin(t);
+        mgr.store_version(&mut ms, 0, va, t, t).unwrap();
+        mgr.task_end(&mut ms, t);
+    }
+    assert!(mgr.stats.gc_phases >= 1);
+    assert!(mgr.stats.reclaimed_blocks >= 90, "{}", mgr.stats.reclaimed_blocks);
+    // Free list is nearly back to the start: allocated 100, reclaimed most.
+    assert!(initial_free - mgr.free_blocks() <= 10);
+    // The newest version survives.
+    assert_eq!(value_of(mgr.load_version(&mut ms, 0, va, 100).unwrap()), 100);
+}
+
+#[test]
+fn refill_trap_extends_free_list() {
+    let cfg = OManagerCfg {
+        initial_free_blocks: 256,
+        refill_blocks: 256,
+        gc: GcConfig { watermark: 0 }, // GC disabled
+        ..OManagerCfg::default()
+    };
+    let (mut ms, mut mgr, va) = setup(1, cfg);
+    for v in 1..=300u32 {
+        mgr.store_version(&mut ms, 0, va, v, v).unwrap();
+    }
+    assert!(mgr.stats.refill_traps >= 1);
+    assert_eq!(mgr.stats.allocated_blocks, 300);
+    // Everything is still loadable (nothing was collected).
+    assert_eq!(value_of(mgr.load_version(&mut ms, 0, va, 1).unwrap()), 1);
+    assert_eq!(value_of(mgr.load_version(&mut ms, 0, va, 300).unwrap()), 300);
+}
+
+#[test]
+fn out_of_ram_faults() {
+    let cfg = OManagerCfg {
+        initial_free_blocks: 256,
+        refill_blocks: 256,
+        gc: GcConfig { watermark: 0 },
+        ..OManagerCfg::default()
+    };
+    // Tiny RAM: a handful of pages.
+    let mut ms = MemSys::new(HierarchyCfg::paper(1), 8 * 4096);
+    let va = ms.map_zeroed(1, PageFlags::VersionedRoot).unwrap();
+    let mut mgr = OManager::new(cfg, &mut ms).unwrap();
+    let mut faulted = false;
+    for v in 1..=4000u32 {
+        match mgr.store_version(&mut ms, 0, va, v, v) {
+            Ok(_) => {}
+            Err(Fault::OutOfVersionBlocks) => {
+                faulted = true;
+                break;
+            }
+            Err(e) => panic!("unexpected fault {e:?}"),
+        }
+    }
+    assert!(faulted, "RAM exhaustion must surface as OutOfVersionBlocks");
+}
+
+#[test]
+fn multiple_ostructures_are_independent() {
+    let (mut ms, mut mgr, va) = default_setup();
+    let va2 = va + 4;
+    let va3 = va + 64; // different cache line
+    mgr.store_version(&mut ms, 0, va, 1, 100).unwrap();
+    mgr.store_version(&mut ms, 0, va2, 1, 200).unwrap();
+    mgr.store_version(&mut ms, 0, va3, 2, 300).unwrap();
+    assert_eq!(value_of(mgr.load_version(&mut ms, 0, va, 1).unwrap()), 100);
+    assert_eq!(value_of(mgr.load_version(&mut ms, 0, va2, 1).unwrap()), 200);
+    assert_eq!(value_of(mgr.load_latest(&mut ms, 0, va3, 9).unwrap()), 300);
+    assert_eq!(reason_of(mgr.load_version(&mut ms, 0, va3, 1).unwrap()), BlockReason::VersionAbsent);
+}
+
+#[test]
+fn determinism_of_latencies() {
+    let run = || {
+        let (mut ms, mut mgr, va) = default_setup();
+        let mut sig = Vec::new();
+        for v in 1..=32u32 {
+            let core = (v % 2) as usize;
+            sig.push(mgr.store_version(&mut ms, core, va, v, v).unwrap().latency());
+            sig.push(mgr.load_latest(&mut ms, 1 - core, va, v).unwrap().latency());
+        }
+        sig
+    };
+    assert_eq!(run(), run());
+}
+
+// ----------------------------------------------------------------------
+// §III-C: converting an O-structure back to conventional use
+// ----------------------------------------------------------------------
+
+#[test]
+fn release_structure_returns_blocks_and_resets_the_root() {
+    let (mut ms, mut mgr, va) = default_setup();
+    for v in 1..=10u32 {
+        mgr.store_version(&mut ms, 0, va, v, v).unwrap();
+    }
+    let free_before = mgr.free_blocks();
+    let freed = mgr.release_structure(&mut ms, va).unwrap();
+    assert_eq!(freed, 10);
+    assert_eq!(mgr.free_blocks(), free_before + 10);
+    // The address is a fresh O-structure again.
+    let out = mgr.load_latest(&mut ms, 0, va, u32::MAX).unwrap();
+    assert_eq!(reason_of(out), BlockReason::VersionAbsent);
+    mgr.store_version(&mut ms, 0, va, 1, 99).unwrap();
+    assert_eq!(value_of(mgr.load_version(&mut ms, 0, va, 1).unwrap()), 99);
+}
+
+#[test]
+fn release_structure_faults_on_a_locked_version() {
+    let (mut ms, mut mgr, va) = default_setup();
+    mgr.store_version(&mut ms, 0, va, 1, 1).unwrap();
+    mgr.lock_load_version(&mut ms, 0, va, 1, 7).unwrap();
+    assert!(mgr.release_structure(&mut ms, va).is_err());
+    // The structure is untouched.
+    mgr.unlock_version(&mut ms, 0, va, 1, 7, None).unwrap();
+    assert_eq!(value_of(mgr.load_version(&mut ms, 0, va, 1).unwrap()), 1);
+}
+
+#[test]
+fn release_structure_of_empty_cell_is_a_noop() {
+    let (mut ms, mut mgr, va) = default_setup();
+    assert_eq!(mgr.release_structure(&mut ms, va).unwrap(), 0);
+}
+
+#[test]
+fn released_blocks_do_not_confuse_a_pending_gc_phase() {
+    let (mut ms, mut mgr, va) = setup(1, gc_cfg());
+    let va2 = va + 4;
+    mgr.task_begin(1);
+    mgr.store_version(&mut ms, 0, va, 1, 1).unwrap();
+    mgr.store_version(&mut ms, 0, va2, 1, 1).unwrap();
+    mgr.task_begin(2);
+    mgr.store_version(&mut ms, 0, va, 2, 2).unwrap(); // shadows va:1
+    mgr.store_version(&mut ms, 0, va2, 2, 2).unwrap(); // shadows va2:1
+    mgr.task_begin(3);
+    mgr.store_version(&mut ms, 0, va, 3, 3).unwrap(); // phase starts
+    assert!(mgr.gc_phase_active());
+    // Release va2 entirely while its shadowed entry is pending.
+    mgr.release_structure(&mut ms, va2).unwrap();
+    mgr.task_end(&mut ms, 1);
+    mgr.task_end(&mut ms, 2);
+    mgr.task_end(&mut ms, 3);
+    assert!(!mgr.gc_phase_active());
+    // va's shadowed version was reclaimed; the released va2 blocks were
+    // not double-freed (free count is consistent: 3 va blocks + 2 va2
+    // blocks allocated, 1 va block GC'd, 2 va2 blocks released).
+    let vers: Vec<u32> = mgr
+        .peek_versions(&ms, va)
+        .unwrap()
+        .iter()
+        .map(|&(v, _, _)| v)
+        .collect();
+    assert_eq!(vers, vec![3, 2]);
+    assert!(mgr.peek_versions(&ms, va2).unwrap().is_empty());
+}

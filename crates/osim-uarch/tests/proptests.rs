@@ -1,0 +1,180 @@
+//! Property-based cross-validation: the microarchitectural O-structure
+//! manager (caches, compressed lines, version-block lists, GC) against a
+//! plain functional model of the §II-A semantics. Whatever path an access
+//! takes — direct compressed hit, full list walk, post-coherence rebuild —
+//! the architectural result must be identical.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use osim_mem::{HierarchyCfg, MemSys, PageFlags};
+use osim_uarch::{BlockReason, GcConfig, OManager, OManagerCfg, OpOutcome};
+
+fn blocked_with(out: &OpOutcome, want: BlockReason) -> bool {
+    matches!(out, OpOutcome::Blocked { reason, .. } if *reason == want)
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    Store { cell: u8, v: u32, val: u32, core: u8 },
+    Load { cell: u8, v: u32, core: u8 },
+    Latest { cell: u8, cap: u32, core: u8 },
+    LockLatest { cell: u8, cap: u32, tid: u8, core: u8 },
+    Unlock { cell: u8, tid: u8, create: Option<u32>, core: u8 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let cell = 0u8..4;
+    let ver = 1u32..24;
+    let core = 0u8..2;
+    prop_oneof![
+        (cell.clone(), ver.clone(), any::<u32>(), core.clone())
+            .prop_map(|(cell, v, val, core)| Step::Store { cell, v, val, core }),
+        (cell.clone(), ver.clone(), core.clone())
+            .prop_map(|(cell, v, core)| Step::Load { cell, v, core }),
+        (cell.clone(), ver.clone(), core.clone())
+            .prop_map(|(cell, cap, core)| Step::Latest { cell, cap, core }),
+        (cell.clone(), ver.clone(), 1u8..6, core.clone())
+            .prop_map(|(cell, cap, tid, core)| Step::LockLatest { cell, cap, tid, core }),
+        (cell, 1u8..6, proptest::option::of(ver), core)
+            .prop_map(|(cell, tid, create, core)| Step::Unlock { cell, tid, create, core }),
+    ]
+}
+
+/// Functional model of one cell.
+#[derive(Default)]
+struct ModelCell {
+    versions: BTreeMap<u32, (u32, u32)>, // version -> (value, locked_by; 0 = free)
+    held: BTreeMap<u32, u32>,            // tid -> version
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn manager_matches_functional_model(
+        steps in proptest::collection::vec(step_strategy(), 1..80),
+    ) {
+        let mut ms = MemSys::new(HierarchyCfg::paper(2), 64 << 20);
+        let base = ms.map_zeroed(1, PageFlags::VersionedRoot).unwrap();
+        let mut mgr = OManager::new(
+            OManagerCfg {
+                initial_free_blocks: 256,
+                gc: GcConfig { watermark: 0 }, // no GC: the model keeps all versions
+                ..OManagerCfg::default()
+            },
+            &mut ms,
+        )
+        .unwrap();
+        let mut model: Vec<ModelCell> = (0..4).map(|_| ModelCell::default()).collect();
+        let va = |cell: u8| base + cell as u32 * 4;
+
+        for step in steps {
+            match step {
+                Step::Store { cell, v, val, core } => {
+                    let m = &mut model[cell as usize];
+                    let want_err = m.versions.contains_key(&v);
+                    let got = mgr.store_version(&mut ms, core as usize, va(cell), v, val);
+                    if want_err {
+                        prop_assert!(got.is_err(), "store of existing version must fault");
+                    } else {
+                        prop_assert!(got.is_ok());
+                        m.versions.insert(v, (val, 0));
+                    }
+                }
+                Step::Load { cell, v, core } => {
+                    let m = &model[cell as usize];
+                    let got = mgr.load_version(&mut ms, core as usize, va(cell), v).unwrap();
+                    match m.versions.get(&v) {
+                        Some(&(val, 0)) => match got {
+                            OpOutcome::Done { value, version, .. } => {
+                                prop_assert_eq!((value, version), (val, v));
+                            }
+                            other => prop_assert!(false, "expected Done, got {:?}", other),
+                        },
+                        Some(_) => prop_assert!(blocked_with(&got, BlockReason::VersionLocked)),
+                        None => prop_assert!(blocked_with(&got, BlockReason::VersionAbsent)),
+                    }
+                }
+                Step::Latest { cell, cap, core } => {
+                    let m = &model[cell as usize];
+                    let got = mgr.load_latest(&mut ms, core as usize, va(cell), cap).unwrap();
+                    match m.versions.range(..=cap).next_back() {
+                        Some((&v, &(val, 0))) => match got {
+                            OpOutcome::Done { value, version, .. } => {
+                                prop_assert_eq!((value, version), (val, v));
+                            }
+                            other => prop_assert!(false, "expected Done, got {:?}", other),
+                        },
+                        Some(_) => prop_assert!(blocked_with(&got, BlockReason::VersionLocked)),
+                        None => prop_assert!(blocked_with(&got, BlockReason::VersionAbsent)),
+                    }
+                }
+                Step::LockLatest { cell, cap, tid, core } => {
+                    let m = &mut model[cell as usize];
+                    // Keep the protocol simple: one lock per task per cell.
+                    if m.held.contains_key(&(tid as u32)) {
+                        continue;
+                    }
+                    let got = mgr
+                        .lock_load_latest(&mut ms, core as usize, va(cell), cap, tid as u32)
+                        .unwrap();
+                    match m.versions.range(..=cap).next_back().map(|(&v, &s)| (v, s)) {
+                        Some((v, (val, 0))) => {
+                            match got {
+                                OpOutcome::Done { value, version, .. } => {
+                                    prop_assert_eq!((value, version), (val, v));
+                                }
+                                other => prop_assert!(false, "expected Done, got {:?}", other),
+                            }
+                            m.versions.get_mut(&v).unwrap().1 = tid as u32;
+                            m.held.insert(tid as u32, v);
+                        }
+                        Some(_) => prop_assert!(blocked_with(&got, BlockReason::VersionLocked)),
+                        None => prop_assert!(blocked_with(&got, BlockReason::VersionAbsent)),
+                    }
+                }
+                Step::Unlock { cell, tid, create, core } => {
+                    let m = &mut model[cell as usize];
+                    let Some(&vl) = m.held.get(&(tid as u32)) else {
+                        let got = mgr.unlock_version(
+                            &mut ms, core as usize, va(cell), 1, tid as u32, None,
+                        );
+                        prop_assert!(got.is_err(), "unlock without hold must fault");
+                        continue;
+                    };
+                    // Skip renames that would collide; the workload layer
+                    // guarantees fresh rename versions.
+                    if let Some(vn) = create {
+                        if m.versions.contains_key(&vn) {
+                            continue;
+                        }
+                    }
+                    let got = mgr
+                        .unlock_version(&mut ms, core as usize, va(cell), vl, tid as u32, create)
+                        .unwrap();
+                    prop_assert!(matches!(got, OpOutcome::Done { .. }), "unlock must succeed");
+                    let val = m.versions.get(&vl).unwrap().0;
+                    m.versions.get_mut(&vl).unwrap().1 = 0;
+                    m.held.remove(&(tid as u32));
+                    if let Some(vn) = create {
+                        m.versions.insert(vn, (val, 0));
+                    }
+                }
+            }
+        }
+
+        // Final structural agreement: every cell's version list matches.
+        for (i, m) in model.iter().enumerate() {
+            let got = mgr.peek_versions(&ms, va(i as u8)).unwrap();
+            let want: Vec<(u32, u32, u32)> = m
+                .versions
+                .iter()
+                .rev()
+                .map(|(&v, &(val, lock))| (v, val, lock))
+                .collect();
+            prop_assert_eq!(got, want, "cell {}", i);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Version-id discipline shared by every irregular workload.
+//!
+//! The garbage collector's rule 1 ties version order to task order. The
+//! Fig. 1 protocol additionally needs two kinds of version per task:
+//! *modification* versions (the values a task actually writes) and a
+//! *pass* version (the rename created when the task releases a cell it
+//! traversed, so that a follower's `LOCK-LOAD-LATEST` observes its
+//! passage). A red-black rebalance can even write the same cell more than
+//! once in one task.
+//!
+//! We therefore give each task a *slot* of [`STRIDE`] consecutive version
+//! ids:
+//!
+//! * `base(tid) + s` for its `s`-th modification of a given cell
+//!   (`s < STRIDE - 1`),
+//! * `base(tid) + STRIDE - 1` as its pass/rename version and as the *cap*
+//!   for its `LOAD-LATEST`/`LOCK-LOAD-LATEST` calls.
+//!
+//! Version order still mirrors task order (slots are disjoint and
+//! monotonic in `tid`), so the GC reasoning of §III-B carries over
+//! unchanged.
+
+use osim_uarch::Version;
+
+/// Version ids per task slot.
+pub const STRIDE: u32 = 16;
+
+/// First version id of task `tid`'s slot.
+#[inline]
+pub fn base(tid: u32) -> Version {
+    tid.checked_mul(STRIDE).expect("task id overflow")
+}
+
+/// The `s`-th modification version of task `tid` (for one cell).
+#[inline]
+pub fn modv(tid: u32, s: u32) -> Version {
+    debug_assert!(s < STRIDE - 1, "too many writes to one cell in one task");
+    base(tid) + s
+}
+
+/// Task `tid`'s pass/rename version.
+#[inline]
+pub fn passv(tid: u32) -> Version {
+    base(tid) + STRIDE - 1
+}
+
+/// The cap task `tid` uses for `LOAD-LATEST` flavours: everything up to and
+/// including its own writes and renames.
+#[inline]
+pub fn cap(tid: u32) -> Version {
+    passv(tid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_disjoint_and_ordered() {
+        for tid in 1..100 {
+            assert!(passv(tid) < base(tid + 1));
+            assert!(modv(tid, 0) >= base(tid));
+            assert!(modv(tid, STRIDE - 2) < passv(tid));
+            assert_eq!(cap(tid), passv(tid));
+        }
+    }
+
+    #[test]
+    fn cap_sees_predecessors_but_not_successors() {
+        let t = 7;
+        assert!(cap(t) >= passv(t - 1));
+        assert!(cap(t) >= modv(t, 3));
+        assert!(cap(t) < modv(t + 1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many writes")]
+    #[cfg(debug_assertions)]
+    fn slot_overflow_is_caught() {
+        modv(1, STRIDE - 1);
+    }
+}

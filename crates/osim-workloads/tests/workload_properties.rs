@@ -1,0 +1,144 @@
+//! Cross-workload properties: protocol ablation equivalence, garbage
+//! collection under parallel load, scaling sanity, and statistic plumbing.
+
+use osim_cpu::MachineCfg;
+use osim_uarch::GcConfig;
+use osim_workloads::harness::DsCfg;
+use osim_workloads::rbtree::LockHold;
+use osim_workloads::{btree, hashtable, levenshtein, linked_list, matmul, rbtree};
+
+fn cfg(initial: usize, ops: usize, rpw: u32, seed: u64) -> DsCfg {
+    DsCfg {
+        initial,
+        ops,
+        reads_per_write: rpw,
+        scan_range: 0,
+        key_space: initial as u32 * 4,
+        seed,
+        insert_only: false,
+    }
+}
+
+/// Both protocol variants (Fig. 1-faithful per-pass renames vs lock-only
+/// ordering) compute the same results; renames only change timing and
+/// version churn.
+#[test]
+fn rename_ablation_is_semantically_equivalent() {
+    let c = cfg(60, 60, 2, 77);
+    let with = linked_list::run_versioned_with(MachineCfg::paper(4), &c, true);
+    let without = linked_list::run_versioned_with(MachineCfg::paper(4), &c, false);
+    with.assert_ok();
+    without.assert_ok();
+    assert!(
+        with.ostats.allocated_blocks > 4 * without.ostats.allocated_blocks,
+        "renames churn versions: {} vs {}",
+        with.ostats.allocated_blocks,
+        without.ostats.allocated_blocks
+    );
+}
+
+/// A tight free list forces the collector to run *during* a parallel
+/// hand-over-hand workload, and the results still validate — on-the-fly
+/// collection is invisible to the program.
+#[test]
+fn gc_runs_under_parallel_load_without_corruption() {
+    let mut m = MachineCfg::paper(4);
+    m.omgr.initial_free_blocks = 1024;
+    m.omgr.refill_blocks = 512;
+    m.omgr.gc = GcConfig { watermark: 100_000 }; // collect eagerly
+    let c = cfg(60, 120, 1, 13);
+    let r = linked_list::run_versioned_with(m, &c, true);
+    r.assert_ok();
+    assert!(r.ostats.gc_phases > 0, "collector must have run");
+    assert!(r.ostats.reclaimed_blocks > 0);
+}
+
+/// The write-intensive mixes allocate more versions than read-intensive
+/// ones (writes create versions; snapshot reads do not).
+#[test]
+fn writes_create_versions_reads_do_not() {
+    let ri = btree::run_versioned(MachineCfg::paper(4), &cfg(60, 80, 4, 5));
+    let wi = btree::run_versioned(MachineCfg::paper(4), &cfg(60, 80, 1, 5));
+    ri.assert_ok();
+    wi.assert_ok();
+    assert!(wi.ostats.stores > ri.ostats.stores);
+}
+
+/// Adding cores never makes the versioned runs slower on the regular
+/// (data-parallel) benchmarks.
+#[test]
+fn regular_benchmarks_scale_monotonically() {
+    let mat = matmul::MatmulCfg { n: 12, seed: 3 };
+    let lev = levenshtein::LevCfg { len: 40, seed: 3 };
+    let mut last_mat = u64::MAX;
+    let mut last_lev = u64::MAX;
+    for cores in [1usize, 2, 4, 8] {
+        let rm = matmul::run_versioned(MachineCfg::paper(cores), &mat);
+        rm.assert_ok();
+        assert!(rm.cycles <= last_mat, "matmul slowed at {cores} cores");
+        last_mat = rm.cycles;
+        let rl = levenshtein::run_versioned(MachineCfg::paper(cores), &lev);
+        rl.assert_ok();
+        assert!(rl.cycles <= last_lev, "levenshtein slowed at {cores} cores");
+        last_lev = rl.cycles;
+    }
+}
+
+/// Direct (compressed-line) accesses must dominate full lookups on a
+/// single core, where nothing invalidates the lines — the paper's "direct
+/// version accesses outnumber traversals".
+#[test]
+fn direct_access_dominates_on_one_core() {
+    let r = linked_list::run_versioned(MachineCfg::paper(1), &cfg(80, 80, 4, 21));
+    r.assert_ok();
+    assert!(
+        r.ostats.direct_hits * 2 > r.ostats.full_lookups,
+        "direct {} vs full {}",
+        r.ostats.direct_hits,
+        r.ostats.full_lookups
+    );
+}
+
+/// The hash table's order cell stalls mutators, not readers (§IV-D).
+#[test]
+fn hashtable_readers_stall_less_than_mutators() {
+    let wi = hashtable::run_versioned(MachineCfg::paper(8), &cfg(200, 128, 1, 9));
+    wi.assert_ok();
+    assert!(wi.cpu.root_loads > 0);
+    assert!(wi.cpu.root_stall_rate() > 0.3, "{}", wi.cpu.root_stall_rate());
+}
+
+/// LockHold policies agree on results (the ablation changes timing only).
+#[test]
+fn rbtree_lock_hold_policies_agree() {
+    let c = cfg(60, 60, 2, 41);
+    let long = rbtree::run_versioned_with(MachineCfg::paper(4), &c, LockHold::Long);
+    let short = rbtree::run_versioned_with(MachineCfg::paper(4), &c, LockHold::Short);
+    long.assert_ok();
+    short.assert_ok();
+}
+
+/// Machines of different core counts produce identical *results* for the
+/// same workload (determinism is per-machine; correctness is universal).
+#[test]
+fn results_are_core_count_independent() {
+    let c = cfg(50, 60, 2, 31);
+    for cores in [1usize, 2, 4, 8] {
+        btree::run_versioned(MachineCfg::paper(cores), &c).assert_ok();
+    }
+}
+
+/// Unversioned baselines never touch the O-structure machinery.
+#[test]
+fn baselines_issue_no_versioned_traffic() {
+    let c = cfg(50, 40, 4, 61);
+    for r in [
+        linked_list::run_unversioned(MachineCfg::paper(1), &c),
+        btree::run_unversioned(MachineCfg::paper(1), &c),
+        hashtable::run_unversioned(MachineCfg::paper(1), &c),
+    ] {
+        r.assert_ok();
+        assert_eq!(r.cpu.versioned_ops, 0);
+        assert_eq!(r.ostats.stores, 0);
+    }
+}

@@ -1,0 +1,518 @@
+//! The multi-version cell.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::OError;
+use crate::{TaskId, Version};
+
+struct Slot<T> {
+    value: T,
+    locked_by: Option<TaskId>,
+}
+
+struct State<T> {
+    versions: BTreeMap<Version, Slot<T>>,
+    /// Which version each task currently holds locked (at most one lock
+    /// per task per cell, as in the Fig. 1 API).
+    held: HashMap<TaskId, Version>,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    changed: Condvar,
+}
+
+/// Type-erased garbage-collection interface; the runtime holds tracked
+/// cells as `Weak<dyn Prune>` so one collector can prune cells of any
+/// value type.
+pub trait Prune {
+    /// See [`OCell::prune_below`].
+    fn prune_below(&self, boundary: Version) -> usize;
+}
+
+impl<T> Prune for Inner<T> {
+    fn prune_below(&self, boundary: Version) -> usize {
+        let mut st = self.state.lock();
+        let Some((&keep, _)) = st.versions.range(..=boundary).next_back() else {
+            return 0;
+        };
+        let before = st.versions.len();
+        st.versions
+            .retain(|&v, slot| v >= keep || slot.locked_by.is_some());
+        before - st.versions.len()
+    }
+}
+
+/// A software O-structure: one memory location, many ordered versions.
+///
+/// Cheap to clone (a handle); all clones refer to the same cell. `T` must
+/// be `Clone` because loads return copies while the version stays in place
+/// for other readers.
+///
+/// # Blocking semantics (§II-A of the paper)
+///
+/// * [`OCell::load_version`] blocks until the exact version exists and is
+///   unlocked. Locks on *other* versions are ignored.
+/// * [`OCell::load_latest`] blocks until some version ≤ the cap exists and
+///   the highest such version is unlocked. It never falls back to an older
+///   unlocked version — that would break ordering.
+/// * [`OCell::store_version`] creates a version (versions are write-once).
+/// * The `lock_` flavours additionally acquire the version's lock; locking
+///   an already-locked version blocks.
+/// * [`OCell::unlock_version`] releases the caller's lock and can
+///   atomically create a successor version carrying the same value — the
+///   rename step of hand-over-hand pipelining.
+pub struct OCell<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for OCell<T> {
+    fn clone(&self) -> Self {
+        OCell {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Clone> Default for OCell<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> OCell<T> {
+    /// An empty cell (no versions yet; all loads block).
+    pub fn new() -> Self {
+        OCell {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    versions: BTreeMap::new(),
+                    held: HashMap::new(),
+                }),
+                changed: Condvar::new(),
+            }),
+        }
+    }
+
+    /// A cell with one initial version.
+    pub fn with_initial(version: Version, value: T) -> Self {
+        let cell = Self::new();
+        cell.store_version(version, value)
+            .expect("fresh cell accepts any version");
+        cell
+    }
+
+    /// `STORE-VERSION`: creates `version` holding `value` and wakes every
+    /// blocked load. Versions are immutable once created.
+    pub fn store_version(&self, version: Version, value: T) -> Result<(), OError> {
+        let mut st = self.inner.state.lock();
+        if st.versions.contains_key(&version) {
+            return Err(OError::VersionExists(version));
+        }
+        st.versions.insert(
+            version,
+            Slot {
+                value,
+                locked_by: None,
+            },
+        );
+        drop(st);
+        self.inner.changed.notify_all();
+        Ok(())
+    }
+
+    /// `LOAD-VERSION`: blocks until `version` exists and is unlocked.
+    pub fn load_version(&self, version: Version) -> T {
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(slot) = st.versions.get(&version) {
+                if slot.locked_by.is_none() {
+                    return slot.value.clone();
+                }
+            }
+            self.inner.changed.wait(&mut st);
+        }
+    }
+
+    /// Non-blocking `LOAD-VERSION`: `None` if absent or locked.
+    pub fn try_load_version(&self, version: Version) -> Option<T> {
+        let st = self.inner.state.lock();
+        st.versions
+            .get(&version)
+            .filter(|s| s.locked_by.is_none())
+            .map(|s| s.value.clone())
+    }
+
+    /// `LOAD-VERSION` with a timeout — mainly for tests that must detect a
+    /// stall without hanging. `None` on timeout.
+    pub fn load_version_timeout(&self, version: Version, dur: Duration) -> Option<T> {
+        let deadline = std::time::Instant::now() + dur;
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(slot) = st.versions.get(&version) {
+                if slot.locked_by.is_none() {
+                    return Some(slot.value.clone());
+                }
+            }
+            if self
+                .inner
+                .changed
+                .wait_until(&mut st, deadline)
+                .timed_out()
+            {
+                return None;
+            }
+        }
+    }
+
+    /// `LOAD-LATEST`: blocks until some version ≤ `cap` exists and the
+    /// newest such version is unlocked. Returns `(version, value)`.
+    pub fn load_latest(&self, cap: Version) -> (Version, T) {
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some((&v, slot)) = st.versions.range(..=cap).next_back() {
+                if slot.locked_by.is_none() {
+                    return (v, slot.value.clone());
+                }
+            }
+            self.inner.changed.wait(&mut st);
+        }
+    }
+
+    /// Non-blocking `LOAD-LATEST`.
+    pub fn try_load_latest(&self, cap: Version) -> Option<(Version, T)> {
+        let st = self.inner.state.lock();
+        st.versions
+            .range(..=cap)
+            .next_back()
+            .filter(|(_, s)| s.locked_by.is_none())
+            .map(|(&v, s)| (v, s.value.clone()))
+    }
+
+    /// `LOCK-LOAD-VERSION`: exact load + lock as `tid`. Blocks while the
+    /// version is absent or locked (by anyone, including `tid`).
+    pub fn lock_load_version(&self, version: Version, tid: TaskId) -> Result<T, OError> {
+        if tid == 0 {
+            return Err(OError::ReservedTaskId);
+        }
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(slot) = st.versions.get_mut(&version) {
+                if slot.locked_by.is_none() {
+                    slot.locked_by = Some(tid);
+                    let value = slot.value.clone();
+                    st.held.insert(tid, version);
+                    return Ok(value);
+                }
+            }
+            self.inner.changed.wait(&mut st);
+        }
+    }
+
+    /// Non-blocking `LOCK-LOAD-LATEST`: `None` when the newest version ≤
+    /// `cap` is absent or already locked.
+    pub fn try_lock_load_latest(&self, cap: Version, tid: TaskId) -> Option<(Version, T)> {
+        if tid == 0 {
+            return None;
+        }
+        let mut st = self.inner.state.lock();
+        let v = st
+            .versions
+            .range(..=cap)
+            .next_back()
+            .filter(|(_, s)| s.locked_by.is_none())
+            .map(|(&v, _)| v)?;
+        let slot = st.versions.get_mut(&v).expect("just found");
+        slot.locked_by = Some(tid);
+        let value = slot.value.clone();
+        st.held.insert(tid, v);
+        Some((v, value))
+    }
+
+    /// `LOCK-LOAD-LATEST`: capped load + lock as `tid`.
+    /// Returns `(version, value)`.
+    pub fn lock_load_latest(&self, cap: Version, tid: TaskId) -> Result<(Version, T), OError> {
+        if tid == 0 {
+            return Err(OError::ReservedTaskId);
+        }
+        let mut st = self.inner.state.lock();
+        loop {
+            let found = st
+                .versions
+                .range(..=cap)
+                .next_back()
+                .filter(|(_, s)| s.locked_by.is_none())
+                .map(|(&v, _)| v);
+            if let Some(v) = found {
+                let slot = st.versions.get_mut(&v).expect("just found");
+                slot.locked_by = Some(tid);
+                let value = slot.value.clone();
+                st.held.insert(tid, v);
+                return Ok((v, value));
+            }
+            self.inner.changed.wait(&mut st);
+        }
+    }
+
+    /// `UNLOCK-VERSION`: releases `tid`'s lock on this cell; with
+    /// `create = Some(vn)` also creates unlocked version `vn` carrying the
+    /// just-unlocked value (the rename). Wakes all waiters.
+    pub fn unlock_version(&self, tid: TaskId, create: Option<Version>) -> Result<(), OError> {
+        let mut st = self.inner.state.lock();
+        let Some(vl) = st.held.remove(&tid) else {
+            return Err(OError::NotLockOwner(tid));
+        };
+        let value = {
+            let slot = st.versions.get_mut(&vl).expect("held version exists");
+            debug_assert_eq!(slot.locked_by, Some(tid));
+            slot.locked_by = None;
+            slot.value.clone()
+        };
+        if let Some(vn) = create {
+            if st.versions.contains_key(&vn) {
+                // Roll the unlock forward anyway; the create is the error.
+                drop(st);
+                self.inner.changed.notify_all();
+                return Err(OError::VersionExists(vn));
+            }
+            st.versions.insert(
+                vn,
+                Slot {
+                    value,
+                    locked_by: None,
+                },
+            );
+        }
+        drop(st);
+        self.inner.changed.notify_all();
+        Ok(())
+    }
+
+    /// The version `tid` currently holds locked, if any.
+    pub fn held_by(&self, tid: TaskId) -> Option<Version> {
+        self.inner.state.lock().held.get(&tid).copied()
+    }
+
+    /// All existing versions, ascending (diagnostics / tests).
+    pub fn versions(&self) -> Vec<Version> {
+        self.inner.state.lock().versions.keys().copied().collect()
+    }
+
+    /// Number of live versions.
+    pub fn version_count(&self) -> usize {
+        self.inner.state.lock().versions.len()
+    }
+
+    /// Garbage collection: drops every version strictly older than the
+    /// newest version ≤ `boundary`, i.e. the versions shadowed for every
+    /// task whose cap is ≥ `boundary`. Locked versions are never dropped.
+    /// Returns how many versions were reclaimed.
+    ///
+    /// Safety is the caller's contract (the runtime's rules 1–3): no
+    /// active or future task may load below `boundary` afterwards.
+    pub fn prune_below(&self, boundary: Version) -> usize {
+        Prune::prune_below(&*self.inner, boundary)
+    }
+
+    /// A type-erased weak handle for the runtime's collector.
+    pub fn prune_handle(&self) -> std::sync::Weak<dyn Prune + Send + Sync>
+    where
+        T: Send + 'static,
+    {
+        let arc: Arc<dyn Prune + Send + Sync> = Arc::clone(&self.inner) as _;
+        Arc::downgrade(&arc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    const T50: Duration = Duration::from_millis(200);
+
+    #[test]
+    fn store_then_load_exact() {
+        let c = OCell::new();
+        c.store_version(3, 42).unwrap();
+        assert_eq!(c.load_version(3), 42);
+    }
+
+    #[test]
+    fn versions_are_write_once() {
+        let c = OCell::new();
+        c.store_version(1, 5).unwrap();
+        assert_eq!(c.store_version(1, 6), Err(OError::VersionExists(1)));
+        assert_eq!(c.load_version(1), 5);
+    }
+
+    #[test]
+    fn load_blocks_until_store() {
+        let c = OCell::new();
+        let c2 = c.clone();
+        let t = thread::spawn(move || c2.load_version(1));
+        thread::sleep(Duration::from_millis(20));
+        c.store_version(1, 9).unwrap();
+        assert_eq!(t.join().unwrap(), 9);
+    }
+
+    #[test]
+    fn out_of_order_creation() {
+        let c = OCell::new();
+        c.store_version(2, 22).unwrap();
+        assert_eq!(c.try_load_version(2), Some(22));
+        assert_eq!(c.try_load_version(1), None, "version 1 not created yet");
+        c.store_version(1, 11).unwrap();
+        assert_eq!(c.load_version(1), 11);
+        assert_eq!(c.versions(), vec![1, 2]);
+    }
+
+    #[test]
+    fn load_latest_caps() {
+        let c = OCell::new();
+        for v in [2u64, 5, 9] {
+            c.store_version(v, v as u32).unwrap();
+        }
+        assert_eq!(c.load_latest(9), (9, 9));
+        assert_eq!(c.load_latest(8), (5, 5));
+        assert_eq!(c.load_latest(2), (2, 2));
+        assert_eq!(c.try_load_latest(1), None);
+    }
+
+    #[test]
+    fn locked_version_blocks_exact_loads_only() {
+        let c = OCell::new();
+        c.store_version(1, 10).unwrap();
+        c.store_version(2, 20).unwrap();
+        c.lock_load_version(1, 7).unwrap();
+        assert_eq!(c.try_load_version(1), None, "locked");
+        assert_eq!(c.try_load_version(2), Some(20), "other versions ignore the lock");
+        c.unlock_version(7, None).unwrap();
+        assert_eq!(c.try_load_version(1), Some(10));
+    }
+
+    #[test]
+    fn load_latest_blocks_on_locked_latest() {
+        let c = OCell::new();
+        c.store_version(1, 10).unwrap();
+        c.store_version(5, 50).unwrap();
+        c.lock_load_version(5, 9).unwrap();
+        assert_eq!(c.try_load_latest(7), None, "latest ≤ 7 is locked");
+        assert_eq!(c.try_load_latest(4), Some((1, 10)));
+    }
+
+    #[test]
+    fn unlock_rename_orders_a_follower() {
+        let c = OCell::with_initial(1, 77u32);
+        let (v1, _) = c.lock_load_latest(1, 1).unwrap();
+        assert_eq!(v1, 1);
+        let c2 = c.clone();
+        let follower = thread::spawn(move || c2.lock_load_latest(2, 2).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        // Predecessor renames on unlock; follower locks version 2.
+        c.unlock_version(1, Some(2)).unwrap();
+        let (v2, val) = follower.join().unwrap();
+        assert_eq!((v2, val), (2, 77));
+        c.unlock_version(2, None).unwrap();
+    }
+
+    #[test]
+    fn unlock_requires_ownership() {
+        let c = OCell::with_initial(1, 0u32);
+        assert_eq!(c.unlock_version(9, None), Err(OError::NotLockOwner(9)));
+        c.lock_load_version(1, 3).unwrap();
+        assert_eq!(c.unlock_version(4, None), Err(OError::NotLockOwner(4)));
+        c.unlock_version(3, None).unwrap();
+    }
+
+    #[test]
+    fn held_by_tracks_lock() {
+        let c = OCell::with_initial(4, 0u32);
+        assert_eq!(c.held_by(2), None);
+        c.lock_load_version(4, 2).unwrap();
+        assert_eq!(c.held_by(2), Some(4));
+        c.unlock_version(2, None).unwrap();
+        assert_eq!(c.held_by(2), None);
+    }
+
+    #[test]
+    fn timeout_detects_stall() {
+        let c: OCell<u32> = OCell::new();
+        assert_eq!(c.load_version_timeout(1, Duration::from_millis(30)), None);
+        c.store_version(1, 1).unwrap();
+        assert_eq!(c.load_version_timeout(1, T50), Some(1));
+    }
+
+    #[test]
+    fn prune_below_keeps_newest_at_or_under_boundary() {
+        let c = OCell::new();
+        for v in 1..=10u64 {
+            c.store_version(v, v as u32).unwrap();
+        }
+        let reclaimed = c.prune_below(7);
+        assert_eq!(reclaimed, 6, "versions 1..=6 dropped, 7 kept");
+        assert_eq!(c.versions(), vec![7, 8, 9, 10]);
+        // A task with cap 7 still gets the right answer.
+        assert_eq!(c.load_latest(7), (7, 7));
+    }
+
+    #[test]
+    fn prune_spares_locked_versions() {
+        let c = OCell::new();
+        for v in 1..=5u64 {
+            c.store_version(v, v as u32).unwrap();
+        }
+        c.lock_load_version(2, 8).unwrap();
+        c.prune_below(5);
+        assert_eq!(c.versions(), vec![2, 5], "locked version 2 survives");
+        c.unlock_version(8, None).unwrap();
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers() {
+        let c: OCell<u64> = OCell::new();
+        let mut handles = Vec::new();
+        for t in 1..=8u64 {
+            let c = c.clone();
+            handles.push(thread::spawn(move || {
+                // Each consumer waits for its producer's version.
+                c.load_version(t)
+            }));
+        }
+        for t in (1..=8u64).rev() {
+            let c = c.clone();
+            thread::spawn(move || c.store_version(t, t * 100).unwrap());
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), (i as u64 + 1) * 100);
+        }
+    }
+
+    #[test]
+    fn exact_entry_chain_orders_threads() {
+        // N threads pipeline through one cell in task order regardless of
+        // OS scheduling: each locks exactly its own entry version, which
+        // only its predecessor's rename creates.
+        let c = OCell::with_initial(2, 0u64);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for tid in 2..=9u64 {
+            let c = c.clone();
+            let order = Arc::clone(&order);
+            handles.push(thread::spawn(move || {
+                c.lock_load_version(tid, tid).unwrap();
+                order.lock().push(tid);
+                c.unlock_version(tid, Some(tid + 1)).unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock(), (2..=9u64).collect::<Vec<_>>());
+    }
+}

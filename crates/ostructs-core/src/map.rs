@@ -1,0 +1,255 @@
+//! A snapshot-isolated concurrent map (Table I, "Concurrent DS" row).
+//!
+//! [`OMap`] stores one [`OCell`] per key, each holding the full version
+//! history of that key's value (`None` = absent at that version). Writers
+//! publish at their task version; readers iterate a *consistent snapshot*
+//! at any version cap without locks — "renaming to isolate readers from
+//! writers", which the paper lists as the concurrent-data-structure use
+//! case for O-structures.
+//!
+//! Consistency contract (the same one the paper's runtime rules give):
+//! writers use monotonically increasing versions (e.g. task ids), and a
+//! snapshot at cap `c` reflects exactly the writes with version ≤ `c`.
+//! Writers to the *same* key must be externally ordered (distinct
+//! versions); writers to different keys need no coordination at all.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::cell::OCell;
+use crate::error::OError;
+use crate::Version;
+
+/// A concurrent map with versioned values and snapshot reads.
+///
+/// ```
+/// use ostructs_core::map::OMap;
+///
+/// let m: OMap<&str, u32> = OMap::new();
+/// m.insert("x", 1, 10).unwrap();          // version 1
+/// m.insert("y", 2, 20).unwrap();          // version 2
+/// m.remove("x", 3).unwrap();              // version 3
+///
+/// assert_eq!(m.get("x", 2), Some(10));    // snapshot before the remove
+/// assert_eq!(m.get("x", 3), None);
+/// assert_eq!(m.snapshot(2), vec![("x", 10), ("y", 20)]);
+/// assert_eq!(m.snapshot(9), vec![("y", 20)]);
+/// ```
+pub struct OMap<K, V> {
+    cells: Arc<RwLock<BTreeMap<K, OCell<Option<V>>>>>,
+}
+
+impl<K, V> Clone for OMap<K, V> {
+    fn clone(&self) -> Self {
+        OMap {
+            cells: Arc::clone(&self.cells),
+        }
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> Default for OMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> OMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        OMap {
+            cells: Arc::new(RwLock::new(BTreeMap::new())),
+        }
+    }
+
+    fn cell_for(&self, key: &K) -> OCell<Option<V>> {
+        if let Some(cell) = self.cells.read().get(key) {
+            return cell.clone();
+        }
+        let mut w = self.cells.write();
+        w.entry(key.clone()).or_default().clone()
+    }
+
+    /// Publishes `key -> value` at `version`.
+    pub fn insert(&self, key: K, version: Version, value: V) -> Result<(), OError> {
+        self.cell_for(&key).store_version(version, Some(value))
+    }
+
+    /// Publishes the removal of `key` at `version` (an absence version —
+    /// older snapshots still see the previous value).
+    pub fn remove(&self, key: K, version: Version) -> Result<(), OError> {
+        self.cell_for(&key).store_version(version, None)
+    }
+
+    /// The value of `key` in the snapshot at `cap` (non-blocking: a key
+    /// with no version ≤ `cap` is simply absent from that snapshot).
+    pub fn get(&self, key: K, cap: Version) -> Option<V> {
+        let cell = self.cells.read().get(&key)?.clone();
+        cell.try_load_latest(cap).and_then(|(_, v)| v)
+    }
+
+    /// The full snapshot at `cap`, in key order.
+    pub fn snapshot(&self, cap: Version) -> Vec<(K, V)> {
+        let cells: Vec<(K, OCell<Option<V>>)> = self
+            .cells
+            .read()
+            .iter()
+            .map(|(k, c)| (k.clone(), c.clone()))
+            .collect();
+        cells
+            .into_iter()
+            .filter_map(|(k, cell)| {
+                cell.try_load_latest(cap)
+                    .and_then(|(_, v)| v)
+                    .map(|v| (k, v))
+            })
+            .collect()
+    }
+
+    /// A range scan over the snapshot at `cap`: up to `limit` entries with
+    /// key ≥ `from` — the operation Figure 8 measures.
+    pub fn scan(&self, from: K, limit: usize, cap: Version) -> Vec<(K, V)> {
+        let cells: Vec<(K, OCell<Option<V>>)> = self
+            .cells
+            .read()
+            .range(from..)
+            .map(|(k, c)| (k.clone(), c.clone()))
+            .collect();
+        cells
+            .into_iter()
+            .filter_map(|(k, cell)| {
+                cell.try_load_latest(cap)
+                    .and_then(|(_, v)| v)
+                    .map(|v| (k, v))
+            })
+            .take(limit)
+            .collect()
+    }
+
+    /// Garbage collection: drops versions below the newest one ≤ `boundary`
+    /// in every cell, and drops cells that are absent in every surviving
+    /// version. Safe once no reader's cap can go below `boundary`.
+    pub fn prune_below(&self, boundary: Version) -> usize {
+        let mut reclaimed = 0;
+        let mut w = self.cells.write();
+        w.retain(|_, cell| {
+            reclaimed += cell.prune_below(boundary);
+            // Keep the cell if any snapshot at or after the boundary can
+            // still observe a value in it.
+            cell.versions()
+                .iter()
+                .any(|&v| cell.try_load_version(v).flatten().is_some() || v > boundary)
+                || cell.try_load_latest(Version::MAX).map(|(_, v)| v.is_some()) == Some(true)
+        });
+        reclaimed
+    }
+
+    /// Number of keys with any version history.
+    pub fn tracked_keys(&self) -> usize {
+        self.cells.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn insert_get_remove_snapshots() {
+        let m: OMap<u32, &str> = OMap::new();
+        m.insert(1, 1, "a").unwrap();
+        m.insert(2, 2, "b").unwrap();
+        m.remove(1, 3).unwrap();
+        m.insert(1, 4, "a2").unwrap();
+        assert_eq!(m.get(1, 1), Some("a"));
+        assert_eq!(m.get(1, 3), None);
+        assert_eq!(m.get(1, 4), Some("a2"));
+        assert_eq!(m.get(2, 1), None, "not yet inserted at cap 1");
+        assert_eq!(m.snapshot(2), vec![(1, "a"), (2, "b")]);
+        assert_eq!(m.snapshot(3), vec![(2, "b")]);
+        assert_eq!(m.snapshot(9), vec![(1, "a2"), (2, "b")]);
+    }
+
+    #[test]
+    fn versions_are_write_once_per_key() {
+        let m: OMap<u32, u32> = OMap::new();
+        m.insert(1, 5, 50).unwrap();
+        assert_eq!(m.insert(1, 5, 51), Err(OError::VersionExists(5)));
+        // Different key, same version: fine (versions are per-cell).
+        m.insert(2, 5, 52).unwrap();
+    }
+
+    #[test]
+    fn scan_respects_range_limit_and_cap() {
+        let m: OMap<u32, u32> = OMap::new();
+        for k in 0..20u32 {
+            m.insert(k, (k + 1) as u64, k * 10).unwrap();
+        }
+        let got = m.scan(5, 4, u64::MAX);
+        assert_eq!(got, vec![(5, 50), (6, 60), (7, 70), (8, 80)]);
+        // Cap 8 means only keys 0..=7 exist (version = key+1).
+        let got = m.scan(5, 4, 8);
+        assert_eq!(got, vec![(5, 50), (6, 60), (7, 70)]);
+    }
+
+    #[test]
+    fn concurrent_writers_and_snapshot_readers() {
+        // Writers publish disjoint batches at increasing versions; every
+        // reader snapshot must equal a prefix of the version order.
+        let m: OMap<u32, u64> = OMap::new();
+        let mut writers = Vec::new();
+        for t in 1..=16u64 {
+            let m = m.clone();
+            writers.push(thread::spawn(move || {
+                for k in 0..8u32 {
+                    m.insert(t as u32 * 100 + k, t, t).unwrap();
+                }
+            }));
+        }
+        let readers: Vec<_> = (1..=16u64)
+            .map(|cap| {
+                let m = m.clone();
+                thread::spawn(move || (cap, m.snapshot(cap)))
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        for r in readers {
+            let (cap, snap) = r.join().unwrap();
+            for (k, v) in snap {
+                assert!(v <= cap, "key {k}: version {v} leaked into snapshot {cap}");
+                assert_eq!(k / 100, v as u32, "key batch matches its writer");
+            }
+        }
+        // The final snapshot has every batch.
+        assert_eq!(m.snapshot(u64::MAX).len(), 16 * 8);
+    }
+
+    #[test]
+    fn prune_reclaims_history() {
+        let m: OMap<u32, u32> = OMap::new();
+        for ver in 1..=10u64 {
+            m.insert(7, ver, ver as u32).unwrap();
+        }
+        let reclaimed = m.prune_below(8);
+        assert_eq!(reclaimed, 7);
+        assert_eq!(m.get(7, 8), Some(8));
+        assert_eq!(m.get(7, u64::MAX), Some(10));
+    }
+
+    #[test]
+    fn removed_keys_can_be_fully_dropped() {
+        let m: OMap<u32, u32> = OMap::new();
+        m.insert(1, 1, 10).unwrap();
+        m.remove(1, 2).unwrap();
+        m.insert(2, 3, 20).unwrap();
+        assert_eq!(m.tracked_keys(), 2);
+        m.prune_below(u64::MAX - 1);
+        // Key 1's only surviving version is an absence: the cell may go.
+        assert_eq!(m.get(1, u64::MAX), None);
+        assert_eq!(m.get(2, u64::MAX), Some(20));
+    }
+}
