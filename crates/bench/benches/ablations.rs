@@ -16,16 +16,32 @@ fn ablations(c: &mut Criterion) {
     g.sample_size(10);
     let cfg = bench_cfg(80, 48, 1);
     g.bench_function("list/rename_on_pass", |b| {
-        b.iter(|| linked_list::run_versioned_with(MachineCfg::paper(8), &cfg, true).assert_ok().cycles)
+        b.iter(|| {
+            linked_list::run_versioned_with(MachineCfg::paper(8), &cfg, true)
+                .assert_ok()
+                .cycles
+        })
     });
     g.bench_function("list/lock_only", |b| {
-        b.iter(|| linked_list::run_versioned_with(MachineCfg::paper(8), &cfg, false).assert_ok().cycles)
+        b.iter(|| {
+            linked_list::run_versioned_with(MachineCfg::paper(8), &cfg, false)
+                .assert_ok()
+                .cycles
+        })
     });
     g.bench_function("rbtree/long_hold", |b| {
-        b.iter(|| rbtree::run_versioned_with(MachineCfg::paper(8), &cfg, LockHold::Long).assert_ok().cycles)
+        b.iter(|| {
+            rbtree::run_versioned_with(MachineCfg::paper(8), &cfg, LockHold::Long)
+                .assert_ok()
+                .cycles
+        })
     });
     g.bench_function("rbtree/short_hold", |b| {
-        b.iter(|| rbtree::run_versioned_with(MachineCfg::paper(8), &cfg, LockHold::Short).assert_ok().cycles)
+        b.iter(|| {
+            rbtree::run_versioned_with(MachineCfg::paper(8), &cfg, LockHold::Short)
+                .assert_ok()
+                .cycles
+        })
     });
     g.finish();
 }

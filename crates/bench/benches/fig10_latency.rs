@@ -10,13 +10,17 @@ fn fig10(c: &mut Criterion) {
     g.sample_size(10);
     let cfg = bench_cfg(100, 48, 4);
     for extra in [0u64, 2, 6, 10] {
-        g.bench_with_input(BenchmarkId::new("btree_versioned_8c", extra), &extra, |b, &e| {
-            b.iter(|| {
-                let mut m = MachineCfg::paper(8);
-                m.omgr.versioned_extra_latency = e;
-                btree::run_versioned(m, &cfg).assert_ok().cycles
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("btree_versioned_8c", extra),
+            &extra,
+            |b, &e| {
+                b.iter(|| {
+                    let mut m = MachineCfg::paper(8);
+                    m.omgr.versioned_extra_latency = e;
+                    btree::run_versioned(m, &cfg).assert_ok().cycles
+                })
+            },
+        );
     }
     g.finish();
 }

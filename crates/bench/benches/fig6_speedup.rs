@@ -13,42 +13,90 @@ fn fig6(c: &mut Criterion) {
     g.sample_size(10);
     let cfg = bench_cfg(80, 48, 4);
     g.bench_function("linked_list/versioned_8c", |b| {
-        b.iter(|| linked_list::run_versioned(MachineCfg::paper(8), &cfg).assert_ok().cycles)
+        b.iter(|| {
+            linked_list::run_versioned(MachineCfg::paper(8), &cfg)
+                .assert_ok()
+                .cycles
+        })
     });
     g.bench_function("linked_list/unversioned_seq", |b| {
-        b.iter(|| linked_list::run_unversioned(MachineCfg::paper(1), &cfg).assert_ok().cycles)
+        b.iter(|| {
+            linked_list::run_unversioned(MachineCfg::paper(1), &cfg)
+                .assert_ok()
+                .cycles
+        })
     });
     g.bench_function("btree/versioned_8c", |b| {
-        b.iter(|| btree::run_versioned(MachineCfg::paper(8), &cfg).assert_ok().cycles)
+        b.iter(|| {
+            btree::run_versioned(MachineCfg::paper(8), &cfg)
+                .assert_ok()
+                .cycles
+        })
     });
     g.bench_function("btree/unversioned_seq", |b| {
-        b.iter(|| btree::run_unversioned(MachineCfg::paper(1), &cfg).assert_ok().cycles)
+        b.iter(|| {
+            btree::run_unversioned(MachineCfg::paper(1), &cfg)
+                .assert_ok()
+                .cycles
+        })
     });
     g.bench_function("hashtable/versioned_8c", |b| {
-        b.iter(|| hashtable::run_versioned(MachineCfg::paper(8), &cfg).assert_ok().cycles)
+        b.iter(|| {
+            hashtable::run_versioned(MachineCfg::paper(8), &cfg)
+                .assert_ok()
+                .cycles
+        })
     });
     g.bench_function("hashtable/unversioned_seq", |b| {
-        b.iter(|| hashtable::run_unversioned(MachineCfg::paper(1), &cfg).assert_ok().cycles)
+        b.iter(|| {
+            hashtable::run_unversioned(MachineCfg::paper(1), &cfg)
+                .assert_ok()
+                .cycles
+        })
     });
     g.bench_function("rbtree/versioned_8c", |b| {
-        b.iter(|| rbtree::run_versioned(MachineCfg::paper(8), &cfg).assert_ok().cycles)
+        b.iter(|| {
+            rbtree::run_versioned(MachineCfg::paper(8), &cfg)
+                .assert_ok()
+                .cycles
+        })
     });
     g.bench_function("rbtree/unversioned_seq", |b| {
-        b.iter(|| rbtree::run_unversioned(MachineCfg::paper(1), &cfg).assert_ok().cycles)
+        b.iter(|| {
+            rbtree::run_unversioned(MachineCfg::paper(1), &cfg)
+                .assert_ok()
+                .cycles
+        })
     });
     let mat = MatmulCfg { n: 12, seed: 1 };
     g.bench_function("matmul/versioned_8c", |b| {
-        b.iter(|| matmul::run_versioned(MachineCfg::paper(8), &mat).assert_ok().cycles)
+        b.iter(|| {
+            matmul::run_versioned(MachineCfg::paper(8), &mat)
+                .assert_ok()
+                .cycles
+        })
     });
     g.bench_function("matmul/unversioned_seq", |b| {
-        b.iter(|| matmul::run_unversioned(MachineCfg::paper(1), &mat).assert_ok().cycles)
+        b.iter(|| {
+            matmul::run_unversioned(MachineCfg::paper(1), &mat)
+                .assert_ok()
+                .cycles
+        })
     });
     let lev = LevCfg { len: 32, seed: 2 };
     g.bench_function("levenshtein/versioned_8c", |b| {
-        b.iter(|| levenshtein::run_versioned(MachineCfg::paper(8), &lev).assert_ok().cycles)
+        b.iter(|| {
+            levenshtein::run_versioned(MachineCfg::paper(8), &lev)
+                .assert_ok()
+                .cycles
+        })
     });
     g.bench_function("levenshtein/unversioned_seq", |b| {
-        b.iter(|| levenshtein::run_unversioned(MachineCfg::paper(1), &lev).assert_ok().cycles)
+        b.iter(|| {
+            levenshtein::run_unversioned(MachineCfg::paper(1), &lev)
+                .assert_ok()
+                .cycles
+        })
     });
     g.finish();
 }

@@ -10,11 +10,23 @@ fn fig7(c: &mut Criterion) {
     g.sample_size(10);
     let cfg = bench_cfg(100, 48, 4);
     for cores in [1usize, 2, 4, 8] {
-        g.bench_with_input(BenchmarkId::new("linked_list", cores), &cores, |b, &cores| {
-            b.iter(|| linked_list::run_versioned(MachineCfg::paper(cores), &cfg).assert_ok().cycles)
-        });
+        g.bench_with_input(
+            BenchmarkId::new("linked_list", cores),
+            &cores,
+            |b, &cores| {
+                b.iter(|| {
+                    linked_list::run_versioned(MachineCfg::paper(cores), &cfg)
+                        .assert_ok()
+                        .cycles
+                })
+            },
+        );
         g.bench_with_input(BenchmarkId::new("btree", cores), &cores, |b, &cores| {
-            b.iter(|| btree::run_versioned(MachineCfg::paper(cores), &cfg).assert_ok().cycles)
+            b.iter(|| {
+                btree::run_versioned(MachineCfg::paper(cores), &cfg)
+                    .assert_ok()
+                    .cycles
+            })
         });
     }
     g.finish();

@@ -23,10 +23,18 @@ fn fig8(c: &mut Criterion) {
     g.sample_size(10);
     for range in [1u32, 8, 64] {
         g.bench_with_input(BenchmarkId::new("versioned_8c", range), &range, |b, &r| {
-            b.iter(|| btree::run_versioned(MachineCfg::paper(8), &cfg(r)).assert_ok().cycles)
+            b.iter(|| {
+                btree::run_versioned(MachineCfg::paper(8), &cfg(r))
+                    .assert_ok()
+                    .cycles
+            })
         });
         g.bench_with_input(BenchmarkId::new("rwlock_8c", range), &range, |b, &r| {
-            b.iter(|| btree::run_rwlock(MachineCfg::paper(8), &cfg(r)).assert_ok().cycles)
+            b.iter(|| {
+                btree::run_rwlock(MachineCfg::paper(8), &cfg(r))
+                    .assert_ok()
+                    .cycles
+            })
         });
     }
     g.finish();

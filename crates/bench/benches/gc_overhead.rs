@@ -27,7 +27,9 @@ fn gc(c: &mut Criterion) {
             m.omgr.initial_free_blocks = 512;
             m.omgr.refill_blocks = 256;
             m.omgr.gc = GcConfig { watermark: 448 };
-            linked_list::run_versioned_with(m, &cfg(), true).assert_ok().cycles
+            linked_list::run_versioned_with(m, &cfg(), true)
+                .assert_ok()
+                .cycles
         })
     });
     g.bench_function("plentiful_no_gc", |b| {
@@ -35,7 +37,9 @@ fn gc(c: &mut Criterion) {
             let mut m = MachineCfg::paper(1);
             m.omgr.initial_free_blocks = 1 << 16;
             m.omgr.gc = GcConfig { watermark: 0 };
-            linked_list::run_versioned_with(m, &cfg(), true).assert_ok().cycles
+            linked_list::run_versioned_with(m, &cfg(), true)
+                .assert_ok()
+                .cycles
         })
     });
     g.finish();

@@ -119,7 +119,10 @@ mod tests {
             .write_u32(ms.pt.translate_conventional(x).unwrap(), 1);
         ms.phys
             .write_u32(ms.pt.translate_conventional(y).unwrap(), 2);
-        assert_eq!(ms.phys.read_u32(ms.pt.translate_conventional(x).unwrap()), 1);
+        assert_eq!(
+            ms.phys.read_u32(ms.pt.translate_conventional(x).unwrap()),
+            1
+        );
     }
 
     #[test]

@@ -3,12 +3,33 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use osim_engine::{Cycle, Gate, SimHandle};
+use osim_engine::{Cycle, Gate, SimHandle, WakeTag};
 use osim_mem::AccessKind;
-use osim_uarch::{OpOutcome, TaskId, Version};
+use osim_uarch::{BlockReason, OpOutcome, TaskId, Version};
 
 use crate::machine::MachineState;
+use crate::stats::StallCause;
 use crate::trace::{OpKind, TraceRecord};
+
+/// Wake-tag vocabulary carried by O-structure gate openings, so a woken
+/// task knows which event released it without re-reading shared state.
+pub mod wake {
+    use osim_engine::WakeTag;
+
+    /// A `STORE-VERSION` completed on the structure.
+    pub const STORE: WakeTag = 1;
+    /// An `UNLOCK-VERSION` completed on the structure.
+    pub const UNLOCK: WakeTag = 2;
+
+    /// Human-readable tag name (for debug traces).
+    pub fn name(tag: WakeTag) -> &'static str {
+        match tag {
+            STORE => "store",
+            UNLOCK => "unlock",
+            _ => "generic",
+        }
+    }
+}
 
 /// The instruction interface one task programs against.
 ///
@@ -87,10 +108,11 @@ impl TaskCtx {
         let cycles = {
             let mut st = self.st.borrow_mut();
             st.cpu.instructions += instrs;
+            st.cpu.core_mut(self.core).instructions += instrs;
             instrs.div_ceil(st.issue_width)
         };
         self.h.sleep(cycles).await;
-        self.trace(OpKind::Work, 0, 0, start, false);
+        self.trace(OpKind::Work, 0, 0, start, None);
     }
 
     // ------------------------------------------------------------------
@@ -102,14 +124,19 @@ impl TaskCtx {
         let (latency, val) = {
             let mut st = self.st.borrow_mut();
             let MachineState { ms, cpu, .. } = &mut *st;
-            let pa = ms.pt.translate_conventional(va).unwrap_or_else(|f| panic!("{f}"));
+            ms.hier.set_clock(self.h.now());
+            let pa = ms
+                .pt
+                .translate_conventional(va)
+                .unwrap_or_else(|f| panic!("{f}"));
             let acc = ms.hier.access(self.core, pa, AccessKind::Read);
             cpu.instructions += 1;
             cpu.loads += 1;
+            cpu.core_mut(self.core).instructions += 1;
             (acc.latency, ms.phys.read_u32(pa))
         };
         self.h.sleep(latency).await;
-        self.trace(OpKind::Load, va, 0, self.h.now() - latency, false);
+        self.trace(OpKind::Load, va, 0, self.h.now() - latency, None);
         val
     }
 
@@ -118,15 +145,20 @@ impl TaskCtx {
         let latency = {
             let mut st = self.st.borrow_mut();
             let MachineState { ms, cpu, .. } = &mut *st;
-            let pa = ms.pt.translate_conventional(va).unwrap_or_else(|f| panic!("{f}"));
+            ms.hier.set_clock(self.h.now());
+            let pa = ms
+                .pt
+                .translate_conventional(va)
+                .unwrap_or_else(|f| panic!("{f}"));
             let acc = ms.hier.access(self.core, pa, AccessKind::Write);
             cpu.instructions += 1;
             cpu.stores += 1;
+            cpu.core_mut(self.core).instructions += 1;
             ms.phys.write_u32(pa, val);
             acc.latency
         };
         self.h.sleep(latency).await;
-        self.trace(OpKind::Store, va, 0, self.h.now() - latency, false);
+        self.trace(OpKind::Store, va, 0, self.h.now() - latency, None);
     }
 
     /// Atomic compare-and-swap on a conventional word. Returns the value
@@ -135,10 +167,15 @@ impl TaskCtx {
         let (latency, old) = {
             let mut st = self.st.borrow_mut();
             let MachineState { ms, cpu, .. } = &mut *st;
-            let pa = ms.pt.translate_conventional(va).unwrap_or_else(|f| panic!("{f}"));
+            ms.hier.set_clock(self.h.now());
+            let pa = ms
+                .pt
+                .translate_conventional(va)
+                .unwrap_or_else(|f| panic!("{f}"));
             let acc = ms.hier.access(self.core, pa, AccessKind::Write);
             cpu.instructions += 1;
             cpu.cas_ops += 1;
+            cpu.core_mut(self.core).instructions += 1;
             let old = ms.phys.read_u32(pa);
             if old == expected {
                 ms.phys.write_u32(pa, new);
@@ -146,7 +183,7 @@ impl TaskCtx {
             (acc.latency, old)
         };
         self.h.sleep(latency).await;
-        self.trace(OpKind::Cas, va, 0, self.h.now() - latency, false);
+        self.trace(OpKind::Cas, va, 0, self.h.now() - latency, None);
         old
     }
 
@@ -196,22 +233,41 @@ impl TaskCtx {
             let mut st = self.st.borrow_mut();
             st.cpu.versioned_ops += 1;
             st.cpu.versioned_loads += 1;
+            st.cpu.core_mut(self.core).versioned_ops += 1;
             if root {
                 st.cpu.root_loads += 1;
             }
         }
-        let mut stalled = false;
+        // Cause of the most recent blocked attempt (None = never stalled).
+        let mut last_stall: Option<StallCause> = None;
         loop {
             let out = {
                 let mut st = self.st.borrow_mut();
                 let MachineState { ms, omgr, .. } = &mut *st;
+                ms.hier.set_clock(self.h.now());
                 let r = match (latest, lock) {
                     (false, false) => omgr.load_version(ms, self.core, va, v),
                     (true, false) => omgr.load_latest(ms, self.core, va, v),
                     (false, true) => omgr.lock_load_version(ms, self.core, va, v, self.tid),
                     (true, true) => omgr.lock_load_latest(ms, self.core, va, v, self.tid),
                 };
-                r.unwrap_or_else(|f| panic!("task {}: {f}", self.tid))
+                let out = r.unwrap_or_else(|f| panic!("task {}: {f}", self.tid));
+                if let OpOutcome::Blocked { reason, .. } = out {
+                    // Attribute the coming stall while the manager's view
+                    // is current: a block right after another core's
+                    // mutation invalidated our compressed line is charged
+                    // to coherence, not to the version state.
+                    let cause = if omgr.take_coherence_lost(ms, self.core, va) {
+                        StallCause::CoherenceInval
+                    } else {
+                        match reason {
+                            BlockReason::VersionAbsent => StallCause::MissingVersion,
+                            BlockReason::VersionLocked => StallCause::LockedVersion,
+                        }
+                    };
+                    last_stall = Some(cause);
+                }
+                out
             };
             match out {
                 OpOutcome::Done {
@@ -227,7 +283,7 @@ impl TaskCtx {
                         );
                     }
                     self.h.sleep(latency).await;
-                    if stalled {
+                    if last_stall.is_some() {
                         let mut st = self.st.borrow_mut();
                         st.cpu.versioned_loads_stalled += 1;
                         if root {
@@ -239,7 +295,7 @@ impl TaskCtx {
                     } else {
                         OpKind::VersionedLoad
                     };
-                    self.trace(kind, va, version, op_start, stalled);
+                    self.trace(kind, va, version, op_start, last_stall);
                     // A successful lock changes the structure's state;
                     // nothing can be *unblocked* by it, so no wake-up.
                     return (version, value);
@@ -258,16 +314,25 @@ impl TaskCtx {
                             lock
                         );
                     }
-                    stalled = true;
+                    let cause = last_stall.expect("blocked attempt recorded its cause");
                     let stall_start = self.h.now();
                     // Take the ticket *now*, before sleeping off the failed
                     // attempt's latency: a store/unlock landing during that
                     // sleep must still wake us.
                     let ticket = self.gate_for(va).ticket();
                     self.h.sleep(latency).await;
-                    ticket.await;
+                    let woken_by: WakeTag = ticket.await;
+                    if std::env::var_os("OSIM_TRACE").is_some() {
+                        eprintln!(
+                            "[{}] task {} woken by {} on va={va:#x}",
+                            self.h.now(),
+                            self.tid,
+                            wake::name(woken_by)
+                        );
+                    }
                     let mut st = self.st.borrow_mut();
-                    st.cpu.stall_cycles += self.h.now() - stall_start;
+                    let waited = self.h.now() - stall_start;
+                    st.cpu.charge_stall(self.core, cause, waited);
                 }
             }
         }
@@ -276,17 +341,28 @@ impl TaskCtx {
     /// `STORE-VERSION`: creates version `v` holding `val` and wakes any
     /// task stalled on this O-structure.
     pub async fn store_version(&self, va: u32, v: Version, val: u32) {
-        let latency = {
+        let (latency, trap) = {
             let mut st = self.st.borrow_mut();
             st.cpu.versioned_ops += 1;
-            let MachineState { ms, omgr, .. } = &mut *st;
-            omgr.store_version(ms, self.core, va, v, val)
+            st.cpu.core_mut(self.core).versioned_ops += 1;
+            let MachineState { ms, omgr, cpu, .. } = &mut *st;
+            ms.hier.set_clock(self.h.now());
+            let latency = omgr
+                .store_version(ms, self.core, va, v, val)
                 .unwrap_or_else(|f| panic!("task {}: {f}", self.tid))
-                .latency()
+                .latency();
+            // Any OS refill-trap cycles inside that latency are stall time
+            // attributable to the free-list/GC machinery.
+            let trap = omgr.take_trap_cycles();
+            if trap > 0 {
+                cpu.charge_stall(self.core, StallCause::FreeListGc, trap);
+            }
+            (latency, trap)
         };
         self.h.sleep(latency).await;
-        self.trace(OpKind::VersionedStore, va, v, self.h.now() - latency, false);
-        self.gate_for(va).open();
+        let stall = (trap > 0).then_some(StallCause::FreeListGc);
+        self.trace(OpKind::VersionedStore, va, v, self.h.now() - latency, stall);
+        self.gate_for(va).open_tagged(wake::STORE);
     }
 
     /// `UNLOCK-VERSION`: unlocks `vl` (held by this task); with
@@ -300,17 +376,27 @@ impl TaskCtx {
                 self.tid
             );
         }
-        let latency = {
+        let (latency, trap) = {
             let mut st = self.st.borrow_mut();
             st.cpu.versioned_ops += 1;
-            let MachineState { ms, omgr, .. } = &mut *st;
-            omgr.unlock_version(ms, self.core, va, vl, self.tid, create)
+            st.cpu.core_mut(self.core).versioned_ops += 1;
+            let MachineState { ms, omgr, cpu, .. } = &mut *st;
+            ms.hier.set_clock(self.h.now());
+            let latency = omgr
+                .unlock_version(ms, self.core, va, vl, self.tid, create)
                 .unwrap_or_else(|f| panic!("task {}: {f}", self.tid))
-                .latency()
+                .latency();
+            // A rename (`create`) allocates a version block and may trap.
+            let trap = omgr.take_trap_cycles();
+            if trap > 0 {
+                cpu.charge_stall(self.core, StallCause::FreeListGc, trap);
+            }
+            (latency, trap)
         };
         self.h.sleep(latency).await;
-        self.trace(OpKind::Unlock, va, vl, self.h.now() - latency, false);
-        self.gate_for(va).open();
+        let stall = (trap > 0).then_some(StallCause::FreeListGc);
+        self.trace(OpKind::Unlock, va, vl, self.h.now() - latency, stall);
+        self.gate_for(va).open_tagged(wake::UNLOCK);
     }
 
     // ------------------------------------------------------------------
@@ -326,8 +412,10 @@ impl TaskCtx {
     pub fn task_end(&self) {
         let mut st = self.st.borrow_mut();
         let MachineState { ms, omgr, cpu, .. } = &mut *st;
+        ms.hier.set_clock(self.h.now());
         omgr.task_end(ms, self.tid);
         cpu.tasks_run += 1;
+        cpu.core_mut(self.core).tasks_run += 1;
     }
 
     // ------------------------------------------------------------------
@@ -371,7 +459,7 @@ impl TaskCtx {
     }
 
     /// Appends a trace record if tracing is enabled (end = now).
-    fn trace(&self, kind: OpKind, va: u32, version: u32, start: Cycle, stalled: bool) {
+    fn trace(&self, kind: OpKind, va: u32, version: u32, start: Cycle, stall: Option<StallCause>) {
         let mut st = self.st.borrow_mut();
         if st.trace.enabled() {
             st.trace.push(TraceRecord {
@@ -382,16 +470,13 @@ impl TaskCtx {
                 version,
                 start,
                 end: self.h.now(),
-                stalled,
+                stall,
             });
         }
     }
 
     fn gate_for(&self, va: u32) -> Gate {
         let mut st = self.st.borrow_mut();
-        st.gates
-            .entry(va)
-            .or_insert_with(|| self.h.gate())
-            .clone()
+        st.gates.entry(va).or_insert_with(|| self.h.gate()).clone()
     }
 }

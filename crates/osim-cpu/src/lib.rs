@@ -30,9 +30,9 @@ pub mod rwlock;
 pub mod stats;
 pub mod trace;
 
-pub use ctx::TaskCtx;
+pub use ctx::{wake, TaskCtx};
 pub use machine::{Machine, MachineCfg, MachineState, PhaseReport};
 pub use runtime::{task, TaskFn};
 pub use rwlock::SimRwLock;
-pub use stats::CpuStats;
+pub use stats::{CoreStats, CpuStats, StallCause};
 pub use trace::{OpKind, Trace, TraceRecord, TraceSummary};

@@ -5,14 +5,14 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use osim_engine::{Cycle, Gate, RunError, Sim, SimHandle};
-use osim_mem::{HierarchyCfg, MemSys};
+use osim_mem::{EventLog, HierarchyCfg, MemSys};
 use osim_uarch::{OManager, OManagerCfg};
 
 use crate::alloc::SimAlloc;
 use crate::ctx::TaskCtx;
-use crate::trace::Trace;
 use crate::runtime::{self, TaskFn};
 use crate::stats::CpuStats;
+use crate::trace::Trace;
 
 /// Machine configuration.
 #[derive(Debug, Clone)]
@@ -98,7 +98,7 @@ impl Machine {
             ms,
             omgr,
             alloc: SimAlloc::new(),
-            cpu: CpuStats::default(),
+            cpu: CpuStats::for_cores(cfg.cores),
             gates: HashMap::new(),
             trace: Trace::disabled(),
             issue_width: cfg.issue_width,
@@ -173,10 +173,15 @@ impl Machine {
         Ok(PhaseReport { start, end })
     }
 
-    /// Enables per-operation tracing with a bounded buffer (records beyond
-    /// `capacity` are counted but dropped). See [`crate::trace`].
+    /// Enables cross-layer tracing with bounded buffers (records beyond
+    /// `capacity` are counted but dropped): per-operation records at the
+    /// core ([`crate::trace`]), demand-access and coherence events at the
+    /// hierarchy, and free-list/GC events at the version manager.
     pub fn enable_trace(&self, capacity: usize) {
-        self.state.borrow_mut().trace = Trace::with_capacity(capacity);
+        let mut st = self.state.borrow_mut();
+        st.trace = Trace::with_capacity(capacity);
+        st.ms.hier.events = EventLog::with_capacity(capacity);
+        st.omgr.events = EventLog::with_capacity(capacity);
     }
 
     /// Resets every statistics counter (cpu, memory, manager) — used

@@ -1,16 +1,23 @@
 //! Per-operation execution tracing.
 //!
 //! When enabled, every instruction-interface operation appends one record:
-//! who issued it, what it touched, when it started and finished, and
-//! whether it stalled. Traces are how simulator results stop being a
-//! single opaque cycle count — the analysis half regenerates per-op
-//! latency distributions and stall breakdowns, and `to_csv` exports for
-//! external tooling.
+//! who issued it, what it touched, when it started and finished, and —
+//! for operations that stalled — why ([`StallCause`]). Traces are how
+//! simulator results stop being a single opaque cycle count: the analysis
+//! half regenerates per-op latency distributions and stall breakdowns,
+//! `to_csv` exports for external tooling, and `osim-report` turns them
+//! into Chrome trace-event JSON.
+//!
+//! The buffer is a ring: the **most recent** `capacity` records are kept
+//! and `dropped` counts how many older ones were overwritten — the end of
+//! a run (where contention effects accumulate) is usually what matters.
 //!
 //! Tracing is off by default (zero overhead beyond a branch); enable it
 //! with [`crate::Machine::enable_trace`].
 
 use osim_engine::Cycle;
+
+use crate::stats::StallCause;
 
 /// What kind of operation a record describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -48,6 +55,11 @@ impl OpKind {
         }
     }
 
+    /// Parses [`OpKind::name`] output back into the kind.
+    pub fn from_name(name: &str) -> Option<OpKind> {
+        OpKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
     /// All kinds, for summary iteration.
     pub const ALL: [OpKind; 8] = [
         OpKind::Work,
@@ -62,7 +74,7 @@ impl OpKind {
 }
 
 /// One traced operation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Issuing core.
     pub core: usize,
@@ -78,16 +90,30 @@ pub struct TraceRecord {
     pub start: Cycle,
     /// Completion cycle.
     pub end: Cycle,
-    /// True if the op stalled (blocked versioned flavours only).
-    pub stalled: bool,
+    /// Why the op stalled (`None` if it never did). For multi-retry loads
+    /// this is the cause of the **last** blocked attempt.
+    pub stall: Option<StallCause>,
 }
 
-/// A bounded in-memory trace.
+impl TraceRecord {
+    /// True if the op stalled at least once.
+    pub fn stalled(&self) -> bool {
+        self.stall.is_some()
+    }
+
+    fn stall_name(&self) -> &'static str {
+        self.stall.map_or("none", |c| c.name())
+    }
+}
+
+/// A bounded in-memory trace (ring buffer: newest records win).
 #[derive(Default)]
 pub struct Trace {
     records: Vec<TraceRecord>,
     capacity: usize,
-    /// Records dropped after the buffer filled.
+    /// Next slot to overwrite once the buffer is full.
+    head: usize,
+    /// Records overwritten after the buffer filled.
     pub dropped: u64,
 }
 
@@ -100,6 +126,7 @@ impl Trace {
         Trace {
             records: Vec::with_capacity(capacity.min(1 << 20)),
             capacity,
+            head: 0,
             dropped: 0,
         }
     }
@@ -114,35 +141,57 @@ impl Trace {
         if self.records.len() < self.capacity {
             self.records.push(r);
         } else {
+            self.records[self.head] = r;
+            self.head = (self.head + 1) % self.capacity;
             self.dropped += 1;
         }
     }
 
-    /// The captured records, in issue order.
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The captured records in issue order (oldest surviving record
+    /// first). Copies, because the ring's storage order differs from
+    /// issue order once it has wrapped.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::with_capacity(self.records.len());
+        out.extend_from_slice(&self.records[self.head..]);
+        out.extend_from_slice(&self.records[..self.head]);
+        out
     }
 
     /// Aggregates the trace per operation kind.
     pub fn summary(&self) -> TraceSummary {
         let mut s = TraceSummary::default();
         for r in &self.records {
-            let idx = OpKind::ALL.iter().position(|k| *k == r.kind).expect("known kind");
+            let idx = OpKind::ALL
+                .iter()
+                .position(|k| *k == r.kind)
+                .expect("known kind");
             let row = &mut s.per_kind[idx];
             row.count += 1;
             row.total_cycles += r.end - r.start;
             row.max_cycles = row.max_cycles.max(r.end - r.start);
-            if r.stalled {
+            if let Some(cause) = r.stall {
                 row.stalled += 1;
+                s.stalls_by_cause[cause.index()] += 1;
             }
         }
         s
     }
 
-    /// Writes the trace as CSV (`core,tid,kind,va,version,start,end,stalled`).
+    /// Writes the trace as CSV
+    /// (`core,tid,kind,va,version,start,end,stall_cause`), in issue order.
     pub fn to_csv(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
-        writeln!(out, "core,tid,kind,va,version,start,end,stalled")?;
-        for r in &self.records {
+        writeln!(out, "core,tid,kind,va,version,start,end,stall_cause")?;
+        for r in self.records() {
             writeln!(
                 out,
                 "{},{},{},{:#x},{},{},{},{}",
@@ -153,10 +202,57 @@ impl Trace {
                 r.version,
                 r.start,
                 r.end,
-                u8::from(r.stalled)
+                r.stall_name()
             )?;
         }
         Ok(())
+    }
+
+    /// Parses [`Trace::to_csv`] output back into records — the round-trip
+    /// direction for external tooling and tests.
+    pub fn parse_csv(text: &str) -> Result<Vec<TraceRecord>, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty CSV")?;
+        if header != "core,tid,kind,va,version,start,end,stall_cause" {
+            return Err(format!("unexpected header: {header}"));
+        }
+        let mut out = Vec::new();
+        for (n, line) in lines.enumerate() {
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 8 {
+                return Err(format!("line {}: expected 8 fields", n + 2));
+            }
+            let parse_u64 = |s: &str, what: &str| -> Result<u64, String> {
+                s.parse()
+                    .map_err(|_| format!("line {}: bad {what}: {s}", n + 2))
+            };
+            let va = fields[3]
+                .strip_prefix("0x")
+                .ok_or_else(|| format!("line {}: va not hex: {}", n + 2, fields[3]))
+                .and_then(|h| {
+                    u32::from_str_radix(h, 16)
+                        .map_err(|_| format!("line {}: bad va: {}", n + 2, fields[3]))
+                })?;
+            let stall = match fields[7] {
+                "none" => None,
+                name => Some(
+                    StallCause::from_name(name)
+                        .ok_or_else(|| format!("line {}: unknown stall cause: {name}", n + 2))?,
+                ),
+            };
+            out.push(TraceRecord {
+                core: parse_u64(fields[0], "core")? as usize,
+                tid: parse_u64(fields[1], "tid")? as u32,
+                kind: OpKind::from_name(fields[2])
+                    .ok_or_else(|| format!("line {}: unknown kind: {}", n + 2, fields[2]))?,
+                va,
+                version: parse_u64(fields[4], "version")? as u32,
+                start: parse_u64(fields[5], "start")?,
+                end: parse_u64(fields[6], "end")?,
+                stall,
+            });
+        }
+        Ok(out)
     }
 }
 
@@ -189,19 +285,28 @@ impl KindStats {
 pub struct TraceSummary {
     /// One row per [`OpKind::ALL`] entry.
     pub per_kind: [KindStats; 8],
+    /// Stalled-record counts per cause, indexed by [`StallCause::index`].
+    pub stalls_by_cause: [u64; 4],
 }
 
 impl TraceSummary {
     /// Stats for one kind.
     pub fn of(&self, kind: OpKind) -> KindStats {
-        let idx = OpKind::ALL.iter().position(|k| *k == kind).expect("known kind");
+        let idx = OpKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("known kind");
         self.per_kind[idx]
     }
 }
 
 impl std::fmt::Display for TraceSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "{:<10} {:>9} {:>10} {:>8} {:>9}", "op", "count", "mean cyc", "max", "stalled")?;
+        writeln!(
+            f,
+            "{:<10} {:>9} {:>10} {:>8} {:>9}",
+            "op", "count", "mean cyc", "max", "stalled"
+        )?;
         for kind in OpKind::ALL {
             let s = self.of(kind);
             if s.count == 0 {
@@ -217,6 +322,16 @@ impl std::fmt::Display for TraceSummary {
                 s.stalled
             )?;
         }
+        if self.stalls_by_cause.iter().any(|&n| n > 0) {
+            write!(f, "stall causes:")?;
+            for cause in StallCause::ALL {
+                let n = self.stalls_by_cause[cause.index()];
+                if n > 0 {
+                    write!(f, " {}={}", cause.name(), n)?;
+                }
+            }
+            writeln!(f)?;
+        }
         Ok(())
     }
 }
@@ -225,7 +340,7 @@ impl std::fmt::Display for TraceSummary {
 mod tests {
     use super::*;
 
-    fn rec(kind: OpKind, start: Cycle, end: Cycle, stalled: bool) -> TraceRecord {
+    fn rec(kind: OpKind, start: Cycle, end: Cycle, stall: Option<StallCause>) -> TraceRecord {
         TraceRecord {
             core: 0,
             tid: 1,
@@ -234,16 +349,21 @@ mod tests {
             version: 3,
             start,
             end,
-            stalled,
+            stall,
         }
     }
 
     #[test]
     fn summary_aggregates_per_kind() {
         let mut t = Trace::with_capacity(16);
-        t.push(rec(OpKind::VersionedLoad, 0, 10, false));
-        t.push(rec(OpKind::VersionedLoad, 10, 40, true));
-        t.push(rec(OpKind::Store, 40, 44, false));
+        t.push(rec(OpKind::VersionedLoad, 0, 10, None));
+        t.push(rec(
+            OpKind::VersionedLoad,
+            10,
+            40,
+            Some(StallCause::MissingVersion),
+        ));
+        t.push(rec(OpKind::Store, 40, 44, None));
         let s = t.summary();
         let v = s.of(OpKind::VersionedLoad);
         assert_eq!(v.count, 2);
@@ -253,28 +373,60 @@ mod tests {
         assert!((v.mean() - 20.0).abs() < 1e-9);
         assert_eq!(s.of(OpKind::Store).count, 1);
         assert_eq!(s.of(OpKind::Cas).count, 0);
+        assert_eq!(s.stalls_by_cause[StallCause::MissingVersion.index()], 1);
+        assert_eq!(s.stalls_by_cause[StallCause::FreeListGc.index()], 0);
     }
 
     #[test]
-    fn capacity_bounds_and_counts_drops() {
+    fn ring_keeps_most_recent_and_counts_drops() {
         let mut t = Trace::with_capacity(2);
         for i in 0..5 {
-            t.push(rec(OpKind::Work, i, i + 1, false));
+            t.push(rec(OpKind::Work, i, i + 1, None));
         }
-        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.len(), 2);
         assert_eq!(t.dropped, 3);
+        // The last two pushed records survive, in issue order.
+        let recs = t.records();
+        assert_eq!(recs[0].start, 3);
+        assert_eq!(recs[1].start, 4);
     }
 
     #[test]
-    fn csv_roundtrip_shape() {
+    fn csv_round_trips_through_parse() {
         let mut t = Trace::with_capacity(4);
-        t.push(rec(OpKind::Unlock, 5, 9, false));
+        t.push(rec(OpKind::Unlock, 5, 9, None));
+        t.push(rec(
+            OpKind::VersionedLockLoad,
+            9,
+            600,
+            Some(StallCause::LockedVersion),
+        ));
         let mut buf = Vec::new();
         t.to_csv(&mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         let mut lines = text.lines();
-        assert_eq!(lines.next().unwrap(), "core,tid,kind,va,version,start,end,stalled");
-        assert_eq!(lines.next().unwrap(), "0,1,unlock,0x1000,3,5,9,0");
+        assert_eq!(
+            lines.next().unwrap(),
+            "core,tid,kind,va,version,start,end,stall_cause"
+        );
+        assert_eq!(lines.next().unwrap(), "0,1,unlock,0x1000,3,5,9,none");
+        assert_eq!(
+            lines.next().unwrap(),
+            "0,1,vlockload,0x1000,3,9,600,locked_version"
+        );
+        let parsed = Trace::parse_csv(&text).unwrap();
+        assert_eq!(parsed, t.records());
+    }
+
+    #[test]
+    fn parse_csv_rejects_malformed() {
+        assert!(Trace::parse_csv("").is_err());
+        assert!(Trace::parse_csv("bad,header\n").is_err());
+        let hdr = "core,tid,kind,va,version,start,end,stall_cause\n";
+        assert!(Trace::parse_csv(&format!("{hdr}1,2,3\n")).is_err());
+        assert!(Trace::parse_csv(&format!("{hdr}0,1,unlock,0x10,3,5,9,wat\n")).is_err());
+        assert!(Trace::parse_csv(&format!("{hdr}0,1,nope,0x10,3,5,9,none\n")).is_err());
+        assert!(Trace::parse_csv(&format!("{hdr}0,1,unlock,16,3,5,9,none\n")).is_err());
     }
 
     #[test]

@@ -63,8 +63,7 @@ fn static_assignment_round_robins_cores() {
     m.run_tasks(tasks).unwrap();
     let mut log = cores_seen.borrow_mut();
     log.sort();
-    let expect: Vec<(usize, usize, u32)> =
-        (0..8).map(|i| (i, i % 4, i as u32 + 1)).collect();
+    let expect: Vec<(usize, usize, u32)> = (0..8).map(|i| (i, i % 4, i as u32 + 1)).collect();
     assert_eq!(*log, expect);
 }
 

@@ -44,9 +44,8 @@ fn trace_captures_the_full_op_stream() {
     assert_eq!(s.of(OpKind::VersionedLoad).count, 1);
     assert_eq!(s.of(OpKind::VersionedLoad).stalled, 1, "consumer stalled");
     // The stalled load spans the producer's compute window.
-    let vload = st
-        .trace
-        .records()
+    let records = st.trace.records();
+    let vload = records
         .iter()
         .find(|r| r.kind == OpKind::VersionedLoad)
         .unwrap();
@@ -103,6 +102,48 @@ fn bounded_trace_reports_drops() {
     let st = st.borrow();
     assert_eq!(st.trace.records().len(), 4);
     assert_eq!(st.trace.dropped, 6);
+}
+
+#[test]
+fn machine_capture_spans_every_layer() {
+    let mut m = machine(2);
+    m.enable_trace(1 << 16);
+    let root = {
+        let st = m.state();
+        let mut st = st.borrow_mut();
+        let s = &mut *st;
+        s.alloc.alloc_root(&mut s.ms)
+    };
+    let mut tasks = vec![task(move |ctx| async move {
+        ctx.store_version(root, 1, 0).await;
+    })];
+    for _ in 0..8 {
+        tasks.push(task(move |ctx| async move {
+            let tid = ctx.tid();
+            let (vl, v) = ctx.lock_load_latest(root, tid).await;
+            ctx.work(v as u64 % 13 + 2).await;
+            ctx.unlock_version(root, vl, Some(tid + 1)).await;
+        }));
+    }
+    m.run_tasks(tasks).unwrap();
+    let st = m.state();
+    let st = st.borrow();
+    // Core layer: per-op records.
+    assert!(!st.trace.records().is_empty());
+    // Memory layer: demand accesses stamped with a non-decreasing clock.
+    let mem = st.ms.hier.events.records();
+    assert!(!mem.is_empty(), "hierarchy events captured");
+    assert!(mem.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+    assert!(
+        mem.iter().any(|e| e.cycle > 0),
+        "clock reaches the hierarchy"
+    );
+    // Version-manager layer: the version stores allocated blocks.
+    let mvm = st.omgr.events.records();
+    assert!(
+        mvm.iter().any(|e| e.kind_name() == "freelist_alloc"),
+        "allocation events captured"
+    );
 }
 
 #[test]

@@ -9,10 +9,19 @@ use std::task::{Context, Poll};
 use crate::executor::{Inner, TaskId};
 use crate::time::Cycle;
 
+/// Identifies what kind of event opened a gate. The engine assigns no
+/// meaning to tags beyond [`WAKE_GENERIC`]; upper layers (e.g. the cpu
+/// crate's stall-cause attribution) define their own vocabulary.
+pub type WakeTag = u32;
+
+/// Tag used by the untagged [`Gate::open`] / [`Gate::open_at`].
+pub const WAKE_GENERIC: WakeTag = 0;
+
 #[derive(Default)]
 struct GateState {
-    /// `(task, woken-flag)` for every task currently parked on this gate.
-    waiters: Vec<(TaskId, Rc<RefCell<bool>>)>,
+    /// `(task, wake-slot)` for every task currently parked on this gate;
+    /// the slot is `None` while parked and `Some(tag)` once woken.
+    waiters: Vec<(TaskId, Rc<RefCell<Option<WakeTag>>>)>,
 }
 
 /// A broadcast wait/notify point.
@@ -58,34 +67,46 @@ impl Gate {
     /// check-then-park race that blocked versioned operations would
     /// otherwise have while they sleep off their attempt latency.
     pub fn ticket(&self) -> Wait {
-        let flag = Rc::new(RefCell::new(false));
+        let slot = Rc::new(RefCell::new(None));
         let task = self.engine.borrow().current_task();
         self.state
             .borrow_mut()
             .waiters
-            .push((task, Rc::clone(&flag)));
+            .push((task, Rc::clone(&slot)));
         Wait {
             gate: self.clone(),
-            woken: Some(flag),
+            woken: Some(slot),
         }
     }
 
     /// Wakes every task currently parked on this gate at the current cycle.
     pub fn open(&self) {
+        self.open_tagged(WAKE_GENERIC);
+    }
+
+    /// [`Gate::open`] carrying a tag that every woken waiter receives from
+    /// its `Wait` future — how wake-ups tell blocked tasks *what* happened
+    /// (a store vs. an unlock, say) without re-reading shared state.
+    pub fn open_tagged(&self, tag: WakeTag) {
         let now = self.engine.borrow().now();
-        self.open_at(now);
+        self.open_at_tagged(now, tag);
     }
 
     /// Wakes every task currently parked on this gate at cycle `at`
     /// (clamped to the present).
     pub fn open_at(&self, at: Cycle) {
+        self.open_at_tagged(at, WAKE_GENERIC);
+    }
+
+    /// [`Gate::open_at`] with a wake tag.
+    pub fn open_at_tagged(&self, at: Cycle, tag: WakeTag) {
         let mut st = self.state.borrow_mut();
         if st.waiters.is_empty() {
             return;
         }
         let mut engine = self.engine.borrow_mut();
-        for (task, flag) in st.waiters.drain(..) {
-            *flag.borrow_mut() = true;
+        for (task, slot) in st.waiters.drain(..) {
+            *slot.borrow_mut() = Some(tag);
             engine.schedule(at, task);
         }
     }
@@ -96,34 +117,32 @@ impl Gate {
     }
 }
 
-/// Future returned by [`Gate::wait`].
+/// Future returned by [`Gate::wait`] / [`Gate::ticket`]; resolves to the
+/// [`WakeTag`] of the `open` that released it.
 pub struct Wait {
     gate: Gate,
-    woken: Option<Rc<RefCell<bool>>>,
+    woken: Option<Rc<RefCell<Option<WakeTag>>>>,
 }
 
 impl Future for Wait {
-    type Output = ();
+    type Output = WakeTag;
 
-    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<WakeTag> {
         let this = self.get_mut();
         match &this.woken {
-            Some(flag) => {
-                if *flag.borrow() {
-                    Poll::Ready(())
-                } else {
-                    Poll::Pending
-                }
-            }
+            Some(slot) => match *slot.borrow() {
+                Some(tag) => Poll::Ready(tag),
+                None => Poll::Pending,
+            },
             None => {
-                let flag = Rc::new(RefCell::new(false));
+                let slot = Rc::new(RefCell::new(None));
                 let task = this.gate.engine.borrow().current_task();
                 this.gate
                     .state
                     .borrow_mut()
                     .waiters
-                    .push((task, Rc::clone(&flag)));
-                this.woken = Some(flag);
+                    .push((task, Rc::clone(&slot)));
+                this.woken = Some(slot);
                 Poll::Pending
             }
         }
@@ -239,6 +258,57 @@ mod tests {
     }
 
     #[test]
+    fn wake_tags_reach_waiters() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let gate = h.gate();
+        let tags = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..2 {
+            let gate = gate.clone();
+            let tags = Rc::clone(&tags);
+            sim.spawn(async move {
+                let tag = gate.wait().await;
+                tags.borrow_mut().push(tag);
+            });
+        }
+        {
+            let gate = gate.clone();
+            let h = h.clone();
+            sim.spawn(async move {
+                h.sleep(3).await;
+                gate.open_tagged(7);
+                // A second waiter parked later gets a different tag.
+                h.sleep(3).await;
+                gate.open(); // no waiters: no-op
+            });
+        }
+        assert_eq!(sim.run(), Ok(6));
+        assert_eq!(*tags.borrow(), vec![7, 7]);
+    }
+
+    #[test]
+    fn untagged_open_delivers_generic_tag() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let gate = h.gate();
+        {
+            let gate = gate.clone();
+            sim.spawn(async move {
+                assert_eq!(gate.wait().await, crate::WAKE_GENERIC);
+            });
+        }
+        {
+            let gate = gate.clone();
+            let h = h.clone();
+            sim.spawn(async move {
+                h.sleep(1).await;
+                gate.open();
+            });
+        }
+        assert!(sim.run().is_ok());
+    }
+
+    #[test]
     fn waiters_parked_after_open_are_not_woken_by_it() {
         let sim = Sim::new();
         let h = sim.handle();
@@ -261,7 +331,10 @@ mod tests {
         }
         assert!(matches!(
             sim.run(),
-            Err(crate::RunError::Deadlock { now: 10, blocked: 1 })
+            Err(crate::RunError::Deadlock {
+                now: 10,
+                blocked: 1
+            })
         ));
     }
 }

@@ -32,5 +32,5 @@ mod gate;
 mod time;
 
 pub use executor::{RunError, Sim, SimHandle, TaskId};
-pub use gate::Gate;
+pub use gate::{Gate, WakeTag, WAKE_GENERIC};
 pub use time::Cycle;

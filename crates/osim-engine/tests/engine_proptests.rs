@@ -43,7 +43,9 @@ fn execute(programs: &[Vec<Step>]) -> (Cycle, Vec<(usize, Cycle)>) {
                 match step {
                     Step::Sleep(n) => h.sleep(n as u64).await,
                     Step::OpenGate(g) => gates[g as usize].open(),
-                    Step::WaitGate(g) => gates[g as usize].wait().await,
+                    Step::WaitGate(g) => {
+                        gates[g as usize].wait().await;
+                    }
                 }
                 log.borrow_mut().push((id, h.now()));
             }

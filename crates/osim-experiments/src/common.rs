@@ -3,6 +3,7 @@
 
 use osim_cpu::MachineCfg;
 use osim_mem::CacheCfg;
+use osim_report::{ReportScale, SimReport};
 use osim_workloads::harness::{DsCfg, DsResult};
 use osim_workloads::levenshtein::LevCfg;
 use osim_workloads::matmul::MatmulCfg;
@@ -43,6 +44,29 @@ impl Scale {
             ops: 256,
             mat_n: 28,
             lev_len: 96,
+        }
+    }
+
+    /// Minimal sizes for integration tests — every experiment still runs
+    /// end-to-end (and validates), but in seconds rather than minutes.
+    pub fn tiny() -> Self {
+        Scale {
+            small: 64,
+            large: 128,
+            ops: 64,
+            mat_n: 8,
+            lev_len: 24,
+        }
+    }
+
+    /// This scale in report form.
+    pub fn report(&self) -> ReportScale {
+        ReportScale {
+            small: self.small as u64,
+            large: self.large as u64,
+            ops: self.ops as u64,
+            mat_n: self.mat_n as u64,
+            lev_len: self.lev_len as u64,
         }
     }
 
@@ -104,7 +128,13 @@ impl Bench {
     }
 
     /// Runs the versioned variant.
-    pub fn run_versioned(&self, mcfg: MachineCfg, scale: &Scale, large: bool, rpw: u32) -> DsResult {
+    pub fn run_versioned(
+        &self,
+        mcfg: MachineCfg,
+        scale: &Scale,
+        large: bool,
+        rpw: u32,
+    ) -> DsResult {
         match self {
             Bench::LinkedList => linked_list::run_versioned(mcfg, &scale.ds(large, rpw)),
             Bench::BinaryTree => btree::run_versioned(mcfg, &scale.ds(large, rpw)),
@@ -128,7 +158,13 @@ impl Bench {
     }
 
     /// Runs the unversioned sequential baseline.
-    pub fn run_unversioned(&self, mcfg: MachineCfg, scale: &Scale, large: bool, rpw: u32) -> DsResult {
+    pub fn run_unversioned(
+        &self,
+        mcfg: MachineCfg,
+        scale: &Scale,
+        large: bool,
+        rpw: u32,
+    ) -> DsResult {
         match self {
             Bench::LinkedList => linked_list::run_unversioned(mcfg, &scale.ds(large, rpw)),
             Bench::BinaryTree => btree::run_unversioned(mcfg, &scale.ds(large, rpw)),
@@ -187,6 +223,29 @@ pub fn print_config() {
         cfg.hier.dram_latency
     );
     println!();
+}
+
+/// Builds the [`SimReport`] for one checked run — the machine
+/// configuration must be the one the run was launched with.
+pub fn report(
+    experiment: &str,
+    benchmark: &str,
+    variant: &str,
+    cfg: &MachineCfg,
+    scale: &Scale,
+    r: &DsResult,
+) -> SimReport {
+    SimReport::new(
+        experiment,
+        benchmark,
+        variant,
+        cfg,
+        scale.report(),
+        r.cycles,
+        r.cpu.clone(),
+        r.mem.clone(),
+        r.ostats.clone(),
+    )
 }
 
 /// Asserts a run validated and returns it (experiments must never report

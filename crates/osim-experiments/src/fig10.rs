@@ -5,35 +5,55 @@
 //! and measures the slowdown: up to 16% at 10 cycles, much milder at
 //! realistic 2–4 cycle penalties.
 
-use crate::common::{checked, machine, Bench, Scale};
+use osim_report::SimReport;
+
+use crate::common::{checked, machine, report, Bench, Scale};
 
 const EXTRA: [u64; 5] = [2, 4, 6, 8, 10];
 
-pub fn run(scale: &Scale) {
-    println!("## Figure 10 — slowdown from injecting latency into versioned ops (vs no injection)\n");
+pub fn run(scale: &Scale, out: &mut Vec<SimReport>) {
+    println!(
+        "## Figure 10 — slowdown from injecting latency into versioned ops (vs no injection)\n"
+    );
     println!("scale: {scale:?}\n");
     println!("| Benchmark | Variant | +2cy | +4cy | +6cy | +8cy | +10cy |");
     println!("|---|---|---|---|---|---|---|");
 
     for bench in Bench::ALL {
         for (variant, cores) in [("1T", 1), ("32T", 32)] {
-            let base = checked(
-                bench.run_versioned(machine(cores, None, 0), scale, true, 4),
+            let base_cfg = machine(cores, None, 0);
+            let base_r = checked(
+                bench.run_versioned(base_cfg.clone(), scale, true, 4),
                 bench.name(),
-            )
-            .cycles as f64;
-            let row: Vec<String> = EXTRA
-                .iter()
-                .map(|&e| {
-                    let c = checked(
-                        bench.run_versioned(machine(cores, None, e), scale, true, 4),
-                        bench.name(),
-                    )
-                    .cycles as f64;
-                    // Negative = slowdown, matching the paper's plot.
-                    format!("{:+.1}%", (base / c - 1.0) * 100.0)
-                })
-                .collect();
+            );
+            out.push(report(
+                "fig10",
+                bench.name(),
+                &format!("{variant}+0cy"),
+                &base_cfg,
+                scale,
+                &base_r,
+            ));
+            let base = base_r.cycles as f64;
+            let mut row: Vec<String> = Vec::new();
+            for &e in &EXTRA {
+                let mcfg = machine(cores, None, e);
+                let r = checked(
+                    bench.run_versioned(mcfg.clone(), scale, true, 4),
+                    bench.name(),
+                );
+                out.push(report(
+                    "fig10",
+                    bench.name(),
+                    &format!("{variant}+{e}cy"),
+                    &mcfg,
+                    scale,
+                    &r,
+                ));
+                let c = r.cycles as f64;
+                // Negative = slowdown, matching the paper's plot.
+                row.push(format!("{:+.1}%", (base / c - 1.0) * 100.0));
+            }
             println!(
                 "| {} | {variant} | {} | {} | {} | {} | {} |",
                 bench.name(),

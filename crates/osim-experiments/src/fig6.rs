@@ -7,13 +7,18 @@
 //! Levenshtein scale almost linearly despite the fixed versioning
 //! overhead.
 
-use crate::common::{checked, f2, machine, pct, Bench, Scale};
+use osim_report::SimReport;
 
-pub fn run(scale: &Scale, stats: bool) {
+use crate::common::{checked, f2, machine, pct, report, Bench, Scale};
+
+pub fn run(scale: &Scale, stats: bool, out: &mut Vec<SimReport>) {
     const CORES: usize = 32;
-    println!("## Figure 6 — speedup of parallel versioned ({CORES} cores) over sequential unversioned\n");
+    println!(
+        "## Figure 6 — speedup of parallel versioned ({CORES} cores) over sequential unversioned\n"
+    );
     println!("scale: {scale:?}\n");
-    let mut header = "| Benchmark | Small 4R-1W | Small 1R-1W | Large 4R-1W | Large 1R-1W |".to_string();
+    let mut header =
+        "| Benchmark | Small 4R-1W | Small 1R-1W | Large 4R-1W | Large 1R-1W |".to_string();
     if stats {
         header.push_str(" L1 hit | vload stall | root stall |");
     }
@@ -27,14 +32,33 @@ pub fn run(scale: &Scale, stats: bool) {
         let mut cells = Vec::new();
         let mut last = None;
         for (large, rpw) in [(false, 4), (false, 1), (true, 4), (true, 1)] {
+            let tag = format!("{}-{rpw}r1w", if large { "large" } else { "small" });
+            let seq_cfg = machine(1, None, 0);
             let seq = checked(
-                bench.run_unversioned(machine(1, None, 0), scale, large, rpw),
+                bench.run_unversioned(seq_cfg.clone(), scale, large, rpw),
                 bench.name(),
             );
+            out.push(report(
+                "fig6",
+                bench.name(),
+                &format!("unversioned-{tag}"),
+                &seq_cfg,
+                scale,
+                &seq,
+            ));
+            let par_cfg = machine(CORES, None, 0);
             let par = checked(
-                bench.run_versioned(machine(CORES, None, 0), scale, large, rpw),
+                bench.run_versioned(par_cfg.clone(), scale, large, rpw),
                 bench.name(),
             );
+            out.push(report(
+                "fig6",
+                bench.name(),
+                &format!("versioned-{tag}"),
+                &par_cfg,
+                scale,
+                &par,
+            ));
             cells.push(f2(seq.cycles as f64 / par.cycles as f64));
             last = Some(par);
         }
@@ -60,14 +84,32 @@ pub fn run(scale: &Scale, stats: bool) {
 
     // The regular benchmarks have a single configuration each.
     for bench in [Bench::Levenshtein, Bench::MatrixMul] {
+        let seq_cfg = machine(1, None, 0);
         let seq = checked(
-            bench.run_unversioned(machine(1, None, 0), scale, false, 4),
+            bench.run_unversioned(seq_cfg.clone(), scale, false, 4),
             bench.name(),
         );
+        out.push(report(
+            "fig6",
+            bench.name(),
+            "unversioned",
+            &seq_cfg,
+            scale,
+            &seq,
+        ));
+        let par_cfg = machine(CORES, None, 0);
         let par = checked(
-            bench.run_versioned(machine(CORES, None, 0), scale, false, 4),
+            bench.run_versioned(par_cfg.clone(), scale, false, 4),
             bench.name(),
         );
+        out.push(report(
+            "fig6",
+            bench.name(),
+            "versioned",
+            &par_cfg,
+            scale,
+            &par,
+        ));
         let s = f2(seq.cycles as f64 / par.cycles as f64);
         let mut row = format!("| {} | {s} | {s} | {s} | {s} |", bench.name());
         if stats {
@@ -82,14 +124,31 @@ pub fn run(scale: &Scale, stats: bool) {
 
     // The §IV-B single-thread overhead observation (matmul ~2.5x in the
     // paper): versioned sequential vs unversioned sequential.
+    let seq_cfg = machine(1, None, 0);
     let unv = checked(
-        Bench::MatrixMul.run_unversioned(machine(1, None, 0), scale, false, 4),
+        Bench::MatrixMul.run_unversioned(seq_cfg.clone(), scale, false, 4),
         "matmul",
     );
+    out.push(report(
+        "fig6",
+        "Matrix mul.",
+        "unversioned-1c",
+        &seq_cfg,
+        scale,
+        &unv,
+    ));
     let ver = checked(
-        Bench::MatrixMul.run_versioned(machine(1, None, 0), scale, false, 4),
+        Bench::MatrixMul.run_versioned(seq_cfg.clone(), scale, false, 4),
         "matmul",
     );
+    out.push(report(
+        "fig6",
+        "Matrix mul.",
+        "versioned-1c",
+        &seq_cfg,
+        scale,
+        &ver,
+    ));
     println!(
         "\nsingle-thread versioning overhead (matmul): {}x slower than unversioned (paper: ~2.5x)\n",
         f2(ver.cycles as f64 / unv.cycles as f64)

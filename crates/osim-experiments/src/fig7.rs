@@ -1,49 +1,81 @@
 //! Figure 7: scalability — speedup over the sequential *versioned* run
 //! (self-speedup), large read-intensive configurations, 4–32 cores.
+//!
+//! Beyond the paper's speedup curve, each row reports the per-core work
+//! imbalance at 32 cores (max core instructions ÷ mean): a value near 1
+//! means the static scheduler kept the cores evenly loaded, and a high
+//! value explains a sub-linear speedup that cache statistics would not.
 
-use crate::common::{checked, f2, machine, pct, Bench, Scale};
+use osim_report::SimReport;
+
+use crate::common::{checked, f2, machine, pct, report, Bench, Scale};
 
 const CORE_COUNTS: [usize; 4] = [4, 8, 16, 32];
 
-pub fn run(scale: &Scale, stats: bool) {
-    println!("## Figure 7 — scalability (speedup over sequential versioned; large, read-intensive)\n");
+pub fn run(scale: &Scale, stats: bool, out: &mut Vec<SimReport>) {
+    println!(
+        "## Figure 7 — scalability (speedup over sequential versioned; large, read-intensive)\n"
+    );
     println!("scale: {scale:?}\n");
-    let mut header = "| Benchmark | 4 | 8 | 16 | 32 |".to_string();
+    let mut header = "| Benchmark | 4 | 8 | 16 | 32 | work imb @32 | stall imb @32 |".to_string();
     if stats {
         header.push_str(" L1 hit @32 | vload stall @32 |");
     }
     println!("{header}");
-    println!("|---|---|---|---|---|{}", if stats { "---|---|" } else { "" });
+    println!(
+        "|---|---|---|---|---|---|---|{}",
+        if stats { "---|---|" } else { "" }
+    );
 
     for bench in Bench::ALL {
         let large = true;
         let rpw = 4;
+        let base_cfg = machine(1, None, 0);
         let base = checked(
-            bench.run_versioned(machine(1, None, 0), scale, large, rpw),
+            bench.run_versioned(base_cfg.clone(), scale, large, rpw),
             bench.name(),
         );
+        out.push(report(
+            "fig7",
+            bench.name(),
+            "versioned-1c",
+            &base_cfg,
+            scale,
+            &base,
+        ));
         let mut cells = Vec::new();
         let mut at32 = None;
         for cores in CORE_COUNTS {
+            let cfg = machine(cores, None, 0);
             let par = checked(
-                bench.run_versioned(machine(cores, None, 0), scale, large, rpw),
+                bench.run_versioned(cfg.clone(), scale, large, rpw),
                 bench.name(),
             );
+            out.push(report(
+                "fig7",
+                bench.name(),
+                &format!("versioned-{cores}c"),
+                &cfg,
+                scale,
+                &par,
+            ));
             cells.push(f2(base.cycles as f64 / par.cycles as f64));
             if cores == 32 {
                 at32 = Some(par);
             }
         }
+        let par = at32.expect("ran 32");
         let mut row = format!(
-            "| {} | {} | {} | {} | {} |",
+            "| {} | {} | {} | {} | {} | {} | {} |",
             bench.name(),
             cells[0],
             cells[1],
             cells[2],
-            cells[3]
+            cells[3],
+            f2(par.cpu.work_imbalance()),
+            f2(par.cpu.stall_imbalance()),
         );
         if stats {
-            let par = at32.expect("ran 32");
             row.push_str(&format!(
                 " {} | {} |",
                 pct(par.mem.l1_hit_rate()),

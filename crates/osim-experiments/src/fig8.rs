@@ -7,10 +7,11 @@
 //! scans overlap inserts; the paper reports average self-speedups of 12.2
 //! (versioned) vs 7.9 (rwlock) and an average versioned advantage of 16%.
 
+use osim_report::SimReport;
 use osim_workloads::btree;
 use osim_workloads::harness::DsCfg;
 
-use crate::common::{checked, f2, machine, Scale};
+use crate::common::{checked, f2, machine, report, Scale};
 
 const CORE_COUNTS: [usize; 4] = [4, 8, 16, 32];
 const SCAN_RANGES: [u32; 3] = [1, 8, 64];
@@ -27,25 +28,63 @@ fn cfg(scale: &Scale, scan_range: u32) -> DsCfg {
     }
 }
 
-pub fn run(scale: &Scale) {
-    println!("## Figure 8 — versioned BST vs read-write-lock BST (ratio > 1 means versioned faster)\n");
+pub fn run(scale: &Scale, out: &mut Vec<SimReport>) {
+    println!(
+        "## Figure 8 — versioned BST vs read-write-lock BST (ratio > 1 means versioned faster)\n"
+    );
     println!(
         "scale: {scale:?}; mix: 3 scans : 1 insert, initial {} elements\n",
         scale.large
     );
-    println!("| Scan range | 4 | 8 | 16 | 32 | versioned self-speedup @32 | rwlock self-speedup @32 |");
+    println!(
+        "| Scan range | 4 | 8 | 16 | 32 | versioned self-speedup @32 | rwlock self-speedup @32 |"
+    );
     println!("|---|---|---|---|---|---|---|");
 
     for range in SCAN_RANGES {
         let c = cfg(scale, range);
-        let vseq = checked(btree::run_versioned(machine(1, None, 0), &c), "bst v1");
-        let rseq = checked(btree::run_rwlock(machine(1, None, 0), &c), "bst rw1");
+        let seq_cfg = machine(1, None, 0);
+        let vseq = checked(btree::run_versioned(seq_cfg.clone(), &c), "bst v1");
+        let rseq = checked(btree::run_rwlock(seq_cfg.clone(), &c), "bst rw1");
+        out.push(report(
+            "fig8",
+            "Binary tree",
+            &format!("versioned-r{range}-1c"),
+            &seq_cfg,
+            scale,
+            &vseq,
+        ));
+        out.push(report(
+            "fig8",
+            "Binary tree",
+            &format!("rwlock-r{range}-1c"),
+            &seq_cfg,
+            scale,
+            &rseq,
+        ));
         let mut cells = Vec::new();
         let mut self_v = 0.0;
         let mut self_r = 0.0;
         for cores in CORE_COUNTS {
-            let v = checked(btree::run_versioned(machine(cores, None, 0), &c), "bst v");
-            let r = checked(btree::run_rwlock(machine(cores, None, 0), &c), "bst rw");
+            let mcfg = machine(cores, None, 0);
+            let v = checked(btree::run_versioned(mcfg.clone(), &c), "bst v");
+            let r = checked(btree::run_rwlock(mcfg.clone(), &c), "bst rw");
+            out.push(report(
+                "fig8",
+                "Binary tree",
+                &format!("versioned-r{range}-{cores}c"),
+                &mcfg,
+                scale,
+                &v,
+            ));
+            out.push(report(
+                "fig8",
+                "Binary tree",
+                &format!("rwlock-r{range}-{cores}c"),
+                &mcfg,
+                scale,
+                &r,
+            ));
             cells.push(f2(r.cycles as f64 / v.cycles as f64));
             if cores == 32 {
                 self_v = vseq.cycles as f64 / v.cycles as f64;

@@ -6,11 +6,13 @@
 //! effects of at most ~1.23x — pointer-heavy codes are cache-size
 //! insensitive.
 
-use crate::common::{checked, f2, machine, Bench, Scale};
+use osim_report::SimReport;
+
+use crate::common::{checked, f2, machine, report, Bench, Scale};
 
 const SIZES_KB: [u32; 5] = [8, 16, 32, 64, 128];
 
-pub fn run(scale: &Scale) {
+pub fn run(scale: &Scale, out: &mut Vec<SimReport>) {
     println!("## Figure 9 — speedup vs the 32 kB L1 baseline (U / 1T / 32T)\n");
     println!("scale: {scale:?}\n");
     println!("| Benchmark | Variant | 8kB | 16kB | 32kB | 64kB | 128kB |");
@@ -18,18 +20,25 @@ pub fn run(scale: &Scale) {
 
     for bench in Bench::ALL {
         for (variant, cores, versioned) in [("U", 1, false), ("1T", 1, true), ("32T", 32, true)] {
-            let cycles: Vec<u64> = SIZES_KB
-                .iter()
-                .map(|&kb| {
-                    let m = machine(cores, Some(kb), 0);
-                    let r = if versioned {
-                        bench.run_versioned(m, scale, true, 4)
-                    } else {
-                        bench.run_unversioned(m, scale, true, 4)
-                    };
-                    checked(r, bench.name()).cycles
-                })
-                .collect();
+            let mut cycles: Vec<u64> = Vec::new();
+            for &kb in &SIZES_KB {
+                let m = machine(cores, Some(kb), 0);
+                let r = if versioned {
+                    bench.run_versioned(m.clone(), scale, true, 4)
+                } else {
+                    bench.run_unversioned(m.clone(), scale, true, 4)
+                };
+                let r = checked(r, bench.name());
+                out.push(report(
+                    "fig9",
+                    bench.name(),
+                    &format!("{variant}-{kb}kB"),
+                    &m,
+                    scale,
+                    &r,
+                ));
+                cycles.push(r.cycles);
+            }
             let base = cycles[2] as f64; // 32 kB
             let row: Vec<String> = cycles.iter().map(|&c| f2(base / c as f64)).collect();
             println!(

@@ -13,13 +13,14 @@
 //!   nothing).
 
 use osim_cpu::MachineCfg;
+use osim_report::SimReport;
 use osim_uarch::GcConfig;
 use osim_workloads::harness::DsCfg;
 use osim_workloads::linked_list;
 
-use crate::common::{checked, Scale};
+use crate::common::{checked, report, Scale};
 
-pub fn run(scale: &Scale) {
+pub fn run(scale: &Scale, out: &mut Vec<SimReport>) {
     let ops = scale.ops.max(1000); // the paper's 1000 ops are cheap here
     let cfg = DsCfg {
         initial: 10,
@@ -32,12 +33,13 @@ pub fn run(scale: &Scale) {
     };
     println!("## §IV-F — GC overhead (sequential, {ops} ops on a 10-element sorted list)\n");
 
-    let run_with = |name: &str, tweak: &dyn Fn(&mut MachineCfg)| {
+    let mut run_with = |name: &str, tweak: &dyn Fn(&mut MachineCfg)| {
         let mut m = MachineCfg::paper(1);
         tweak(&mut m);
         // The Fig. 1-faithful protocol (renaming every passed cell) supplies
         // the version churn this experiment is about.
-        let r = checked(linked_list::run_versioned_with(m, &cfg, true), name);
+        let r = checked(linked_list::run_versioned_with(m.clone(), &cfg, true), name);
+        out.push(report("gc", "Linked list", name, &m, scale, &r));
         (r.cycles, r.ostats.gc_phases, r.ostats.reclaimed_blocks)
     };
 

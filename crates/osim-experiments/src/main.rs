@@ -2,7 +2,8 @@
 //! evaluation (§IV) from the simulator.
 //!
 //! ```text
-//! cargo run -p osim-experiments --release -- <experiment> [--full] [--stats]
+//! cargo run -p osim-experiments --release -- <experiment> [--full|--tiny]
+//!     [--stats] [--json <path>] [--chrome <path>]
 //!
 //! experiments:
 //!   config   Table II   — the simulated platform configuration
@@ -18,10 +19,20 @@
 //!
 //! `--full` uses the paper's workload sizes (slow: gem5 took hours on
 //! these too); the default is a proportionally scaled-down configuration
-//! that preserves every qualitative effect. `--stats` appends the §IV-D
-//! secondary statistics (hit rates, stall rates) to fig6/fig7 rows.
+//! that preserves every qualitative effect, and `--tiny` shrinks further
+//! for integration tests. `--stats` appends the §IV-D secondary
+//! statistics (hit rates, stall rates) to fig6/fig7 rows.
+//!
+//! `--json <path>` writes every run of the invocation as a JSON array of
+//! [`SimReport`]s; `--chrome <path>` (trace experiment only) writes the
+//! run's Chrome trace-event document, loadable in Perfetto or
+//! `chrome://tracing`.
 
 use std::env;
+use std::fs;
+
+use osim_report::json::Json;
+use osim_report::SimReport;
 
 mod common;
 mod fig10;
@@ -34,40 +45,98 @@ mod trace_cmd;
 
 use common::Scale;
 
+/// Removes `flag <value>` from `args`, returning the value.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
 fn main() {
-    let args: Vec<String> = env::args().skip(1).collect();
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    let json_path = take_value(&mut args, "--json");
+    let chrome_path = take_value(&mut args, "--chrome");
     let full = args.iter().any(|a| a == "--full");
+    let tiny = args.iter().any(|a| a == "--tiny");
     let stats = args.iter().any(|a| a == "--stats");
     let cmd = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .map(String::as_str)
         .unwrap_or("help");
-    let scale = if full { Scale::paper() } else { Scale::quick() };
+    let scale = if full {
+        Scale::paper()
+    } else if tiny {
+        Scale::tiny()
+    } else {
+        Scale::quick()
+    };
+
+    let mut reports: Vec<SimReport> = Vec::new();
+    let mut chrome_doc: Option<Json> = None;
 
     match cmd {
         "config" => common::print_config(),
-        "fig6" => fig6::run(&scale, stats),
-        "fig7" => fig7::run(&scale, stats),
-        "fig8" => fig8::run(&scale),
-        "fig9" => fig9::run(&scale),
-        "fig10" => fig10::run(&scale),
-        "gc" => gc::run(&scale),
-        "trace" => trace_cmd::run(&scale),
+        "fig6" => fig6::run(&scale, stats, &mut reports),
+        "fig7" => fig7::run(&scale, stats, &mut reports),
+        "fig8" => fig8::run(&scale, &mut reports),
+        "fig9" => fig9::run(&scale, &mut reports),
+        "fig10" => fig10::run(&scale, &mut reports),
+        "gc" => gc::run(&scale, &mut reports),
+        "trace" => chrome_doc = Some(trace_cmd::run(&scale, &mut reports)),
         "all" => {
             common::print_config();
-            fig6::run(&scale, stats);
-            fig7::run(&scale, stats);
-            fig8::run(&scale);
-            fig9::run(&scale);
-            fig10::run(&scale);
-            gc::run(&scale);
+            fig6::run(&scale, stats, &mut reports);
+            fig7::run(&scale, stats, &mut reports);
+            fig8::run(&scale, &mut reports);
+            fig9::run(&scale, &mut reports);
+            fig10::run(&scale, &mut reports);
+            gc::run(&scale, &mut reports);
+            chrome_doc = Some(trace_cmd::run(&scale, &mut reports));
         }
         _ => {
             eprintln!(
-                "usage: osim-experiments <config|fig6|fig7|fig8|fig9|fig10|gc|trace|all> [--full] [--stats]"
+                "usage: osim-experiments <config|fig6|fig7|fig8|fig9|fig10|gc|trace|all> \
+                 [--full|--tiny] [--stats] [--json <path>] [--chrome <path>]"
             );
             std::process::exit(2);
+        }
+    }
+
+    if let Some(path) = json_path {
+        for r in &reports {
+            if let Err(e) = r.validate() {
+                panic!(
+                    "invalid report {}/{}/{}: {e}",
+                    r.experiment, r.benchmark, r.variant
+                );
+            }
+        }
+        let doc = Json::Arr(reports.iter().map(SimReport::to_json).collect());
+        if let Err(e) = fs::write(&path, doc.to_pretty()) {
+            eprintln!("cannot write --json output {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} report(s) to {path}", reports.len());
+    }
+    if let Some(path) = chrome_path {
+        match chrome_doc {
+            Some(doc) => {
+                if let Err(e) = fs::write(&path, doc.to_pretty()) {
+                    eprintln!("cannot write --chrome output {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote Chrome trace to {path}");
+            }
+            None => {
+                eprintln!("--chrome only applies to the trace (or all) experiment");
+                std::process::exit(2);
+            }
         }
     }
 }

@@ -1,16 +1,23 @@
 //! `trace`: run one workload with per-operation tracing and print the
 //! latency/stall breakdown — the observability view behind the figures.
+//!
+//! Returns the run's Chrome trace-event document (built from the
+//! per-operation, memory-hierarchy, and version-manager capture streams)
+//! so the driver can write it out under `--chrome`.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use osim_cpu::{task, Machine, MachineCfg};
+use osim_report::json::Json;
+use osim_report::{chrome_trace, SimReport, TraceCounts};
 
 use crate::common::Scale;
 
-pub fn run(scale: &Scale) {
+pub fn run(scale: &Scale, out: &mut Vec<SimReport>) -> Json {
     println!("## Execution trace — producer/consumer chain + pipelined list segment\n");
-    let mut m = Machine::new(MachineCfg::paper(4));
+    let mcfg = MachineCfg::paper(4);
+    let mut m = Machine::new(mcfg.clone());
     m.enable_trace(1 << 20);
     let root = {
         let st = m.state();
@@ -33,10 +40,41 @@ pub fn run(scale: &Scale) {
             *sum.borrow_mut() += v as u64;
         }));
     }
-    let report = m.run_tasks(tasks).expect("no deadlock");
+    let phase = m.run_tasks(tasks).expect("no deadlock");
     let st = m.state();
     let st = st.borrow();
-    println!("{} tasks, {} cycles, {} records ({} dropped)\n",
-        n + 1, report.cycles(), st.trace.records().len(), st.trace.dropped);
+    let records = st.trace.records();
+    let mem_events = st.ms.hier.events.records();
+    let mvm_events = st.omgr.events.records();
+    println!(
+        "{} tasks, {} cycles, {} records ({} dropped)\n",
+        n + 1,
+        phase.cycles(),
+        records.len(),
+        st.trace.dropped
+    );
     println!("{}", st.trace.summary());
+
+    let mut rep = SimReport::new(
+        "trace",
+        "producer-consumer chain",
+        "versioned",
+        &mcfg,
+        scale.report(),
+        phase.cycles(),
+        st.cpu.clone(),
+        st.ms.hier.stats.clone(),
+        st.omgr.stats.clone(),
+    );
+    rep.trace = Some(TraceCounts {
+        records: records.len() as u64,
+        dropped: st.trace.dropped,
+        mem_events: mem_events.len() as u64,
+        mem_dropped: st.ms.hier.events.dropped,
+        mvm_events: mvm_events.len() as u64,
+        mvm_dropped: st.omgr.events.dropped,
+    });
+    out.push(rep);
+
+    chrome_trace(&records, &mem_events, &mvm_events)
 }

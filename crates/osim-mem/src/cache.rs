@@ -194,9 +194,7 @@ impl Cache {
     pub fn invalidate(&mut self, tag: u32, kind: LineKind) -> Option<Line> {
         let set = self.set_of_kind(tag, kind);
         let lines = &mut self.sets[set];
-        let idx = lines
-            .iter()
-            .position(|l| l.tag == tag && l.kind == kind)?;
+        let idx = lines.iter().position(|l| l.tag == tag && l.kind == kind)?;
         Some(lines.swap_remove(idx))
     }
 

@@ -1,0 +1,167 @@
+//! Bounded event capture shared by the observable layers.
+//!
+//! [`EventLog`] is the generic building block: a ring buffer that keeps the
+//! most recent `capacity` events and counts what it had to overwrite. The
+//! memory hierarchy logs [`MemEvent`]s into one; `osim-uarch` reuses the
+//! same type for its manager events. Logging is observation-only — it
+//! never changes simulated timing — and a disabled log costs one branch
+//! per prospective event.
+
+use crate::hierarchy::{AccessKind, Level};
+
+/// A bounded, most-recent-first event buffer.
+///
+/// Disabled by default ([`EventLog::disabled`]); enabling happens by
+/// replacing the log with [`EventLog::with_capacity`]. When full, `push`
+/// overwrites the oldest record and increments [`EventLog::dropped`].
+#[derive(Debug, Clone)]
+pub struct EventLog<T> {
+    enabled: bool,
+    capacity: usize,
+    records: Vec<T>,
+    /// Index of the oldest record once the buffer has wrapped.
+    head: usize,
+    /// Events overwritten because the buffer was full.
+    pub dropped: u64,
+}
+
+impl<T: Clone> EventLog<T> {
+    /// A log that records nothing.
+    pub fn disabled() -> Self {
+        EventLog {
+            enabled: false,
+            capacity: 0,
+            records: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A log keeping the most recent `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            enabled: capacity > 0,
+            capacity,
+            records: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Whether `push` stores anything.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event (oldest is overwritten when full).
+    pub fn push(&mut self, event: T) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() < self.capacity {
+            self.records.push(event);
+        } else {
+            self.records[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The retained events in arrival order (oldest first).
+    pub fn records(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.records.len());
+        out.extend_from_slice(&self.records[self.head..]);
+        out.extend_from_slice(&self.records[..self.head]);
+        out
+    }
+}
+
+/// One observable memory-hierarchy event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemEvent {
+    /// Simulated cycle stamped from the hierarchy clock (set by the
+    /// issuing core via [`crate::Hierarchy::set_clock`]).
+    pub cycle: u64,
+    /// Core that triggered the event (for coherence drops: the victim).
+    pub core: usize,
+    /// Physical address involved.
+    pub pa: u32,
+    /// What happened.
+    pub kind: MemEventKind,
+}
+
+/// Kinds of memory-hierarchy events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemEventKind {
+    /// A demand access completed.
+    Access {
+        /// Read/write/no-allocate-read.
+        kind: AccessKind,
+        /// Level that satisfied it.
+        level: Level,
+        /// Cycles charged.
+        latency: u64,
+    },
+    /// A compressed O-structure line was discarded on this core by another
+    /// core's mutation of the same structure.
+    CompressedCoherenceDrop,
+}
+
+impl MemEvent {
+    /// Short stable name for exporters.
+    pub fn kind_name(&self) -> &'static str {
+        match self.kind {
+            MemEventKind::Access { level, .. } => match level {
+                Level::L1 => "access_l1",
+                Level::RemoteL1 => "access_remote_l1",
+                Level::L2 => "access_l2",
+                Level::Dram => "access_dram",
+            },
+            MemEventKind::CompressedCoherenceDrop => "coherence_drop",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log: EventLog<u32> = EventLog::disabled();
+        log.push(1);
+        assert!(!log.enabled());
+        assert!(log.is_empty());
+        assert_eq!(log.dropped, 0);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut log = EventLog::with_capacity(3);
+        for i in 0..5u32 {
+            log.push(i);
+        }
+        assert_eq!(log.records(), vec![2, 3, 4]);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped, 2);
+    }
+
+    #[test]
+    fn under_capacity_preserves_order() {
+        let mut log = EventLog::with_capacity(10);
+        log.push("a");
+        log.push("b");
+        assert_eq!(log.records(), vec!["a", "b"]);
+        assert_eq!(log.dropped, 0);
+    }
+}

@@ -46,7 +46,10 @@ impl std::fmt::Display for Fault {
                 write!(f, "version block at pa {pa:#010x} is not a list head")
             }
             Fault::NotLockOwner { va, version } => {
-                write!(f, "unlock of version {version} at va {va:#010x} by non-owner")
+                write!(
+                    f,
+                    "unlock of version {version} at va {va:#010x} by non-owner"
+                )
             }
             Fault::VersionExists { va, version } => {
                 write!(f, "store to existing version {version} at va {va:#010x}")

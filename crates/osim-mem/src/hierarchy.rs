@@ -2,8 +2,9 @@
 //! invalidation-based coherence.
 
 use crate::cache::{Cache, CacheCfg, LineKind, Mesi};
-use crate::stats::MemStats;
+use crate::events::{EventLog, MemEvent, MemEventKind};
 use crate::line_of;
+use crate::stats::MemStats;
 
 /// Full hierarchy configuration.
 #[derive(Debug, Clone)]
@@ -78,6 +79,13 @@ pub struct Hierarchy {
     l2: Cache,
     /// Counters; `reset` between warm-up and measurement phases.
     pub stats: MemStats,
+    /// Observable event stream (disabled by default; enable by replacing
+    /// with [`EventLog::with_capacity`]). Observation-only: logging never
+    /// changes access latencies.
+    pub events: EventLog<MemEvent>,
+    /// Simulated cycle stamped onto events; the hierarchy has no clock of
+    /// its own, so issuing cores publish theirs via [`Hierarchy::set_clock`].
+    clock: u64,
 }
 
 impl Hierarchy {
@@ -91,12 +99,24 @@ impl Hierarchy {
             l1s,
             l2,
             stats,
+            events: EventLog::disabled(),
+            clock: 0,
         }
     }
 
     /// The configuration this hierarchy was built with.
     pub fn cfg(&self) -> &HierarchyCfg {
         &self.cfg
+    }
+
+    /// Publishes the current simulated cycle for event timestamps.
+    pub fn set_clock(&mut self, cycle: u64) {
+        self.clock = cycle;
+    }
+
+    /// The most recently published simulated cycle.
+    pub fn clock(&self) -> u64 {
+        self.clock
     }
 
     /// Performs a demand access by `core` to physical address `pa`.
@@ -122,6 +142,16 @@ impl Hierarchy {
             } else {
                 self.stats.l1_read_hits[core] += 1;
             }
+            self.events.push(MemEvent {
+                cycle: self.clock,
+                core,
+                pa,
+                kind: MemEventKind::Access {
+                    kind,
+                    level: Level::L1,
+                    latency: self.cfg.l1.hit_latency,
+                },
+            });
             return AccessResult {
                 latency: self.cfg.l1.hit_latency,
                 level: Level::L1,
@@ -198,6 +228,16 @@ impl Hierarchy {
             }
         }
 
+        self.events.push(MemEvent {
+            cycle: self.clock,
+            core,
+            pa,
+            kind: MemEventKind::Access {
+                kind,
+                level,
+                latency,
+            },
+        });
         AccessResult {
             latency,
             level,
@@ -299,8 +339,17 @@ impl Hierarchy {
     pub fn compressed_invalidate_others(&mut self, core: usize, root_pa: u32) -> Vec<(usize, u32)> {
         let mut dropped = Vec::new();
         for c in (0..self.cfg.cores).filter(|&c| c != core) {
-            if self.l1s[c].invalidate(root_pa, LineKind::Compressed).is_some() {
+            if self.l1s[c]
+                .invalidate(root_pa, LineKind::Compressed)
+                .is_some()
+            {
                 self.stats.compressed_coherence_drops += 1;
+                self.events.push(MemEvent {
+                    cycle: self.clock,
+                    core: c,
+                    pa: root_pa,
+                    kind: MemEventKind::CompressedCoherenceDrop,
+                });
                 dropped.push((c, root_pa));
             }
         }
@@ -425,6 +474,42 @@ mod tests {
         assert_eq!(r.level, Level::L1);
         let r = h.access(0, 0, AccessKind::Read);
         assert_ne!(r.level, Level::L1, "LRU data line was evicted");
+    }
+
+    #[test]
+    fn event_log_captures_accesses_and_coherence_drops() {
+        let mut h = hier(2);
+        h.events = EventLog::with_capacity(64);
+        h.set_clock(17);
+        h.access(0, 0x1000, AccessKind::Read);
+        h.set_clock(42);
+        h.access(0, 0x1000, AccessKind::Read);
+        let events = h.events.records();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].cycle, 17);
+        assert_eq!(events[0].kind_name(), "access_dram");
+        assert_eq!(events[1].cycle, 42);
+        assert_eq!(events[1].kind_name(), "access_l1");
+        // Coherence drops name their victim core.
+        h.compressed_fill(1, 0x4000);
+        h.compressed_invalidate_others(0, 0x4000);
+        let events = h.events.records();
+        let drop = events.last().unwrap();
+        assert_eq!(drop.kind, MemEventKind::CompressedCoherenceDrop);
+        assert_eq!(drop.core, 1);
+        assert_eq!(drop.pa, 0x4000);
+    }
+
+    #[test]
+    fn event_logging_does_not_change_latency() {
+        let mut quiet = hier(1);
+        let mut loud = hier(1);
+        loud.events = EventLog::with_capacity(4);
+        for i in 0..32u32 {
+            let a = quiet.access(0, i * 256, AccessKind::Read);
+            let b = loud.access(0, i * 256, AccessKind::Read);
+            assert_eq!(a.latency, b.latency);
+        }
     }
 
     #[test]

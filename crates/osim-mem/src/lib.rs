@@ -24,6 +24,7 @@
 //! compressed version block on a coherence message" rule.
 
 pub mod cache;
+pub mod events;
 pub mod fault;
 pub mod hierarchy;
 pub mod page;
@@ -31,6 +32,7 @@ pub mod phys;
 pub mod stats;
 
 pub use cache::{Cache, CacheCfg};
+pub use events::{EventLog, MemEvent, MemEventKind};
 pub use fault::Fault;
 pub use hierarchy::{AccessKind, AccessResult, Hierarchy, HierarchyCfg, Level};
 pub use page::{PageFlags, PageTable, PAGE_SIZE};

@@ -123,10 +123,7 @@ mod tests {
     #[test]
     fn unmapped_faults() {
         let pt = PageTable::new();
-        assert_eq!(
-            pt.translate(0x1234),
-            Err(Fault::NotMapped { va: 0x1234 })
-        );
+        assert_eq!(pt.translate(0x1234), Err(Fault::NotMapped { va: 0x1234 }));
     }
 
     #[test]

@@ -127,7 +127,10 @@ mod tests {
         let mut m = PhysMem::new(3 * PAGE_SIZE as u64);
         assert!(m.alloc_page().is_some());
         assert!(m.alloc_page().is_some());
-        assert!(m.alloc_page().is_none(), "ppn 0 is reserved, so 3 pages give 2 allocs");
+        assert!(
+            m.alloc_page().is_none(),
+            "ppn 0 is reserved, so 3 pages give 2 allocs"
+        );
     }
 
     #[test]

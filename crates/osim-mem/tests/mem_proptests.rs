@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 
 use osim_mem::cache::{Cache, CacheCfg, LineKind, Mesi};
-use osim_mem::{MemSys, HierarchyCfg, PageFlags, PAGE_SIZE};
+use osim_mem::{HierarchyCfg, MemSys, PageFlags, PAGE_SIZE};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

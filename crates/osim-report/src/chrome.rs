@@ -1,0 +1,301 @@
+//! Chrome trace-event exporter (loadable in Perfetto / `chrome://tracing`).
+//!
+//! Maps the cross-layer capture onto the trace-event JSON model:
+//!
+//! * **pid 0 "cores"** — one track per core (`tid` = core id) with each
+//!   executed operation as a complete (`ph: "X"`) event, stall cause in
+//!   `args`, and memory-hierarchy events as instants on the same track;
+//! * **pid 1 "tasks"** — one track per task with its lifetime span (first
+//!   to last traced operation);
+//! * **pid 2 "version manager"** — GC phases as duration events plus
+//!   free-list instants (carves, refill traps, watermark crossings).
+//!
+//! Timestamps are simulated cycles written into the `ts`/`dur` fields
+//! directly; `displayTimeUnit` is set so viewers render them compactly.
+
+use std::collections::BTreeMap;
+
+use osim_cpu::TraceRecord;
+use osim_mem::{MemEvent, MemEventKind};
+use osim_uarch::{MvmEvent, MvmEventKind};
+
+use crate::json::{obj, Json};
+
+const PID_CORES: u64 = 0;
+const PID_TASKS: u64 = 1;
+const PID_MVM: u64 = 2;
+
+/// Builds the full Chrome trace-event document from the three capture
+/// streams of one traced run.
+pub fn chrome_trace(ops: &[TraceRecord], mem: &[MemEvent], mvm: &[MvmEvent]) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+
+    for (pid, name) in [
+        (PID_CORES, "cores"),
+        (PID_TASKS, "tasks"),
+        (PID_MVM, "version manager"),
+    ] {
+        events.push(obj(vec![
+            ("name", Json::Str("process_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::from_u64(pid)),
+            ("tid", Json::from_u64(0)),
+            ("args", obj(vec![("name", Json::Str(name.into()))])),
+        ]));
+    }
+
+    // Per-core operation spans.
+    for r in ops {
+        let mut args = vec![
+            ("task", Json::from_u64(r.tid as u64)),
+            ("va", Json::Str(format!("{:#x}", r.va))),
+            ("version", Json::from_u64(r.version as u64)),
+        ];
+        if let Some(cause) = r.stall {
+            args.push(("stall_cause", Json::Str(cause.name().into())));
+        }
+        events.push(obj(vec![
+            ("name", Json::Str(r.kind.name().into())),
+            ("ph", Json::Str("X".into())),
+            ("ts", Json::from_u64(r.start)),
+            ("dur", Json::from_u64(r.end - r.start)),
+            ("pid", Json::from_u64(PID_CORES)),
+            ("tid", Json::from_u64(r.core as u64)),
+            ("args", obj(args)),
+        ]));
+    }
+
+    // Per-task lifetime spans (first traced op to last).
+    let mut spans: BTreeMap<u32, (u64, u64, usize)> = BTreeMap::new();
+    for r in ops {
+        let e = spans.entry(r.tid).or_insert((r.start, r.end, r.core));
+        e.0 = e.0.min(r.start);
+        e.1 = e.1.max(r.end);
+    }
+    for (tid, (start, end, core)) in spans {
+        events.push(obj(vec![
+            ("name", Json::Str(format!("task {tid}"))),
+            ("ph", Json::Str("X".into())),
+            ("ts", Json::from_u64(start)),
+            ("dur", Json::from_u64(end - start)),
+            ("pid", Json::from_u64(PID_TASKS)),
+            ("tid", Json::from_u64(tid as u64)),
+            ("args", obj(vec![("core", Json::from_u64(core as u64))])),
+        ]));
+    }
+
+    // Memory-hierarchy instants on the issuing (or victim) core's track.
+    for e in mem {
+        let mut args = vec![("pa", Json::Str(format!("{:#x}", e.pa)))];
+        if let MemEventKind::Access { latency, .. } = e.kind {
+            args.push(("latency", Json::from_u64(latency)));
+        }
+        events.push(obj(vec![
+            ("name", Json::Str(e.kind_name().into())),
+            ("ph", Json::Str("i".into())),
+            ("s", Json::Str("t".into())),
+            ("ts", Json::from_u64(e.cycle)),
+            ("pid", Json::from_u64(PID_CORES)),
+            ("tid", Json::from_u64(e.core as u64)),
+            ("args", obj(args)),
+        ]));
+    }
+
+    // Version-manager track: GC phases as durations, the rest as instants.
+    let mut gc_start: Option<(u64, u32, u32)> = None;
+    let last_cycle = mvm.iter().map(|e| e.cycle).max().unwrap_or(0);
+    for e in mvm {
+        match e.kind {
+            MvmEventKind::GcStart { boundary, pending } => {
+                gc_start = Some((e.cycle, boundary, pending));
+            }
+            MvmEventKind::GcEnd { reclaimed } => {
+                let (start, boundary, pending) = gc_start.take().unwrap_or((e.cycle, 0, 0));
+                events.push(gc_phase(start, e.cycle, boundary, pending, Some(reclaimed)));
+            }
+            MvmEventKind::WatermarkCrossed { free } => {
+                events.push(mvm_instant(e, vec![("free", Json::from_u64(free as u64))]));
+            }
+            MvmEventKind::FreeListCarve { blocks } => {
+                events.push(mvm_instant(
+                    e,
+                    vec![("blocks", Json::from_u64(blocks as u64))],
+                ));
+            }
+            MvmEventKind::FreeListAlloc { pa, free } => {
+                events.push(mvm_instant(
+                    e,
+                    vec![
+                        ("pa", Json::Str(format!("{pa:#x}"))),
+                        ("free", Json::from_u64(free as u64)),
+                    ],
+                ));
+            }
+            MvmEventKind::RefillTrap => {
+                events.push(mvm_instant(e, vec![]));
+            }
+        }
+    }
+    if let Some((start, boundary, pending)) = gc_start {
+        // A phase still open at capture end spans to the last event.
+        events.push(gc_phase(
+            start,
+            last_cycle.max(start),
+            boundary,
+            pending,
+            None,
+        ));
+    }
+
+    obj(vec![
+        ("displayTimeUnit", Json::Str("ns".into())),
+        ("traceEvents", Json::Arr(events)),
+    ])
+}
+
+fn gc_phase(start: u64, end: u64, boundary: u32, pending: u32, reclaimed: Option<u32>) -> Json {
+    let mut args = vec![
+        ("boundary_task", Json::from_u64(boundary as u64)),
+        ("pending_blocks", Json::from_u64(pending as u64)),
+    ];
+    match reclaimed {
+        Some(n) => args.push(("reclaimed_blocks", Json::from_u64(n as u64))),
+        None => args.push(("unfinished", Json::Bool(true))),
+    }
+    obj(vec![
+        ("name", Json::Str("gc phase".into())),
+        ("ph", Json::Str("X".into())),
+        ("ts", Json::from_u64(start)),
+        ("dur", Json::from_u64(end - start)),
+        ("pid", Json::from_u64(PID_MVM)),
+        ("tid", Json::from_u64(0)),
+        ("args", obj(args)),
+    ])
+}
+
+fn mvm_instant(e: &MvmEvent, args: Vec<(&str, Json)>) -> Json {
+    obj(vec![
+        ("name", Json::Str(e.kind_name().into())),
+        ("ph", Json::Str("i".into())),
+        ("s", Json::Str("g".into())),
+        ("ts", Json::from_u64(e.cycle)),
+        ("pid", Json::from_u64(PID_MVM)),
+        ("tid", Json::from_u64(0)),
+        ("args", obj(args)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osim_cpu::{OpKind, StallCause};
+    use osim_mem::Level;
+
+    fn op(core: usize, tid: u32, start: u64, end: u64, stall: Option<StallCause>) -> TraceRecord {
+        TraceRecord {
+            core,
+            tid,
+            kind: OpKind::VersionedLoad,
+            va: 0x8000,
+            version: tid,
+            start,
+            end,
+            stall,
+        }
+    }
+
+    #[test]
+    fn document_shape_is_chrome_loadable() {
+        let ops = vec![
+            op(0, 1, 10, 60, None),
+            op(1, 2, 20, 200, Some(StallCause::MissingVersion)),
+        ];
+        let mem = vec![MemEvent {
+            cycle: 15,
+            core: 0,
+            pa: 0x8000,
+            kind: MemEventKind::Access {
+                kind: osim_mem::AccessKind::Read,
+                level: Level::Dram,
+                latency: 120,
+            },
+        }];
+        let mvm = vec![
+            MvmEvent {
+                cycle: 30,
+                kind: MvmEventKind::GcStart {
+                    boundary: 4,
+                    pending: 10,
+                },
+            },
+            MvmEvent {
+                cycle: 90,
+                kind: MvmEventKind::GcEnd { reclaimed: 10 },
+            },
+        ];
+        let doc = chrome_trace(&ops, &mem, &mvm);
+        assert_eq!(
+            doc.get("displayTimeUnit").and_then(Json::as_str),
+            Some("ns")
+        );
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // Every event carries the mandatory fields.
+        for e in events {
+            assert!(e.get("pid").and_then(Json::as_u64).is_some());
+            assert!(e.get("tid").and_then(Json::as_u64).is_some());
+            let ph = e.get("ph").and_then(Json::as_str).unwrap();
+            if ph != "M" {
+                assert!(e.get("ts").and_then(Json::as_u64).is_some());
+            }
+        }
+        // The stalled op names its cause.
+        let stalled = events
+            .iter()
+            .find(|e| e.get("args").and_then(|a| a.get("stall_cause")).is_some())
+            .expect("stalled op present");
+        assert_eq!(
+            stalled
+                .get("args")
+                .unwrap()
+                .get("stall_cause")
+                .and_then(Json::as_str),
+            Some("missing_version")
+        );
+        // The GC phase became one duration event.
+        let gc = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("gc phase"))
+            .expect("gc phase present");
+        assert_eq!(gc.get("ts").and_then(Json::as_u64), Some(30));
+        assert_eq!(gc.get("dur").and_then(Json::as_u64), Some(60));
+        // Task spans cover first..last op of the task.
+        let t2 = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("task 2"))
+            .unwrap();
+        assert_eq!(t2.get("ts").and_then(Json::as_u64), Some(20));
+        assert_eq!(t2.get("dur").and_then(Json::as_u64), Some(180));
+        assert_eq!(t2.get("pid").and_then(Json::as_u64), Some(PID_TASKS));
+    }
+
+    #[test]
+    fn unfinished_gc_phase_still_exports() {
+        let mvm = vec![MvmEvent {
+            cycle: 40,
+            kind: MvmEventKind::GcStart {
+                boundary: 1,
+                pending: 2,
+            },
+        }];
+        let doc = chrome_trace(&[], &[], &mvm);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let gc = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("gc phase"))
+            .unwrap();
+        assert_eq!(
+            gc.get("args").unwrap().get("unfinished"),
+            Some(&Json::Bool(true))
+        );
+    }
+}

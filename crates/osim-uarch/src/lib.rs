@@ -26,7 +26,9 @@ pub mod manager;
 pub mod vblock;
 
 pub use compressed::CompressedLine;
-pub use manager::{BlockReason, GcConfig, OManager, OManagerCfg, OpOutcome, OStats};
+pub use manager::{
+    BlockReason, GcConfig, MvmEvent, MvmEventKind, OManager, OManagerCfg, OStats, OpOutcome,
+};
 pub use vblock::VBlock;
 
 /// A version identifier. Under the task-based runtime these are task IDs,

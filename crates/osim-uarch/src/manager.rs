@@ -3,7 +3,7 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-use osim_mem::{line_of, AccessKind, Fault, MemSys, PageFlags, PAGE_SIZE};
+use osim_mem::{line_of, AccessKind, EventLog, Fault, MemSys, PageFlags, PAGE_SIZE};
 
 use crate::compressed::{CEntry, CompressedLine};
 use crate::vblock::{VBlock, VBLOCK_BYTES};
@@ -79,6 +79,67 @@ impl OStats {
     }
 }
 
+/// One observable Memory Version Manager event. Timestamps come from the
+/// hierarchy clock ([`osim_mem::Hierarchy::set_clock`]), which issuing
+/// cores keep current.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MvmEvent {
+    /// Simulated cycle of the event.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: MvmEventKind,
+}
+
+/// Kinds of Memory Version Manager events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MvmEventKind {
+    /// The free list dropped below the GC watermark.
+    WatermarkCrossed {
+        /// Blocks left on the free list.
+        free: u32,
+    },
+    /// A collection phase started.
+    GcStart {
+        /// Task-id boundary recorded at phase start (§III-B).
+        boundary: TaskId,
+        /// Shadowed blocks moved to the pending list.
+        pending: u32,
+    },
+    /// A collection phase finalized.
+    GcEnd {
+        /// Blocks returned to the free list.
+        reclaimed: u32,
+    },
+    /// The OS carved fresh version blocks onto the free list.
+    FreeListCarve {
+        /// Blocks added.
+        blocks: u32,
+    },
+    /// A version block was popped off the free list.
+    FreeListAlloc {
+        /// Physical address of the block.
+        pa: u32,
+        /// Blocks left after the pop.
+        free: u32,
+    },
+    /// An OS trap refilled the empty free list.
+    RefillTrap,
+}
+
+impl MvmEvent {
+    /// Short stable name for exporters.
+    pub fn kind_name(&self) -> &'static str {
+        match self.kind {
+            MvmEventKind::WatermarkCrossed { .. } => "watermark_crossed",
+            MvmEventKind::GcStart { .. } => "gc_start",
+            MvmEventKind::GcEnd { .. } => "gc_end",
+            MvmEventKind::FreeListCarve { .. } => "freelist_carve",
+            MvmEventKind::FreeListAlloc { .. } => "freelist_alloc",
+            MvmEventKind::RefillTrap => "refill_trap",
+        }
+    }
+}
+
 /// Why a versioned operation could not complete.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockReason {
@@ -102,10 +163,7 @@ pub enum OpOutcome {
     },
     /// The operation must stall; the issuing core should retry once the
     /// O-structure changes. The cycles spent discovering this are charged.
-    Blocked {
-        reason: BlockReason,
-        latency: u64,
-    },
+    Blocked { reason: BlockReason, latency: u64 },
 }
 
 impl OpOutcome {
@@ -149,8 +207,19 @@ pub struct OManager {
     active: BTreeSet<TaskId>,
     /// Highest task id ever begun.
     max_id_seen: u32,
+    /// `(core, root_pa)` pairs whose compressed line was discarded by
+    /// another core's mutation since the core last asked. Feeds the cpu
+    /// layer's stall-cause attribution (coherence vs. version state).
+    coherence_lost: HashSet<(usize, u32)>,
+    /// OS refill-trap cycles charged since the last
+    /// [`OManager::take_trap_cycles`] — the free-list/GC share of an
+    /// operation's latency, kept separate so cores can attribute it.
+    pending_trap_cycles: u64,
     /// Counters; reset between warm-up and measurement.
     pub stats: OStats,
+    /// Observable event stream (disabled by default; enable by replacing
+    /// with [`EventLog::with_capacity`]).
+    pub events: EventLog<MvmEvent>,
 }
 
 impl OManager {
@@ -167,7 +236,10 @@ impl OManager {
             gc_phase: None,
             active: BTreeSet::new(),
             max_id_seen: 0,
+            coherence_lost: HashSet::new(),
+            pending_trap_cycles: 0,
             stats: OStats::default(),
+            events: EventLog::disabled(),
         };
         mgr.carve(ms, cfg.initial_free_blocks)?;
         Ok(mgr)
@@ -206,6 +278,10 @@ impl OManager {
     /// Carves `blocks` fresh version blocks from new pool pages and links
     /// them onto the free list. This is the protected OS-side operation.
     fn carve(&mut self, ms: &mut MemSys, blocks: u32) -> Result<(), Fault> {
+        self.events.push(MvmEvent {
+            cycle: ms.hier.clock(),
+            kind: MvmEventKind::FreeListCarve { blocks },
+        });
         let per_page = PAGE_SIZE / VBLOCK_BYTES;
         let pages = blocks.div_ceil(per_page);
         for _ in 0..pages {
@@ -249,10 +325,16 @@ impl OManager {
     /// block's line is installed locally so the immediately following
     /// full-block write hits (a write-no-fetch: the old contents are dead).
     fn alloc_block(&mut self, ms: &mut MemSys, core: usize) -> Result<(u32, u64), Fault> {
+        let now = ms.hier.clock();
         let mut latency = 0;
         if self.free_count == 0 {
             self.stats.refill_traps += 1;
             latency += self.cfg.trap_latency;
+            self.pending_trap_cycles += self.cfg.trap_latency;
+            self.events.push(MvmEvent {
+                cycle: now,
+                kind: MvmEventKind::RefillTrap,
+            });
             self.carve(ms, self.cfg.refill_blocks)?;
         }
         let pa = self.free_head;
@@ -264,7 +346,23 @@ impl OManager {
         self.free_head = blk.next;
         self.free_count -= 1;
         self.stats.allocated_blocks += 1;
-        self.maybe_start_gc();
+        self.events.push(MvmEvent {
+            cycle: now,
+            kind: MvmEventKind::FreeListAlloc {
+                pa,
+                free: self.free_count,
+            },
+        });
+        let wm = self.cfg.gc.watermark;
+        if wm != 0 && self.free_count + 1 >= wm && self.free_count < wm {
+            self.events.push(MvmEvent {
+                cycle: now,
+                kind: MvmEventKind::WatermarkCrossed {
+                    free: self.free_count,
+                },
+            });
+        }
+        self.maybe_start_gc(now);
         Ok((pa, latency))
     }
 
@@ -294,7 +392,7 @@ impl OManager {
 
     /// Starts a collection phase if the watermark is crossed and shadowed
     /// blocks are available.
-    fn maybe_start_gc(&mut self) {
+    fn maybe_start_gc(&mut self, now: u64) {
         if self.cfg.gc.watermark == 0
             || self.gc_phase.is_some()
             || self.shadowed.is_empty()
@@ -305,6 +403,13 @@ impl OManager {
         let youngest_active = self.active.last().copied().unwrap_or(0);
         let boundary = youngest_active.max(self.max_id_seen);
         let pending = std::mem::take(&mut self.shadowed);
+        self.events.push(MvmEvent {
+            cycle: now,
+            kind: MvmEventKind::GcStart {
+                boundary,
+                pending: pending.len() as u32,
+            },
+        });
         self.gc_phase = Some(GcPhase { boundary, pending });
     }
 
@@ -343,6 +448,12 @@ impl OManager {
                 .retain(|_, line| !line_contains_any(line, &reclaimed));
         }
         self.stats.gc_phases += 1;
+        self.events.push(MvmEvent {
+            cycle: ms.hier.clock(),
+            kind: MvmEventKind::GcEnd {
+                reclaimed: reclaimed.len() as u32,
+            },
+        });
     }
 
     /// Unlinks `block_pa` from the list rooted at `root_pa` (background
@@ -390,7 +501,12 @@ impl OManager {
 
     /// Direct-access probe: returns a clone of the compressed entry for
     /// (core, root) if both the L1 slot and the payload are present.
-    fn compressed_line(&mut self, ms: &mut MemSys, core: usize, root_pa: u32) -> Option<&mut CompressedLine> {
+    fn compressed_line(
+        &mut self,
+        ms: &mut MemSys,
+        core: usize,
+        root_pa: u32,
+    ) -> Option<&mut CompressedLine> {
         let slot_hit = ms.hier.compressed_probe(core, root_pa);
         if !slot_hit {
             self.compressed.remove(&(core, root_pa));
@@ -411,17 +527,17 @@ impl OManager {
     ) {
         let dropped = ms.hier.compressed_fill(core, root_pa);
         self.prune(&dropped);
-        let line = self
-            .compressed
-            .entry((core, root_pa))
-            .or_default();
+        let line = self.compressed.entry((core, root_pa)).or_default();
         if !line.insert(entry) {
             // The version does not fit this line's 2^14 window (stale base):
             // rebuild the line around the new version, as hardware would
             // rebuild a discarded compressed block.
             *line = CompressedLine::new();
             let ok = line.insert(entry);
-            debug_assert!(ok || entry.locked_by != 0, "fresh line rejects only odd lockers");
+            debug_assert!(
+                ok || entry.locked_by != 0,
+                "fresh line rejects only odd lockers"
+            );
         }
         if let Some(h) = head_version {
             if line.get(h).is_some() {
@@ -431,10 +547,33 @@ impl OManager {
     }
 
     /// Coherence: a mutation of the structure rooted at `root_pa` by `core`
-    /// discards every other core's compressed line for it.
+    /// discards every other core's compressed line for it. Each loss is
+    /// remembered so the victims' next blocked retry can be attributed to
+    /// coherence (see [`OManager::take_coherence_lost`]).
     fn compressed_coherence(&mut self, ms: &mut MemSys, core: usize, root_pa: u32) {
         let dropped = ms.hier.compressed_invalidate_others(core, root_pa);
+        self.coherence_lost.extend(dropped.iter().copied());
         self.prune(&dropped);
+    }
+
+    /// Consumes the coherence-loss marker for `core`'s view of the
+    /// structure at `va`: true exactly once after another core's mutation
+    /// invalidated this core's compressed line. Issuing cores call this
+    /// when an operation blocks, to attribute the stall to coherence
+    /// rather than to the version state alone.
+    pub fn take_coherence_lost(&mut self, ms: &MemSys, core: usize, va: u32) -> bool {
+        match ms.pt.translate_versioned(va) {
+            Ok(root_pa) => self.coherence_lost.remove(&(core, root_pa)),
+            Err(_) => false,
+        }
+    }
+
+    /// Drains the OS refill-trap cycles charged since the last call. The
+    /// issuing core folds these into its stall accounting under the
+    /// free-list/GC cause — the latency itself is already part of the
+    /// operation's charged latency.
+    pub fn take_trap_cycles(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_trap_cycles)
     }
 
     // ------------------------------------------------------------------
@@ -591,7 +730,11 @@ impl OManager {
                 head_version = blk.version;
                 first = false;
             }
-            let matched = if latest { blk.version <= v } else { blk.version == v };
+            let matched = if latest {
+                blk.version <= v
+            } else {
+                blk.version == v
+            };
             if matched {
                 if sorted {
                     best = Some(blk);
@@ -992,7 +1135,9 @@ impl OManager {
         let value = blk.data;
         if let Some(vn) = create {
             let store = self.store_version(ms, core, va, vn, value)?;
-            latency += store.latency().saturating_sub(self.cfg.versioned_extra_latency);
+            latency += store
+                .latency()
+                .saturating_sub(self.cfg.versioned_extra_latency);
         }
 
         Ok(OpOutcome::Done {
@@ -1041,11 +1186,14 @@ impl OManager {
         if let Some(phase) = &mut self.gc_phase {
             phase.pending.retain(|&(r, _)| r != root_pa);
         }
-        // Every cached view of this structure is now stale.
+        // Every cached view of this structure is now stale. This is an
+        // explicit release, not a coherence event, so pending loss markers
+        // for the root die with it.
         for core in 0..ms.hier.cfg().cores {
             ms.hier.compressed_drop(core, root_pa);
             self.compressed.remove(&(core, root_pa));
         }
+        self.coherence_lost.retain(|&(_, r)| r != root_pa);
         self.stats.reclaimed_blocks += freed as u64;
         self.unsorted_roots.remove(&root_pa);
         Ok(freed)
@@ -1057,7 +1205,11 @@ impl OManager {
 
     /// Returns every `(version, data, locked_by)` of the O-structure at
     /// `va`, newest first, without touching timing state.
-    pub fn peek_versions(&self, ms: &MemSys, va: u32) -> Result<Vec<(Version, u32, TaskId)>, Fault> {
+    pub fn peek_versions(
+        &self,
+        ms: &MemSys,
+        va: u32,
+    ) -> Result<Vec<(Version, u32, TaskId)>, Fault> {
         let root_pa = ms.pt.translate_versioned(va)?;
         let mut out = Vec::new();
         let mut cur = ms.phys.read_u32(root_pa);
@@ -1070,7 +1222,12 @@ impl OManager {
     }
 
     /// Functional `LOAD-LATEST` (no timing): the newest version ≤ `cap`.
-    pub fn peek_latest(&self, ms: &MemSys, va: u32, cap: Version) -> Result<Option<(Version, u32)>, Fault> {
+    pub fn peek_latest(
+        &self,
+        ms: &MemSys,
+        va: u32,
+        cap: Version,
+    ) -> Result<Option<(Version, u32)>, Fault> {
         Ok(self
             .peek_versions(ms, va)?
             .into_iter()

@@ -100,7 +100,11 @@ fn out_of_order_store_disables_early_exit_but_stays_correct() {
         .iter()
         .map(|&(v, _, _)| v)
         .collect();
-    assert_eq!(sorted, vec![3, 2, 1], "prepend of ascending versions is sorted");
+    assert_eq!(
+        sorted,
+        vec![3, 2, 1],
+        "prepend of ascending versions is sorted"
+    );
     // An out-of-order store flags the list; lookups remain correct.
     mgr.store_version(&mut ms, 0, va, 2_000, 42).unwrap();
     mgr.store_version(&mut ms, 0, va, 10, 10).unwrap(); // out of order now
@@ -110,7 +114,11 @@ fn out_of_order_store_disables_early_exit_but_stays_correct() {
         .iter()
         .map(|&(v, _, _)| v)
         .collect();
-    assert_eq!(shape, vec![10, 2000, 3, 2, 1], "prepend order, not version order");
+    assert_eq!(
+        shape,
+        vec![10, 2000, 3, 2, 1],
+        "prepend order, not version order"
+    );
     for (cap, want) in [(1u32, 1u32), (5, 3), (10, 10), (5000, 2000)] {
         match mgr.load_latest(&mut ms, 0, va, cap).unwrap() {
             OpOutcome::Done { version, .. } => assert_eq!(version, want, "cap {cap}"),

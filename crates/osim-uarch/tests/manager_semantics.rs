@@ -83,7 +83,10 @@ fn all_created_versions_remain_loadable() {
         mgr.store_version(&mut ms, 0, va, v, v * 100).unwrap();
     }
     for v in 1..=20u32 {
-        assert_eq!(value_of(mgr.load_version(&mut ms, 0, va, v).unwrap()), v * 100);
+        assert_eq!(
+            value_of(mgr.load_version(&mut ms, 0, va, v).unwrap()),
+            v * 100
+        );
     }
 }
 
@@ -107,7 +110,10 @@ fn load_latest_picks_highest_not_exceeding_cap() {
     for (cap, want_ver) in [(2u32, 2u32), (3, 2), (5, 5), (8, 5), (9, 9), (100, 9)] {
         let out = mgr.load_latest(&mut ms, 0, va, cap).unwrap();
         assert_eq!(version_of(out), want_ver, "cap {cap}");
-        assert_eq!(value_of(mgr.load_latest(&mut ms, 0, va, cap).unwrap()), want_ver);
+        assert_eq!(
+            value_of(mgr.load_latest(&mut ms, 0, va, cap).unwrap()),
+            want_ver
+        );
     }
     // Below every version: blocks.
     let out = mgr.load_latest(&mut ms, 0, va, 1).unwrap();
@@ -211,7 +217,10 @@ fn direct_access_is_faster_than_full_lookup() {
     let direct_before = mgr.stats.direct_hits;
     // The second identical load is a compressed-line direct hit.
     let warm = mgr.load_version(&mut ms, 1, va, 8).unwrap();
-    assert!(mgr.stats.direct_hits > direct_before, "second load is direct");
+    assert!(
+        mgr.stats.direct_hits > direct_before,
+        "second load is direct"
+    );
     assert!(
         warm.latency() < cold.latency(),
         "direct {} < full {}",
@@ -233,7 +242,10 @@ fn remote_store_discards_compressed_line() {
     assert!(ms.hier.stats.compressed_coherence_drops > drops_before);
     let full_before = mgr.stats.full_lookups;
     mgr.load_version(&mut ms, 1, va, 1).unwrap();
-    assert!(mgr.stats.full_lookups > full_before, "line was rebuilt by a walk");
+    assert!(
+        mgr.stats.full_lookups > full_before,
+        "line was rebuilt by a walk"
+    );
 }
 
 #[test]
@@ -280,7 +292,10 @@ fn unsorted_mode_still_correct() {
         mgr.store_version(&mut ms, 0, va, v, v * 10).unwrap();
     }
     for v in 1..=4u32 {
-        assert_eq!(value_of(mgr.load_version(&mut ms, 0, va, v).unwrap()), v * 10);
+        assert_eq!(
+            value_of(mgr.load_version(&mut ms, 0, va, v).unwrap()),
+            v * 10
+        );
     }
     assert_eq!(version_of(mgr.load_latest(&mut ms, 0, va, 3).unwrap()), 3);
     assert_eq!(
@@ -344,7 +359,7 @@ fn gc_waits_for_old_readers() {
     mgr.store_version(&mut ms, 0, va, 2, 20).unwrap();
     mgr.task_begin(3);
     mgr.store_version(&mut ms, 0, va, 3, 30).unwrap(); // phase starts
-    // Tasks 2 and 3 end, but task 1 (old) is still running: no reclaim.
+                                                       // Tasks 2 and 3 end, but task 1 (old) is still running: no reclaim.
     mgr.task_end(&mut ms, 3);
     mgr.task_end(&mut ms, 2);
     assert!(mgr.gc_phase_active());
@@ -366,11 +381,18 @@ fn gc_recovers_free_blocks() {
         mgr.task_end(&mut ms, t);
     }
     assert!(mgr.stats.gc_phases >= 1);
-    assert!(mgr.stats.reclaimed_blocks >= 90, "{}", mgr.stats.reclaimed_blocks);
+    assert!(
+        mgr.stats.reclaimed_blocks >= 90,
+        "{}",
+        mgr.stats.reclaimed_blocks
+    );
     // Free list is nearly back to the start: allocated 100, reclaimed most.
     assert!(initial_free - mgr.free_blocks() <= 10);
     // The newest version survives.
-    assert_eq!(value_of(mgr.load_version(&mut ms, 0, va, 100).unwrap()), 100);
+    assert_eq!(
+        value_of(mgr.load_version(&mut ms, 0, va, 100).unwrap()),
+        100
+    );
 }
 
 #[test]
@@ -389,7 +411,10 @@ fn refill_trap_extends_free_list() {
     assert_eq!(mgr.stats.allocated_blocks, 300);
     // Everything is still loadable (nothing was collected).
     assert_eq!(value_of(mgr.load_version(&mut ms, 0, va, 1).unwrap()), 1);
-    assert_eq!(value_of(mgr.load_version(&mut ms, 0, va, 300).unwrap()), 300);
+    assert_eq!(
+        value_of(mgr.load_version(&mut ms, 0, va, 300).unwrap()),
+        300
+    );
 }
 
 #[test]
@@ -429,7 +454,10 @@ fn multiple_ostructures_are_independent() {
     assert_eq!(value_of(mgr.load_version(&mut ms, 0, va, 1).unwrap()), 100);
     assert_eq!(value_of(mgr.load_version(&mut ms, 0, va2, 1).unwrap()), 200);
     assert_eq!(value_of(mgr.load_latest(&mut ms, 0, va3, 9).unwrap()), 300);
-    assert_eq!(reason_of(mgr.load_version(&mut ms, 0, va3, 1).unwrap()), BlockReason::VersionAbsent);
+    assert_eq!(
+        reason_of(mgr.load_version(&mut ms, 0, va3, 1).unwrap()),
+        BlockReason::VersionAbsent
+    );
 }
 
 #[test]
@@ -439,7 +467,11 @@ fn determinism_of_latencies() {
         let mut sig = Vec::new();
         for v in 1..=32u32 {
             let core = (v % 2) as usize;
-            sig.push(mgr.store_version(&mut ms, core, va, v, v).unwrap().latency());
+            sig.push(
+                mgr.store_version(&mut ms, core, va, v, v)
+                    .unwrap()
+                    .latency(),
+            );
             sig.push(mgr.load_latest(&mut ms, 1 - core, va, v).unwrap().latency());
         }
         sig

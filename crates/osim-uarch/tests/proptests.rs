@@ -17,11 +17,34 @@ fn blocked_with(out: &OpOutcome, want: BlockReason) -> bool {
 
 #[derive(Debug, Clone)]
 enum Step {
-    Store { cell: u8, v: u32, val: u32, core: u8 },
-    Load { cell: u8, v: u32, core: u8 },
-    Latest { cell: u8, cap: u32, core: u8 },
-    LockLatest { cell: u8, cap: u32, tid: u8, core: u8 },
-    Unlock { cell: u8, tid: u8, create: Option<u32>, core: u8 },
+    Store {
+        cell: u8,
+        v: u32,
+        val: u32,
+        core: u8,
+    },
+    Load {
+        cell: u8,
+        v: u32,
+        core: u8,
+    },
+    Latest {
+        cell: u8,
+        cap: u32,
+        core: u8,
+    },
+    LockLatest {
+        cell: u8,
+        cap: u32,
+        tid: u8,
+        core: u8,
+    },
+    Unlock {
+        cell: u8,
+        tid: u8,
+        create: Option<u32>,
+        core: u8,
+    },
 }
 
 fn step_strategy() -> impl Strategy<Value = Step> {
@@ -31,14 +54,32 @@ fn step_strategy() -> impl Strategy<Value = Step> {
     prop_oneof![
         (cell.clone(), ver.clone(), any::<u32>(), core.clone())
             .prop_map(|(cell, v, val, core)| Step::Store { cell, v, val, core }),
-        (cell.clone(), ver.clone(), core.clone())
-            .prop_map(|(cell, v, core)| Step::Load { cell, v, core }),
-        (cell.clone(), ver.clone(), core.clone())
-            .prop_map(|(cell, cap, core)| Step::Latest { cell, cap, core }),
-        (cell.clone(), ver.clone(), 1u8..6, core.clone())
-            .prop_map(|(cell, cap, tid, core)| Step::LockLatest { cell, cap, tid, core }),
-        (cell, 1u8..6, proptest::option::of(ver), core)
-            .prop_map(|(cell, tid, create, core)| Step::Unlock { cell, tid, create, core }),
+        (cell.clone(), ver.clone(), core.clone()).prop_map(|(cell, v, core)| Step::Load {
+            cell,
+            v,
+            core
+        }),
+        (cell.clone(), ver.clone(), core.clone()).prop_map(|(cell, cap, core)| Step::Latest {
+            cell,
+            cap,
+            core
+        }),
+        (cell.clone(), ver.clone(), 1u8..6, core.clone()).prop_map(|(cell, cap, tid, core)| {
+            Step::LockLatest {
+                cell,
+                cap,
+                tid,
+                core,
+            }
+        }),
+        (cell, 1u8..6, proptest::option::of(ver), core).prop_map(|(cell, tid, create, core)| {
+            Step::Unlock {
+                cell,
+                tid,
+                create,
+                core,
+            }
+        }),
     ]
 }
 

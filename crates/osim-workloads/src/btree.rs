@@ -128,13 +128,7 @@ async fn node_fields(ctx: &TaskCtx, node: u32) -> (u32, u32, u32) {
 
 /// Releases the final held edge, optionally publishing a new child value.
 /// Root edges always get the task's pass version (the next entry point).
-async fn release(
-    ctx: &TaskCtx,
-    cell: u32,
-    locked: Version,
-    is_root: bool,
-    new_value: Option<u32>,
-) {
+async fn release(ctx: &TaskCtx, cell: u32, locked: Version, is_root: bool, new_value: Option<u32>) {
     let tid = ctx.tid();
     let pass = vers::passv(tid);
     match new_value {
@@ -358,12 +352,13 @@ pub fn run_versioned(mcfg: MachineCfg, cfg: &DsCfg) -> DsResult {
     };
     let pop_tid = m.next_tid();
     let keys = initial.clone();
-    m.run_tasks(vec![task(move |ctx| populate_versioned(ctx, root_cell, keys))])
-        .expect("population");
+    m.run_tasks(vec![task(move |ctx| {
+        populate_versioned(ctx, root_cell, keys)
+    })])
+    .expect("population");
     m.reset_stats();
 
-    let results: Rc<RefCell<Vec<Option<OpResult>>>> =
-        Rc::new(RefCell::new(vec![None; ops.len()]));
+    let results: Rc<RefCell<Vec<Option<OpResult>>>> = Rc::new(RefCell::new(vec![None; ops.len()]));
     let first = m.next_tid();
     let mut entry = vers::passv(pop_tid);
     let mut tasks = Vec::with_capacity(ops.len());
@@ -423,8 +418,10 @@ async fn populate_unversioned(ctx: TaskCtx, root_word: u32, keys: Vec<u32>) {
         }
         let va = ctx.malloc(NODE_BYTES).await;
         ctx.store_u32(va, k).await;
-        ctx.store_u32(va + 4, if l == NONE { 0 } else { vas[l] }).await;
-        ctx.store_u32(va + 8, if r == NONE { 0 } else { vas[r] }).await;
+        ctx.store_u32(va + 4, if l == NONE { 0 } else { vas[l] })
+            .await;
+        ctx.store_u32(va + 8, if r == NONE { 0 } else { vas[r] })
+            .await;
         vas[i] = va;
     }
     ctx.store_u32(root_word, if root == NONE { 0 } else { vas[root] })
@@ -575,8 +572,10 @@ pub fn run_unversioned(mcfg: MachineCfg, cfg: &DsCfg) -> DsResult {
         s.alloc.alloc_data(&mut s.ms, 4)
     };
     let keys = initial.clone();
-    m.run_tasks(vec![task(move |ctx| populate_unversioned(ctx, root_word, keys))])
-        .expect("population");
+    m.run_tasks(vec![task(move |ctx| {
+        populate_unversioned(ctx, root_word, keys)
+    })])
+    .expect("population");
     m.reset_stats();
 
     let results: Rc<RefCell<Vec<OpResult>>> = Rc::new(RefCell::new(Vec::new()));
@@ -620,8 +619,10 @@ pub fn run_rwlock(mcfg: MachineCfg, cfg: &DsCfg) -> DsResult {
         )
     };
     let keys = initial.clone();
-    m.run_tasks(vec![task(move |ctx| populate_unversioned(ctx, root_word, keys))])
-        .expect("population");
+    m.run_tasks(vec![task(move |ctx| {
+        populate_unversioned(ctx, root_word, keys)
+    })])
+    .expect("population");
     m.reset_stats();
 
     let scan_ok = Rc::new(RefCell::new(true));
@@ -637,8 +638,7 @@ pub fn run_rwlock(mcfg: MachineCfg, cfg: &DsCfg) -> DsResult {
                     lock.read_unlock(&ctx).await;
                     if let (Op::Scan(from, range), OpResult::Scanned(keys)) = (op, &r) {
                         let sorted = keys.windows(2).all(|w| w[0] < w[1]);
-                        let bounded =
-                            keys.len() as u32 <= range && keys.iter().all(|&k| k >= from);
+                        let bounded = keys.len() as u32 <= range && keys.iter().all(|&k| k >= from);
                         if !(sorted && bounded) {
                             *scan_ok.borrow_mut() = false;
                         }

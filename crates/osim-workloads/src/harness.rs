@@ -142,9 +142,7 @@ pub fn replay_reference(initial: &[u32], ops: &[Op]) -> (Vec<OpResult>, Vec<u32>
             Op::Lookup(k) => OpResult::Found(set.contains(&k)),
             Op::Insert(k) => OpResult::Inserted(set.insert(k)),
             Op::Delete(k) => OpResult::Deleted(set.remove(&k)),
-            Op::Scan(k, n) => {
-                OpResult::Scanned(set.range(k..).take(n as usize).copied().collect())
-            }
+            Op::Scan(k, n) => OpResult::Scanned(set.range(k..).take(n as usize).copied().collect()),
         });
     }
     (results, set.into_iter().collect())

@@ -100,7 +100,8 @@ async fn mutate(ctx: &TaskCtx, table: &Table, entry: Version, op: Op) -> OpResul
     ctx.work(HASH_WORK).await;
     let bucket = table.bucket_cell(key);
     let (bvl, first) = ctx.lock_load_latest(bucket, cap).await;
-    ctx.unlock_version(table.order_cell, entry, Some(pass)).await;
+    ctx.unlock_version(table.order_cell, entry, Some(pass))
+        .await;
 
     let mut prev_cell = bucket;
     let mut prev_locked = bvl;
@@ -145,7 +146,8 @@ async fn mutate(ctx: &TaskCtx, table: &Table, entry: Version, op: Op) -> OpResul
                 ctx.work(OP_WORK).await;
                 let vcell = ctx.load_u32(cur + 4).await;
                 let (vvl, vnext) = ctx.lock_load_latest(vcell, cap).await;
-                ctx.store_version(prev_cell, vers::modv(tid, 0), vnext).await;
+                ctx.store_version(prev_cell, vers::modv(tid, 0), vnext)
+                    .await;
                 ctx.unlock_version(prev_cell, prev_locked, None).await;
                 ctx.unlock_version(vcell, vvl, None).await;
                 OpResult::Deleted(true)
@@ -246,8 +248,7 @@ pub fn run_versioned(mcfg: MachineCfg, cfg: &DsCfg) -> DsResult {
         .expect("population");
     m.reset_stats();
 
-    let results: Rc<RefCell<Vec<Option<OpResult>>>> =
-        Rc::new(RefCell::new(vec![None; ops.len()]));
+    let results: Rc<RefCell<Vec<Option<OpResult>>>> = Rc::new(RefCell::new(vec![None; ops.len()]));
     let first = m.next_tid();
     let mut entry = vers::passv(pop_tid);
     let mut tasks = Vec::with_capacity(ops.len());

@@ -253,13 +253,14 @@ pub fn run_versioned_with(mcfg: MachineCfg, cfg: &DsCfg, rename_on_pass: bool) -
     // Population phase (excluded from measurement).
     let pop_tid = m.next_tid();
     let keys = initial.clone();
-    m.run_tasks(vec![task(move |ctx| populate_versioned(ctx, head_cell, keys))])
-        .expect("population");
+    m.run_tasks(vec![task(move |ctx| {
+        populate_versioned(ctx, head_cell, keys)
+    })])
+    .expect("population");
     m.reset_stats();
 
     // Measurement phase: one task per operation.
-    let results: Rc<RefCell<Vec<Option<OpResult>>>> =
-        Rc::new(RefCell::new(vec![None; ops.len()]));
+    let results: Rc<RefCell<Vec<Option<OpResult>>>> = Rc::new(RefCell::new(vec![None; ops.len()]));
     let first = m.next_tid();
     let mut entry = vers::passv(pop_tid);
     let mut tasks = Vec::with_capacity(ops.len());

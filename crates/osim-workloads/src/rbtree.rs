@@ -381,12 +381,7 @@ pub mod persistent {
         /// Checks the red-black invariants: BST order, no red-red edges,
         /// equal black height. Returns the black height.
         pub fn check_invariants(&self, root: usize) -> Result<u32, String> {
-            fn go(
-                a: &Arena,
-                t: usize,
-                lo: Option<u32>,
-                hi: Option<u32>,
-            ) -> Result<u32, String> {
+            fn go(a: &Arena, t: usize, lo: Option<u32>, hi: Option<u32>) -> Result<u32, String> {
                 if t == NIL {
                     return Ok(1);
                 }
@@ -496,7 +491,14 @@ async fn apply_diff(ctx: &TaskCtx, sh: &Rc<RefCell<RbShared>>, new_root: usize, 
         ctx.store_u32(node + 4, color).await;
         ctx.store_u32(node + 8, lcell).await;
         ctx.store_u32(node + 12, rcell).await;
-        sh.borrow_mut().phys.insert(key, PhysNode { va: node, lcell, rcell });
+        sh.borrow_mut().phys.insert(
+            key,
+            PhysNode {
+                va: node,
+                lcell,
+                rcell,
+            },
+        );
     }
     // Pass 2: publish changed child pointers and colors.
     type Write = Option<(u32, u32)>; // (address-or-cell, value)
@@ -508,12 +510,9 @@ async fn apply_diff(ctx: &TaskCtx, sh: &Rc<RefCell<RbShared>>, new_root: usize, 
             .filter_map(|(&key, &(nl, nr, ncolor))| {
                 let p = s.phys[&key];
                 let old = s.shape.get(&key);
-                let lw = (old.map(|o| o.0) != Some(nl))
-                    .then(|| (p.lcell, va_of(nl)));
-                let rw = (old.map(|o| o.1) != Some(nr))
-                    .then(|| (p.rcell, va_of(nr)));
-                let cw = (old.map(|o| o.2) != Some(ncolor))
-                    .then_some((p.va + 4, ncolor));
+                let lw = (old.map(|o| o.0) != Some(nl)).then(|| (p.lcell, va_of(nl)));
+                let rw = (old.map(|o| o.1) != Some(nr)).then(|| (p.rcell, va_of(nr)));
+                let cw = (old.map(|o| o.2) != Some(ncolor)).then_some((p.va + 4, ncolor));
                 (lw.is_some() || rw.is_some() || cw.is_some()).then_some((key, lw, rw, cw))
             })
             .collect()
@@ -776,8 +775,7 @@ pub fn run_versioned_with(mcfg: MachineCfg, cfg: &DsCfg, hold: LockHold) -> DsRe
     .expect("population");
     m.reset_stats();
 
-    let results: Rc<RefCell<Vec<Option<OpResult>>>> =
-        Rc::new(RefCell::new(vec![None; ops.len()]));
+    let results: Rc<RefCell<Vec<Option<OpResult>>>> = Rc::new(RefCell::new(vec![None; ops.len()]));
     let first = m.next_tid();
     let mut entry = vers::passv(pop_tid);
     let mut tasks = Vec::with_capacity(ops.len());

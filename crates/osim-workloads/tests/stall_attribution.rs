@@ -1,0 +1,75 @@
+//! Stall-cause attribution invariants. The per-cause split is maintained
+//! by a single charge point in the task context, so across workloads,
+//! seeds, mixes, and core counts it must sum *exactly* to the aggregate
+//! stall-cycle counter — and so must the per-core split.
+
+use proptest::prelude::*;
+
+use osim_cpu::MachineCfg;
+use osim_workloads::harness::{DsCfg, DsResult};
+use osim_workloads::{btree, linked_list};
+
+fn cfg(initial: usize, ops: usize, rpw: u32, seed: u64) -> DsCfg {
+    DsCfg {
+        initial,
+        ops,
+        reads_per_write: rpw,
+        scan_range: 0,
+        key_space: initial as u32 * 4,
+        seed,
+        insert_only: false,
+    }
+}
+
+fn assert_attribution(r: &DsResult, what: &str) {
+    r.assert_ok();
+    let by_cause: u64 = r.cpu.stall_by_cause.iter().sum();
+    assert_eq!(
+        by_cause, r.cpu.stall_cycles,
+        "{what}: per-cause stall split does not sum to the aggregate"
+    );
+    let per_core: u64 = r.cpu.per_core.iter().map(|c| c.stall_cycles).sum();
+    assert_eq!(
+        per_core, r.cpu.stall_cycles,
+        "{what}: per-core stall split does not sum to the aggregate"
+    );
+}
+
+/// A contended parallel run actually stalls, and every stalled cycle is
+/// attributed to some cause.
+#[test]
+fn contended_run_attributes_its_stalls() {
+    let r = linked_list::run_versioned(MachineCfg::paper(8), &cfg(40, 120, 1, 42));
+    assert_attribution(&r, "linked list 8c");
+    assert!(r.cpu.stall_cycles > 0, "contention must stall");
+    assert!(
+        r.cpu.stall_by_cause.iter().any(|&c| c > 0),
+        "stalls must name a cause"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn linked_list_stall_split_sums_exactly(
+        cores in 1usize..=8,
+        ops in 30usize..90,
+        rpw in 1u32..=4,
+        seed in 0u64..1000,
+    ) {
+        let r = linked_list::run_versioned(MachineCfg::paper(cores), &cfg(40, ops, rpw, seed));
+        assert_attribution(&r, "linked list");
+    }
+
+    #[test]
+    fn btree_stall_split_sums_exactly(
+        cores in 1usize..=8,
+        ops in 30usize..90,
+        rpw in 1u32..=4,
+        seed in 0u64..1000,
+    ) {
+        let r = btree::run_versioned(MachineCfg::paper(cores), &cfg(48, ops, rpw, seed));
+        assert_attribution(&r, "btree");
+    }
+}

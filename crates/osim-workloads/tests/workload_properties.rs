@@ -105,7 +105,11 @@ fn hashtable_readers_stall_less_than_mutators() {
     let wi = hashtable::run_versioned(MachineCfg::paper(8), &cfg(200, 128, 1, 9));
     wi.assert_ok();
     assert!(wi.cpu.root_loads > 0);
-    assert!(wi.cpu.root_stall_rate() > 0.3, "{}", wi.cpu.root_stall_rate());
+    assert!(
+        wi.cpu.root_stall_rate() > 0.3,
+        "{}",
+        wi.cpu.root_stall_rate()
+    );
 }
 
 /// LockHold policies agree on results (the ablation changes timing only).

@@ -158,12 +158,7 @@ impl<T: Clone> OCell<T> {
                     return Some(slot.value.clone());
                 }
             }
-            if self
-                .inner
-                .changed
-                .wait_until(&mut st, deadline)
-                .timed_out()
-            {
+            if self.inner.changed.wait_until(&mut st, deadline).timed_out() {
                 return None;
             }
         }
@@ -391,7 +386,11 @@ mod tests {
         c.store_version(2, 20).unwrap();
         c.lock_load_version(1, 7).unwrap();
         assert_eq!(c.try_load_version(1), None, "locked");
-        assert_eq!(c.try_load_version(2), Some(20), "other versions ignore the lock");
+        assert_eq!(
+            c.try_load_version(2),
+            Some(20),
+            "other versions ignore the lock"
+        );
         c.unlock_version(7, None).unwrap();
         assert_eq!(c.try_load_version(1), Some(10));
     }

@@ -237,16 +237,14 @@ mod tests {
     fn mvar_producer_consumer_rendezvous() {
         let m = Arc::new(MVar::full(0u32)); // 0 = "no message"
         let m2 = Arc::clone(&m);
-        let consumer = thread::spawn(move || {
-            loop {
-                let (tok, v) = m2.take(2);
-                if v != 0 {
-                    m2.put(tok, 0).unwrap();
-                    return v;
-                }
-                m2.put(tok, v).unwrap();
-                thread::yield_now();
+        let consumer = thread::spawn(move || loop {
+            let (tok, v) = m2.take(2);
+            if v != 0 {
+                m2.put(tok, 0).unwrap();
+                return v;
             }
+            m2.put(tok, v).unwrap();
+            thread::yield_now();
         });
         thread::sleep(Duration::from_millis(5));
         let (tok, _) = m.take(1);

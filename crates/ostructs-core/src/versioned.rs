@@ -157,7 +157,9 @@ mod tests {
         let mut handles = Vec::new();
         for tid in first_tid..first_tid + 8 {
             let root = root.clone();
-            handles.push(thread::spawn(move || insert_end(tid, tid as u32 * 10, root)));
+            handles.push(thread::spawn(move || {
+                insert_end(tid, tid as u32 * 10, root)
+            }));
         }
         for h in handles {
             h.join().unwrap();

@@ -2,7 +2,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use ostructs::core::{OCell, ORuntime, OError};
+use ostructs::core::{OCell, OError, ORuntime};
 
 fn main() {
     // --- 1. A multi-version memory cell --------------------------------

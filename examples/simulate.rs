@@ -35,7 +35,8 @@ fn main() {
             let prev = ctx.load_version(cell, tid - 1).await; // true dependency
             ctx.work(500).await; // some computation
             ctx.store_version(cell, tid, prev * 2).await;
-            log.borrow_mut().push((tid, ctx.core(), prev * 2, ctx.now()));
+            log.borrow_mut()
+                .push((tid, ctx.core(), prev * 2, ctx.now()));
         }));
     }
     let report = m.run_tasks(tasks).expect("no deadlock");

@@ -17,7 +17,7 @@ fn software_and_hardware_semantics_agree() {
     #[derive(Clone, Copy)]
     enum S {
         Store(u32, u32),
-        Lock(u32, u32),   // version, tid
+        Lock(u32, u32),           // version, tid
         Unlock(u32, Option<u32>), // tid, create
     }
     let script = [
@@ -71,7 +71,10 @@ fn software_and_hardware_semantics_agree() {
     let hw: Vec<(u32, u32, u32)> = mgr.peek_versions(&ms, va).unwrap();
     let sw: Vec<u64> = cell.versions();
     assert_eq!(
-        hw.iter().rev().map(|&(v, _, _)| v as u64).collect::<Vec<_>>(),
+        hw.iter()
+            .rev()
+            .map(|&(v, _, _)| v as u64)
+            .collect::<Vec<_>>(),
         sw
     );
     for &(v, val, locked) in &hw {
@@ -129,7 +132,10 @@ fn protection_faults_surface() {
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        (s.alloc.alloc_root(&mut s.ms), s.alloc.alloc_data(&mut s.ms, 4))
+        (
+            s.alloc.alloc_root(&mut s.ms),
+            s.alloc.alloc_data(&mut s.ms, 4),
+        )
     };
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut m2 = Machine::new(MachineCfg::paper(1));
@@ -143,7 +149,10 @@ fn protection_faults_surface() {
             ctx.load_u32(root2).await; // conventional load of a versioned page
         })])
     }));
-    assert!(result.is_err(), "conventional access to versioned page must fault");
+    assert!(
+        result.is_err(),
+        "conventional access to versioned page must fault"
+    );
 
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut m2 = Machine::new(MachineCfg::paper(1));
@@ -157,7 +166,10 @@ fn protection_faults_surface() {
             ctx.store_version(data2, 1, 0).await; // versioned store to data page
         })])
     }));
-    assert!(result.is_err(), "versioned access to conventional page must fault");
+    assert!(
+        result.is_err(),
+        "versioned access to conventional page must fault"
+    );
     let _ = (root, data, m);
 }
 

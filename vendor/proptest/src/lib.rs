@@ -1,0 +1,212 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! reimplements the subset of the proptest 1.x API that the workspace's
+//! property tests use: the [`proptest!`] macro, [`strategy::Strategy`] with
+//! `prop_map`, integer-range and tuple strategies, [`prop_oneof!`],
+//! `collection::{vec, btree_set}`, `option::of`, `any::<T>()`, and
+//! `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from upstream, deliberately accepted:
+//! * no shrinking — a failing case prints its generated input and the test
+//!   panics; the RNG is seeded from the test name, so failures reproduce
+//!   exactly on re-run;
+//! * value streams differ from upstream proptest's.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies for `Option<T>` (`proptest::option::of`).
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// Generates `None` roughly a quarter of the time, otherwise `Some` of
+    /// the inner strategy's value.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Collection strategies (`proptest::collection::{vec, btree_set}`).
+pub mod collection {
+    use crate::strategy::{BTreeSetStrategy, SizeRange, Strategy, VecStrategy};
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// A `BTreeSet` with approximately `size` distinct elements (fewer if
+    /// the element domain is too small to supply them).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs `body` for `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..cfg.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )+
+                let debugged = format!("{:?}", ($(&$arg,)+));
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || $body
+                ));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest '{}': case {}/{} failed with input {}",
+                        stringify!($name), case + 1, cfg.cases, debugged,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Picks uniformly among the listed strategies (all must produce the same
+/// value type). Upstream's per-arm weights are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in crate::collection::vec(0u8..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn oneof_and_map(step in prop_oneof![
+            (1u8..5).prop_map(|n| (0u8, n)),
+            (10u8..12).prop_map(|n| (1u8, n)),
+        ]) {
+            match step {
+                (0, n) => prop_assert!((1..5).contains(&n)),
+                (1, n) => prop_assert!((10..12).contains(&n)),
+                other => panic!("impossible arm {other:?}"),
+            }
+        }
+
+        #[test]
+        fn sets_are_distinct(s in crate::collection::btree_set(1u64..60, 1..25)) {
+            prop_assert!(!s.is_empty() && s.len() < 25);
+        }
+
+        #[test]
+        fn option_of_mixes(o in crate::option::of(1u32..4)) {
+            if let Some(v) = o {
+                prop_assert!((1..4).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::test_runner::TestRng::for_test("alpha");
+        let mut b = crate::test_runner::TestRng::for_test("alpha");
+        let mut c = crate::test_runner::TestRng::for_test("beta");
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+}
