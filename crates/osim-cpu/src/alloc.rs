@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 
-use osim_mem::{MemSys, PageFlags, PAGE_SIZE};
+use osim_mem::{Fault, MemSys, PageFlags, PAGE_SIZE};
 
 /// The runtime allocator.
 #[derive(Default)]
@@ -46,19 +46,20 @@ impl SimAlloc {
 
     /// Allocates `bytes` of conventional data, 8-byte aligned.
     ///
-    /// Panics if the simulated RAM is exhausted (workloads are sized well
-    /// under the Table II 64 GB).
-    pub fn alloc_data(&mut self, ms: &mut MemSys, bytes: u32) -> u32 {
+    /// Fails with [`Fault::OutOfVersionBlocks`] if the simulated RAM is
+    /// exhausted, so callers can surface the condition as a typed error
+    /// instead of an abort.
+    pub fn alloc_data(&mut self, ms: &mut MemSys, bytes: u32) -> Result<u32, Fault> {
         let size = Self::round(bytes);
-        self.data_live += size as u64;
         if let Some(va) = self.free.get_mut(&size).and_then(Vec::pop) {
-            return va;
+            self.data_live += size as u64;
+            return Ok(va);
         }
         if self.data_cursor + size > self.data_end || self.data_cursor == 0 {
             let pages = size.div_ceil(PAGE_SIZE).max(4);
             let base = ms
                 .map_zeroed(pages, PageFlags::Conventional)
-                .expect("simulated RAM exhausted");
+                .ok_or(Fault::OutOfVersionBlocks)?;
             // Virtual pages are contiguous, so if the fresh block adjoins
             // the old region just extend it; otherwise restart the cursor.
             if base != self.data_end || self.data_cursor == 0 {
@@ -68,7 +69,8 @@ impl SimAlloc {
         }
         let va = self.data_cursor;
         self.data_cursor += size;
-        va
+        self.data_live += size as u64;
+        Ok(va)
     }
 
     /// Returns a conventional allocation of `bytes` to its size class.
@@ -79,12 +81,14 @@ impl SimAlloc {
     }
 
     /// Allocates one zeroed O-structure root word.
-    pub fn alloc_root(&mut self, ms: &mut MemSys) -> u32 {
+    ///
+    /// Fails with [`Fault::OutOfVersionBlocks`] on RAM exhaustion.
+    pub fn alloc_root(&mut self, ms: &mut MemSys) -> Result<u32, Fault> {
         if self.root_cursor + 4 > self.root_end || self.root_cursor == 0 {
             let pages = 4;
             let base = ms
                 .map_zeroed(pages, PageFlags::VersionedRoot)
-                .expect("simulated RAM exhausted");
+                .ok_or(Fault::OutOfVersionBlocks)?;
             if base != self.root_end || self.root_cursor == 0 {
                 self.root_cursor = base;
             }
@@ -93,7 +97,7 @@ impl SimAlloc {
         let va = self.root_cursor;
         self.root_cursor += 4;
         self.roots_live += 1;
-        va
+        Ok(va)
     }
 }
 
@@ -110,8 +114,8 @@ mod tests {
     fn data_allocations_are_disjoint_and_aligned() {
         let mut ms = ms();
         let mut a = SimAlloc::new();
-        let x = a.alloc_data(&mut ms, 12);
-        let y = a.alloc_data(&mut ms, 12);
+        let x = a.alloc_data(&mut ms, 12).unwrap();
+        let y = a.alloc_data(&mut ms, 12).unwrap();
         assert_eq!(x % 8, 0);
         assert_eq!(y % 8, 0);
         assert!(y >= x + 16, "12 rounds to 16");
@@ -129,9 +133,9 @@ mod tests {
     fn free_then_alloc_reuses() {
         let mut ms = ms();
         let mut a = SimAlloc::new();
-        let x = a.alloc_data(&mut ms, 24);
+        let x = a.alloc_data(&mut ms, 24).unwrap();
         a.free_data(x, 24);
-        let y = a.alloc_data(&mut ms, 24);
+        let y = a.alloc_data(&mut ms, 24).unwrap();
         assert_eq!(x, y);
         assert_eq!(a.data_live, 24);
     }
@@ -140,7 +144,7 @@ mod tests {
     fn large_allocation_spans_pages() {
         let mut ms = ms();
         let mut a = SimAlloc::new();
-        let big = a.alloc_data(&mut ms, 3 * PAGE_SIZE);
+        let big = a.alloc_data(&mut ms, 3 * PAGE_SIZE).unwrap();
         // Touch first and last byte's words.
         let pa0 = ms.pt.translate_conventional(big).unwrap();
         let pa1 = ms
@@ -155,20 +159,30 @@ mod tests {
     fn roots_come_from_versioned_pages() {
         let mut ms = ms();
         let mut a = SimAlloc::new();
-        let r = a.alloc_root(&mut ms);
+        let r = a.alloc_root(&mut ms).unwrap();
         assert!(ms.pt.translate_versioned(r).is_ok());
         assert!(ms.pt.translate_conventional(r).is_err());
-        let r2 = a.alloc_root(&mut ms);
+        let r2 = a.alloc_root(&mut ms).unwrap();
         assert_eq!(r2, r + 4);
         assert_eq!(a.roots_live, 2);
+    }
+
+    #[test]
+    fn exhaustion_is_a_typed_error_not_an_abort() {
+        // Two pages of RAM: the first 4-page carve already fails.
+        let mut ms = MemSys::new(HierarchyCfg::paper(1), 2 * PAGE_SIZE as u64);
+        let mut a = SimAlloc::new();
+        assert_eq!(a.alloc_data(&mut ms, 64), Err(Fault::OutOfVersionBlocks));
+        assert_eq!(a.alloc_root(&mut ms), Err(Fault::OutOfVersionBlocks));
+        assert_eq!(a.data_live, 0, "failed allocation must not leak bytes");
     }
 
     #[test]
     fn heap_and_roots_do_not_overlap() {
         let mut ms = ms();
         let mut a = SimAlloc::new();
-        let d = a.alloc_data(&mut ms, 64);
-        let r = a.alloc_root(&mut ms);
+        let d = a.alloc_data(&mut ms, 64).unwrap();
+        let r = a.alloc_root(&mut ms).unwrap();
         assert_ne!(d / PAGE_SIZE, r / PAGE_SIZE);
     }
 }

@@ -1,12 +1,14 @@
 //! The task-side instruction interface.
 
 use std::cell::{Cell, RefCell};
+use std::convert::Infallible;
 use std::rc::Rc;
 
-use osim_engine::{Cycle, Gate, SimHandle, WakeTag};
-use osim_mem::AccessKind;
+use osim_engine::{Cycle, Gate, SimHandle, WaitInfo, WakeTag};
+use osim_mem::{AccessKind, Fault};
 use osim_uarch::{BlockReason, OpOutcome, TaskId, Version};
 
+use crate::error::TaskFault;
 use crate::machine::MachineState;
 use crate::stats::StallCause;
 use crate::trace::{OpKind, TraceRecord};
@@ -39,9 +41,11 @@ pub mod wake {
 /// the structure's wait gate until a `STORE-VERSION`/`UNLOCK-VERSION`
 /// arrives, charging the wait as stall cycles.
 ///
-/// Faults (protection violations, double-stores, …) abort the simulation
-/// with a panic — in hardware they would kill the process, and in the test
-/// suite they are asserted on directly through the `osim-uarch` API.
+/// Faults (protection violations, double-stores, exhausted version-block
+/// storage, …) abort the simulation *gracefully*: the fault is recorded
+/// with the issuing task's coordinates, the engine is halted, and
+/// [`crate::Machine::run_tasks`] surfaces it as
+/// [`crate::SimError::Fault`] — in hardware the OS would kill the process.
 ///
 /// Setting the `OSIM_TRACE` environment variable prints lock/unlock/stall
 /// events to stderr — a quick live view when debugging a deadlocking
@@ -92,6 +96,27 @@ impl TaskCtx {
         self.h.now()
     }
 
+    /// Records an architectural fault and halts the simulation; the caller's
+    /// future is never resumed (the engine stops dispatching events), so the
+    /// return type is uninhabited — divergence is expressed as
+    /// `match ctx.fault_abort(..).await {}`.
+    async fn fault_abort(&self, va: u32, fault: Fault) -> Infallible {
+        {
+            let mut st = self.st.borrow_mut();
+            if st.fault.is_none() {
+                st.fault = Some(TaskFault {
+                    tid: self.tid,
+                    core: self.core,
+                    va,
+                    cycle: self.h.now(),
+                    fault,
+                });
+            }
+        }
+        self.h.request_halt();
+        std::future::pending().await
+    }
+
     /// The engine handle (for gates and sleeps in test harnesses).
     pub fn handle(&self) -> &SimHandle {
         &self.h
@@ -121,19 +146,21 @@ impl TaskCtx {
 
     /// Conventional 32-bit load.
     pub async fn load_u32(&self, va: u32) -> u32 {
-        let (latency, val) = {
+        let res = {
             let mut st = self.st.borrow_mut();
             let MachineState { ms, cpu, .. } = &mut *st;
             ms.hier.set_clock(self.h.now());
-            let pa = ms
-                .pt
-                .translate_conventional(va)
-                .unwrap_or_else(|f| panic!("{f}"));
-            let acc = ms.hier.access(self.core, pa, AccessKind::Read);
-            cpu.instructions += 1;
-            cpu.loads += 1;
-            cpu.core_mut(self.core).instructions += 1;
-            (acc.latency, ms.phys.read_u32(pa))
+            ms.pt.translate_conventional(va).map(|pa| {
+                let acc = ms.hier.access(self.core, pa, AccessKind::Read);
+                cpu.instructions += 1;
+                cpu.loads += 1;
+                cpu.core_mut(self.core).instructions += 1;
+                (acc.latency, ms.phys.read_u32(pa))
+            })
+        };
+        let (latency, val) = match res {
+            Ok(x) => x,
+            Err(f) => match self.fault_abort(va, f).await {},
         };
         self.h.sleep(latency).await;
         self.trace(OpKind::Load, va, 0, self.h.now() - latency, None);
@@ -142,20 +169,22 @@ impl TaskCtx {
 
     /// Conventional 32-bit store.
     pub async fn store_u32(&self, va: u32, val: u32) {
-        let latency = {
+        let res = {
             let mut st = self.st.borrow_mut();
             let MachineState { ms, cpu, .. } = &mut *st;
             ms.hier.set_clock(self.h.now());
-            let pa = ms
-                .pt
-                .translate_conventional(va)
-                .unwrap_or_else(|f| panic!("{f}"));
-            let acc = ms.hier.access(self.core, pa, AccessKind::Write);
-            cpu.instructions += 1;
-            cpu.stores += 1;
-            cpu.core_mut(self.core).instructions += 1;
-            ms.phys.write_u32(pa, val);
-            acc.latency
+            ms.pt.translate_conventional(va).map(|pa| {
+                let acc = ms.hier.access(self.core, pa, AccessKind::Write);
+                cpu.instructions += 1;
+                cpu.stores += 1;
+                cpu.core_mut(self.core).instructions += 1;
+                ms.phys.write_u32(pa, val);
+                acc.latency
+            })
+        };
+        let latency = match res {
+            Ok(l) => l,
+            Err(f) => match self.fault_abort(va, f).await {},
         };
         self.h.sleep(latency).await;
         self.trace(OpKind::Store, va, 0, self.h.now() - latency, None);
@@ -164,23 +193,25 @@ impl TaskCtx {
     /// Atomic compare-and-swap on a conventional word. Returns the value
     /// observed before the operation (success ⇔ it equals `expected`).
     pub async fn cas_u32(&self, va: u32, expected: u32, new: u32) -> u32 {
-        let (latency, old) = {
+        let res = {
             let mut st = self.st.borrow_mut();
             let MachineState { ms, cpu, .. } = &mut *st;
             ms.hier.set_clock(self.h.now());
-            let pa = ms
-                .pt
-                .translate_conventional(va)
-                .unwrap_or_else(|f| panic!("{f}"));
-            let acc = ms.hier.access(self.core, pa, AccessKind::Write);
-            cpu.instructions += 1;
-            cpu.cas_ops += 1;
-            cpu.core_mut(self.core).instructions += 1;
-            let old = ms.phys.read_u32(pa);
-            if old == expected {
-                ms.phys.write_u32(pa, new);
-            }
-            (acc.latency, old)
+            ms.pt.translate_conventional(va).map(|pa| {
+                let acc = ms.hier.access(self.core, pa, AccessKind::Write);
+                cpu.instructions += 1;
+                cpu.cas_ops += 1;
+                cpu.core_mut(self.core).instructions += 1;
+                let old = ms.phys.read_u32(pa);
+                if old == expected {
+                    ms.phys.write_u32(pa, new);
+                }
+                (acc.latency, old)
+            })
+        };
+        let (latency, old) = match res {
+            Ok(x) => x,
+            Err(f) => match self.fault_abort(va, f).await {},
         };
         self.h.sleep(latency).await;
         self.trace(OpKind::Cas, va, 0, self.h.now() - latency, None);
@@ -240,8 +271,14 @@ impl TaskCtx {
         }
         // Cause of the most recent blocked attempt (None = never stalled).
         let mut last_stall: Option<StallCause> = None;
+        // Holder of the contended version at the last blocked attempt
+        // (0 = none), for deadlock blame reports.
+        let mut blocked_holder: TaskId = 0;
+        // Injected delivery delay of the invalidation behind a
+        // coherence-attributed block (fault injection only).
+        let mut coh_extra: u64 = 0;
         loop {
-            let out = {
+            let res = {
                 let mut st = self.st.borrow_mut();
                 let MachineState { ms, omgr, .. } = &mut *st;
                 ms.hier.set_clock(self.h.now());
@@ -251,8 +288,7 @@ impl TaskCtx {
                     (false, true) => omgr.lock_load_version(ms, self.core, va, v, self.tid),
                     (true, true) => omgr.lock_load_latest(ms, self.core, va, v, self.tid),
                 };
-                let out = r.unwrap_or_else(|f| panic!("task {}: {f}", self.tid));
-                if let OpOutcome::Blocked { reason, .. } = out {
+                if let Ok(OpOutcome::Blocked { reason, holder, .. }) = r {
                     // Attribute the coming stall while the manager's view
                     // is current: a block right after another core's
                     // mutation invalidated our compressed line is charged
@@ -265,9 +301,19 @@ impl TaskCtx {
                             BlockReason::VersionLocked => StallCause::LockedVersion,
                         }
                     };
+                    coh_extra = if cause == StallCause::CoherenceInval {
+                        omgr.coherence_delay_penalty()
+                    } else {
+                        0
+                    };
                     last_stall = Some(cause);
+                    blocked_holder = holder;
                 }
-                out
+                r
+            };
+            let out = match res {
+                Ok(out) => out,
+                Err(f) => match self.fault_abort(va, f).await {},
             };
             match out {
                 OpOutcome::Done {
@@ -300,7 +346,9 @@ impl TaskCtx {
                     // nothing can be *unblocked* by it, so no wake-up.
                     return (version, value);
                 }
-                OpOutcome::Blocked { reason, latency } => {
+                OpOutcome::Blocked {
+                    reason, latency, ..
+                } => {
                     if std::env::var_os("OSIM_TRACE").is_some() {
                         eprintln!(
                             "[{}] task {} core {} blocked {:?} va={:#x} v={} latest={} lock={}",
@@ -314,14 +362,36 @@ impl TaskCtx {
                             lock
                         );
                     }
-                    let cause = last_stall.expect("blocked attempt recorded its cause");
+                    let cause = match last_stall {
+                        Some(c) => c,
+                        None => unreachable!("blocked attempt recorded its cause"),
+                    };
                     let stall_start = self.h.now();
+                    // Register what we are about to block on, so a deadlock
+                    // or watchdog report can name the wait target. The kind
+                    // is the *structural* wait-for edge (the manager's block
+                    // reason), not the stall-cause attribution: a block whose
+                    // cycles are charged to coherence is still waiting on the
+                    // version's state.
+                    self.h.set_wait_info(WaitInfo {
+                        label: u64::from(self.tid),
+                        resource: u64::from(va),
+                        target: u64::from(v),
+                        kind: match reason {
+                            BlockReason::VersionAbsent => "missing-version",
+                            BlockReason::VersionLocked => "locked-version",
+                        },
+                        holder: (blocked_holder != 0).then_some(u64::from(blocked_holder)),
+                    });
                     // Take the ticket *now*, before sleeping off the failed
                     // attempt's latency: a store/unlock landing during that
-                    // sleep must still wake us.
+                    // sleep must still wake us. An injected coherence delay
+                    // stretches the failed attempt (the invalidation's
+                    // effect arrives late), not the wake-up.
                     let ticket = self.gate_for(va).ticket();
-                    self.h.sleep(latency).await;
+                    self.h.sleep(latency + coh_extra).await;
                     let woken_by: WakeTag = ticket.await;
+                    self.h.clear_wait_info();
                     if std::env::var_os("OSIM_TRACE").is_some() {
                         eprintln!(
                             "[{}] task {} woken by {} on va={va:#x}",
@@ -341,23 +411,25 @@ impl TaskCtx {
     /// `STORE-VERSION`: creates version `v` holding `val` and wakes any
     /// task stalled on this O-structure.
     pub async fn store_version(&self, va: u32, v: Version, val: u32) {
-        let (latency, trap) = {
+        let res = {
             let mut st = self.st.borrow_mut();
             st.cpu.versioned_ops += 1;
             st.cpu.core_mut(self.core).versioned_ops += 1;
             let MachineState { ms, omgr, cpu, .. } = &mut *st;
             ms.hier.set_clock(self.h.now());
-            let latency = omgr
-                .store_version(ms, self.core, va, v, val)
-                .unwrap_or_else(|f| panic!("task {}: {f}", self.tid))
-                .latency();
-            // Any OS refill-trap cycles inside that latency are stall time
-            // attributable to the free-list/GC machinery.
-            let trap = omgr.take_trap_cycles();
-            if trap > 0 {
-                cpu.charge_stall(self.core, StallCause::FreeListGc, trap);
-            }
-            (latency, trap)
+            omgr.store_version(ms, self.core, va, v, val).map(|out| {
+                // Any OS refill-trap cycles inside that latency are stall
+                // time attributable to the free-list/GC machinery.
+                let trap = omgr.take_trap_cycles();
+                if trap > 0 {
+                    cpu.charge_stall(self.core, StallCause::FreeListGc, trap);
+                }
+                (out.latency(), trap)
+            })
+        };
+        let (latency, trap) = match res {
+            Ok(x) => x,
+            Err(f) => match self.fault_abort(va, f).await {},
         };
         self.h.sleep(latency).await;
         let stall = (trap > 0).then_some(StallCause::FreeListGc);
@@ -376,22 +448,26 @@ impl TaskCtx {
                 self.tid
             );
         }
-        let (latency, trap) = {
+        let res = {
             let mut st = self.st.borrow_mut();
             st.cpu.versioned_ops += 1;
             st.cpu.core_mut(self.core).versioned_ops += 1;
             let MachineState { ms, omgr, cpu, .. } = &mut *st;
             ms.hier.set_clock(self.h.now());
-            let latency = omgr
-                .unlock_version(ms, self.core, va, vl, self.tid, create)
-                .unwrap_or_else(|f| panic!("task {}: {f}", self.tid))
-                .latency();
-            // A rename (`create`) allocates a version block and may trap.
-            let trap = omgr.take_trap_cycles();
-            if trap > 0 {
-                cpu.charge_stall(self.core, StallCause::FreeListGc, trap);
-            }
-            (latency, trap)
+            omgr.unlock_version(ms, self.core, va, vl, self.tid, create)
+                .map(|out| {
+                    // A rename (`create`) allocates a version block and may
+                    // trap.
+                    let trap = omgr.take_trap_cycles();
+                    if trap > 0 {
+                        cpu.charge_stall(self.core, StallCause::FreeListGc, trap);
+                    }
+                    (out.latency(), trap)
+                })
+        };
+        let (latency, trap) = match res {
+            Ok(x) => x,
+            Err(f) => match self.fault_abort(va, f).await {},
         };
         self.h.sleep(latency).await;
         let stall = (trap > 0).then_some(StallCause::FreeListGc);
@@ -425,11 +501,15 @@ impl TaskCtx {
     /// Allocates `bytes` of conventional heap, charging the runtime's
     /// malloc instruction budget.
     pub async fn malloc(&self, bytes: u32) -> u32 {
-        let (va, instrs) = {
+        let (res, instrs) = {
             let mut st = self.st.borrow_mut();
             let instrs = st.malloc_instrs;
             let MachineState { ms, alloc, .. } = &mut *st;
             (alloc.alloc_data(ms, bytes), instrs)
+        };
+        let va = match res {
+            Ok(va) => va,
+            Err(f) => match self.fault_abort(0, f).await {},
         };
         self.work(instrs).await;
         va
@@ -448,11 +528,15 @@ impl TaskCtx {
     /// Allocates one fresh O-structure root word (a versioned address with
     /// no versions yet).
     pub async fn malloc_root(&self) -> u32 {
-        let (va, instrs) = {
+        let (res, instrs) = {
             let mut st = self.st.borrow_mut();
             let instrs = st.malloc_instrs;
             let MachineState { ms, alloc, .. } = &mut *st;
             (alloc.alloc_root(ms), instrs)
+        };
+        let va = match res {
+            Ok(va) => va,
+            Err(f) => match self.fault_abort(0, f).await {},
         };
         self.work(instrs).await;
         va

@@ -24,6 +24,7 @@
 
 pub mod alloc;
 pub mod ctx;
+pub mod error;
 pub mod machine;
 pub mod runtime;
 pub mod rwlock;
@@ -31,6 +32,7 @@ pub mod stats;
 pub mod trace;
 
 pub use ctx::{wake, TaskCtx};
+pub use error::{BlameEntry, DeadlockReport, SimError, TaskFault, WaitClass, WatchdogReport};
 pub use machine::{Machine, MachineCfg, MachineState, PhaseReport};
 pub use runtime::{task, TaskFn};
 pub use rwlock::SimRwLock;

@@ -5,11 +5,12 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use osim_engine::{Cycle, Gate, RunError, Sim, SimHandle};
-use osim_mem::{EventLog, HierarchyCfg, MemSys};
+use osim_mem::{EventLog, Fault, HierarchyCfg, MemSys};
 use osim_uarch::{OManager, OManagerCfg};
 
 use crate::alloc::SimAlloc;
 use crate::ctx::TaskCtx;
+use crate::error::{DeadlockReport, SimError, TaskFault, WatchdogReport};
 use crate::runtime::{self, TaskFn};
 use crate::stats::CpuStats;
 use crate::trace::Trace;
@@ -29,6 +30,11 @@ pub struct MachineCfg {
     pub issue_width: u64,
     /// Instruction cost charged for one runtime `malloc`/`free` call.
     pub malloc_instrs: u64,
+    /// Progress-based livelock watchdog: if no task retires work for this
+    /// many cycles, the run aborts with [`SimError::Watchdog`] and a
+    /// diagnostic dump of every parked task. `None` disables it (the
+    /// default — deterministic timing is unaffected).
+    pub watchdog_cycles: Option<u64>,
 }
 
 impl MachineCfg {
@@ -43,6 +49,7 @@ impl MachineCfg {
             ram_bytes: 1 << 32,
             issue_width: 2,
             malloc_instrs: 40,
+            watchdog_cycles: None,
         }
     }
 }
@@ -63,6 +70,9 @@ pub struct MachineState {
     pub trace: Trace,
     pub(crate) issue_width: u64,
     pub(crate) malloc_instrs: u64,
+    /// First architectural fault recorded by a task before it halted the
+    /// engine; drained by [`Machine::run_tasks`].
+    pub(crate) fault: Option<TaskFault>,
 }
 
 /// Timing report for one [`Machine::run_tasks`] phase.
@@ -92,8 +102,17 @@ pub struct Machine {
 impl Machine {
     /// Builds a machine; panics if the initial free-list carve fails.
     pub fn new(cfg: MachineCfg) -> Self {
+        match Self::try_new(cfg) {
+            Ok(m) => m,
+            Err(f) => panic!("machine construction failed: {f}"),
+        }
+    }
+
+    /// Builds a machine, surfacing an initial free-list carve failure
+    /// (RAM too small for `initial_free_blocks`) as a typed error.
+    pub fn try_new(cfg: MachineCfg) -> Result<Self, Fault> {
         let mut ms = MemSys::new(cfg.hier.clone(), cfg.ram_bytes);
-        let omgr = OManager::new(cfg.omgr, &mut ms).expect("initial version-block carve");
+        let omgr = OManager::new(cfg.omgr, &mut ms)?;
         let state = MachineState {
             ms,
             omgr,
@@ -103,13 +122,14 @@ impl Machine {
             trace: Trace::disabled(),
             issue_width: cfg.issue_width,
             malloc_instrs: cfg.malloc_instrs,
+            fault: None,
         };
-        Machine {
+        Ok(Machine {
             sim: Sim::new(),
             state: Rc::new(RefCell::new(state)),
             cfg,
             next_tid: 1,
-        }
+        })
     }
 
     /// Number of cores.
@@ -157,8 +177,12 @@ impl Machine {
     /// task ids continue from previous phases (so versions stay monotonic
     /// across population and measurement phases).
     ///
-    /// Returns the phase timing or the deadlock report.
-    pub fn run_tasks(&mut self, tasks: Vec<TaskFn>) -> Result<PhaseReport, RunError> {
+    /// Returns the phase timing, or a typed [`SimError`]: a deadlock blame
+    /// report naming every blocked task's `(va, version)` wait target, an
+    /// architectural fault with the issuing task's coordinates, or a
+    /// watchdog dump when the configured progress window elapses without
+    /// any task retiring work.
+    pub fn run_tasks(&mut self, tasks: Vec<TaskFn>) -> Result<PhaseReport, SimError> {
         let first_tid = self.next_tid;
         self.next_tid += tasks.len() as u32;
         let start = self.sim.now();
@@ -169,8 +193,52 @@ impl Machine {
             first_tid,
             tasks,
         );
-        let end = self.sim.run()?;
-        Ok(PhaseReport { start, end })
+        let watchdog_fired: Rc<RefCell<Option<WatchdogReport>>> = Rc::default();
+        if let Some(window) = self.cfg.watchdog_cycles {
+            let h = self.sim.handle();
+            let st = Rc::clone(&self.state);
+            let fired = Rc::clone(&watchdog_fired);
+            self.sim.spawn(async move {
+                let mut last = progress_probe(&st);
+                loop {
+                    h.sleep(window).await;
+                    if h.live_tasks() <= 1 {
+                        return; // only the watchdog itself is left
+                    }
+                    let cur = progress_probe(&st);
+                    if cur == last {
+                        *fired.borrow_mut() = Some(WatchdogReport {
+                            now: h.now(),
+                            idle_cycles: window,
+                            parked: h.parked_tasks(),
+                        });
+                        h.request_halt();
+                        return;
+                    }
+                    last = cur;
+                }
+            });
+        }
+        match self.sim.run() {
+            Ok(end) => Ok(PhaseReport { start, end }),
+            Err(RunError::Deadlock { now, blocked }) => {
+                Err(SimError::Deadlock(DeadlockReport::build(now, blocked)))
+            }
+            Err(RunError::Halted { now }) => {
+                let fault = self.state.borrow_mut().fault.take();
+                match (fault, watchdog_fired.borrow_mut().take()) {
+                    (Some(f), _) => Err(SimError::Fault(f)),
+                    (None, Some(w)) => Err(SimError::Watchdog(w)),
+                    // Halt requested through the raw engine handle: report
+                    // it as a watchdog-style dump with what we know.
+                    (None, None) => Err(SimError::Watchdog(WatchdogReport {
+                        now,
+                        idle_cycles: 0,
+                        parked: Vec::new(),
+                    })),
+                }
+            }
+        }
     }
 
     /// Enables cross-layer tracing with bounded buffers (records beyond
@@ -192,4 +260,12 @@ impl Machine {
         st.ms.hier.stats.reset();
         st.omgr.stats.reset();
     }
+}
+
+/// Monotone work counter read by the livelock watchdog: any retired
+/// instruction, versioned operation or task completion counts as progress.
+/// Blocked retries bump none of these, so a wedged run reads as frozen.
+fn progress_probe(st: &Rc<RefCell<MachineState>>) -> u64 {
+    let st = st.borrow();
+    st.cpu.instructions + st.cpu.versioned_ops + st.cpu.tasks_run
 }

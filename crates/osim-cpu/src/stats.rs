@@ -36,10 +36,10 @@ impl StallCause {
 
     /// Index into [`CpuStats::stall_by_cause`].
     pub fn index(&self) -> usize {
-        StallCause::ALL
-            .iter()
-            .position(|c| c == self)
-            .expect("cause listed in ALL")
+        match StallCause::ALL.iter().position(|c| c == self) {
+            Some(i) => i,
+            None => unreachable!("cause listed in ALL"),
+        }
     }
 
     /// All causes, in `stall_by_cause` index order.

@@ -171,10 +171,10 @@ impl Trace {
     pub fn summary(&self) -> TraceSummary {
         let mut s = TraceSummary::default();
         for r in &self.records {
-            let idx = OpKind::ALL
-                .iter()
-                .position(|k| *k == r.kind)
-                .expect("known kind");
+            let idx = match OpKind::ALL.iter().position(|k| *k == r.kind) {
+                Some(i) => i,
+                None => unreachable!("known kind"),
+            };
             let row = &mut s.per_kind[idx];
             row.count += 1;
             row.total_cycles += r.end - r.start;
@@ -292,10 +292,10 @@ pub struct TraceSummary {
 impl TraceSummary {
     /// Stats for one kind.
     pub fn of(&self, kind: OpKind) -> KindStats {
-        let idx = OpKind::ALL
-            .iter()
-            .position(|k| *k == kind)
-            .expect("known kind");
+        let idx = match OpKind::ALL.iter().position(|k| *k == kind) {
+            Some(i) => i,
+            None => unreachable!("known kind"),
+        };
         self.per_kind[idx]
     }
 }

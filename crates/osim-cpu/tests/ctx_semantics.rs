@@ -14,14 +14,14 @@ fn alloc_data(m: &Machine, bytes: u32) -> u32 {
     let st = m.state();
     let mut st = st.borrow_mut();
     let s = &mut *st;
-    s.alloc.alloc_data(&mut s.ms, bytes)
+    s.alloc.alloc_data(&mut s.ms, bytes).unwrap()
 }
 
 fn alloc_root(m: &Machine) -> u32 {
     let st = m.state();
     let mut st = st.borrow_mut();
     let s = &mut *st;
-    s.alloc.alloc_root(&mut s.ms)
+    s.alloc.alloc_root(&mut s.ms).unwrap()
 }
 
 #[test]

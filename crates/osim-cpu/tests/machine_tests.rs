@@ -4,8 +4,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use osim_cpu::{task, Machine, MachineCfg};
-use osim_engine::RunError;
+use osim_cpu::{task, Machine, MachineCfg, SimError, WaitClass};
 
 fn machine(cores: usize) -> Machine {
     Machine::new(MachineCfg::paper(cores))
@@ -18,7 +17,7 @@ fn producer_consumer_across_cores() {
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        s.alloc.alloc_root(&mut s.ms)
+        s.alloc.alloc_root(&mut s.ms).unwrap()
     };
     let got = Rc::new(RefCell::new(None));
     let got2 = Rc::clone(&got);
@@ -76,7 +75,7 @@ fn hand_over_hand_pipeline_is_ordered() {
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        s.alloc.alloc_root(&mut s.ms)
+        s.alloc.alloc_root(&mut s.ms).unwrap()
     };
     let order = Rc::new(RefCell::new(Vec::new()));
     let mut tasks = vec![task(move |ctx| async move {
@@ -106,7 +105,7 @@ fn conventional_memory_is_coherent_across_cores() {
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        s.alloc.alloc_data(&mut s.ms, 4)
+        s.alloc.alloc_data(&mut s.ms, 4).unwrap()
     };
     let seen = Rc::new(RefCell::new(0));
     let seen2 = Rc::clone(&seen);
@@ -138,8 +137,8 @@ fn rwlock_excludes_writers() {
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        let l = s.alloc.alloc_data(&mut s.ms, 4);
-        let c = s.alloc.alloc_data(&mut s.ms, 4);
+        let l = s.alloc.alloc_data(&mut s.ms, 4).unwrap();
+        let c = s.alloc.alloc_data(&mut s.ms, 4).unwrap();
         (l, c)
     };
     let n = 16;
@@ -171,7 +170,7 @@ fn rwlock_readers_overlap_but_writers_do_not() {
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        s.alloc.alloc_data(&mut s.ms, 4)
+        s.alloc.alloc_data(&mut s.ms, 4).unwrap()
     };
     let concurrency = Rc::new(RefCell::new((0u32, 0u32))); // (current, max)
     let mut tasks = Vec::new();
@@ -205,12 +204,24 @@ fn deadlock_on_never_created_version() {
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        s.alloc.alloc_root(&mut s.ms)
+        s.alloc.alloc_root(&mut s.ms).unwrap()
     };
     let tasks = vec![task(move |ctx| async move {
         ctx.load_version(root, 42).await;
     })];
-    assert!(matches!(m.run_tasks(tasks), Err(RunError::Deadlock { .. })));
+    let err = m.run_tasks(tasks).expect_err("must deadlock");
+    let SimError::Deadlock(report) = err else {
+        panic!("expected deadlock report, got: {err}");
+    };
+    assert_eq!(report.entries.len(), 1);
+    let e = &report.entries[0];
+    assert_eq!(e.tid, Some(1));
+    assert_eq!(e.va, Some(u64::from(root)));
+    assert_eq!(e.version, Some(42));
+    assert_eq!(e.class, WaitClass::NeverProduced);
+    let text = format!("{report}");
+    assert!(text.contains("version 42"), "blame text: {text}");
+    assert!(text.contains("never-produced"), "blame text: {text}");
 }
 
 #[test]
@@ -220,7 +231,7 @@ fn phases_accumulate_time_and_task_ids() {
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        s.alloc.alloc_root(&mut s.ms)
+        s.alloc.alloc_root(&mut s.ms).unwrap()
     };
     let r1 = m
         .run_tasks(vec![task(move |ctx| async move {
@@ -247,7 +258,7 @@ fn reset_stats_separates_warmup_from_measurement() {
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        s.alloc.alloc_data(&mut s.ms, 64)
+        s.alloc.alloc_data(&mut s.ms, 64).unwrap()
     };
     m.run_tasks(vec![task(move |ctx| async move {
         for i in 0..16 {
@@ -279,7 +290,7 @@ fn determinism_across_machines() {
             let st = m.state();
             let mut st = st.borrow_mut();
             let s = &mut *st;
-            s.alloc.alloc_root(&mut s.ms)
+            s.alloc.alloc_root(&mut s.ms).unwrap()
         };
         let mut tasks = vec![task(move |ctx| async move {
             ctx.store_version(root, 1, 0).await;

@@ -14,13 +14,13 @@ fn trace_captures_the_full_op_stream() {
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        s.alloc.alloc_root(&mut s.ms)
+        s.alloc.alloc_root(&mut s.ms).unwrap()
     };
     let buf = {
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        s.alloc.alloc_data(&mut s.ms, 8)
+        s.alloc.alloc_data(&mut s.ms, 8).unwrap()
     };
     m.run_tasks(vec![
         task(move |ctx| async move {
@@ -70,7 +70,7 @@ fn tracing_does_not_change_timing() {
             let st = m.state();
             let mut st = st.borrow_mut();
             let s = &mut *st;
-            s.alloc.alloc_root(&mut s.ms)
+            s.alloc.alloc_root(&mut s.ms).unwrap()
         };
         let mut tasks = vec![task(move |ctx| async move {
             ctx.store_version(root, 1, 0).await;
@@ -112,7 +112,7 @@ fn machine_capture_spans_every_layer() {
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        s.alloc.alloc_root(&mut s.ms)
+        s.alloc.alloc_root(&mut s.ms).unwrap()
     };
     let mut tasks = vec![task(move |ctx| async move {
         ctx.store_version(root, 1, 0).await;

@@ -15,6 +15,52 @@ pub type TaskId = usize;
 
 type BoxedTask = Pin<Box<dyn Future<Output = ()>>>;
 
+/// What a blocked task is waiting for, as reported by the layer that parked
+/// it (the engine only stores and returns these records). The fields are
+/// deliberately plain integers so the engine stays ignorant of addresses,
+/// versions and task-id vocabularies defined above it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitInfo {
+    /// Upper-layer label of the waiting task (e.g. the cpu-layer task id),
+    /// distinct from the engine [`TaskId`].
+    pub label: u64,
+    /// The contended resource (e.g. a virtual address).
+    pub resource: u64,
+    /// The awaited state of the resource (e.g. a version number).
+    pub target: u64,
+    /// Short stable wait-kind name (e.g. `missing-version`).
+    pub kind: &'static str,
+    /// Label of the task holding the resource, when known.
+    pub holder: Option<u64>,
+}
+
+impl std::fmt::Display for WaitInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "task {} waiting for {} at va {:#010x} version {}",
+            self.label, self.kind, self.resource, self.target
+        )?;
+        if let Some(h) = self.holder {
+            write!(f, " held by task {h}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One entry of a deadlock report: a task that can never run again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedTask {
+    /// Engine task id.
+    pub task: TaskId,
+    /// Cycle at which the wait record was registered (None if the task
+    /// never registered one).
+    pub since: Option<Cycle>,
+    /// The wait record, when the parking layer registered one via
+    /// [`SimHandle::set_wait_info`].
+    pub info: Option<WaitInfo>,
+}
+
 /// Why [`Sim::run`] stopped before all tasks completed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunError {
@@ -25,18 +71,39 @@ pub enum RunError {
     Deadlock {
         /// Simulated time at which the deadlock was detected.
         now: Cycle,
-        /// Number of tasks still blocked.
-        blocked: usize,
+        /// Every task still blocked, with its wait record when one was
+        /// registered.
+        blocked: Vec<BlockedTask>,
+    },
+    /// A task asked the simulation to stop via [`SimHandle::request_halt`]
+    /// (the cpu layer does this to surface an architectural fault as a
+    /// typed error instead of a panic).
+    Halted {
+        /// Simulated time at which the halt took effect.
+        now: Cycle,
     },
 }
 
 impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RunError::Deadlock { now, blocked } => write!(
-                f,
-                "simulation deadlock at cycle {now}: {blocked} task(s) blocked forever"
-            ),
+            RunError::Deadlock { now, blocked } => {
+                write!(
+                    f,
+                    "simulation deadlock at cycle {now}: {} task(s) blocked forever",
+                    blocked.len()
+                )?;
+                for b in blocked {
+                    match &b.info {
+                        Some(info) => write!(f, "\n  engine task {}: {info}", b.task)?,
+                        None => write!(f, "\n  engine task {}: no wait record", b.task)?,
+                    }
+                }
+                Ok(())
+            }
+            RunError::Halted { now } => {
+                write!(f, "simulation halted at cycle {now} by request")
+            }
         }
     }
 }
@@ -54,6 +121,12 @@ pub(crate) struct Inner {
     /// Task currently being polled; leaf futures read this to learn who they
     /// belong to.
     current: Option<TaskId>,
+    /// Wait records registered by parked tasks (indexed like `tasks`),
+    /// paired with the registration cycle.
+    wait_info: Vec<Option<(Cycle, WaitInfo)>>,
+    /// Set by [`SimHandle::request_halt`]; the run loop stops before the
+    /// next event once it is raised.
+    halt: bool,
 }
 
 impl Inner {
@@ -69,8 +142,23 @@ impl Inner {
     }
 
     pub(crate) fn current_task(&self) -> TaskId {
-        self.current
-            .expect("engine primitive used outside of a simulation task poll")
+        match self.current {
+            Some(t) => t,
+            None => unreachable!("engine primitive used outside of a simulation task poll"),
+        }
+    }
+
+    fn blocked_snapshot(&self) -> Vec<BlockedTask> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_some())
+            .map(|(task, _)| BlockedTask {
+                task,
+                since: self.wait_info[task].as_ref().map(|(at, _)| *at),
+                info: self.wait_info[task].as_ref().map(|(_, w)| w.clone()),
+            })
+            .collect()
     }
 }
 
@@ -98,6 +186,8 @@ impl Sim {
                 tasks: Vec::new(),
                 live: 0,
                 current: None,
+                wait_info: Vec::new(),
+                halt: false,
             })),
         }
     }
@@ -123,14 +213,22 @@ impl Sim {
         loop {
             let (at, task) = {
                 let mut inner = self.inner.borrow_mut();
+                if inner.halt {
+                    let now = inner.now;
+                    // Break the task<->handle Rc cycle so dropped Sims
+                    // release their task closures even on halt.
+                    inner.tasks.clear();
+                    inner.heap.clear();
+                    return Err(RunError::Halted { now });
+                }
                 match inner.heap.pop() {
                     Some(Reverse((at, _, task))) => (at, task),
                     None => {
                         let now = inner.now;
-                        let blocked = inner.live;
-                        // Break the task<->handle Rc cycle so dropped Sims
-                        // release their task closures even on deadlock.
-                        if blocked > 0 {
+                        if inner.live > 0 {
+                            let blocked = inner.blocked_snapshot();
+                            // Break the task<->handle Rc cycle so dropped Sims
+                            // release their task closures even on deadlock.
                             inner.tasks.clear();
                             return Err(RunError::Deadlock { now, blocked });
                         }
@@ -158,6 +256,7 @@ impl Sim {
             inner.current = None;
             if done {
                 inner.live -= 1;
+                inner.wait_info[task] = None;
             } else {
                 inner.tasks[task] = Some(fut);
             }
@@ -192,6 +291,7 @@ impl SimHandle {
         let mut inner = self.inner.borrow_mut();
         let id = inner.tasks.len();
         inner.tasks.push(Some(Box::pin(fut)));
+        inner.wait_info.push(None);
         inner.live += 1;
         let now = inner.now;
         inner.schedule(now, id);
@@ -226,6 +326,37 @@ impl SimHandle {
     pub fn gate(&self) -> crate::Gate {
         crate::Gate::new(Rc::clone(&self.inner))
     }
+
+    /// Registers what the *current* task is about to block on, so that a
+    /// later deadlock or watchdog report can name the wait target. Call
+    /// [`clear_wait_info`](Self::clear_wait_info) after waking.
+    pub fn set_wait_info(&self, info: WaitInfo) {
+        let mut inner = self.inner.borrow_mut();
+        let task = inner.current_task();
+        let now = inner.now;
+        inner.wait_info[task] = Some((now, info));
+    }
+
+    /// Clears the current task's wait record (the wait completed).
+    pub fn clear_wait_info(&self) {
+        let mut inner = self.inner.borrow_mut();
+        let task = inner.current_task();
+        inner.wait_info[task] = None;
+    }
+
+    /// Asks the run loop to stop before dispatching the next event;
+    /// [`Sim::run`] then returns [`RunError::Halted`]. Used by upper layers
+    /// to abort the simulation on an unrecoverable modeled fault.
+    pub fn request_halt(&self) {
+        self.inner.borrow_mut().halt = true;
+    }
+
+    /// Snapshot of every live-but-parked task and its wait record. Used by
+    /// watchdog monitors to build a diagnostic dump while the simulation is
+    /// still running.
+    pub fn parked_tasks(&self) -> Vec<BlockedTask> {
+        self.inner.borrow().blocked_snapshot()
+    }
 }
 
 /// Future returned by [`SimHandle::sleep`] / [`SimHandle::sleep_until`].
@@ -246,7 +377,11 @@ impl Future for Sleep {
         if this.armed {
             // Even `sleep(0)` goes through the queue once so a yield is a
             // real scheduling point; by then `now >= deadline` always holds.
-            return if inner.now >= this.until.expect("armed sleep has deadline") {
+            let deadline = match this.until {
+                Some(at) => at,
+                None => unreachable!("armed sleep has deadline"),
+            };
+            return if inner.now >= deadline {
                 Poll::Ready(())
             } else {
                 Poll::Pending // spurious poll before the deadline
@@ -390,7 +525,93 @@ mod tests {
         sim.spawn(async move {
             gate.wait().await; // nobody will ever open this
         });
-        assert_eq!(sim.run(), Err(RunError::Deadlock { now: 0, blocked: 1 }));
+        assert_eq!(
+            sim.run(),
+            Err(RunError::Deadlock {
+                now: 0,
+                blocked: vec![BlockedTask {
+                    task: 0,
+                    since: None,
+                    info: None,
+                }],
+            })
+        );
+    }
+
+    #[test]
+    fn deadlock_report_carries_wait_info() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let gate = h.gate();
+        sim.spawn(async move {
+            h.sleep(4).await;
+            h.set_wait_info(WaitInfo {
+                label: 17,
+                resource: 0x1000,
+                target: 3,
+                kind: "missing-version",
+                holder: Some(9),
+            });
+            gate.wait().await; // nobody will ever open this
+        });
+        let err = sim.run().unwrap_err();
+        let RunError::Deadlock { now, blocked } = err.clone() else {
+            panic!("expected deadlock, got {err:?}");
+        };
+        assert_eq!(now, 4);
+        assert_eq!(blocked.len(), 1);
+        assert_eq!(blocked[0].since, Some(4));
+        let info = blocked[0].info.as_ref().unwrap();
+        assert_eq!((info.label, info.resource, info.target), (17, 0x1000, 3));
+        assert_eq!(info.kind, "missing-version");
+        assert_eq!(info.holder, Some(9));
+        let msg = err.to_string();
+        assert!(msg.contains("task 17"), "{msg}");
+        assert!(msg.contains("missing-version"), "{msg}");
+        assert!(msg.contains("version 3"), "{msg}");
+        assert!(msg.contains("held by task 9"), "{msg}");
+    }
+
+    #[test]
+    fn wait_info_cleared_on_completion_and_clear() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let h2 = h.clone();
+        let gate = h.gate();
+        let gate2 = gate.clone();
+        sim.spawn(async move {
+            h.set_wait_info(WaitInfo {
+                label: 1,
+                resource: 0,
+                target: 0,
+                kind: "test",
+                holder: None,
+            });
+            gate.wait().await;
+            h.clear_wait_info();
+            h.sleep(1).await;
+        });
+        sim.spawn(async move {
+            h2.sleep(2).await;
+            gate2.open();
+        });
+        assert_eq!(sim.run(), Ok(3));
+    }
+
+    #[test]
+    fn halt_request_stops_the_run() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let h2 = sim.handle();
+        sim.spawn(async move {
+            h.sleep(5).await;
+            h.request_halt();
+            h.sleep(100).await; // never resumed
+        });
+        sim.spawn(async move {
+            h2.sleep(1_000).await; // never reached either
+        });
+        assert_eq!(sim.run(), Err(RunError::Halted { now: 5 }));
     }
 
     #[test]

@@ -326,15 +326,33 @@ mod tests {
             let h = h.clone();
             sim.spawn(async move {
                 h.sleep(10).await;
+                h.set_wait_info(crate::WaitInfo {
+                    label: 42,
+                    resource: 0xbeef,
+                    target: 7,
+                    kind: "missing-version",
+                    holder: None,
+                });
                 gate.wait().await; // parked after the only open() — deadlock
             });
         }
-        assert!(matches!(
-            sim.run(),
-            Err(crate::RunError::Deadlock {
-                now: 10,
-                blocked: 1
-            })
-        ));
+        let err = sim.run().unwrap_err();
+        let crate::RunError::Deadlock { now, blocked } = &err else {
+            panic!("expected deadlock, got {err:?}");
+        };
+        assert_eq!(*now, 10);
+        assert_eq!(blocked.len(), 1);
+        assert_eq!(blocked[0].task, 1);
+        assert_eq!(blocked[0].since, Some(10));
+        let info = blocked[0].info.as_ref().expect("wait record registered");
+        assert_eq!(info.label, 42);
+        assert_eq!(info.resource, 0xbeef);
+        assert_eq!(info.target, 7);
+        assert_eq!(info.kind, "missing-version");
+        assert_eq!(info.holder, None);
+        // The Display form names the wait target, not just a count.
+        let msg = err.to_string();
+        assert!(msg.contains("task 42"), "{msg}");
+        assert!(msg.contains("version 7"), "{msg}");
     }
 }

@@ -31,6 +31,6 @@ mod executor;
 mod gate;
 mod time;
 
-pub use executor::{RunError, Sim, SimHandle, TaskId};
+pub use executor::{BlockedTask, RunError, Sim, SimHandle, TaskId, WaitInfo};
 pub use gate::{Gate, WakeTag, WAKE_GENERIC};
 pub use time::Cycle;

@@ -4,6 +4,7 @@
 use osim_cpu::MachineCfg;
 use osim_mem::CacheCfg;
 use osim_report::{ReportScale, SimReport};
+use osim_uarch::FaultPlan;
 use osim_workloads::harness::{DsCfg, DsResult};
 use osim_workloads::levenshtein::LevCfg;
 use osim_workloads::matmul::MatmulCfg;
@@ -22,6 +23,9 @@ pub struct Scale {
     pub mat_n: usize,
     /// Levenshtein string length.
     pub lev_len: usize,
+    /// Deterministic fault-injection plan applied to every machine the
+    /// invocation builds (`--inject <spec>`); `None` injects nothing.
+    pub inject: Option<FaultPlan>,
 }
 
 impl Scale {
@@ -33,6 +37,7 @@ impl Scale {
             ops: 1024,
             mat_n: 100,
             lev_len: 1000,
+            inject: None,
         }
     }
 
@@ -44,6 +49,7 @@ impl Scale {
             ops: 256,
             mat_n: 28,
             lev_len: 96,
+            inject: None,
         }
     }
 
@@ -56,6 +62,7 @@ impl Scale {
             ops: 64,
             mat_n: 8,
             lev_len: 24,
+            inject: None,
         }
     }
 
@@ -188,13 +195,15 @@ impl Bench {
     }
 }
 
-/// A machine configuration derived from the paper's, with experiment knobs.
-pub fn machine(cores: usize, l1_kb: Option<u32>, extra_latency: u64) -> MachineCfg {
+/// A machine configuration derived from the paper's, with experiment knobs
+/// and the invocation's fault-injection plan applied.
+pub fn machine(scale: &Scale, cores: usize, l1_kb: Option<u32>, extra_latency: u64) -> MachineCfg {
     let mut cfg = MachineCfg::paper(cores);
     if let Some(kb) = l1_kb {
         cfg.hier.l1 = CacheCfg::l1_sized(kb);
     }
     cfg.omgr.versioned_extra_latency = extra_latency;
+    cfg.omgr.fault_plan = scale.inject;
     cfg
 }
 

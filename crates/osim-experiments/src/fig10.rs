@@ -21,7 +21,7 @@ pub fn run(scale: &Scale, out: &mut Vec<SimReport>) {
 
     for bench in Bench::ALL {
         for (variant, cores) in [("1T", 1), ("32T", 32)] {
-            let base_cfg = machine(cores, None, 0);
+            let base_cfg = machine(scale, cores, None, 0);
             let base_r = checked(
                 bench.run_versioned(base_cfg.clone(), scale, true, 4),
                 bench.name(),
@@ -37,7 +37,7 @@ pub fn run(scale: &Scale, out: &mut Vec<SimReport>) {
             let base = base_r.cycles as f64;
             let mut row: Vec<String> = Vec::new();
             for &e in &EXTRA {
-                let mcfg = machine(cores, None, e);
+                let mcfg = machine(scale, cores, None, e);
                 let r = checked(
                     bench.run_versioned(mcfg.clone(), scale, true, 4),
                     bench.name(),

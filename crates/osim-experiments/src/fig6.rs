@@ -33,7 +33,7 @@ pub fn run(scale: &Scale, stats: bool, out: &mut Vec<SimReport>) {
         let mut last = None;
         for (large, rpw) in [(false, 4), (false, 1), (true, 4), (true, 1)] {
             let tag = format!("{}-{rpw}r1w", if large { "large" } else { "small" });
-            let seq_cfg = machine(1, None, 0);
+            let seq_cfg = machine(scale, 1, None, 0);
             let seq = checked(
                 bench.run_unversioned(seq_cfg.clone(), scale, large, rpw),
                 bench.name(),
@@ -46,7 +46,7 @@ pub fn run(scale: &Scale, stats: bool, out: &mut Vec<SimReport>) {
                 scale,
                 &seq,
             ));
-            let par_cfg = machine(CORES, None, 0);
+            let par_cfg = machine(scale, CORES, None, 0);
             let par = checked(
                 bench.run_versioned(par_cfg.clone(), scale, large, rpw),
                 bench.name(),
@@ -84,7 +84,7 @@ pub fn run(scale: &Scale, stats: bool, out: &mut Vec<SimReport>) {
 
     // The regular benchmarks have a single configuration each.
     for bench in [Bench::Levenshtein, Bench::MatrixMul] {
-        let seq_cfg = machine(1, None, 0);
+        let seq_cfg = machine(scale, 1, None, 0);
         let seq = checked(
             bench.run_unversioned(seq_cfg.clone(), scale, false, 4),
             bench.name(),
@@ -97,7 +97,7 @@ pub fn run(scale: &Scale, stats: bool, out: &mut Vec<SimReport>) {
             scale,
             &seq,
         ));
-        let par_cfg = machine(CORES, None, 0);
+        let par_cfg = machine(scale, CORES, None, 0);
         let par = checked(
             bench.run_versioned(par_cfg.clone(), scale, false, 4),
             bench.name(),
@@ -124,7 +124,7 @@ pub fn run(scale: &Scale, stats: bool, out: &mut Vec<SimReport>) {
 
     // The §IV-B single-thread overhead observation (matmul ~2.5x in the
     // paper): versioned sequential vs unversioned sequential.
-    let seq_cfg = machine(1, None, 0);
+    let seq_cfg = machine(scale, 1, None, 0);
     let unv = checked(
         Bench::MatrixMul.run_unversioned(seq_cfg.clone(), scale, false, 4),
         "matmul",

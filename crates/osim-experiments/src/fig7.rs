@@ -30,7 +30,7 @@ pub fn run(scale: &Scale, stats: bool, out: &mut Vec<SimReport>) {
     for bench in Bench::ALL {
         let large = true;
         let rpw = 4;
-        let base_cfg = machine(1, None, 0);
+        let base_cfg = machine(scale, 1, None, 0);
         let base = checked(
             bench.run_versioned(base_cfg.clone(), scale, large, rpw),
             bench.name(),
@@ -46,7 +46,7 @@ pub fn run(scale: &Scale, stats: bool, out: &mut Vec<SimReport>) {
         let mut cells = Vec::new();
         let mut at32 = None;
         for cores in CORE_COUNTS {
-            let cfg = machine(cores, None, 0);
+            let cfg = machine(scale, cores, None, 0);
             let par = checked(
                 bench.run_versioned(cfg.clone(), scale, large, rpw),
                 bench.name(),

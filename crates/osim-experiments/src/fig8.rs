@@ -43,7 +43,7 @@ pub fn run(scale: &Scale, out: &mut Vec<SimReport>) {
 
     for range in SCAN_RANGES {
         let c = cfg(scale, range);
-        let seq_cfg = machine(1, None, 0);
+        let seq_cfg = machine(scale, 1, None, 0);
         let vseq = checked(btree::run_versioned(seq_cfg.clone(), &c), "bst v1");
         let rseq = checked(btree::run_rwlock(seq_cfg.clone(), &c), "bst rw1");
         out.push(report(
@@ -66,7 +66,7 @@ pub fn run(scale: &Scale, out: &mut Vec<SimReport>) {
         let mut self_v = 0.0;
         let mut self_r = 0.0;
         for cores in CORE_COUNTS {
-            let mcfg = machine(cores, None, 0);
+            let mcfg = machine(scale, cores, None, 0);
             let v = checked(btree::run_versioned(mcfg.clone(), &c), "bst v");
             let r = checked(btree::run_rwlock(mcfg.clone(), &c), "bst rw");
             out.push(report(

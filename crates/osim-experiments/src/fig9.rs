@@ -22,7 +22,7 @@ pub fn run(scale: &Scale, out: &mut Vec<SimReport>) {
         for (variant, cores, versioned) in [("U", 1, false), ("1T", 1, true), ("32T", 32, true)] {
             let mut cycles: Vec<u64> = Vec::new();
             for &kb in &SIZES_KB {
-                let m = machine(cores, Some(kb), 0);
+                let m = machine(scale, cores, Some(kb), 0);
                 let r = if versioned {
                     bench.run_versioned(m.clone(), scale, true, 4)
                 } else {

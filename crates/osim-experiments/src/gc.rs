@@ -35,6 +35,7 @@ pub fn run(scale: &Scale, out: &mut Vec<SimReport>) {
 
     let mut run_with = |name: &str, tweak: &dyn Fn(&mut MachineCfg)| {
         let mut m = MachineCfg::paper(1);
+        m.omgr.fault_plan = scale.inject;
         tweak(&mut m);
         // The Fig. 1-faithful protocol (renaming every passed cell) supplies
         // the version churn this experiment is about.

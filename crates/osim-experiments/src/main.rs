@@ -27,6 +27,13 @@
 //! [`SimReport`]s; `--chrome <path>` (trace experiment only) writes the
 //! run's Chrome trace-event document, loadable in Perfetto or
 //! `chrome://tracing`.
+//!
+//! `--inject <spec>` applies a deterministic fault-injection plan
+//! ([`osim_uarch::FaultPlan::parse`]) to every machine the invocation
+//! builds: version-block pool shrinks, transient OS-carve failures,
+//! per-op latency jitter and coherence-invalidation delays, all driven
+//! by a seeded PRNG so the same spec replays the same schedule. See
+//! `EXPERIMENTS.md` § "Fault injection & resilience".
 
 use std::env;
 use std::fs;
@@ -61,6 +68,14 @@ fn main() {
     let mut args: Vec<String> = env::args().skip(1).collect();
     let json_path = take_value(&mut args, "--json");
     let chrome_path = take_value(&mut args, "--chrome");
+    let inject =
+        take_value(&mut args, "--inject").map(|spec| match osim_uarch::FaultPlan::parse(&spec) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("--inject {spec}: {e}");
+                std::process::exit(2);
+            }
+        });
     let full = args.iter().any(|a| a == "--full");
     let tiny = args.iter().any(|a| a == "--tiny");
     let stats = args.iter().any(|a| a == "--stats");
@@ -69,13 +84,14 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .map(String::as_str)
         .unwrap_or("help");
-    let scale = if full {
+    let mut scale = if full {
         Scale::paper()
     } else if tiny {
         Scale::tiny()
     } else {
         Scale::quick()
     };
+    scale.inject = inject;
 
     let mut reports: Vec<SimReport> = Vec::new();
     let mut chrome_doc: Option<Json> = None;
@@ -102,7 +118,14 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: osim-experiments <config|fig6|fig7|fig8|fig9|fig10|gc|trace|all> \
-                 [--full|--tiny] [--stats] [--json <path>] [--chrome <path>]"
+                 [--full|--tiny] [--stats] [--json <path>] [--chrome <path>] \
+                 [--inject <spec>]\n\
+                 \n\
+                 --inject <spec>: deterministic fault injection. <spec> is a preset\n\
+                 (pool-pressure, pool-exhaustion, latency-jitter, coherence-delay,\n\
+                 chaos) and/or comma-separated key=value overrides (seed, shrink-at,\n\
+                 shrink-keep, carve-fail-pct, max-carve-failures, refill-budget,\n\
+                 jitter, coherence-delay). Same spec + same seed => identical run."
             );
             std::process::exit(2);
         }

@@ -16,14 +16,17 @@ use crate::common::Scale;
 
 pub fn run(scale: &Scale, out: &mut Vec<SimReport>) -> Json {
     println!("## Execution trace — producer/consumer chain + pipelined list segment\n");
-    let mcfg = MachineCfg::paper(4);
+    let mut mcfg = MachineCfg::paper(4);
+    mcfg.omgr.fault_plan = scale.inject;
     let mut m = Machine::new(mcfg.clone());
     m.enable_trace(1 << 20);
     let root = {
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        s.alloc.alloc_root(&mut s.ms)
+        s.alloc
+            .alloc_root(&mut s.ms)
+            .expect("simulated RAM exhausted")
     };
     let n = (scale.ops as u32).clamp(16, 512);
     let sum = Rc::new(RefCell::new(0u64));

@@ -1,0 +1,99 @@
+//! Determinism property of the fault-injection layer: the same workload
+//! under the same `FaultPlan` (same seed, same knobs) produces a
+//! byte-identical `SimReport` JSON document, every time. This is the
+//! contract the `--inject` flag relies on: a failure schedule can be
+//! replayed exactly from its spec string.
+
+use osim_cpu::MachineCfg;
+use osim_report::{ReportScale, SimReport};
+use osim_uarch::{FaultPlan, PoolShrink};
+use osim_workloads::harness::DsCfg;
+use osim_workloads::linked_list;
+use proptest::prelude::*;
+
+/// One pressured run under `plan`, rendered to the exact JSON text the
+/// `--json` flag would write for it.
+fn run_to_json(plan: FaultPlan) -> String {
+    let mut cfg = MachineCfg::paper(2);
+    // A small pool with a low watermark keeps the refill/GC paths busy so
+    // the injected faults actually land on exercised code.
+    cfg.omgr.initial_free_blocks = 512;
+    cfg.omgr.refill_blocks = 256;
+    cfg.omgr.gc.watermark = 256;
+    cfg.omgr.fault_plan = Some(plan);
+    let ds = DsCfg {
+        initial: 48,
+        ops: 48,
+        reads_per_write: 2,
+        scan_range: 0,
+        key_space: 192,
+        seed: 7,
+        insert_only: false,
+    };
+    let r = linked_list::run_versioned(cfg.clone(), &ds);
+    assert!(r.ok, "injected run must still validate: {}", r.detail);
+    let report = SimReport::new(
+        "prop",
+        "Linked list",
+        "versioned",
+        &cfg,
+        ReportScale {
+            small: 48,
+            large: 48,
+            ops: 48,
+            mat_n: 0,
+            lev_len: 0,
+        },
+        r.cycles,
+        r.cpu.clone(),
+        r.mem.clone(),
+        r.ostats.clone(),
+    );
+    report.validate().expect("report invariants hold");
+    report.to_json().to_pretty()
+}
+
+fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        0u64..8,
+        0u64..64,
+        0u8..=100,
+        0u32..4,
+        proptest::option::of((16u64..256, 0u32..64)),
+    )
+        .prop_map(
+            |(seed, jitter, coherence_delay, pct, max_fail, shrink)| FaultPlan {
+                seed,
+                pool_shrink: shrink.map(|(at_alloc, keep_blocks)| PoolShrink {
+                    at_alloc,
+                    keep_blocks,
+                }),
+                carve_fail_pct: pct,
+                max_carve_failures: max_fail,
+                refill_budget: None,
+                latency_jitter: jitter,
+                coherence_delay,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Two runs of the same seeded plan emit byte-identical report JSON.
+    #[test]
+    fn same_seed_same_report(plan in plan_strategy()) {
+        prop_assert_eq!(run_to_json(plan), run_to_json(plan));
+    }
+
+    /// A plan survives the spec-string round trip, so `--inject <spec>`
+    /// reconstructs exactly the plan that produced a report.
+    #[test]
+    fn spec_round_trips(plan in plan_strategy()) {
+        let spec = plan.to_spec();
+        let back = FaultPlan::parse(&spec)
+            .unwrap_or_else(|e| panic!("reparse {spec}: {e}"));
+        prop_assert_eq!(back, plan);
+    }
+}

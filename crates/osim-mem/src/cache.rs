@@ -149,11 +149,13 @@ impl Cache {
     /// Changes the MESI state of a resident line. Panics if absent.
     pub fn set_state(&mut self, tag: u32, kind: LineKind, state: Mesi) {
         let set = self.set_of_kind(tag, kind);
-        self.sets[set]
+        match self.sets[set]
             .iter_mut()
             .find(|l| l.tag == tag && l.kind == kind)
-            .expect("set_state on absent line")
-            .state = state;
+        {
+            Some(line) => line.state = state,
+            None => panic!("set_state on absent line"),
+        }
     }
 
     /// Inserts a line, evicting the LRU victim of its set if full.
@@ -172,11 +174,10 @@ impl Cache {
             return None;
         }
         let victim = if lines.len() >= ways {
-            let (idx, _) = lines
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.lru)
-                .expect("non-empty set");
+            let idx = match lines.iter().enumerate().min_by_key(|(_, l)| l.lru) {
+                Some((idx, _)) => idx,
+                None => unreachable!("assoc >= 1, so a full set is non-empty"),
+            };
             Some(lines.swap_remove(idx))
         } else {
             None

@@ -27,6 +27,7 @@ pub mod cache;
 pub mod events;
 pub mod fault;
 pub mod hierarchy;
+pub mod inject;
 pub mod page;
 pub mod phys;
 pub mod stats;
@@ -35,6 +36,7 @@ pub use cache::{Cache, CacheCfg};
 pub use events::{EventLog, MemEvent, MemEventKind};
 pub use fault::Fault;
 pub use hierarchy::{AccessKind, AccessResult, Hierarchy, HierarchyCfg, Level};
+pub use inject::{FaultPlan, Injector, PoolShrink};
 pub use page::{PageFlags, PageTable, PAGE_SIZE};
 pub use phys::PhysMem;
 pub use stats::MemStats;

@@ -134,6 +134,18 @@ pub fn chrome_trace(ops: &[TraceRecord], mem: &[MemEvent], mvm: &[MvmEvent]) -> 
             MvmEventKind::RefillTrap => {
                 events.push(mvm_instant(e, vec![]));
             }
+            MvmEventKind::PoolShrink { dropped } => {
+                events.push(mvm_instant(
+                    e,
+                    vec![("dropped", Json::from_u64(dropped as u64))],
+                ));
+            }
+            MvmEventKind::CarveFailed { attempt } => {
+                events.push(mvm_instant(
+                    e,
+                    vec![("attempt", Json::from_u64(attempt as u64))],
+                ));
+            }
         }
     }
     if let Some((start, boundary, pending)) = gc_start {

@@ -9,7 +9,13 @@ use crate::json::{obj, Json};
 
 /// Schema version stamped into every report (bump on breaking layout
 /// changes so downstream consumers can dispatch).
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: `config.inject` (canonical fault-injection spec, `null` when no
+/// faults were injected) and seven resilience counters under `mvm`
+/// (`refill_retries`, `recovered_allocations`, `injected_carve_failures`,
+/// `injected_jitter_cycles`, `injected_coherence_delay_cycles`,
+/// `forced_gc_attempts`, `pool_shrink_events`).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Workload sizes of the run (mirrors the experiment harness's scale).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +80,10 @@ pub struct SimReport {
     pub versioned_extra_latency: u64,
     /// Whether version lists keep sorted insertion (§IV-F ablation).
     pub sorted_insertion: bool,
+    /// Canonical fault-injection spec the run was configured with
+    /// ([`osim_uarch::FaultPlan::to_spec`]); `None` when no faults were
+    /// injected.
+    pub inject: Option<String>,
     /// Workload scale.
     pub scale: ReportScale,
     /// Measured cycles of the run.
@@ -115,6 +125,7 @@ impl SimReport {
             gc_watermark: cfg.omgr.gc.watermark as u64,
             versioned_extra_latency: cfg.omgr.versioned_extra_latency,
             sorted_insertion: cfg.omgr.sorted_insertion,
+            inject: cfg.omgr.fault_plan.map(|p| p.to_spec()),
             scale,
             cycles,
             cpu,
@@ -232,6 +243,31 @@ impl SimReport {
             ),
             ("gc_phases", Json::from_u64(self.ostats.gc_phases)),
             ("refill_traps", Json::from_u64(self.ostats.refill_traps)),
+            ("refill_retries", Json::from_u64(self.ostats.refill_retries)),
+            (
+                "recovered_allocations",
+                Json::from_u64(self.ostats.recovered_allocations),
+            ),
+            (
+                "injected_carve_failures",
+                Json::from_u64(self.ostats.injected_carve_failures),
+            ),
+            (
+                "injected_jitter_cycles",
+                Json::from_u64(self.ostats.injected_jitter_cycles),
+            ),
+            (
+                "injected_coherence_delay_cycles",
+                Json::from_u64(self.ostats.injected_coherence_delay_cycles),
+            ),
+            (
+                "forced_gc_attempts",
+                Json::from_u64(self.ostats.forced_gc_attempts),
+            ),
+            (
+                "pool_shrink_events",
+                Json::from_u64(self.ostats.pool_shrink_events),
+            ),
         ]);
         let trace = match &self.trace {
             None => Json::Null,
@@ -263,6 +299,13 @@ impl SimReport {
                         Json::from_u64(self.versioned_extra_latency),
                     ),
                     ("sorted_insertion", Json::Bool(self.sorted_insertion)),
+                    (
+                        "inject",
+                        match &self.inject {
+                            Some(spec) => Json::Str(spec.clone()),
+                            None => Json::Null,
+                        },
+                    ),
                 ]),
             ),
             (
@@ -355,6 +398,13 @@ impl SimReport {
             reclaimed_blocks: req_u64(mvm_v, "reclaimed_blocks")?,
             gc_phases: req_u64(mvm_v, "gc_phases")?,
             refill_traps: req_u64(mvm_v, "refill_traps")?,
+            refill_retries: req_u64(mvm_v, "refill_retries")?,
+            recovered_allocations: req_u64(mvm_v, "recovered_allocations")?,
+            injected_carve_failures: req_u64(mvm_v, "injected_carve_failures")?,
+            injected_jitter_cycles: req_u64(mvm_v, "injected_jitter_cycles")?,
+            injected_coherence_delay_cycles: req_u64(mvm_v, "injected_coherence_delay_cycles")?,
+            forced_gc_attempts: req_u64(mvm_v, "forced_gc_attempts")?,
+            pool_shrink_events: req_u64(mvm_v, "pool_shrink_events")?,
         };
         let trace = match v.get("trace") {
             None | Some(Json::Null) => None,
@@ -382,6 +432,10 @@ impl SimReport {
                 .get("sorted_insertion")
                 .and_then(Json::as_bool)
                 .ok_or("missing sorted_insertion")?,
+            inject: match config.get("inject") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some(j.as_str().ok_or("non-string field \"inject\"")?.to_string()),
+            },
             scale: ReportScale {
                 small: req_u64(scale_v, "small")?,
                 large: req_u64(scale_v, "large")?,
@@ -533,7 +587,7 @@ mod tests {
 
     #[test]
     fn from_json_reports_missing_fields() {
-        let v = parse("{\"schema\": 1}").unwrap();
+        let v = parse("{\"schema\": 2}").unwrap();
         assert!(SimReport::from_json(&v).is_err());
     }
 }

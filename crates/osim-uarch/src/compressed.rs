@@ -112,12 +112,10 @@ impl CompressedLine {
             return true;
         }
         if self.entries.len() == ENTRIES_PER_LINE {
-            let (victim, _) = self
-                .lru
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &t)| t)
-                .expect("full line");
+            let victim = match self.lru.iter().enumerate().min_by_key(|(_, &t)| t) {
+                Some((victim, _)) => victim,
+                None => unreachable!("full line"),
+            };
             if self.head_version == Some(self.entries[victim].version) {
                 self.head_version = None;
             }

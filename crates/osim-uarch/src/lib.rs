@@ -26,6 +26,8 @@ pub mod manager;
 pub mod vblock;
 
 pub use compressed::CompressedLine;
+pub use osim_mem::{FaultPlan, Injector, PoolShrink};
+
 pub use manager::{
     BlockReason, GcConfig, MvmEvent, MvmEventKind, OManager, OManagerCfg, OStats, OpOutcome,
 };

@@ -3,7 +3,9 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-use osim_mem::{line_of, AccessKind, EventLog, Fault, MemSys, PageFlags, PAGE_SIZE};
+use osim_mem::{
+    line_of, AccessKind, EventLog, Fault, FaultPlan, Injector, MemSys, PageFlags, PAGE_SIZE,
+};
 
 use crate::compressed::{CEntry, CompressedLine};
 use crate::vblock::{VBlock, VBLOCK_BYTES};
@@ -36,6 +38,13 @@ pub struct OManagerCfg {
     pub sorted_insertion: bool,
     /// Garbage collector settings.
     pub gc: GcConfig,
+    /// Deterministic fault-injection plan (None = inject nothing).
+    pub fault_plan: Option<FaultPlan>,
+    /// Refill-trap attempts (beyond the first) before an empty free list
+    /// surfaces as [`Fault::OutOfVersionBlocks`]. Each retry doubles the
+    /// modeled trap cost (bounded exponential backoff) and forces a
+    /// garbage-collection attempt first.
+    pub refill_retry_limit: u32,
 }
 
 impl Default for OManagerCfg {
@@ -47,6 +56,8 @@ impl Default for OManagerCfg {
             versioned_extra_latency: 0,
             sorted_insertion: true,
             gc: GcConfig { watermark: 1 << 10 },
+            fault_plan: None,
+            refill_retry_limit: 3,
         }
     }
 }
@@ -70,6 +81,22 @@ pub struct OStats {
     pub gc_phases: u64,
     /// OS traps taken to refill the free list.
     pub refill_traps: u64,
+    /// Refill-trap *retries*: extra attempts after a first refill failed.
+    pub refill_retries: u64,
+    /// Allocations that succeeded only after at least one failed refill or
+    /// a forced reclamation (graceful-degradation recoveries).
+    pub recovered_allocations: u64,
+    /// Carve attempts failed by the fault injector.
+    pub injected_carve_failures: u64,
+    /// Per-operation latency cycles added by injected jitter.
+    pub injected_jitter_cycles: u64,
+    /// Stall cycles added by injected coherence-invalidation delay.
+    pub injected_coherence_delay_cycles: u64,
+    /// Garbage-collection attempts forced by allocation pressure (ignoring
+    /// the watermark) before giving up on an allocation.
+    pub forced_gc_attempts: u64,
+    /// Mid-run pool shrinks applied by the fault injector.
+    pub pool_shrink_events: u64,
 }
 
 impl OStats {
@@ -124,6 +151,16 @@ pub enum MvmEventKind {
     },
     /// An OS trap refilled the empty free list.
     RefillTrap,
+    /// The fault injector shrank the free list mid-run.
+    PoolShrink {
+        /// Blocks dropped from the free list.
+        dropped: u32,
+    },
+    /// A refill carve failed (injected or genuine physical exhaustion).
+    CarveFailed {
+        /// Zero-based retry attempt this failure belongs to.
+        attempt: u32,
+    },
 }
 
 impl MvmEvent {
@@ -136,6 +173,8 @@ impl MvmEvent {
             MvmEventKind::FreeListCarve { .. } => "freelist_carve",
             MvmEventKind::FreeListAlloc { .. } => "freelist_alloc",
             MvmEventKind::RefillTrap => "refill_trap",
+            MvmEventKind::PoolShrink { .. } => "pool_shrink",
+            MvmEventKind::CarveFailed { .. } => "carve_failed",
         }
     }
 }
@@ -163,7 +202,13 @@ pub enum OpOutcome {
     },
     /// The operation must stall; the issuing core should retry once the
     /// O-structure changes. The cycles spent discovering this are charged.
-    Blocked { reason: BlockReason, latency: u64 },
+    Blocked {
+        reason: BlockReason,
+        latency: u64,
+        /// Task holding the contended version (0 = none/unknown); feeds
+        /// deadlock blame reports.
+        holder: TaskId,
+    },
 }
 
 impl OpOutcome {
@@ -215,6 +260,8 @@ pub struct OManager {
     /// [`OManager::take_trap_cycles`] — the free-list/GC share of an
     /// operation's latency, kept separate so cores can attribute it.
     pending_trap_cycles: u64,
+    /// Deterministic fault injector (present iff the config carries a plan).
+    injector: Option<Injector>,
     /// Counters; reset between warm-up and measurement.
     pub stats: OStats,
     /// Observable event stream (disabled by default; enable by replacing
@@ -238,6 +285,7 @@ impl OManager {
             max_id_seen: 0,
             coherence_lost: HashSet::new(),
             pending_trap_cycles: 0,
+            injector: cfg.fault_plan.map(Injector::new),
             stats: OStats::default(),
             events: EventLog::disabled(),
         };
@@ -327,15 +375,11 @@ impl OManager {
     fn alloc_block(&mut self, ms: &mut MemSys, core: usize) -> Result<(u32, u64), Fault> {
         let now = ms.hier.clock();
         let mut latency = 0;
+        if let Some(keep) = self.injector.as_mut().and_then(Injector::shrink_due) {
+            self.apply_pool_shrink(ms, now, keep);
+        }
         if self.free_count == 0 {
-            self.stats.refill_traps += 1;
-            latency += self.cfg.trap_latency;
-            self.pending_trap_cycles += self.cfg.trap_latency;
-            self.events.push(MvmEvent {
-                cycle: now,
-                kind: MvmEventKind::RefillTrap,
-            });
-            self.carve(ms, self.cfg.refill_blocks)?;
+            latency += self.refill_with_retry(ms, now)?;
         }
         let pa = self.free_head;
         debug_assert_ne!(pa, 0, "free list non-empty after refill");
@@ -364,6 +408,136 @@ impl OManager {
         }
         self.maybe_start_gc(now);
         Ok((pa, latency))
+    }
+
+    /// Drops free-list blocks until only `keep` remain — the injected
+    /// "OS reclaimed pool pages under memory pressure" fault.
+    fn apply_pool_shrink(&mut self, ms: &mut MemSys, now: u64, keep: u32) {
+        let mut dropped = 0u32;
+        while self.free_count > keep && self.free_head != 0 {
+            let blk = VBlock::read(&ms.phys, self.free_head);
+            self.free_head = blk.next;
+            self.free_count -= 1;
+            dropped += 1;
+        }
+        if dropped > 0 {
+            self.stats.pool_shrink_events += 1;
+            self.events.push(MvmEvent {
+                cycle: now,
+                kind: MvmEventKind::PoolShrink { dropped },
+            });
+        }
+    }
+
+    /// The graceful-degradation path for an empty free list: a modeled OS
+    /// refill trap with bounded retry/backoff. Each failed attempt (injected
+    /// carve failure, exhausted refill budget, or genuine physical-memory
+    /// exhaustion) forces a garbage-collection attempt before retrying; the
+    /// trap cost doubles per retry. Returns the cycles charged, or
+    /// [`Fault::OutOfVersionBlocks`] once the retry limit is exhausted.
+    fn refill_with_retry(&mut self, ms: &mut MemSys, now: u64) -> Result<u64, Fault> {
+        let mut latency = 0;
+        let mut attempt: u32 = 0;
+        loop {
+            self.stats.refill_traps += 1;
+            let cost = self.cfg.trap_latency << attempt.min(4);
+            latency += cost;
+            self.pending_trap_cycles += cost;
+            self.events.push(MvmEvent {
+                cycle: now,
+                kind: MvmEventKind::RefillTrap,
+            });
+
+            let injected_fail = self
+                .injector
+                .as_mut()
+                .is_some_and(Injector::transient_carve_failure);
+            let budget_ok = self.injector.as_ref().is_none_or(Injector::refill_allowed);
+            let mut carved = false;
+            if injected_fail {
+                self.stats.injected_carve_failures += 1;
+            } else if budget_ok && self.carve(ms, self.cfg.refill_blocks).is_ok() {
+                carved = true;
+                if let Some(inj) = &mut self.injector {
+                    inj.note_refill();
+                }
+            }
+            if carved && self.free_count > 0 {
+                if attempt > 0 {
+                    self.stats.recovered_allocations += 1;
+                }
+                return Ok(latency);
+            }
+            self.events.push(MvmEvent {
+                cycle: now,
+                kind: MvmEventKind::CarveFailed { attempt },
+            });
+
+            // Before retrying, try to reclaim shadowed blocks regardless of
+            // the watermark (forced GC under allocation pressure).
+            self.stats.forced_gc_attempts += 1;
+            self.force_gc(ms, now);
+            if self.free_count > 0 {
+                self.stats.recovered_allocations += 1;
+                return Ok(latency);
+            }
+
+            if attempt >= self.cfg.refill_retry_limit {
+                return Err(Fault::OutOfVersionBlocks);
+            }
+            attempt += 1;
+            self.stats.refill_retries += 1;
+        }
+    }
+
+    /// Pressure reclamation: start a collection phase regardless of the
+    /// watermark and try to finalize it immediately. Succeeds only when no
+    /// active task can still reach the pending blocks (the §III-B boundary
+    /// rule holds even under pressure).
+    fn force_gc(&mut self, ms: &mut MemSys, now: u64) {
+        if self.cfg.gc.watermark == 0 {
+            return; // collector disabled (§IV-F ablation): no pressure GC either
+        }
+        if self.gc_phase.is_none() && !self.shadowed.is_empty() {
+            let youngest_active = self.active.last().copied().unwrap_or(0);
+            let boundary = youngest_active.max(self.max_id_seen);
+            let pending = std::mem::take(&mut self.shadowed);
+            self.events.push(MvmEvent {
+                cycle: now,
+                kind: MvmEventKind::GcStart {
+                    boundary,
+                    pending: pending.len() as u32,
+                },
+            });
+            self.gc_phase = Some(GcPhase { boundary, pending });
+        }
+        self.maybe_finalize_gc(ms);
+    }
+
+    /// Per-operation latency added by injected jitter (0 without a plan).
+    fn injected_jitter(&mut self) -> u64 {
+        match &mut self.injector {
+            Some(inj) => {
+                let j = inj.jitter();
+                self.stats.injected_jitter_cycles += j;
+                j
+            }
+            None => 0,
+        }
+    }
+
+    /// Injected delivery delay for a coherence invalidation's effect, in
+    /// cycles (0 without a plan). The cpu layer adds this to the stall of a
+    /// coherence-attributed blocked retry, modeling a delayed invalidation.
+    pub fn coherence_delay_penalty(&mut self) -> u64 {
+        match &mut self.injector {
+            Some(inj) => {
+                let d = inj.coherence_delay();
+                self.stats.injected_coherence_delay_cycles += d;
+                d
+            }
+            None => 0,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -424,7 +598,9 @@ impl OManager {
         if !ready {
             return;
         }
-        let phase = self.gc_phase.take().expect("phase checked above");
+        let Some(phase) = self.gc_phase.take() else {
+            return; // unreachable: `ready` implies a phase exists
+        };
         let mut reclaimed: HashSet<u32> = HashSet::new();
         for (root_pa, block_pa) in phase.pending {
             let blk = VBlock::read(&ms.phys, block_pa);
@@ -641,7 +817,7 @@ impl OManager {
         lock_as: TaskId,
     ) -> Result<OpOutcome, Fault> {
         let root_pa = ms.pt.translate_versioned(va)?;
-        let mut latency = self.cfg.versioned_extra_latency;
+        let mut latency = self.cfg.versioned_extra_latency + self.injected_jitter();
         let l1_hit = 4; // compressed lines live in the L1
 
         // --- Direct access -------------------------------------------------
@@ -668,6 +844,7 @@ impl OManager {
                     return Ok(OpOutcome::Blocked {
                         reason: BlockReason::VersionLocked,
                         latency,
+                        holder: e.locked_by,
                     });
                 }
                 self.stats.direct_hits += 1;
@@ -704,6 +881,7 @@ impl OManager {
             return Ok(OpOutcome::Blocked {
                 reason: BlockReason::VersionAbsent,
                 latency,
+                holder: 0,
             });
         }
 
@@ -761,12 +939,14 @@ impl OManager {
             return Ok(OpOutcome::Blocked {
                 reason: BlockReason::VersionAbsent,
                 latency,
+                holder: 0,
             });
         };
         if !blk.unlocked() {
             return Ok(OpOutcome::Blocked {
                 reason: BlockReason::VersionLocked,
                 latency,
+                holder: blk.locked_by,
             });
         }
 
@@ -885,7 +1065,7 @@ impl OManager {
         data: u32,
     ) -> Result<OpOutcome, Fault> {
         let root_pa = ms.pt.translate_versioned(va)?;
-        let mut latency = self.cfg.versioned_extra_latency;
+        let mut latency = self.cfg.versioned_extra_latency + self.injected_jitter();
 
         // Direct-access fast path: when this core's compressed line knows
         // the head version and `v` is a fresh maximum, the front insertion
@@ -1004,7 +1184,9 @@ impl OManager {
                 latency += ms.hier.access(core, oh.pa, AccessKind::Write).latency;
             }
         } else {
-            let mut p = prev.expect("not at front");
+            let Some(mut p) = prev else {
+                unreachable!("not at front implies a predecessor");
+            };
             p.next = new_pa;
             p.write(&mut ms.phys);
             latency += ms.hier.access(core, p.pa, AccessKind::Write).latency;
@@ -1066,7 +1248,7 @@ impl OManager {
         create: Option<Version>,
     ) -> Result<OpOutcome, Fault> {
         let root_pa = ms.pt.translate_versioned(va)?;
-        let mut latency = self.cfg.versioned_extra_latency;
+        let mut latency = self.cfg.versioned_extra_latency + self.injected_jitter();
 
         // Locate the block holding vl: via our compressed line if possible,
         // else by walking.

@@ -348,7 +348,9 @@ pub fn run_versioned(mcfg: MachineCfg, cfg: &DsCfg) -> DsResult {
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        s.alloc.alloc_root(&mut s.ms)
+        s.alloc
+            .alloc_root(&mut s.ms)
+            .expect("simulated RAM exhausted")
     };
     let pop_tid = m.next_tid();
     let keys = initial.clone();
@@ -569,7 +571,9 @@ pub fn run_unversioned(mcfg: MachineCfg, cfg: &DsCfg) -> DsResult {
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        s.alloc.alloc_data(&mut s.ms, 4)
+        s.alloc
+            .alloc_data(&mut s.ms, 4)
+            .expect("simulated RAM exhausted")
     };
     let keys = initial.clone();
     m.run_tasks(vec![task(move |ctx| {
@@ -614,8 +618,12 @@ pub fn run_rwlock(mcfg: MachineCfg, cfg: &DsCfg) -> DsResult {
         let mut st = st.borrow_mut();
         let s = &mut *st;
         (
-            s.alloc.alloc_data(&mut s.ms, 4),
-            s.alloc.alloc_data(&mut s.ms, 4),
+            s.alloc
+                .alloc_data(&mut s.ms, 4)
+                .expect("simulated RAM exhausted"),
+            s.alloc
+                .alloc_data(&mut s.ms, 4)
+                .expect("simulated RAM exhausted"),
         )
     };
     let keys = initial.clone();

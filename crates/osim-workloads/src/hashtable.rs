@@ -225,14 +225,23 @@ pub fn run_versioned(mcfg: MachineCfg, cfg: &DsCfg) -> DsResult {
         let mut st = st.borrow_mut();
         let s = &mut *st;
         let buckets = n_buckets(cfg.initial);
-        let order_cell = s.alloc.alloc_root(&mut s.ms);
+        let order_cell = s
+            .alloc
+            .alloc_root(&mut s.ms)
+            .expect("simulated RAM exhausted");
         let bucket_base = (0..buckets)
-            .map(|_| s.alloc.alloc_root(&mut s.ms))
+            .map(|_| {
+                s.alloc
+                    .alloc_root(&mut s.ms)
+                    .expect("simulated RAM exhausted")
+            })
             .next()
             .expect("at least one bucket");
         // Reserve the remaining bucket cells contiguously.
         for _ in 1..buckets {
-            s.alloc.alloc_root(&mut s.ms);
+            s.alloc
+                .alloc_root(&mut s.ms)
+                .expect("simulated RAM exhausted");
         }
         Rc::new(Table {
             order_cell,
@@ -300,7 +309,9 @@ pub fn run_unversioned(mcfg: MachineCfg, cfg: &DsCfg) -> DsResult {
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        s.alloc.alloc_data(&mut s.ms, buckets * 4)
+        s.alloc
+            .alloc_data(&mut s.ms, buckets * 4)
+            .expect("simulated RAM exhausted")
     };
 
     let keys = initial.clone();

@@ -105,17 +105,30 @@ fn run_common(mut m: Machine, cfg: &LevCfg, versioned: bool) -> DsResult {
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        let a = s.alloc.alloc_data(&mut s.ms, n * 4);
-        let b = s.alloc.alloc_data(&mut s.ms, n * 4);
+        let a = s
+            .alloc
+            .alloc_data(&mut s.ms, n * 4)
+            .expect("simulated RAM exhausted");
+        let b = s
+            .alloc
+            .alloc_data(&mut s.ms, n * 4)
+            .expect("simulated RAM exhausted");
         let cells = (n + 1) * (n + 1);
         let d = if versioned {
-            let first = s.alloc.alloc_root(&mut s.ms);
+            let first = s
+                .alloc
+                .alloc_root(&mut s.ms)
+                .expect("simulated RAM exhausted");
             for _ in 1..cells {
-                s.alloc.alloc_root(&mut s.ms);
+                s.alloc
+                    .alloc_root(&mut s.ms)
+                    .expect("simulated RAM exhausted");
             }
             first
         } else {
-            s.alloc.alloc_data(&mut s.ms, cells * 4)
+            s.alloc
+                .alloc_data(&mut s.ms, cells * 4)
+                .expect("simulated RAM exhausted")
         };
         Rc::new(Layout { a, b, d, len: n })
     };

@@ -247,7 +247,9 @@ pub fn run_versioned_with(mcfg: MachineCfg, cfg: &DsCfg, rename_on_pass: bool) -
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        s.alloc.alloc_root(&mut s.ms)
+        s.alloc
+            .alloc_root(&mut s.ms)
+            .expect("simulated RAM exhausted")
     };
 
     // Population phase (excluded from measurement).
@@ -384,7 +386,9 @@ pub fn run_unversioned(mcfg: MachineCfg, cfg: &DsCfg) -> DsResult {
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        s.alloc.alloc_data(&mut s.ms, 4)
+        s.alloc
+            .alloc_data(&mut s.ms, 4)
+            .expect("simulated RAM exhausted")
     };
 
     // Population: sequential inserts in sorted order (cheap to build).

@@ -130,18 +130,37 @@ fn run_common(mut m: Machine, cfg: &MatmulCfg, versioned: bool) -> DsResult {
         let mut st = st.borrow_mut();
         let s = &mut *st;
         let words = n * n * 4;
-        let a = s.alloc.alloc_data(&mut s.ms, words);
-        let b = s.alloc.alloc_data(&mut s.ms, words);
-        let c = s.alloc.alloc_data(&mut s.ms, words);
-        let r = s.alloc.alloc_data(&mut s.ms, words);
+        let a = s
+            .alloc
+            .alloc_data(&mut s.ms, words)
+            .expect("simulated RAM exhausted");
+        let b = s
+            .alloc
+            .alloc_data(&mut s.ms, words)
+            .expect("simulated RAM exhausted");
+        let c = s
+            .alloc
+            .alloc_data(&mut s.ms, words)
+            .expect("simulated RAM exhausted");
+        let r = s
+            .alloc
+            .alloc_data(&mut s.ms, words)
+            .expect("simulated RAM exhausted");
         let t = if versioned {
-            let first = s.alloc.alloc_root(&mut s.ms);
+            let first = s
+                .alloc
+                .alloc_root(&mut s.ms)
+                .expect("simulated RAM exhausted");
             for _ in 1..(n * n) {
-                s.alloc.alloc_root(&mut s.ms);
+                s.alloc
+                    .alloc_root(&mut s.ms)
+                    .expect("simulated RAM exhausted");
             }
             first
         } else {
-            s.alloc.alloc_data(&mut s.ms, words)
+            s.alloc
+                .alloc_data(&mut s.ms, words)
+                .expect("simulated RAM exhausted")
         };
         Rc::new(Layout { a, b, c, r, t, n })
     };

@@ -741,7 +741,14 @@ pub fn run_versioned_with(mcfg: MachineCfg, cfg: &DsCfg, hold: LockHold) -> DsRe
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        (s.alloc.alloc_root(&mut s.ms), s.alloc.alloc_root(&mut s.ms))
+        (
+            s.alloc
+                .alloc_root(&mut s.ms)
+                .expect("simulated RAM exhausted"),
+            s.alloc
+                .alloc_root(&mut s.ms)
+                .expect("simulated RAM exhausted"),
+        )
     };
 
     // Build the initial tree in the arena, then materialize it.
@@ -840,7 +847,9 @@ pub fn run_unversioned(mcfg: MachineCfg, cfg: &DsCfg) -> DsResult {
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        s.alloc.alloc_data(&mut s.ms, 4)
+        s.alloc
+            .alloc_data(&mut s.ms, 4)
+            .expect("simulated RAM exhausted")
     };
 
     let mut arena = Arena::default();

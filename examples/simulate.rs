@@ -18,7 +18,7 @@ fn main() {
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        s.alloc.alloc_root(&mut s.ms)
+        s.alloc.alloc_root(&mut s.ms).expect("RAM available")
     };
 
     // Eight tasks forming a dependency chain across all four cores: each

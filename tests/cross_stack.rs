@@ -3,8 +3,8 @@
 //! with sequential reference semantics.
 
 use ostructs::core::OCell;
-use ostructs::cpu::{task, Machine, MachineCfg};
-use ostructs::mem::{HierarchyCfg, MemSys, PageFlags};
+use ostructs::cpu::{task, Machine, MachineCfg, SimError};
+use ostructs::mem::{Fault, HierarchyCfg, MemSys, PageFlags};
 use ostructs::uarch::{OManager, OManagerCfg, OpOutcome};
 use ostructs::workloads::harness::DsCfg;
 use ostructs::workloads::{btree, hashtable, linked_list, rbtree};
@@ -123,54 +123,56 @@ fn whole_stack_determinism() {
 }
 
 /// Protection model end-to-end: conventional access to a versioned page
-/// faults at the machine level (panics the task), versioned access to a
-/// conventional page likewise.
+/// surfaces as a typed [`SimError::Fault`] naming the task, core, address
+/// and cycle; versioned access to a conventional page likewise.
 #[test]
 fn protection_faults_surface() {
-    let m = Machine::new(MachineCfg::paper(1));
-    let (root, data) = {
+    let mut m = Machine::new(MachineCfg::paper(1));
+    let root = {
         let st = m.state();
         let mut st = st.borrow_mut();
         let s = &mut *st;
-        (
-            s.alloc.alloc_root(&mut s.ms),
-            s.alloc.alloc_data(&mut s.ms, 4),
-        )
+        s.alloc.alloc_root(&mut s.ms).unwrap()
     };
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let mut m2 = Machine::new(MachineCfg::paper(1));
-        let root2 = {
-            let st = m2.state();
-            let mut st = st.borrow_mut();
-            let s = &mut *st;
-            s.alloc.alloc_root(&mut s.ms)
-        };
-        m2.run_tasks(vec![task(move |ctx| async move {
-            ctx.load_u32(root2).await; // conventional load of a versioned page
+    let err = m
+        .run_tasks(vec![task(move |ctx| async move {
+            ctx.load_u32(root).await; // conventional load of a versioned page
         })])
-    }));
-    assert!(
-        result.is_err(),
-        "conventional access to versioned page must fault"
-    );
+        .expect_err("conventional access to versioned page must fault");
+    match err {
+        SimError::Fault(f) => {
+            assert_eq!(
+                f.fault,
+                Fault::ConventionalAccessToVersionedPage { va: root }
+            );
+            assert_eq!(f.va, root);
+            assert_eq!(f.tid, 1);
+        }
+        other => panic!("expected architectural fault, got: {other}"),
+    }
 
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let mut m2 = Machine::new(MachineCfg::paper(1));
-        let data2 = {
-            let st = m2.state();
-            let mut st = st.borrow_mut();
-            let s = &mut *st;
-            s.alloc.alloc_data(&mut s.ms, 4)
-        };
-        m2.run_tasks(vec![task(move |ctx| async move {
-            ctx.store_version(data2, 1, 0).await; // versioned store to data page
+    let mut m2 = Machine::new(MachineCfg::paper(1));
+    let data = {
+        let st = m2.state();
+        let mut st = st.borrow_mut();
+        let s = &mut *st;
+        s.alloc.alloc_data(&mut s.ms, 4).unwrap()
+    };
+    let err = m2
+        .run_tasks(vec![task(move |ctx| async move {
+            ctx.store_version(data, 1, 0).await; // versioned store to data page
         })])
-    }));
-    assert!(
-        result.is_err(),
-        "versioned access to conventional page must fault"
-    );
-    let _ = (root, data, m);
+        .expect_err("versioned access to conventional page must fault");
+    match err {
+        SimError::Fault(f) => {
+            assert_eq!(
+                f.fault,
+                Fault::VersionedAccessToConventionalPage { va: data }
+            );
+            assert_eq!(f.va, data);
+        }
+        other => panic!("expected architectural fault, got: {other}"),
+    }
 }
 
 /// The Fig. 10 latency knob monotonically slows versioned runs but leaves
