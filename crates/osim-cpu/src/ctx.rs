@@ -4,12 +4,12 @@ use std::cell::{Cell, RefCell};
 use std::convert::Infallible;
 use std::rc::Rc;
 
-use osim_engine::{Cycle, Gate, SimHandle, WaitInfo, WakeTag};
+use osim_engine::{Cycle, Gate, SimHandle, WaitInfo, WakeFilter, WakeTag};
 use osim_mem::{AccessKind, Fault};
 use osim_uarch::{BlockReason, OpOutcome, TaskId, Version};
 
 use crate::error::TaskFault;
-use crate::machine::MachineState;
+use crate::machine::{MachineState, WakeupPolicy};
 use crate::stats::StallCause;
 use crate::trace::{OpKind, TraceRecord};
 
@@ -31,6 +31,15 @@ pub mod wake {
             _ => "generic",
         }
     }
+}
+
+/// Whether the `OSIM_TRACE` debug-print hook is on. The environment is
+/// read once per process: the flag is consulted on every versioned
+/// operation, and a `getenv` call per op is measurable host overhead in
+/// long sweeps.
+fn osim_trace() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("OSIM_TRACE").is_some())
 }
 
 /// The instruction interface one task programs against.
@@ -321,7 +330,7 @@ impl TaskCtx {
                     version,
                     latency,
                 } => {
-                    if lock && std::env::var_os("OSIM_TRACE").is_some() {
+                    if lock && osim_trace() {
                         eprintln!(
                             "[{}] task {} LOCKED va={va:#x} version={version}",
                             self.h.now(),
@@ -349,7 +358,7 @@ impl TaskCtx {
                 OpOutcome::Blocked {
                     reason, latency, ..
                 } => {
-                    if std::env::var_os("OSIM_TRACE").is_some() {
+                    if osim_trace() {
                         eprintln!(
                             "[{}] task {} core {} blocked {:?} va={:#x} v={} latest={} lock={}",
                             self.h.now(),
@@ -388,11 +397,29 @@ impl TaskCtx {
                     // sleep must still wake us. An injected coherence delay
                     // stretches the failed attempt (the invalidation's
                     // effect arrives late), not the wake-up.
-                    let ticket = self.gate_for(va).ticket();
+                    //
+                    // Under targeted delivery the ticket also registers what
+                    // we await: an exact load can only be satisfied by its
+                    // version appearing (or unlocking); a capped load by any
+                    // version at or below the cap. Broadcast openers ignore
+                    // the filter, so registering it is behaviour-neutral
+                    // until the machine opts into `WakeupPolicy::Targeted`.
+                    let wakeup = self.st.borrow().wakeup;
+                    let ticket = match wakeup {
+                        WakeupPolicy::Broadcast => self.gate_for(va).ticket(),
+                        WakeupPolicy::Targeted => {
+                            let filter = if latest {
+                                WakeFilter::AtMost(u64::from(v))
+                            } else {
+                                WakeFilter::Exact(u64::from(v))
+                            };
+                            self.gate_for(va).ticket_filtered(filter)
+                        }
+                    };
                     self.h.sleep(latency + coh_extra).await;
                     let woken_by: WakeTag = ticket.await;
                     self.h.clear_wait_info();
-                    if std::env::var_os("OSIM_TRACE").is_some() {
+                    if osim_trace() {
                         eprintln!(
                             "[{}] task {} woken by {} on va={va:#x}",
                             self.h.now(),
@@ -434,14 +461,21 @@ impl TaskCtx {
         self.h.sleep(latency).await;
         let stall = (trap > 0).then_some(StallCause::FreeListGc);
         self.trace(OpKind::VersionedStore, va, v, self.h.now() - latency, stall);
-        self.gate_for(va).open_tagged(wake::STORE);
+        let wakeup = self.st.borrow().wakeup;
+        match wakeup {
+            WakeupPolicy::Broadcast => self.gate_for(va).open_tagged(wake::STORE),
+            // A store publishes exactly one version.
+            WakeupPolicy::Targeted => self
+                .gate_for(va)
+                .open_targeted(wake::STORE, &[u64::from(v)]),
+        }
     }
 
     /// `UNLOCK-VERSION`: unlocks `vl` (held by this task); with
     /// `create = Some(vn)` also creates unlocked version `vn` carrying the
     /// same value. Wakes stalled tasks.
     pub async fn unlock_version(&self, va: u32, vl: Version, create: Option<Version>) {
-        if std::env::var_os("OSIM_TRACE").is_some() {
+        if osim_trace() {
             eprintln!(
                 "[{}] task {} UNLOCK va={va:#x} vl={vl} create={create:?}",
                 self.h.now(),
@@ -472,7 +506,53 @@ impl TaskCtx {
         self.h.sleep(latency).await;
         let stall = (trap > 0).then_some(StallCause::FreeListGc);
         self.trace(OpKind::Unlock, va, vl, self.h.now() - latency, stall);
-        self.gate_for(va).open_tagged(wake::UNLOCK);
+        let wakeup = self.st.borrow().wakeup;
+        match wakeup {
+            WakeupPolicy::Broadcast => self.gate_for(va).open_tagged(wake::UNLOCK),
+            // An unlock makes the locked version readable, and a rename
+            // additionally publishes the created version; one open carrying
+            // both keeps matching waiters waking in park order (two separate
+            // opens would reorder them relative to a broadcast).
+            WakeupPolicy::Targeted => {
+                let payloads = [u64::from(vl), u64::from(create.unwrap_or(vl))];
+                self.gate_for(va).open_targeted(wake::UNLOCK, &payloads)
+            }
+        }
+    }
+
+    /// Releases an entire O-structure (every version block back to the
+    /// free list, root reset to null) and drops the machine's wait gate
+    /// for `va` if nobody is parked on it.
+    ///
+    /// The gate cleanup is what keeps the per-machine gate map bounded:
+    /// without it, every O-structure address that ever blocked a task (or
+    /// published a wake-up) pins a gate entry for the life of the machine,
+    /// even after the structure is freed and its address recycled. Freeing
+    /// at a quiescent point — the only legal time to call this, per the
+    /// manager's contract — means the gate has no waiters and can go.
+    /// Returns the number of version blocks freed.
+    pub async fn release_structure(&self, va: u32) -> u32 {
+        let res = {
+            let mut st = self.st.borrow_mut();
+            let MachineState { ms, omgr, .. } = &mut *st;
+            ms.hier.set_clock(self.h.now());
+            let r = omgr.release_structure(ms, va);
+            if r.is_ok() {
+                // A release is only legal at quiescent points, so the gate
+                // (if any) should be idle; a parked waiter means the
+                // caller's contract is violated — keep the gate so the
+                // waiter can still be woken (or blamed by a deadlock
+                // report) instead of silently orphaning it.
+                if st.gates.get(&va).is_some_and(|g| g.waiting() == 0) {
+                    st.gates.remove(&va);
+                }
+            }
+            r
+        };
+        match res {
+            Ok(freed) => freed,
+            Err(f) => match self.fault_abort(va, f).await {},
+        }
     }
 
     // ------------------------------------------------------------------

@@ -33,7 +33,7 @@ pub mod trace;
 
 pub use ctx::{wake, TaskCtx};
 pub use error::{BlameEntry, DeadlockReport, SimError, TaskFault, WaitClass, WatchdogReport};
-pub use machine::{Machine, MachineCfg, MachineState, PhaseReport};
+pub use machine::{Machine, MachineCfg, MachineState, PhaseReport, WakeupPolicy};
 pub use runtime::{task, TaskFn};
 pub use rwlock::SimRwLock;
 pub use stats::{CoreStats, CpuStats, StallCause};

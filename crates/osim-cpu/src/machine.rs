@@ -1,11 +1,10 @@
 //! A simulated multicore machine (Table II).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use osim_engine::{Cycle, Gate, RunError, Sim, SimHandle};
-use osim_mem::{EventLog, Fault, HierarchyCfg, MemSys};
+use osim_mem::{EventLog, Fault, FxHashMap, HierarchyCfg, MemSys};
 use osim_uarch::{OManager, OManagerCfg};
 
 use crate::alloc::SimAlloc;
@@ -14,6 +13,25 @@ use crate::error::{DeadlockReport, SimError, TaskFault, WatchdogReport};
 use crate::runtime::{self, TaskFn};
 use crate::stats::CpuStats;
 use crate::trace::Trace;
+
+/// How a completed `STORE-VERSION` / `UNLOCK-VERSION` wakes the tasks
+/// parked on its O-structure's gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WakeupPolicy {
+    /// Wake every parked waiter; each re-checks its condition and re-parks
+    /// if still unsatisfied (the paper's model, and the default). The
+    /// failed re-checks are themselves modeled operations, so this policy
+    /// defines the reference timing.
+    #[default]
+    Broadcast,
+    /// Wake only waiters whose awaited version could have been satisfied
+    /// by the publishing operation (an ablation): blocked loads register
+    /// the version they await, and openers pass the version(s) they
+    /// published. Skipped waiters never pay the wake/re-check round trip,
+    /// so simulated timing can differ from broadcast wherever a failed
+    /// re-check would have touched the caches.
+    Targeted,
+}
 
 /// Machine configuration.
 #[derive(Debug, Clone)]
@@ -35,6 +53,8 @@ pub struct MachineCfg {
     /// diagnostic dump of every parked task. `None` disables it (the
     /// default — deterministic timing is unaffected).
     pub watchdog_cycles: Option<u64>,
+    /// Gate wake-up delivery policy (default [`WakeupPolicy::Broadcast`]).
+    pub wakeup: WakeupPolicy,
 }
 
 impl MachineCfg {
@@ -50,6 +70,7 @@ impl MachineCfg {
             issue_width: 2,
             malloc_instrs: 40,
             watchdog_cycles: None,
+            wakeup: WakeupPolicy::default(),
         }
     }
 }
@@ -65,11 +86,12 @@ pub struct MachineState {
     /// Core-side statistics.
     pub cpu: CpuStats,
     /// Per-O-structure wait gates (keyed by root virtual address).
-    pub(crate) gates: HashMap<u32, Gate>,
+    pub(crate) gates: FxHashMap<u32, Gate>,
     /// Optional per-operation execution trace.
     pub trace: Trace,
     pub(crate) issue_width: u64,
     pub(crate) malloc_instrs: u64,
+    pub(crate) wakeup: WakeupPolicy,
     /// First architectural fault recorded by a task before it halted the
     /// engine; drained by [`Machine::run_tasks`].
     pub(crate) fault: Option<TaskFault>,
@@ -118,10 +140,11 @@ impl Machine {
             omgr,
             alloc: SimAlloc::new(),
             cpu: CpuStats::for_cores(cfg.cores),
-            gates: HashMap::new(),
+            gates: FxHashMap::default(),
             trace: Trace::disabled(),
             issue_width: cfg.issue_width,
             malloc_instrs: cfg.malloc_instrs,
+            wakeup: cfg.wakeup,
             fault: None,
         };
         Ok(Machine {

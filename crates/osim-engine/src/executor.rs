@@ -211,7 +211,9 @@ impl Sim {
     /// tasks can never make progress again.
     pub fn run(&self) -> Result<Cycle, RunError> {
         loop {
-            let (at, task) = {
+            // One borrow covers pop-event plus check-out-task: this loop runs
+            // once per task resumption, so the borrow bookkeeping is hot.
+            let (task, mut fut) = {
                 let mut inner = self.inner.borrow_mut();
                 if inner.halt {
                     let now = inner.now;
@@ -221,7 +223,7 @@ impl Sim {
                     inner.heap.clear();
                     return Err(RunError::Halted { now });
                 }
-                match inner.heap.pop() {
+                let (at, task) = match inner.heap.pop() {
                     Some(Reverse((at, _, task))) => (at, task),
                     None => {
                         let now = inner.now;
@@ -234,16 +236,13 @@ impl Sim {
                         }
                         return Ok(now);
                     }
-                }
-            };
-            let mut fut = {
-                let mut inner = self.inner.borrow_mut();
+                };
                 debug_assert!(at >= inner.now, "time went backwards");
                 inner.now = at;
                 match inner.tasks[task].take() {
                     Some(f) => {
                         inner.current = Some(task);
-                        f
+                        (task, f)
                     }
                     // Stale event for a task that already finished.
                     None => continue,

@@ -17,11 +17,49 @@ pub type WakeTag = u32;
 /// Tag used by the untagged [`Gate::open`] / [`Gate::open_at`].
 pub const WAKE_GENERIC: WakeTag = 0;
 
+/// What a parked waiter is prepared to be woken by, evaluated against the
+/// payload words an [`Gate::open_targeted`] carries.
+///
+/// Broadcast opens ([`Gate::open`] and friends) ignore filters entirely —
+/// every waiter wakes, filtered or not — so registering a filter never
+/// changes behaviour until an opener opts into targeted delivery. The
+/// engine assigns no meaning to the payload values; upper layers decide
+/// what they encode (the cpu crate passes version numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WakeFilter {
+    /// Wake on any open (the only behaviour before targeted delivery).
+    #[default]
+    Any,
+    /// Wake when some payload word equals this value.
+    Exact(u64),
+    /// Wake when some payload word is `<=` this value.
+    AtMost(u64),
+}
+
+impl WakeFilter {
+    /// Whether an open carrying `payloads` releases a waiter with this
+    /// filter.
+    pub fn matches(&self, payloads: &[u64]) -> bool {
+        match *self {
+            WakeFilter::Any => true,
+            WakeFilter::Exact(v) => payloads.contains(&v),
+            WakeFilter::AtMost(v) => payloads.iter().any(|&p| p <= v),
+        }
+    }
+}
+
+/// One parked task: its id, the shared wake slot (`None` while parked,
+/// `Some(tag)` once woken) and what it is prepared to be woken by.
+struct Waiter {
+    task: TaskId,
+    slot: Rc<RefCell<Option<WakeTag>>>,
+    filter: WakeFilter,
+}
+
 #[derive(Default)]
 struct GateState {
-    /// `(task, wake-slot)` for every task currently parked on this gate;
-    /// the slot is `None` while parked and `Some(tag)` once woken.
-    waiters: Vec<(TaskId, Rc<RefCell<Option<WakeTag>>>)>,
+    /// Every task currently parked on this gate, in park order.
+    waiters: Vec<Waiter>,
 }
 
 /// A broadcast wait/notify point.
@@ -55,6 +93,7 @@ impl Gate {
         Wait {
             gate: self.clone(),
             woken: None,
+            filter: WakeFilter::Any,
         }
     }
 
@@ -67,15 +106,24 @@ impl Gate {
     /// check-then-park race that blocked versioned operations would
     /// otherwise have while they sleep off their attempt latency.
     pub fn ticket(&self) -> Wait {
+        self.ticket_filtered(WakeFilter::Any)
+    }
+
+    /// [`Gate::ticket`] with a [`WakeFilter`]: broadcast opens still wake
+    /// this waiter, but [`Gate::open_targeted`] skips it unless some
+    /// payload word matches the filter.
+    pub fn ticket_filtered(&self, filter: WakeFilter) -> Wait {
         let slot = Rc::new(RefCell::new(None));
         let task = self.engine.borrow().current_task();
-        self.state
-            .borrow_mut()
-            .waiters
-            .push((task, Rc::clone(&slot)));
+        self.state.borrow_mut().waiters.push(Waiter {
+            task,
+            slot: Rc::clone(&slot),
+            filter,
+        });
         Wait {
             gate: self.clone(),
             woken: Some(slot),
+            filter,
         }
     }
 
@@ -105,15 +153,55 @@ impl Gate {
             return;
         }
         let mut engine = self.engine.borrow_mut();
-        for (task, slot) in st.waiters.drain(..) {
-            *slot.borrow_mut() = Some(tag);
-            engine.schedule(at, task);
+        for w in st.waiters.drain(..) {
+            *w.slot.borrow_mut() = Some(tag);
+            engine.schedule(at, w.task);
         }
+    }
+
+    /// Wakes — at the current cycle — only the waiters whose [`WakeFilter`]
+    /// matches one of `payloads`; the rest stay parked. Matching waiters
+    /// wake in park order, exactly the relative order a broadcast open
+    /// would give them.
+    ///
+    /// This is the targeted-delivery ablation: an opener that knows *what*
+    /// it published (say, which version a store created) can skip waiters
+    /// that provably cannot be satisfied by it, saving their wake/re-check
+    /// round trips. A waiter registered without a filter
+    /// ([`WakeFilter::Any`]) always wakes.
+    pub fn open_targeted(&self, tag: WakeTag, payloads: &[u64]) {
+        let now = self.engine.borrow().now();
+        self.open_targeted_at(now, tag, payloads);
+    }
+
+    /// [`Gate::open_targeted`] at cycle `at` (clamped to the present).
+    pub fn open_targeted_at(&self, at: Cycle, tag: WakeTag, payloads: &[u64]) {
+        let mut st = self.state.borrow_mut();
+        if st.waiters.is_empty() {
+            return;
+        }
+        let mut engine = self.engine.borrow_mut();
+        st.waiters.retain(|w| {
+            if !w.filter.matches(payloads) {
+                return true;
+            }
+            *w.slot.borrow_mut() = Some(tag);
+            engine.schedule(at, w.task);
+            false
+        });
     }
 
     /// Number of tasks currently parked.
     pub fn waiting(&self) -> usize {
         self.state.borrow().waiters.len()
+    }
+
+    /// Removes a dropped, never-woken waiter's slot (identity match).
+    fn remove_waiter(&self, slot: &Rc<RefCell<Option<WakeTag>>>) {
+        self.state
+            .borrow_mut()
+            .waiters
+            .retain(|w| !Rc::ptr_eq(&w.slot, slot));
     }
 }
 
@@ -122,6 +210,7 @@ impl Gate {
 pub struct Wait {
     gate: Gate,
     woken: Option<Rc<RefCell<Option<WakeTag>>>>,
+    filter: WakeFilter,
 }
 
 impl Future for Wait {
@@ -137,13 +226,30 @@ impl Future for Wait {
             None => {
                 let slot = Rc::new(RefCell::new(None));
                 let task = this.gate.engine.borrow().current_task();
-                this.gate
-                    .state
-                    .borrow_mut()
-                    .waiters
-                    .push((task, Rc::clone(&slot)));
+                this.gate.state.borrow_mut().waiters.push(Waiter {
+                    task,
+                    slot: Rc::clone(&slot),
+                    filter: this.filter,
+                });
                 this.woken = Some(slot);
                 Poll::Pending
+            }
+        }
+    }
+}
+
+impl Drop for Wait {
+    /// Deregisters a waiter that was parked but never woken.
+    ///
+    /// Without this, a ticket taken and then abandoned (its task finished
+    /// another way, or the whole simulation was torn down mid-wait) leaves
+    /// a dead entry in the gate's waiter list; the next `open` would
+    /// "wake" it — scheduling a spurious event for a task that is no
+    /// longer parked here — and the slot itself would leak until then.
+    fn drop(&mut self) {
+        if let Some(slot) = &self.woken {
+            if slot.borrow().is_none() {
+                self.gate.remove_waiter(slot);
             }
         }
     }
@@ -306,6 +412,126 @@ mod tests {
             });
         }
         assert!(sim.run().is_ok());
+    }
+
+    #[test]
+    fn targeted_open_wakes_only_matching_waiters() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let gate = h.gate();
+        let woken = Rc::new(RefCell::new(Vec::new()));
+        // Three waiters: exact-7, at-most-3, unfiltered.
+        for (id, filter) in [
+            (0u32, WakeFilter::Exact(7)),
+            (1, WakeFilter::AtMost(3)),
+            (2, WakeFilter::Any),
+        ] {
+            let gate = gate.clone();
+            let woken = Rc::clone(&woken);
+            sim.spawn(async move {
+                gate.ticket_filtered(filter).await;
+                woken.borrow_mut().push(id);
+            });
+        }
+        {
+            let gate = gate.clone();
+            let h = h.clone();
+            sim.spawn(async move {
+                h.sleep(5).await;
+                // Payload 7: wakes exact-7 and the unfiltered waiter, in
+                // park order; at-most-3 stays parked.
+                gate.open_targeted(WAKE_GENERIC, &[7]);
+                assert_eq!(gate.waiting(), 1);
+                h.sleep(5).await;
+                gate.open_targeted(WAKE_GENERIC, &[2]);
+            });
+        }
+        assert!(sim.run().is_ok());
+        assert_eq!(*woken.borrow(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn broadcast_open_ignores_filters() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let gate = h.gate();
+        let woken = Rc::new(Cell::new(0u32));
+        {
+            let gate = gate.clone();
+            let woken = Rc::clone(&woken);
+            sim.spawn(async move {
+                // A filter that no payload will ever match still wakes on
+                // a plain (broadcast) open.
+                gate.ticket_filtered(WakeFilter::Exact(u64::MAX)).await;
+                woken.set(woken.get() + 1);
+            });
+        }
+        {
+            let gate = gate.clone();
+            let h = h.clone();
+            sim.spawn(async move {
+                h.sleep(1).await;
+                gate.open();
+            });
+        }
+        assert!(sim.run().is_ok());
+        assert_eq!(woken.get(), 1);
+    }
+
+    #[test]
+    fn dropped_ticket_leaves_no_waiter_behind() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let gate = h.gate();
+        {
+            let gate = gate.clone();
+            let h = h.clone();
+            sim.spawn(async move {
+                let ticket = gate.ticket();
+                assert_eq!(gate.waiting(), 1);
+                drop(ticket); // abandoned without being awaited
+                assert_eq!(gate.waiting(), 0, "dropped ticket must deregister");
+                h.sleep(1).await;
+            });
+        }
+        {
+            let gate = gate.clone();
+            let h = h.clone();
+            sim.spawn(async move {
+                h.sleep(2).await;
+                gate.open(); // nothing left to wake
+                assert_eq!(gate.waiting(), 0);
+            });
+        }
+        assert!(sim.run().is_ok());
+    }
+
+    #[test]
+    fn woken_ticket_drop_does_not_disturb_other_waiters() {
+        // A ticket that was woken and then dropped (after resolving) must
+        // not remove a *different* waiter's slot.
+        let sim = Sim::new();
+        let h = sim.handle();
+        let gate = h.gate();
+        let woken = Rc::new(Cell::new(0u32));
+        for _ in 0..2 {
+            let gate = gate.clone();
+            let woken = Rc::clone(&woken);
+            sim.spawn(async move {
+                gate.ticket().await;
+                woken.set(woken.get() + 1);
+            });
+        }
+        {
+            let gate = gate.clone();
+            let h = h.clone();
+            sim.spawn(async move {
+                h.sleep(1).await;
+                gate.open();
+            });
+        }
+        assert!(sim.run().is_ok());
+        assert_eq!(woken.get(), 2);
     }
 
     #[test]

@@ -32,5 +32,5 @@ mod gate;
 mod time;
 
 pub use executor::{BlockedTask, RunError, Sim, SimHandle, TaskId, WaitInfo};
-pub use gate::{Gate, WakeTag, WAKE_GENERIC};
+pub use gate::{Gate, WakeFilter, WakeTag, WAKE_GENERIC};
 pub use time::Cycle;

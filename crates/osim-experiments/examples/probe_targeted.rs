@@ -1,0 +1,52 @@
+use osim_cpu::{MachineCfg, WakeupPolicy};
+use osim_workloads::harness::DsCfg;
+use osim_workloads::{btree, hashtable, linked_list};
+
+fn cfg(seed: u64) -> DsCfg {
+    DsCfg {
+        initial: 32,
+        ops: 300,
+        reads_per_write: 4,
+        scan_range: 0,
+        key_space: 64,
+        seed,
+        insert_only: false,
+    }
+}
+
+fn main() {
+    for seed in [1u64, 7, 42] {
+        for cores in [4usize, 32] {
+            let mut mb = MachineCfg::paper(cores);
+            mb.wakeup = WakeupPolicy::Broadcast;
+            let mut mt = MachineCfg::paper(cores);
+            mt.wakeup = WakeupPolicy::Targeted;
+            let b = linked_list::run_versioned_with(mb.clone(), &cfg(seed), true);
+            let t = linked_list::run_versioned_with(mt.clone(), &cfg(seed), true);
+            println!(
+                "ll    seed={seed} cores={cores}: b={} t={} eq={} stats_eq={}",
+                b.cycles,
+                t.cycles,
+                b.cycles == t.cycles,
+                format!("{:?}{:?}{:?}", b.cpu, b.mem, b.ostats)
+                    == format!("{:?}{:?}{:?}", t.cpu, t.mem, t.ostats)
+            );
+            let b = btree::run_versioned(mb.clone(), &cfg(seed));
+            let t = btree::run_versioned(mt.clone(), &cfg(seed));
+            println!(
+                "btree seed={seed} cores={cores}: b={} t={} eq={}",
+                b.cycles,
+                t.cycles,
+                b.cycles == t.cycles
+            );
+            let b = hashtable::run_versioned(mb.clone(), &cfg(seed));
+            let t = hashtable::run_versioned(mt.clone(), &cfg(seed));
+            println!(
+                "hash  seed={seed} cores={cores}: b={} t={} eq={}",
+                b.cycles,
+                t.cycles,
+                b.cycles == t.cycles
+            );
+        }
+    }
+}

@@ -6,6 +6,8 @@ use osim_mem::CacheCfg;
 use osim_report::{ReportScale, SimReport};
 use osim_uarch::FaultPlan;
 use osim_workloads::harness::{DsCfg, DsResult};
+
+use crate::pool::SweepRun;
 use osim_workloads::levenshtein::LevCfg;
 use osim_workloads::matmul::MatmulCfg;
 use osim_workloads::{btree, hashtable, levenshtein, linked_list, matmul, rbtree};
@@ -234,21 +236,15 @@ pub fn print_config() {
     println!();
 }
 
-/// Builds the [`SimReport`] for one checked run — the machine
-/// configuration must be the one the run was launched with.
-pub fn report(
-    experiment: &str,
-    benchmark: &str,
-    variant: &str,
-    cfg: &MachineCfg,
-    scale: &Scale,
-    r: &DsResult,
-) -> SimReport {
+/// Builds the [`SimReport`] for one completed sweep run — the job carries
+/// the exact machine configuration it was launched with.
+pub fn report_run(run: &SweepRun, scale: &Scale) -> SimReport {
+    let r = &run.result;
     SimReport::new(
-        experiment,
-        benchmark,
-        variant,
-        cfg,
+        run.fig,
+        run.bench,
+        &run.tag,
+        &run.cfg,
         scale.report(),
         r.cycles,
         r.cpu.clone(),
@@ -257,11 +253,15 @@ pub fn report(
     )
 }
 
-/// Asserts a run validated and returns it (experiments must never report
-/// numbers from an incorrect execution).
-pub fn checked(r: DsResult, what: &str) -> DsResult {
-    assert!(r.ok, "{what}: validation failed: {}", r.detail);
-    r
+/// Asserts a sweep run validated and returns its result (experiments must
+/// never report numbers from an incorrect execution).
+pub fn checked_run(run: &SweepRun) -> &DsResult {
+    assert!(
+        run.result.ok,
+        "{}: validation failed: {}",
+        run.bench, run.result.detail
+    );
+    &run.result
 }
 
 /// Formats a ratio to two decimals.

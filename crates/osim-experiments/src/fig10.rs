@@ -7,11 +7,45 @@
 
 use osim_report::SimReport;
 
-use crate::common::{checked, machine, report, Bench, Scale};
+use crate::common::{checked_run, machine, report_run, Bench, Scale};
+use crate::pool::{SweepJob, SweepRun};
 
 const EXTRA: [u64; 5] = [2, 4, 6, 8, 10];
 
-pub fn run(scale: &Scale, out: &mut Vec<SimReport>) {
+/// The variant rows, in figure order.
+const VARIANTS: [(&str, usize); 2] = [("1T", 1), ("32T", 32)];
+
+/// The sweep in [`render`] order: per benchmark and variant, the
+/// no-injection baseline then each injected latency.
+pub fn plan(scale: &Scale) -> Vec<SweepJob> {
+    let mut jobs = Vec::new();
+    let s = *scale;
+    for bench in Bench::ALL {
+        for (variant, cores) in VARIANTS {
+            jobs.push(SweepJob::new(
+                "fig10",
+                bench.name(),
+                format!("{variant}+0cy"),
+                machine(scale, cores, None, 0),
+                move |m| bench.run_versioned(m, &s, true, 4),
+            ));
+            for &e in &EXTRA {
+                jobs.push(SweepJob::new(
+                    "fig10",
+                    bench.name(),
+                    format!("{variant}+{e}cy"),
+                    machine(scale, cores, None, e),
+                    move |m| bench.run_versioned(m, &s, true, 4),
+                ));
+            }
+        }
+    }
+    jobs
+}
+
+/// Prints the latency-sensitivity table from completed runs (in [`plan`]
+/// order).
+pub fn render(scale: &Scale, runs: &[SweepRun], out: &mut Vec<SimReport>) {
     println!(
         "## Figure 10 — slowdown from injecting latency into versioned ops (vs no injection)\n"
     );
@@ -19,38 +53,20 @@ pub fn run(scale: &Scale, out: &mut Vec<SimReport>) {
     println!("| Benchmark | Variant | +2cy | +4cy | +6cy | +8cy | +10cy |");
     println!("|---|---|---|---|---|---|---|");
 
+    let mut next = runs.iter();
+    let mut take = || {
+        let run = next.next().expect("plan and render agree on job count");
+        checked_run(run);
+        out.push(report_run(run, scale));
+        run
+    };
+
     for bench in Bench::ALL {
-        for (variant, cores) in [("1T", 1), ("32T", 32)] {
-            let base_cfg = machine(scale, cores, None, 0);
-            let base_r = checked(
-                bench.run_versioned(base_cfg.clone(), scale, true, 4),
-                bench.name(),
-            );
-            out.push(report(
-                "fig10",
-                bench.name(),
-                &format!("{variant}+0cy"),
-                &base_cfg,
-                scale,
-                &base_r,
-            ));
-            let base = base_r.cycles as f64;
+        for (variant, _) in VARIANTS {
+            let base = take().result.cycles as f64;
             let mut row: Vec<String> = Vec::new();
-            for &e in &EXTRA {
-                let mcfg = machine(scale, cores, None, e);
-                let r = checked(
-                    bench.run_versioned(mcfg.clone(), scale, true, 4),
-                    bench.name(),
-                );
-                out.push(report(
-                    "fig10",
-                    bench.name(),
-                    &format!("{variant}+{e}cy"),
-                    &mcfg,
-                    scale,
-                    &r,
-                ));
-                let c = r.cycles as f64;
+            for _ in EXTRA {
+                let c = take().result.cycles as f64;
                 // Negative = slowdown, matching the paper's plot.
                 row.push(format!("{:+.1}%", (base / c - 1.0) * 100.0));
             }
@@ -66,4 +82,9 @@ pub fn run(scale: &Scale, out: &mut Vec<SimReport>) {
         }
     }
     println!();
+}
+
+pub fn run(scale: &Scale, jobs: usize, out: &mut Vec<SimReport>) {
+    let runs = crate::pool::run_jobs(plan(scale), jobs);
+    render(scale, &runs, out);
 }

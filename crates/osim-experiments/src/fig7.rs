@@ -8,11 +8,39 @@
 
 use osim_report::SimReport;
 
-use crate::common::{checked, f2, machine, pct, report, Bench, Scale};
+use crate::common::{checked_run, f2, machine, pct, report_run, Bench, Scale};
+use crate::pool::{SweepJob, SweepRun};
 
 const CORE_COUNTS: [usize; 4] = [4, 8, 16, 32];
 
-pub fn run(scale: &Scale, stats: bool, out: &mut Vec<SimReport>) {
+/// The sweep in [`render`] order: per benchmark, the 1-core baseline then
+/// each core count.
+pub fn plan(scale: &Scale) -> Vec<SweepJob> {
+    let mut jobs = Vec::new();
+    let s = *scale;
+    for bench in Bench::ALL {
+        jobs.push(SweepJob::new(
+            "fig7",
+            bench.name(),
+            "versioned-1c".to_string(),
+            machine(scale, 1, None, 0),
+            move |m| bench.run_versioned(m, &s, true, 4),
+        ));
+        for cores in CORE_COUNTS {
+            jobs.push(SweepJob::new(
+                "fig7",
+                bench.name(),
+                format!("versioned-{cores}c"),
+                machine(scale, cores, None, 0),
+                move |m| bench.run_versioned(m, &s, true, 4),
+            ));
+        }
+    }
+    jobs
+}
+
+/// Prints the scalability table from completed runs (in [`plan`] order).
+pub fn render(scale: &Scale, stats: bool, runs: &[SweepRun], out: &mut Vec<SimReport>) {
     println!(
         "## Figure 7 — scalability (speedup over sequential versioned; large, read-intensive)\n"
     );
@@ -27,41 +55,23 @@ pub fn run(scale: &Scale, stats: bool, out: &mut Vec<SimReport>) {
         if stats { "---|---|" } else { "" }
     );
 
+    let mut next = runs.iter();
+    let mut take = || {
+        let run = next.next().expect("plan and render agree on job count");
+        checked_run(run);
+        out.push(report_run(run, scale));
+        run
+    };
+
     for bench in Bench::ALL {
-        let large = true;
-        let rpw = 4;
-        let base_cfg = machine(scale, 1, None, 0);
-        let base = checked(
-            bench.run_versioned(base_cfg.clone(), scale, large, rpw),
-            bench.name(),
-        );
-        out.push(report(
-            "fig7",
-            bench.name(),
-            "versioned-1c",
-            &base_cfg,
-            scale,
-            &base,
-        ));
+        let base = take();
         let mut cells = Vec::new();
         let mut at32 = None;
         for cores in CORE_COUNTS {
-            let cfg = machine(scale, cores, None, 0);
-            let par = checked(
-                bench.run_versioned(cfg.clone(), scale, large, rpw),
-                bench.name(),
-            );
-            out.push(report(
-                "fig7",
-                bench.name(),
-                &format!("versioned-{cores}c"),
-                &cfg,
-                scale,
-                &par,
-            ));
-            cells.push(f2(base.cycles as f64 / par.cycles as f64));
+            let par = take();
+            cells.push(f2(base.result.cycles as f64 / par.result.cycles as f64));
             if cores == 32 {
-                at32 = Some(par);
+                at32 = Some(&par.result);
             }
         }
         let par = at32.expect("ran 32");
@@ -85,4 +95,9 @@ pub fn run(scale: &Scale, stats: bool, out: &mut Vec<SimReport>) {
         println!("{row}");
     }
     println!();
+}
+
+pub fn run(scale: &Scale, stats: bool, jobs: usize, out: &mut Vec<SimReport>) {
+    let runs = crate::pool::run_jobs(plan(scale), jobs);
+    render(scale, stats, &runs, out);
 }

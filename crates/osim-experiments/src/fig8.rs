@@ -11,7 +11,8 @@ use osim_report::SimReport;
 use osim_workloads::btree;
 use osim_workloads::harness::DsCfg;
 
-use crate::common::{checked, f2, machine, report, Scale};
+use crate::common::{checked_run, f2, machine, report_run, Scale};
+use crate::pool::{SweepJob, SweepRun};
 
 const CORE_COUNTS: [usize; 4] = [4, 8, 16, 32];
 const SCAN_RANGES: [u32; 3] = [1, 8, 64];
@@ -28,7 +29,53 @@ fn cfg(scale: &Scale, scan_range: u32) -> DsCfg {
     }
 }
 
-pub fn run(scale: &Scale, out: &mut Vec<SimReport>) {
+/// The sweep in [`render`] order: per scan range, the single-core
+/// (versioned, rwlock) pair, then the same pair at each core count.
+pub fn plan(scale: &Scale) -> Vec<SweepJob> {
+    let mut jobs = Vec::new();
+    for range in SCAN_RANGES {
+        let c = cfg(scale, range);
+        let cv = c.clone();
+        jobs.push(SweepJob::new(
+            "fig8",
+            "Binary tree",
+            format!("versioned-r{range}-1c"),
+            machine(scale, 1, None, 0),
+            move |m| btree::run_versioned(m, &cv),
+        ));
+        let cr = c.clone();
+        jobs.push(SweepJob::new(
+            "fig8",
+            "Binary tree",
+            format!("rwlock-r{range}-1c"),
+            machine(scale, 1, None, 0),
+            move |m| btree::run_rwlock(m, &cr),
+        ));
+        for cores in CORE_COUNTS {
+            let cv = c.clone();
+            jobs.push(SweepJob::new(
+                "fig8",
+                "Binary tree",
+                format!("versioned-r{range}-{cores}c"),
+                machine(scale, cores, None, 0),
+                move |m| btree::run_versioned(m, &cv),
+            ));
+            let cr = c.clone();
+            jobs.push(SweepJob::new(
+                "fig8",
+                "Binary tree",
+                format!("rwlock-r{range}-{cores}c"),
+                machine(scale, cores, None, 0),
+                move |m| btree::run_rwlock(m, &cr),
+            ));
+        }
+    }
+    jobs
+}
+
+/// Prints the snapshot-isolation table from completed runs (in [`plan`]
+/// order).
+pub fn render(scale: &Scale, runs: &[SweepRun], out: &mut Vec<SimReport>) {
     println!(
         "## Figure 8 — versioned BST vs read-write-lock BST (ratio > 1 means versioned faster)\n"
     );
@@ -41,54 +88,27 @@ pub fn run(scale: &Scale, out: &mut Vec<SimReport>) {
     );
     println!("|---|---|---|---|---|---|---|");
 
+    let mut next = runs.iter();
+    let mut take = || {
+        let run = next.next().expect("plan and render agree on job count");
+        checked_run(run);
+        out.push(report_run(run, scale));
+        run
+    };
+
     for range in SCAN_RANGES {
-        let c = cfg(scale, range);
-        let seq_cfg = machine(scale, 1, None, 0);
-        let vseq = checked(btree::run_versioned(seq_cfg.clone(), &c), "bst v1");
-        let rseq = checked(btree::run_rwlock(seq_cfg.clone(), &c), "bst rw1");
-        out.push(report(
-            "fig8",
-            "Binary tree",
-            &format!("versioned-r{range}-1c"),
-            &seq_cfg,
-            scale,
-            &vseq,
-        ));
-        out.push(report(
-            "fig8",
-            "Binary tree",
-            &format!("rwlock-r{range}-1c"),
-            &seq_cfg,
-            scale,
-            &rseq,
-        ));
+        let vseq = take();
+        let rseq = take();
         let mut cells = Vec::new();
         let mut self_v = 0.0;
         let mut self_r = 0.0;
         for cores in CORE_COUNTS {
-            let mcfg = machine(scale, cores, None, 0);
-            let v = checked(btree::run_versioned(mcfg.clone(), &c), "bst v");
-            let r = checked(btree::run_rwlock(mcfg.clone(), &c), "bst rw");
-            out.push(report(
-                "fig8",
-                "Binary tree",
-                &format!("versioned-r{range}-{cores}c"),
-                &mcfg,
-                scale,
-                &v,
-            ));
-            out.push(report(
-                "fig8",
-                "Binary tree",
-                &format!("rwlock-r{range}-{cores}c"),
-                &mcfg,
-                scale,
-                &r,
-            ));
-            cells.push(f2(r.cycles as f64 / v.cycles as f64));
+            let v = take();
+            let r = take();
+            cells.push(f2(r.result.cycles as f64 / v.result.cycles as f64));
             if cores == 32 {
-                self_v = vseq.cycles as f64 / v.cycles as f64;
-                self_r = rseq.cycles as f64 / r.cycles as f64;
+                self_v = vseq.result.cycles as f64 / v.result.cycles as f64;
+                self_r = rseq.result.cycles as f64 / r.result.cycles as f64;
             }
         }
         println!(
@@ -102,4 +122,9 @@ pub fn run(scale: &Scale, out: &mut Vec<SimReport>) {
         );
     }
     println!();
+}
+
+pub fn run(scale: &Scale, jobs: usize, out: &mut Vec<SimReport>) {
+    let runs = crate::pool::run_jobs(plan(scale), jobs);
+    render(scale, &runs, out);
 }

@@ -8,36 +8,60 @@
 
 use osim_report::SimReport;
 
-use crate::common::{checked, f2, machine, report, Bench, Scale};
+use crate::common::{checked_run, f2, machine, report_run, Bench, Scale};
+use crate::pool::{SweepJob, SweepRun};
 
 const SIZES_KB: [u32; 5] = [8, 16, 32, 64, 128];
 
-pub fn run(scale: &Scale, out: &mut Vec<SimReport>) {
+/// The variant rows, in figure order.
+const VARIANTS: [(&str, usize, bool); 3] = [("U", 1, false), ("1T", 1, true), ("32T", 32, true)];
+
+/// The sweep in [`render`] order: per benchmark and variant, each L1 size.
+pub fn plan(scale: &Scale) -> Vec<SweepJob> {
+    let mut jobs = Vec::new();
+    let s = *scale;
+    for bench in Bench::ALL {
+        for (variant, cores, versioned) in VARIANTS {
+            for &kb in &SIZES_KB {
+                jobs.push(SweepJob::new(
+                    "fig9",
+                    bench.name(),
+                    format!("{variant}-{kb}kB"),
+                    machine(scale, cores, Some(kb), 0),
+                    move |m| {
+                        if versioned {
+                            bench.run_versioned(m, &s, true, 4)
+                        } else {
+                            bench.run_unversioned(m, &s, true, 4)
+                        }
+                    },
+                ));
+            }
+        }
+    }
+    jobs
+}
+
+/// Prints the L1-sensitivity table from completed runs (in [`plan`] order).
+pub fn render(scale: &Scale, runs: &[SweepRun], out: &mut Vec<SimReport>) {
     println!("## Figure 9 — speedup vs the 32 kB L1 baseline (U / 1T / 32T)\n");
     println!("scale: {scale:?}\n");
     println!("| Benchmark | Variant | 8kB | 16kB | 32kB | 64kB | 128kB |");
     println!("|---|---|---|---|---|---|---|");
 
+    let mut next = runs.iter();
+    let mut take = || {
+        let run = next.next().expect("plan and render agree on job count");
+        checked_run(run);
+        out.push(report_run(run, scale));
+        run
+    };
+
     for bench in Bench::ALL {
-        for (variant, cores, versioned) in [("U", 1, false), ("1T", 1, true), ("32T", 32, true)] {
+        for (variant, _, _) in VARIANTS {
             let mut cycles: Vec<u64> = Vec::new();
-            for &kb in &SIZES_KB {
-                let m = machine(scale, cores, Some(kb), 0);
-                let r = if versioned {
-                    bench.run_versioned(m.clone(), scale, true, 4)
-                } else {
-                    bench.run_unversioned(m.clone(), scale, true, 4)
-                };
-                let r = checked(r, bench.name());
-                out.push(report(
-                    "fig9",
-                    bench.name(),
-                    &format!("{variant}-{kb}kB"),
-                    &m,
-                    scale,
-                    &r,
-                ));
-                cycles.push(r.cycles);
+            for _ in SIZES_KB {
+                cycles.push(take().result.cycles);
             }
             let base = cycles[2] as f64; // 32 kB
             let row: Vec<String> = cycles.iter().map(|&c| f2(base / c as f64)).collect();
@@ -53,4 +77,9 @@ pub fn run(scale: &Scale, out: &mut Vec<SimReport>) {
         }
     }
     println!();
+}
+
+pub fn run(scale: &Scale, jobs: usize, out: &mut Vec<SimReport>) {
+    let runs = crate::pool::run_jobs(plan(scale), jobs);
+    render(scale, &runs, out);
 }

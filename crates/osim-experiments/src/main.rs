@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run -p osim-experiments --release -- <experiment> [--full|--tiny]
-//!     [--stats] [--json <path>] [--chrome <path>]
+//!     [--scale <quick|tiny|full>] [--jobs <n>] [--stats] [--json <path>]
+//!     [--chrome <path>]
 //!
 //! experiments:
 //!   config   Table II   — the simulated platform configuration
@@ -15,13 +16,27 @@
 //!   gc       §IV-F      — garbage collection and version-sorting overhead
 //!   trace               — per-operation latency/stall breakdown (tracer demo)
 //!   all      everything above
+//!   perf                — host-speed benchmark; writes BENCH_sweep.json
 //! ```
+//!
+//! `perf` additionally accepts `--reps <n>` (repetitions, default 3) and
+//! `--baseline-ms <ms> [--baseline-ref <label>]` to embed the reference
+//! sweep time (and the commit it came from) in the emitted document,
+//! which then carries a computed `speedup_vs_baseline`.
 //!
 //! `--full` uses the paper's workload sizes (slow: gem5 took hours on
 //! these too); the default is a proportionally scaled-down configuration
 //! that preserves every qualitative effect, and `--tiny` shrinks further
-//! for integration tests. `--stats` appends the §IV-D secondary
-//! statistics (hit rates, stall rates) to fig6/fig7 rows.
+//! for integration tests (`--scale <quick|tiny|full>` is the spelled-out
+//! equivalent). `--stats` appends the §IV-D secondary statistics (hit
+//! rates, stall rates) to fig6/fig7 rows.
+//!
+//! `--jobs <n>` runs the independent simulations of a sweep on `n` host
+//! worker threads (default: the host's available parallelism). Each
+//! simulated machine is deterministic and self-contained, so the output
+//! — stdout tables, `--json` reports, every simulated cycle count — is
+//! byte-identical for every `n`; only host wall-time changes. The trace
+//! experiment is a single annotated run and always executes serially.
 //!
 //! `--json <path>` writes every run of the invocation as a JSON array of
 //! [`SimReport`]s; `--chrome <path>` (trace experiment only) writes the
@@ -42,12 +57,16 @@ use osim_report::json::Json;
 use osim_report::SimReport;
 
 mod common;
+#[cfg(test)]
+mod equivalence_tests;
 mod fig10;
 mod fig6;
 mod fig7;
 mod fig8;
 mod fig9;
 mod gc;
+mod perf;
+mod pool;
 mod trace_cmd;
 
 use common::Scale;
@@ -76,6 +95,45 @@ fn main() {
                 std::process::exit(2);
             }
         });
+    let scale_flag = take_value(&mut args, "--scale");
+    let jobs = match take_value(&mut args, "--jobs") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--jobs requires a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    };
+    let baseline_ms = take_value(&mut args, "--baseline-ms").map(|v| match v.parse::<f64>() {
+        Ok(ms) if ms > 0.0 => ms,
+        _ => {
+            eprintln!("--baseline-ms requires a positive number, got {v:?}");
+            std::process::exit(2);
+        }
+    });
+    let baseline_ref = take_value(&mut args, "--baseline-ref");
+    let baseline = baseline_ms.map(|ms| {
+        (
+            ms,
+            baseline_ref
+                .clone()
+                .unwrap_or_else(|| "baseline".to_string()),
+        )
+    });
+    let reps = match take_value(&mut args, "--reps") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--reps requires a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+        None => 3,
+    };
     let full = args.iter().any(|a| a == "--full");
     let tiny = args.iter().any(|a| a == "--tiny");
     let stats = args.iter().any(|a| a == "--stats");
@@ -84,12 +142,20 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .map(String::as_str)
         .unwrap_or("help");
-    let mut scale = if full {
-        Scale::paper()
-    } else if tiny {
-        Scale::tiny()
-    } else {
-        Scale::quick()
+    let scale_name = match scale_flag.as_deref() {
+        Some(s @ ("quick" | "tiny" | "full")) => s,
+        Some(other) => {
+            eprintln!("--scale must be quick, tiny or full, got {other:?}");
+            std::process::exit(2);
+        }
+        None if full => "full",
+        None if tiny => "tiny",
+        None => "quick",
+    };
+    let mut scale = match scale_name {
+        "full" => Scale::paper(),
+        "tiny" => Scale::tiny(),
+        _ => Scale::quick(),
     };
     scale.inject = inject;
 
@@ -98,28 +164,30 @@ fn main() {
 
     match cmd {
         "config" => common::print_config(),
-        "fig6" => fig6::run(&scale, stats, &mut reports),
-        "fig7" => fig7::run(&scale, stats, &mut reports),
-        "fig8" => fig8::run(&scale, &mut reports),
-        "fig9" => fig9::run(&scale, &mut reports),
-        "fig10" => fig10::run(&scale, &mut reports),
-        "gc" => gc::run(&scale, &mut reports),
+        "fig6" => fig6::run(&scale, stats, jobs, &mut reports),
+        "fig7" => fig7::run(&scale, stats, jobs, &mut reports),
+        "fig8" => fig8::run(&scale, jobs, &mut reports),
+        "fig9" => fig9::run(&scale, jobs, &mut reports),
+        "fig10" => fig10::run(&scale, jobs, &mut reports),
+        "gc" => gc::run(&scale, jobs, &mut reports),
         "trace" => chrome_doc = Some(trace_cmd::run(&scale, &mut reports)),
+        "perf" => perf::run(&scale, scale_name, jobs, reps, baseline, "BENCH_sweep.json"),
         "all" => {
             common::print_config();
-            fig6::run(&scale, stats, &mut reports);
-            fig7::run(&scale, stats, &mut reports);
-            fig8::run(&scale, &mut reports);
-            fig9::run(&scale, &mut reports);
-            fig10::run(&scale, &mut reports);
-            gc::run(&scale, &mut reports);
+            fig6::run(&scale, stats, jobs, &mut reports);
+            fig7::run(&scale, stats, jobs, &mut reports);
+            fig8::run(&scale, jobs, &mut reports);
+            fig9::run(&scale, jobs, &mut reports);
+            fig10::run(&scale, jobs, &mut reports);
+            gc::run(&scale, jobs, &mut reports);
             chrome_doc = Some(trace_cmd::run(&scale, &mut reports));
         }
         _ => {
             eprintln!(
-                "usage: osim-experiments <config|fig6|fig7|fig8|fig9|fig10|gc|trace|all> \
-                 [--full|--tiny] [--stats] [--json <path>] [--chrome <path>] \
-                 [--inject <spec>]\n\
+                "usage: osim-experiments <config|fig6|fig7|fig8|fig9|fig10|gc|trace|all|perf> \
+                 [--full|--tiny] [--scale <quick|tiny|full>] [--jobs <n>] [--reps <n>] \
+                 [--stats] [--json <path>] [--chrome <path>] \
+                 [--inject <spec>] [--baseline-ms <ms> [--baseline-ref <label>]]\n\
                  \n\
                  --inject <spec>: deterministic fault injection. <spec> is a preset\n\
                  (pool-pressure, pool-exhaustion, latency-jitter, coherence-delay,\n\

@@ -1,0 +1,172 @@
+//! Deterministic parallel execution of sweep jobs.
+//!
+//! Every experiment module first *plans* its sweep — a flat, ordered list
+//! of [`SweepJob`]s — and only then *renders* its tables from the results.
+//! The split lets the runs execute on a worker pool: each simulated machine
+//! is built, run and torn down entirely inside one worker thread (a
+//! `Machine` is `Rc`-based and never crosses threads), while results land
+//! in slots indexed by submission order. Rendering consumes the slots in
+//! that order, so stdout and the `--json` report stream are byte-identical
+//! to a serial run regardless of worker count or completion order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use osim_cpu::MachineCfg;
+use osim_workloads::harness::DsResult;
+
+/// One simulator run of a sweep: the closure that performs it plus the
+/// labels and machine configuration the renderer needs to report it.
+pub struct SweepJob {
+    /// Experiment the job belongs to (`"fig6"`, `"gc"`, …).
+    pub fig: &'static str,
+    /// Benchmark display name (the paper's figure labels).
+    pub bench: &'static str,
+    /// Variant tag, exactly as it appears in the emitted [`SimReport`]s.
+    pub tag: String,
+    /// The machine configuration the run is launched with.
+    pub cfg: MachineCfg,
+    /// Performs the run. Builds its machine from a clone of `cfg`.
+    pub run: Box<dyn FnOnce() -> DsResult + Send>,
+}
+
+impl SweepJob {
+    /// A job running `f` on (a clone of) `cfg`.
+    pub fn new(
+        fig: &'static str,
+        bench: &'static str,
+        tag: String,
+        cfg: MachineCfg,
+        f: impl FnOnce(MachineCfg) -> DsResult + Send + 'static,
+    ) -> Self {
+        let job_cfg = cfg.clone();
+        SweepJob {
+            fig,
+            bench,
+            tag,
+            cfg,
+            run: Box::new(move || f(job_cfg)),
+        }
+    }
+}
+
+/// A completed [`SweepJob`]: its labels and configuration plus the result.
+pub struct SweepRun {
+    /// Experiment the job belonged to.
+    pub fig: &'static str,
+    /// Benchmark display name.
+    pub bench: &'static str,
+    /// Variant tag.
+    pub tag: String,
+    /// The machine configuration the run was launched with.
+    pub cfg: MachineCfg,
+    /// The workload's result.
+    pub result: DsResult,
+}
+
+fn exec(job: SweepJob) -> SweepRun {
+    let SweepJob {
+        fig,
+        bench,
+        tag,
+        cfg,
+        run,
+    } = job;
+    SweepRun {
+        fig,
+        bench,
+        tag,
+        cfg,
+        result: run(),
+    }
+}
+
+/// Runs `jobs` on up to `threads` workers, returning results in submission
+/// order. `threads <= 1` executes inline on the calling thread (the serial
+/// reference behaviour); either way the returned order — and therefore
+/// everything rendered from it — is identical.
+pub fn run_jobs(jobs: Vec<SweepJob>, threads: usize) -> Vec<SweepRun> {
+    let n = jobs.len();
+    if threads <= 1 || n <= 1 {
+        return jobs.into_iter().map(exec).collect();
+    }
+    // Hand-rolled fan-out: a shared cursor deals jobs to workers in index
+    // order; each finished run is stored in its own slot. No job or result
+    // is ever shared between two threads, and slot `i` always holds job
+    // `i`'s result, whatever the completion order was.
+    let cursor = AtomicUsize::new(0);
+    let pending: Vec<Mutex<Option<SweepJob>>> =
+        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let slots: Vec<Mutex<Option<SweepRun>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = pending[i]
+                    .lock()
+                    .expect("job mutex poisoned")
+                    .take()
+                    .expect("each job index is claimed exactly once");
+                let done = exec(job);
+                *slots[i].lock().expect("slot mutex poisoned") = Some(done);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot mutex poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osim_cpu::MachineCfg;
+    use osim_workloads::harness::DsCfg;
+    use osim_workloads::linked_list;
+
+    fn tiny_jobs(n: usize) -> Vec<SweepJob> {
+        (0..n)
+            .map(|i| {
+                let cfg = MachineCfg::paper(1 + i % 2);
+                let ds = DsCfg {
+                    initial: 8,
+                    ops: 8,
+                    reads_per_write: 1,
+                    scan_range: 0,
+                    key_space: 32,
+                    seed: 7 + i as u64,
+                    insert_only: false,
+                };
+                SweepJob::new("test", "Linked list", format!("job{i}"), cfg, move |m| {
+                    linked_list::run_versioned(m, &ds)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_results_match_serial_in_order_and_value() {
+        let serial = run_jobs(tiny_jobs(5), 1);
+        let parallel = run_jobs(tiny_jobs(5), 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.tag, p.tag);
+            assert_eq!(s.result.cycles, p.result.cycles, "{}", s.tag);
+            assert_eq!(s.result.ok, p.result.ok);
+        }
+    }
+
+    #[test]
+    fn zero_and_one_thread_run_inline() {
+        assert_eq!(run_jobs(tiny_jobs(2), 0).len(), 2);
+        assert_eq!(run_jobs(Vec::new(), 8).len(), 0);
+    }
+}

@@ -78,15 +78,19 @@ pub struct Line {
     pub tag: u32,
     pub kind: LineKind,
     pub state: Mesi,
-    lru: u64,
 }
 
 /// A set-associative, LRU, write-back cache holding metadata only.
+///
+/// Each set's `Vec` is kept in recency order — coldest line at the front,
+/// hottest at the back — so the eviction victim is simply the front element
+/// and no per-line timestamp scan is needed.
 pub struct Cache {
     cfg: CacheCfg,
     n_sets: u32,
     sets: Vec<Vec<Line>>,
-    tick: u64,
+    /// Resident-line count across all sets, maintained incrementally.
+    resident: usize,
 }
 
 impl Cache {
@@ -97,7 +101,7 @@ impl Cache {
             cfg,
             n_sets,
             sets: (0..n_sets).map(|_| Vec::new()).collect(),
-            tick: 0,
+            resident: 0,
         }
     }
 
@@ -126,14 +130,13 @@ impl Cache {
 
     /// Looks a line up and refreshes its LRU position. Returns its state.
     pub fn probe(&mut self, tag: u32, kind: LineKind) -> Option<Mesi> {
-        self.tick += 1;
-        let tick = self.tick;
         let set = self.set_of_kind(tag, kind);
-        let line = self.sets[set]
-            .iter_mut()
-            .find(|l| l.tag == tag && l.kind == kind)?;
-        line.lru = tick;
-        Some(line.state)
+        let lines = &mut self.sets[set];
+        let idx = lines.iter().position(|l| l.tag == tag && l.kind == kind)?;
+        let state = lines[idx].state;
+        // Move to the back: most recently used.
+        lines[idx..].rotate_left(1);
+        Some(state)
     }
 
     /// Looks a line up without touching LRU state (used by coherence
@@ -163,31 +166,22 @@ impl Cache {
     ///
     /// If the line is already resident its state is updated in place.
     pub fn fill(&mut self, tag: u32, kind: LineKind, state: Mesi) -> Option<Line> {
-        self.tick += 1;
-        let tick = self.tick;
         let set = self.set_of_kind(tag, kind);
         let ways = self.cfg.assoc as usize;
         let lines = &mut self.sets[set];
-        if let Some(line) = lines.iter_mut().find(|l| l.tag == tag && l.kind == kind) {
-            line.state = state;
-            line.lru = tick;
+        if let Some(idx) = lines.iter().position(|l| l.tag == tag && l.kind == kind) {
+            lines[idx].state = state;
+            lines[idx..].rotate_left(1);
             return None;
         }
         let victim = if lines.len() >= ways {
-            let idx = match lines.iter().enumerate().min_by_key(|(_, l)| l.lru) {
-                Some((idx, _)) => idx,
-                None => unreachable!("assoc >= 1, so a full set is non-empty"),
-            };
-            Some(lines.swap_remove(idx))
+            // The front of the recency order is the LRU victim.
+            Some(lines.remove(0))
         } else {
+            self.resident += 1;
             None
         };
-        lines.push(Line {
-            tag,
-            kind,
-            state,
-            lru: tick,
-        });
+        lines.push(Line { tag, kind, state });
         victim
     }
 
@@ -196,12 +190,15 @@ impl Cache {
         let set = self.set_of_kind(tag, kind);
         let lines = &mut self.sets[set];
         let idx = lines.iter().position(|l| l.tag == tag && l.kind == kind)?;
-        Some(lines.swap_remove(idx))
+        self.resident -= 1;
+        // `remove`, not `swap_remove`: the order of the survivors *is* the
+        // LRU order now.
+        Some(lines.remove(idx))
     }
 
     /// Number of resident lines (all sets, both kinds).
     pub fn resident(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.resident
     }
 
     /// Drops every resident line (used when reconfiguring between runs).
@@ -209,6 +206,7 @@ impl Cache {
         for set in &mut self.sets {
             set.clear();
         }
+        self.resident = 0;
     }
 }
 

@@ -3,8 +3,36 @@
 
 use crate::cache::{Cache, CacheCfg, LineKind, Mesi};
 use crate::events::{EventLog, MemEvent, MemEventKind};
+use crate::fxhash::FxHashMap;
 use crate::line_of;
 use crate::stats::MemStats;
+
+/// Which L1s hold a copy of one line, as a core bitmask, plus the single
+/// core (if any) holding it Modified. A pure host-side acceleration
+/// structure: it mirrors the per-core caches exactly so coherence actions
+/// visit only actual sharers instead of scanning every core.
+#[derive(Debug, Clone, Copy, Default)]
+struct DirEntry {
+    sharers: u64,
+    dirty: Option<usize>,
+}
+
+impl DirEntry {
+    fn is_empty(&self) -> bool {
+        self.sharers == 0
+    }
+}
+
+/// Calls `f` for each set bit of `mask`, in ascending core order — the
+/// same order the previous `0..cores` scans visited cores in.
+fn for_each_core(mask: u64, mut f: impl FnMut(usize)) {
+    let mut m = mask;
+    while m != 0 {
+        let c = m.trailing_zeros() as usize;
+        f(c);
+        m &= m - 1;
+    }
+}
 
 /// Full hierarchy configuration.
 #[derive(Debug, Clone)]
@@ -86,11 +114,19 @@ pub struct Hierarchy {
     /// Simulated cycle stamped onto events; the hierarchy has no clock of
     /// its own, so issuing cores publish theirs via [`Hierarchy::set_clock`].
     clock: u64,
+    /// L1 presence directory for data lines, keyed by line address.
+    data_dir: FxHashMap<u32, DirEntry>,
+    /// L1 presence directory for compressed lines, keyed by root word PA.
+    comp_dir: FxHashMap<u32, u64>,
 }
 
 impl Hierarchy {
     /// Builds an empty hierarchy.
     pub fn new(cfg: HierarchyCfg) -> Self {
+        assert!(
+            cfg.cores <= 64,
+            "the L1 presence directory packs sharers into a u64 core mask"
+        );
         let l1s = (0..cfg.cores).map(|_| Cache::new(cfg.l1)).collect();
         let l2 = Cache::new(cfg.l2);
         let stats = MemStats::new(cfg.cores);
@@ -101,7 +137,73 @@ impl Hierarchy {
             stats,
             events: EventLog::disabled(),
             clock: 0,
+            data_dir: FxHashMap::default(),
+            comp_dir: FxHashMap::default(),
         }
+    }
+
+    /// Records that `core`'s L1 now holds `line` (data) in `state`. Any
+    /// victim the fill evicted must be removed separately via
+    /// [`Hierarchy::dir_remove_victim`].
+    fn dir_add_data(&mut self, core: usize, line: u32, state: Mesi) {
+        let e = self.data_dir.entry(line).or_default();
+        e.sharers |= 1 << core;
+        if state == Mesi::Modified {
+            e.dirty = Some(core);
+        } else if e.dirty == Some(core) {
+            e.dirty = None;
+        }
+    }
+
+    /// Removes `core` from the directory entry of an evicted/invalidated
+    /// line (either kind).
+    fn dir_remove_victim(&mut self, core: usize, victim: &crate::cache::Line) {
+        match victim.kind {
+            LineKind::Data => self.dir_remove_data(core, victim.tag),
+            LineKind::Compressed => self.dir_remove_comp(core, victim.tag),
+        }
+    }
+
+    fn dir_remove_data(&mut self, core: usize, line: u32) {
+        if let Some(e) = self.data_dir.get_mut(&line) {
+            e.sharers &= !(1 << core);
+            if e.dirty == Some(core) {
+                e.dirty = None;
+            }
+            if e.is_empty() {
+                self.data_dir.remove(&line);
+            }
+        }
+    }
+
+    fn dir_set_state_data(&mut self, core: usize, line: u32, state: Mesi) {
+        if let Some(e) = self.data_dir.get_mut(&line) {
+            if state == Mesi::Modified {
+                e.dirty = Some(core);
+            } else if e.dirty == Some(core) {
+                e.dirty = None;
+            }
+        }
+    }
+
+    fn dir_add_comp(&mut self, core: usize, root_pa: u32) {
+        *self.comp_dir.entry(root_pa).or_default() |= 1 << core;
+    }
+
+    fn dir_remove_comp(&mut self, core: usize, root_pa: u32) {
+        if let Some(m) = self.comp_dir.get_mut(&root_pa) {
+            *m &= !(1 << core);
+            if *m == 0 {
+                self.comp_dir.remove(&root_pa);
+            }
+        }
+    }
+
+    /// Sharer mask of a data line, excluding `core`.
+    fn data_sharers_except(&self, core: usize, line: u32) -> u64 {
+        self.data_dir
+            .get(&line)
+            .map_or(0, |e| e.sharers & !(1 << core))
     }
 
     /// The configuration this hierarchy was built with.
@@ -139,6 +241,7 @@ impl Hierarchy {
                     self.invalidate_others(core, line);
                 }
                 self.l1s[core].set_state(line, LineKind::Data, Mesi::Modified);
+                self.dir_set_state_data(core, line, Mesi::Modified);
             } else {
                 self.stats.l1_read_hits[core] += 1;
             }
@@ -166,10 +269,12 @@ impl Hierarchy {
             self.stats.l1_read_misses[core] += 1;
         }
 
-        // Snoop other L1s for a dirty copy.
-        let dirty_owner = (0..self.cfg.cores)
-            .filter(|&c| c != core)
-            .find(|&c| self.l1s[c].peek(line, LineKind::Data) == Some(Mesi::Modified));
+        // Snoop for a dirty copy — the directory knows the (unique) owner.
+        let dirty_owner = self
+            .data_dir
+            .get(&line)
+            .and_then(|e| e.dirty)
+            .filter(|&c| c != core);
 
         let (level, latency) = if let Some(owner) = dirty_owner {
             // Cache-to-cache forward; the paper notes LLC and remote-L1
@@ -179,9 +284,11 @@ impl Hierarchy {
             self.l2.fill(line, LineKind::Data, Mesi::Modified);
             if is_write {
                 self.l1s[owner].invalidate(line, LineKind::Data);
+                self.dir_remove_data(owner, line);
                 self.stats.invalidations += 1;
             } else {
                 self.l1s[owner].set_state(line, LineKind::Data, Mesi::Shared);
+                self.dir_set_state_data(owner, line, Mesi::Shared);
             }
             (Level::RemoteL1, self.cfg.l2.hit_latency)
         } else if self.l2.probe(line, LineKind::Data).is_some() {
@@ -203,9 +310,8 @@ impl Hierarchy {
 
         // Fill the local L1 unless the caller asked not to pollute it.
         if kind != AccessKind::ReadNoAlloc {
-            let others_share = (0..self.cfg.cores)
-                .filter(|&c| c != core)
-                .any(|c| self.l1s[c].peek(line, LineKind::Data).is_some());
+            let others = self.data_sharers_except(core, line);
+            let others_share = others != 0;
             let state = if is_write {
                 Mesi::Modified
             } else if others_share {
@@ -215,17 +321,18 @@ impl Hierarchy {
             };
             // Keep peers coherent: a read next to sharers demotes everyone.
             if !is_write && others_share {
-                for c in (0..self.cfg.cores).filter(|&c| c != core) {
-                    if self.l1s[c].peek(line, LineKind::Data).is_some() {
-                        self.l1s[c].set_state(line, LineKind::Data, Mesi::Shared);
-                    }
-                }
+                for_each_core(others, |c| {
+                    self.l1s[c].set_state(line, LineKind::Data, Mesi::Shared);
+                    self.dir_set_state_data(c, line, Mesi::Shared);
+                });
             }
             if let Some(victim) = self.l1s[core].fill(line, LineKind::Data, state) {
                 if victim.kind == LineKind::Compressed {
                     dropped.push((core, victim.tag));
                 }
+                self.dir_remove_victim(core, &victim);
             }
+            self.dir_add_data(core, line, state);
         }
 
         self.events.push(MemEvent {
@@ -259,9 +366,7 @@ impl Hierarchy {
         if self.l1s[core].peek(line, LineKind::Data).is_some() {
             return dropped;
         }
-        let others_share = (0..self.cfg.cores)
-            .filter(|&c| c != core)
-            .any(|c| self.l1s[c].peek(line, LineKind::Data).is_some());
+        let others_share = self.data_sharers_except(core, line) != 0;
         let state = if others_share {
             Mesi::Shared
         } else {
@@ -271,26 +376,32 @@ impl Hierarchy {
             if victim.kind == LineKind::Compressed {
                 dropped.push((core, victim.tag));
             }
+            self.dir_remove_victim(core, &victim);
         }
+        self.dir_add_data(core, line, state);
         dropped
     }
 
     /// Invalidates every remote L1 copy of `line` (write upgrade / RFO).
     fn invalidate_others(&mut self, core: usize, line: u32) {
-        for c in (0..self.cfg.cores).filter(|&c| c != core) {
+        let others = self.data_sharers_except(core, line);
+        for_each_core(others, |c| {
             if self.l1s[c].invalidate(line, LineKind::Data).is_some() {
                 self.stats.invalidations += 1;
             }
-        }
+            self.dir_remove_data(c, line);
+        });
     }
 
     /// Enforces inclusion: when the L2 evicts a line, every L1 copy goes too.
     fn back_invalidate(&mut self, line: u32, dropped: &mut Vec<(usize, u32)>) {
-        for c in 0..self.cfg.cores {
+        let mask = self.data_dir.get(&line).map_or(0, |e| e.sharers);
+        for_each_core(mask, |c| {
             if self.l1s[c].invalidate(line, LineKind::Data).is_some() {
                 self.stats.back_invalidations += 1;
             }
-        }
+            self.dir_remove_data(c, line);
+        });
         let _ = dropped; // compressed lines are not L2-backed; nothing to drop
     }
 
@@ -321,15 +432,21 @@ impl Hierarchy {
             if victim.kind == LineKind::Compressed {
                 dropped.push((core, victim.tag));
             }
+            self.dir_remove_victim(core, &victim);
         }
+        self.dir_add_comp(core, root_pa);
         dropped
     }
 
     /// Drops `core`'s own compressed line for `root_pa`, if resident.
     pub fn compressed_drop(&mut self, core: usize, root_pa: u32) -> bool {
-        self.l1s[core]
+        let hit = self.l1s[core]
             .invalidate(root_pa, LineKind::Compressed)
-            .is_some()
+            .is_some();
+        if hit {
+            self.dir_remove_comp(core, root_pa);
+        }
+        hit
     }
 
     /// Coherence broadcast: a version store/lock/unlock by `core` modified
@@ -338,7 +455,11 @@ impl Hierarchy {
     /// action"). Returns the dropped `(core, root_pa)` pairs.
     pub fn compressed_invalidate_others(&mut self, core: usize, root_pa: u32) -> Vec<(usize, u32)> {
         let mut dropped = Vec::new();
-        for c in (0..self.cfg.cores).filter(|&c| c != core) {
+        let mask = self
+            .comp_dir
+            .get(&root_pa)
+            .map_or(0, |m| m & !(1u64 << core));
+        for_each_core(mask, |c| {
             if self.l1s[c]
                 .invalidate(root_pa, LineKind::Compressed)
                 .is_some()
@@ -352,7 +473,8 @@ impl Hierarchy {
                 });
                 dropped.push((c, root_pa));
             }
-        }
+            self.dir_remove_comp(c, root_pa);
+        });
         dropped
     }
 }

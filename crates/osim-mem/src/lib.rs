@@ -26,6 +26,7 @@
 pub mod cache;
 pub mod events;
 pub mod fault;
+pub mod fxhash;
 pub mod hierarchy;
 pub mod inject;
 pub mod page;
@@ -35,6 +36,7 @@ pub mod stats;
 pub use cache::{Cache, CacheCfg};
 pub use events::{EventLog, MemEvent, MemEventKind};
 pub use fault::Fault;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use hierarchy::{AccessKind, AccessResult, Hierarchy, HierarchyCfg, Level};
 pub use inject::{FaultPlan, Injector, PoolShrink};
 pub use page::{PageFlags, PageTable, PAGE_SIZE};

@@ -1,7 +1,8 @@
 //! The O-structure manager: versioned operations, free list, and the
 //! Memory Version Manager's garbage collector (§III of the paper).
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use osim_mem::{FxHashMap, FxHashSet};
+use std::collections::{BTreeSet, HashSet};
 
 use osim_mem::{
     line_of, AccessKind, EventLog, Fault, FaultPlan, Injector, MemSys, PageFlags, PAGE_SIZE,
@@ -239,14 +240,14 @@ pub struct OManager {
     free_count: u32,
     /// Compressed-line payloads, keyed by `(core, root_pa)`. The matching
     /// L1 slot is tracked by the hierarchy; both are kept in sync.
-    compressed: HashMap<(usize, u32), CompressedLine>,
+    compressed: FxHashMap<(usize, u32), CompressedLine>,
     /// Shadowed version blocks: `(root_pa, block_pa)`.
     shadowed: Vec<(u32, u32)>,
     /// With `sorted_insertion` off, roots whose list order has actually
     /// been violated by an out-of-order store. Lists not in this set are
     /// still descending (in-order creation, "the common case in real
     /// programs"), so lookups may keep their early exits.
-    unsorted_roots: HashSet<u32>,
+    unsorted_roots: FxHashSet<u32>,
     gc_phase: Option<GcPhase>,
     /// Currently active task ids.
     active: BTreeSet<TaskId>,
@@ -255,7 +256,20 @@ pub struct OManager {
     /// `(core, root_pa)` pairs whose compressed line was discarded by
     /// another core's mutation since the core last asked. Feeds the cpu
     /// layer's stall-cause attribution (coherence vs. version state).
-    coherence_lost: HashSet<(usize, u32)>,
+    coherence_lost: FxHashSet<(usize, u32)>,
+    /// Host-side mirror of every version-block list, in exact list order:
+    /// `(version, block_pa)` per node. The simulated list in [`PhysMem`]
+    /// stays authoritative — walks still charge the modeled accesses — but
+    /// the *search* (version comparisons, match resolution) runs on this
+    /// mirror so the hot path never decodes simulated memory per node.
+    /// Debug builds cross-check the mirror against the physical list.
+    lists: FxHashMap<u32, Vec<(Version, u32)>>,
+    /// Exact-version index: `(root_pa, version)` → block pa, maintained on
+    /// store/unlink/GC/release, so exact-version lookups resolve in O(1).
+    index: FxHashMap<(u32, Version), u32>,
+    /// Reusable unique-line scratch for walk charging (replaces a per-walk
+    /// `HashSet` allocation; walks are short, so linear scan wins).
+    walk_lines: Vec<u32>,
     /// OS refill-trap cycles charged since the last
     /// [`OManager::take_trap_cycles`] — the free-list/GC share of an
     /// operation's latency, kept separate so cores can attribute it.
@@ -277,13 +291,16 @@ impl OManager {
             cfg,
             free_head: 0,
             free_count: 0,
-            compressed: HashMap::new(),
+            compressed: FxHashMap::default(),
             shadowed: Vec::new(),
-            unsorted_roots: HashSet::new(),
+            unsorted_roots: FxHashSet::default(),
             gc_phase: None,
             active: BTreeSet::new(),
             max_id_seen: 0,
-            coherence_lost: HashSet::new(),
+            coherence_lost: FxHashSet::default(),
+            lists: FxHashMap::default(),
+            index: FxHashMap::default(),
+            walk_lines: Vec::new(),
             pending_trap_cycles: 0,
             injector: cfg.fault_plan.map(Injector::new),
             stats: OStats::default(),
@@ -317,6 +334,88 @@ impl OManager {
     /// version order (always true with sorted insertion).
     fn list_sorted(&self, root_pa: u32) -> bool {
         self.cfg.sorted_insertion || !self.unsorted_roots.contains(&root_pa)
+    }
+
+    // ------------------------------------------------------------------
+    // Host-side list mirror + exact-version index
+    // ------------------------------------------------------------------
+
+    /// Records a freshly linked block in the mirror and the index.
+    fn mirror_insert(&mut self, root_pa: u32, pos: usize, v: Version, block_pa: u32) {
+        self.lists
+            .entry(root_pa)
+            .or_default()
+            .insert(pos, (v, block_pa));
+        let prev = self.index.insert((root_pa, v), block_pa);
+        debug_assert!(
+            prev.is_none(),
+            "duplicate version {v} at root {root_pa:#010x}"
+        );
+    }
+
+    /// Drops an unlinked block from the mirror and the index.
+    fn mirror_remove(&mut self, root_pa: u32, block_pa: u32) {
+        let Some(list) = self.lists.get_mut(&root_pa) else {
+            debug_assert!(false, "unlink from unmirrored root {root_pa:#010x}");
+            return;
+        };
+        let Some(pos) = list.iter().position(|&(_, pa)| pa == block_pa) else {
+            debug_assert!(false, "unlink of unmirrored block {block_pa:#010x}");
+            return;
+        };
+        let (v, _) = list.remove(pos);
+        self.index.remove(&(root_pa, v));
+    }
+
+    /// Drops a whole structure from the mirror and the index.
+    fn mirror_release(&mut self, root_pa: u32) {
+        if let Some(list) = self.lists.remove(&root_pa) {
+            for (v, _) in list {
+                self.index.remove(&(root_pa, v));
+            }
+        }
+    }
+
+    /// Debug cross-check: the mirror must match the physical list exactly.
+    #[cfg(debug_assertions)]
+    fn mirror_check(&self, ms: &MemSys, root_pa: u32) {
+        let mut physical = Vec::new();
+        let mut cur = ms.phys.read_u32(root_pa);
+        while cur != 0 {
+            let blk = VBlock::read(&ms.phys, cur);
+            physical.push((blk.version, blk.pa));
+            cur = blk.next;
+        }
+        let mirrored = self.lists.get(&root_pa).cloned().unwrap_or_default();
+        assert_eq!(
+            mirrored, physical,
+            "mirror diverged from physical list at root {root_pa:#010x}"
+        );
+        for &(v, pa) in &physical {
+            assert_eq!(self.index.get(&(root_pa, v)), Some(&pa));
+        }
+    }
+
+    /// Charges the modeled walk over the first `nodes` mirror entries of
+    /// `root_pa`'s list: one `ReadNoAlloc` per *unique line*, exactly as the
+    /// physical pointer chase did. Returns the charged latency.
+    fn charge_walk(&mut self, ms: &mut MemSys, core: usize, root_pa: u32, nodes: usize) -> u64 {
+        let mut latency = 0;
+        let mut lines = std::mem::take(&mut self.walk_lines);
+        lines.clear();
+        for i in 0..nodes {
+            let pa = self.lists[&root_pa][i].1;
+            let line = line_of(pa);
+            if !lines.contains(&line) {
+                lines.push(line);
+                let acc = ms.hier.access(core, pa, AccessKind::ReadNoAlloc);
+                latency += acc.latency;
+                self.prune(&acc.dropped_compressed);
+                self.stats.walk_reads += 1;
+            }
+        }
+        self.walk_lines = lines;
+        latency
     }
 
     // ------------------------------------------------------------------
@@ -658,6 +757,7 @@ impl OManager {
                 let mut updated = prev_blk;
                 updated.next = victim.next;
                 updated.write(&mut ms.phys);
+                self.mirror_remove(root_pa, block_pa);
                 return true;
             }
             prev = prev_blk.next;
@@ -885,63 +985,65 @@ impl OManager {
             });
         }
 
+        #[cfg(debug_assertions)]
+        self.mirror_check(ms, root_pa);
+
         let sorted = self.list_sorted(root_pa);
-        let mut touched: HashSet<u32> = HashSet::new();
-        let mut cur = head_pa;
-        let mut first = true;
-        let mut head_version = 0;
-        // Only genuinely out-of-order lists force a full scan.
-        let mut best: Option<VBlock> = None;
-        loop {
-            let line = line_of(cur);
-            if touched.insert(line) {
-                let acc = ms.hier.access(core, cur, AccessKind::ReadNoAlloc);
-                latency += acc.latency;
-                self.prune(&acc.dropped_compressed);
-                self.stats.walk_reads += 1;
-            }
-            let blk = VBlock::read(&ms.phys, cur);
-            if first {
-                if !blk.head {
-                    return Err(Fault::NotListHead { pa: cur });
+
+        // The walk is still the latency model, but the *search* runs on the
+        // host mirror: version comparisons read `lists` and the match is
+        // resolved by the exact-version index, so simulated memory is only
+        // decoded for the head-protection check and the returned block.
+        let head_ok = VBlock::read(&ms.phys, head_pa).head;
+        let list = &self.lists[&root_pa];
+        debug_assert_eq!(list[0].1, head_pa, "mirror head is stale");
+        let head_version = list[0].0;
+        let mut nodes = 0;
+        let mut best: Option<(Version, u32)> = None;
+        if head_ok {
+            for &(ver, pa) in list {
+                nodes += 1;
+                let matched = if latest { ver <= v } else { ver == v };
+                if matched {
+                    if sorted {
+                        best = Some((ver, pa));
+                        break;
+                    }
+                    // Unsorted: remember the best candidate and keep scanning.
+                    match best {
+                        Some((bv, _)) if bv >= ver => {}
+                        _ => best = Some((ver, pa)),
+                    }
+                    if !latest {
+                        break; // exact match; duplicates are impossible
+                    }
+                } else if sorted && ver < v {
+                    break; // sorted: nothing older can match an exact load
                 }
-                head_version = blk.version;
-                first = false;
             }
-            let matched = if latest {
-                blk.version <= v
-            } else {
-                blk.version == v
-            };
-            if matched {
-                if sorted {
-                    best = Some(blk);
-                    break;
-                }
-                // Unsorted: remember the best candidate and keep scanning.
-                match best {
-                    Some(b) if b.version >= blk.version => {}
-                    _ => best = Some(blk),
-                }
-                if !latest {
-                    break; // exact match; duplicates are impossible
-                }
-            } else if sorted && blk.version < v {
-                break; // sorted: nothing older can match an exact load
-            }
-            if blk.next == 0 {
-                break;
-            }
-            cur = blk.next;
+        } else {
+            nodes = 1; // the protection check charges the head before faulting
+        }
+        if !latest {
+            // O(1) exact-version resolution; the mirror scan above only
+            // determines how far the modeled walk advances.
+            let indexed = self.index.get(&(root_pa, v)).copied();
+            debug_assert_eq!(best.map(|(_, pa)| pa), indexed, "index out of sync");
+            best = indexed.map(|pa| (v, pa));
+        }
+        latency += self.charge_walk(ms, core, root_pa, nodes);
+        if !head_ok {
+            return Err(Fault::NotListHead { pa: head_pa });
         }
 
-        let Some(blk) = best else {
+        let Some((_, best_pa)) = best else {
             return Ok(OpOutcome::Blocked {
                 reason: BlockReason::VersionAbsent,
                 latency,
                 holder: 0,
             });
         };
+        let blk = VBlock::read(&ms.phys, best_pa);
         if !blk.unlocked() {
             return Ok(OpOutcome::Blocked {
                 reason: BlockReason::VersionLocked,
@@ -1033,6 +1135,15 @@ impl OManager {
         if shadow {
             self.shadowed.push((root_pa, old_head_pa));
         }
+        debug_assert_eq!(
+            self.lists
+                .get(&root_pa)
+                .and_then(|l| l.first())
+                .map(|&(_, pa)| pa),
+            Some(old_head_pa),
+            "mirror head is stale"
+        );
+        self.mirror_insert(root_pa, 0, v, new_pa);
         self.stats.stores += 1;
         let head_version = self.list_sorted(root_pa).then_some(v);
         self.compressed_install(
@@ -1089,57 +1200,62 @@ impl OManager {
         self.prune(&root.dropped_compressed);
         let head_pa = ms.phys.read_u32(root_pa);
 
-        // Find `prev` (last block with version > v) and the follower.
+        // Find `prev` (last block with version > v) and the follower. The
+        // search runs on the host mirror; the modeled walk is charged after.
         let mut prev: Option<VBlock> = None;
         let mut follower: Option<VBlock> = None;
+        let mut prev_idx: Option<usize> = None;
         if head_pa != 0 {
+            #[cfg(debug_assertions)]
+            self.mirror_check(ms, root_pa);
             let was_sorted = self.list_sorted(root_pa);
-            let mut touched: HashSet<u32> = HashSet::new();
-            let mut cur = head_pa;
-            let mut first = true;
-            loop {
-                let line = line_of(cur);
-                if touched.insert(line) {
-                    let acc = ms.hier.access(core, cur, AccessKind::ReadNoAlloc);
-                    latency += acc.latency;
-                    self.prune(&acc.dropped_compressed);
-                    self.stats.walk_reads += 1;
-                }
-                let blk = VBlock::read(&ms.phys, cur);
-                if first && !blk.head {
-                    return Err(Fault::NotListHead { pa: cur });
-                }
-                if blk.version == v {
-                    return Err(Fault::VersionExists { va, version: v });
-                }
-                if self.cfg.sorted_insertion {
-                    if blk.version < v {
-                        follower = Some(blk);
+            let head_ok = VBlock::read(&ms.phys, head_pa).head;
+            let list = &self.lists[&root_pa];
+            debug_assert_eq!(list[0].1, head_pa, "mirror head is stale");
+            let mut nodes = 0;
+            let mut follower_pa = None;
+            let mut dup = false;
+            if head_ok {
+                for (i, &(ver, pa)) in list.iter().enumerate() {
+                    nodes += 1;
+                    if ver == v {
+                        dup = true;
                         break;
                     }
-                    prev = Some(blk);
-                    if blk.next == 0 {
-                        break;
-                    }
-                    cur = blk.next;
-                } else {
-                    // Unsorted mode: always prepend. Versions created in
-                    // order keep the list sorted anyway (the paper's common
-                    // case), which lets the duplicate scan stop at the head;
-                    // only lists whose order was actually violated pay a
-                    // full scan.
-                    if first && was_sorted && blk.version < v {
+                    if self.cfg.sorted_insertion {
+                        if ver < v {
+                            follower_pa = Some(pa);
+                            break;
+                        }
+                        prev_idx = Some(i);
+                    } else if i == 0 && was_sorted && ver < v {
+                        // Unsorted mode: always prepend. Versions created in
+                        // order keep the list sorted anyway (the paper's
+                        // common case), which lets the duplicate scan stop
+                        // at the head; only lists whose order was actually
+                        // violated pay a full scan.
                         break; // prepend of a fresh maximum: no duplicate possible
                     }
-                    if blk.next == 0 {
-                        break;
-                    }
-                    cur = blk.next;
                 }
-                first = false;
+            } else {
+                nodes = 1; // the protection check charges the head before faulting
             }
-            if !self.cfg.sorted_insertion {
-                prev = None;
+            debug_assert_eq!(
+                dup,
+                self.index.contains_key(&(root_pa, v)),
+                "index out of sync"
+            );
+            latency += self.charge_walk(ms, core, root_pa, nodes);
+            if !head_ok {
+                return Err(Fault::NotListHead { pa: head_pa });
+            }
+            if dup {
+                return Err(Fault::VersionExists { va, version: v });
+            }
+            if self.cfg.sorted_insertion {
+                prev = prev_idx.map(|i| VBlock::read(&ms.phys, self.lists[&root_pa][i].1));
+                follower = follower_pa.map(|pa| VBlock::read(&ms.phys, pa));
+            } else {
                 let head_blk = VBlock::read(&ms.phys, head_pa);
                 if v < head_blk.version {
                     // An out-of-order prepend breaks the list's order.
@@ -1191,6 +1307,7 @@ impl OManager {
             p.write(&mut ms.phys);
             latency += ms.hier.access(core, p.pa, AccessKind::Write).latency;
         }
+        self.mirror_insert(root_pa, prev_idx.map_or(0, |i| i + 1), v, new_pa);
 
         // Shadow the next-older version (Figure 5): creating v makes the
         // version just below it unreachable for tasks ≥ v. (An
@@ -1267,31 +1384,37 @@ impl OManager {
                 let mut lat = root.latency;
                 self.prune(&root.dropped_compressed);
                 let sorted = self.list_sorted(root_pa);
-                let mut cur = ms.phys.read_u32(root_pa);
-                let mut touched: HashSet<u32> = HashSet::new();
+                let head_pa = ms.phys.read_u32(root_pa);
                 let mut found = None;
-                let mut first = true;
-                while cur != 0 {
-                    let line = line_of(cur);
-                    if touched.insert(line) {
-                        let acc = ms.hier.access(core, cur, AccessKind::ReadNoAlloc);
-                        lat += acc.latency;
-                        self.prune(&acc.dropped_compressed);
-                        self.stats.walk_reads += 1;
+                let mut nodes = 0;
+                let mut head_ok = true;
+                if head_pa != 0 {
+                    #[cfg(debug_assertions)]
+                    self.mirror_check(ms, root_pa);
+                    head_ok = VBlock::read(&ms.phys, head_pa).head;
+                    if head_ok {
+                        for &(ver, pa) in &self.lists[&root_pa] {
+                            nodes += 1;
+                            if ver == vl {
+                                found = Some(pa);
+                                break;
+                            }
+                            if sorted && ver < vl {
+                                break;
+                            }
+                        }
+                    } else {
+                        nodes = 1; // the protection check charges the head
                     }
-                    let blk = VBlock::read(&ms.phys, cur);
-                    if first && !blk.head {
-                        return Err(Fault::NotListHead { pa: cur });
-                    }
-                    first = false;
-                    if blk.version == vl {
-                        found = Some(blk.pa);
-                        break;
-                    }
-                    if sorted && blk.version < vl {
-                        break;
-                    }
-                    cur = blk.next;
+                }
+                debug_assert_eq!(
+                    found,
+                    self.index.get(&(root_pa, vl)).copied().filter(|_| head_ok),
+                    "index out of sync"
+                );
+                lat += self.charge_walk(ms, core, root_pa, nodes);
+                if !head_ok {
+                    return Err(Fault::NotListHead { pa: head_pa });
                 }
                 match found {
                     Some(pa) => (pa, lat),
@@ -1362,6 +1485,7 @@ impl OManager {
             cur = next;
         }
         ms.phys.write_u32(root_pa, 0);
+        self.mirror_release(root_pa);
         // Blocks returned to the free list may still sit on the shadowed
         // list; drop those entries (they are already free).
         self.shadowed.retain(|&(r, _)| r != root_pa);
