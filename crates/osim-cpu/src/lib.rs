@@ -34,6 +34,7 @@ pub mod trace;
 pub use ctx::{wake, TaskCtx};
 pub use error::{BlameEntry, DeadlockReport, SimError, TaskFault, WaitClass, WatchdogReport};
 pub use machine::{Machine, MachineCfg, MachineState, PhaseReport, WakeupPolicy};
+pub use osim_engine::{EngineStats, SchedulerKind};
 pub use runtime::{task, TaskFn};
 pub use rwlock::SimRwLock;
 pub use stats::{CoreStats, CpuStats, StallCause};

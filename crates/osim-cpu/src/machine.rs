@@ -3,7 +3,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use osim_engine::{Cycle, Gate, RunError, Sim, SimHandle};
+use osim_engine::{Cycle, EngineStats, Gate, RunError, SchedulerKind, Sim, SimHandle};
 use osim_mem::{EventLog, Fault, FxHashMap, HierarchyCfg, MemSys};
 use osim_uarch::{OManager, OManagerCfg};
 
@@ -55,6 +55,10 @@ pub struct MachineCfg {
     pub watchdog_cycles: Option<u64>,
     /// Gate wake-up delivery policy (default [`WakeupPolicy::Broadcast`]).
     pub wakeup: WakeupPolicy,
+    /// Event-queue implementation for the engine (default
+    /// [`SchedulerKind::CalendarQueue`]). Timing is identical under every
+    /// kind; only host speed differs.
+    pub scheduler: SchedulerKind,
 }
 
 impl MachineCfg {
@@ -71,6 +75,7 @@ impl MachineCfg {
             malloc_instrs: 40,
             watchdog_cycles: None,
             wakeup: WakeupPolicy::default(),
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -148,7 +153,7 @@ impl Machine {
             fault: None,
         };
         Ok(Machine {
-            sim: Sim::new(),
+            sim: Sim::with_scheduler(cfg.scheduler),
             state: Rc::new(RefCell::new(state)),
             cfg,
             next_tid: 1,
@@ -193,6 +198,11 @@ impl Machine {
     /// Engine handle (for spawning bespoke simulation tasks).
     pub fn handle(&self) -> SimHandle {
         self.sim.handle()
+    }
+
+    /// Engine-side counters (events dispatched, stale wakes skipped).
+    pub fn engine_stats(&self) -> EngineStats {
+        self.sim.stats()
     }
 
     /// Runs `tasks` to completion under the static scheduler: task `i` is

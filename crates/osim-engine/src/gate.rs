@@ -48,18 +48,116 @@ impl WakeFilter {
     }
 }
 
-/// One parked task: its id, the shared wake slot (`None` while parked,
-/// `Some(tag)` once woken) and what it is prepared to be woken by.
-struct Waiter {
-    task: TaskId,
-    slot: Rc<RefCell<Option<WakeTag>>>,
-    filter: WakeFilter,
+/// Sentinel for "no slot" in the arena free list.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Handle to one waiter slot: index plus the generation the slot had when
+/// the waiter parked. A stale handle (the slot was released and recycled,
+/// bumping the generation) simply stops matching, which makes release and
+/// drop idempotent without any shared ownership.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WaiterKey {
+    idx: u32,
+    gen: u32,
+}
+
+/// What one arena slot currently holds.
+enum SlotState {
+    /// Recycled: next free slot index (or [`NO_SLOT`]).
+    Free { next_free: u32 },
+    /// A parked task and what it is prepared to be woken by.
+    Parked { task: TaskId, filter: WakeFilter },
+    /// Woken with this tag; the owning [`Wait`] collects it at next poll.
+    Woken { tag: WakeTag },
+}
+
+struct Slot {
+    gen: u32,
+    state: SlotState,
+}
+
+/// Slab arena for waiter slots: slots are recycled through an intrusive
+/// free list and identified by generation-tagged indices, so steady-state
+/// `wait()`/`open()` traffic never touches the heap (the slot vector and
+/// the park-order queue grow to their high-water mark once and are then
+/// reused).
+struct WaiterArena {
+    slots: Vec<Slot>,
+    free_head: u32,
+}
+
+impl Default for WaiterArena {
+    fn default() -> Self {
+        WaiterArena {
+            slots: Vec::new(),
+            free_head: NO_SLOT,
+        }
+    }
+}
+
+impl WaiterArena {
+    /// Claims a slot for a parked task, recycling a free one when possible.
+    fn park(&mut self, task: TaskId, filter: WakeFilter) -> WaiterKey {
+        let state = SlotState::Parked { task, filter };
+        let idx = if self.free_head != NO_SLOT {
+            let idx = self.free_head;
+            let slot = &mut self.slots[idx as usize];
+            match slot.state {
+                SlotState::Free { next_free } => self.free_head = next_free,
+                _ => unreachable!("free list points at a live slot"),
+            }
+            slot.state = state;
+            idx
+        } else {
+            self.slots.push(Slot { gen: 0, state });
+            self.slots.len() as u32 - 1
+        };
+        WaiterKey {
+            idx,
+            gen: self.slots[idx as usize].gen,
+        }
+    }
+
+    /// The slot's state, if `key` is still current.
+    fn state(&self, key: WaiterKey) -> Option<&SlotState> {
+        let slot = &self.slots[key.idx as usize];
+        (slot.gen == key.gen).then_some(&slot.state)
+    }
+
+    /// Marks a parked slot woken and returns its task. Callers pass only
+    /// keys they just took from the park-order queue, which holds exactly
+    /// the currently-parked waiters.
+    fn wake(&mut self, key: WaiterKey, tag: WakeTag) -> TaskId {
+        let slot = &mut self.slots[key.idx as usize];
+        debug_assert_eq!(slot.gen, key.gen, "queue entry went stale");
+        match slot.state {
+            SlotState::Parked { task, .. } => {
+                slot.state = SlotState::Woken { tag };
+                task
+            }
+            _ => unreachable!("queued waiter is not parked"),
+        }
+    }
+
+    /// Returns the slot to the free list (no-op when `key` is stale).
+    fn release(&mut self, key: WaiterKey) {
+        let slot = &mut self.slots[key.idx as usize];
+        if slot.gen != key.gen {
+            return;
+        }
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.state = SlotState::Free {
+            next_free: self.free_head,
+        };
+        self.free_head = key.idx;
+    }
 }
 
 #[derive(Default)]
 struct GateState {
+    arena: WaiterArena,
     /// Every task currently parked on this gate, in park order.
-    waiters: Vec<Waiter>,
+    queue: Vec<WaiterKey>,
 }
 
 /// A broadcast wait/notify point.
@@ -92,7 +190,7 @@ impl Gate {
     pub fn wait(&self) -> Wait {
         Wait {
             gate: self.clone(),
-            woken: None,
+            key: None,
             filter: WakeFilter::Any,
         }
     }
@@ -113,16 +211,13 @@ impl Gate {
     /// this waiter, but [`Gate::open_targeted`] skips it unless some
     /// payload word matches the filter.
     pub fn ticket_filtered(&self, filter: WakeFilter) -> Wait {
-        let slot = Rc::new(RefCell::new(None));
         let task = self.engine.borrow().current_task();
-        self.state.borrow_mut().waiters.push(Waiter {
-            task,
-            slot: Rc::clone(&slot),
-            filter,
-        });
+        let mut st = self.state.borrow_mut();
+        let key = st.arena.park(task, filter);
+        st.queue.push(key);
         Wait {
             gate: self.clone(),
-            woken: Some(slot),
+            key: Some(key),
             filter,
         }
     }
@@ -148,14 +243,14 @@ impl Gate {
 
     /// [`Gate::open_at`] with a wake tag.
     pub fn open_at_tagged(&self, at: Cycle, tag: WakeTag) {
-        let mut st = self.state.borrow_mut();
-        if st.waiters.is_empty() {
+        let st = &mut *self.state.borrow_mut();
+        if st.queue.is_empty() {
             return;
         }
         let mut engine = self.engine.borrow_mut();
-        for w in st.waiters.drain(..) {
-            *w.slot.borrow_mut() = Some(tag);
-            engine.schedule(at, w.task);
+        for key in st.queue.drain(..) {
+            let task = st.arena.wake(key, tag);
+            engine.schedule(at, task);
         }
     }
 
@@ -176,32 +271,29 @@ impl Gate {
 
     /// [`Gate::open_targeted`] at cycle `at` (clamped to the present).
     pub fn open_targeted_at(&self, at: Cycle, tag: WakeTag, payloads: &[u64]) {
-        let mut st = self.state.borrow_mut();
-        if st.waiters.is_empty() {
+        let st = &mut *self.state.borrow_mut();
+        if st.queue.is_empty() {
             return;
         }
         let mut engine = self.engine.borrow_mut();
-        st.waiters.retain(|w| {
-            if !w.filter.matches(payloads) {
+        let arena = &mut st.arena;
+        st.queue.retain(|&key| {
+            let matches = match arena.state(key) {
+                Some(SlotState::Parked { filter, .. }) => filter.matches(payloads),
+                _ => unreachable!("queued waiter is not parked"),
+            };
+            if !matches {
                 return true;
             }
-            *w.slot.borrow_mut() = Some(tag);
-            engine.schedule(at, w.task);
+            let task = arena.wake(key, tag);
+            engine.schedule(at, task);
             false
         });
     }
 
     /// Number of tasks currently parked.
     pub fn waiting(&self) -> usize {
-        self.state.borrow().waiters.len()
-    }
-
-    /// Removes a dropped, never-woken waiter's slot (identity match).
-    fn remove_waiter(&self, slot: &Rc<RefCell<Option<WakeTag>>>) {
-        self.state
-            .borrow_mut()
-            .waiters
-            .retain(|w| !Rc::ptr_eq(&w.slot, slot));
+        self.state.borrow().queue.len()
     }
 }
 
@@ -209,7 +301,7 @@ impl Gate {
 /// [`WakeTag`] of the `open` that released it.
 pub struct Wait {
     gate: Gate,
-    woken: Option<Rc<RefCell<Option<WakeTag>>>>,
+    key: Option<WaiterKey>,
     filter: WakeFilter,
 }
 
@@ -218,20 +310,27 @@ impl Future for Wait {
 
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<WakeTag> {
         let this = self.get_mut();
-        match &this.woken {
-            Some(slot) => match *slot.borrow() {
-                Some(tag) => Poll::Ready(tag),
-                None => Poll::Pending,
-            },
+        match this.key {
+            Some(key) => {
+                let mut st = this.gate.state.borrow_mut();
+                match st.arena.state(key) {
+                    Some(&SlotState::Woken { tag }) => {
+                        st.arena.release(key);
+                        // The slot is recycled; forget the key so Drop
+                        // cannot release a future occupant.
+                        this.key = None;
+                        Poll::Ready(tag)
+                    }
+                    Some(SlotState::Parked { .. }) => Poll::Pending,
+                    _ => unreachable!("waiter slot recycled while the Wait was live"),
+                }
+            }
             None => {
-                let slot = Rc::new(RefCell::new(None));
                 let task = this.gate.engine.borrow().current_task();
-                this.gate.state.borrow_mut().waiters.push(Waiter {
-                    task,
-                    slot: Rc::clone(&slot),
-                    filter: this.filter,
-                });
-                this.woken = Some(slot);
+                let mut st = this.gate.state.borrow_mut();
+                let key = st.arena.park(task, this.filter);
+                st.queue.push(key);
+                this.key = Some(key);
                 Poll::Pending
             }
         }
@@ -239,19 +338,23 @@ impl Future for Wait {
 }
 
 impl Drop for Wait {
-    /// Deregisters a waiter that was parked but never woken.
+    /// Deregisters a waiter that was parked but never woken, and returns
+    /// its slot to the arena's free list.
     ///
-    /// Without this, a ticket taken and then abandoned (its task finished
-    /// another way, or the whole simulation was torn down mid-wait) leaves
-    /// a dead entry in the gate's waiter list; the next `open` would
-    /// "wake" it — scheduling a spurious event for a task that is no
-    /// longer parked here — and the slot itself would leak until then.
+    /// Without the deregistration, a ticket taken and then abandoned (its
+    /// task finished another way, or the whole simulation was torn down
+    /// mid-wait) would leave a dead entry in the gate's park queue; the
+    /// next `open` would "wake" it — scheduling a spurious event for a
+    /// task that is no longer parked here. A woken-but-never-collected
+    /// slot only needs releasing; its queue entry was consumed by the
+    /// open that woke it.
     fn drop(&mut self) {
-        if let Some(slot) = &self.woken {
-            if slot.borrow().is_none() {
-                self.gate.remove_waiter(slot);
-            }
+        let Some(key) = self.key else { return };
+        let mut st = self.gate.state.borrow_mut();
+        if matches!(st.arena.state(key), Some(SlotState::Parked { .. })) {
+            st.queue.retain(|&k| k != key);
         }
+        st.arena.release(key);
     }
 }
 

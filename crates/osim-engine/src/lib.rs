@@ -31,6 +31,8 @@ mod executor;
 mod gate;
 mod time;
 
-pub use executor::{BlockedTask, RunError, Sim, SimHandle, TaskId, WaitInfo};
+pub use executor::{
+    BlockedTask, EngineStats, RunError, SchedulerKind, Sim, SimHandle, TaskId, WaitInfo,
+};
 pub use gate::{Gate, WakeFilter, WakeTag, WAKE_GENERIC};
 pub use time::Cycle;

@@ -1,0 +1,97 @@
+//! Proof of the PR's zero-allocation claim: once warm, steady-state gate
+//! `wait()`/`open_at()` traffic and event dispatch perform no heap
+//! allocations under either scheduler.
+//!
+//! A counting `#[global_allocator]` is armed from inside the simulation
+//! after a warm-up window (slab slots claimed, wheel buckets and queues at
+//! capacity) and disarmed before teardown; the count of allocations inside
+//! the window must be exactly zero. This file holds a single test so no
+//! concurrent test thread can pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use osim_engine::{SchedulerKind, Sim};
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_gate_and_dispatch_are_allocation_free() {
+    const ROUNDS: u64 = 1_000;
+    const ARM_AT: u64 = 300;
+    const DISARM_AT: u64 = 900;
+    const WAITERS: usize = 16;
+
+    for kind in [SchedulerKind::CalendarQueue, SchedulerKind::BinaryHeap] {
+        ARMED.store(false, Ordering::SeqCst);
+        ALLOCS.store(0, Ordering::SeqCst);
+
+        let sim = Sim::with_scheduler(kind);
+        let h = sim.handle();
+        let gate = h.gate();
+        for _ in 0..WAITERS {
+            let gate = gate.clone();
+            sim.spawn(async move {
+                for _ in 0..ROUNDS {
+                    gate.wait().await;
+                }
+            });
+        }
+        {
+            let h = h.clone();
+            sim.spawn(async move {
+                for round in 0..ROUNDS {
+                    if round == ARM_AT {
+                        ARMED.store(true, Ordering::SeqCst);
+                    }
+                    if round == DISARM_AT {
+                        ARMED.store(false, Ordering::SeqCst);
+                    }
+                    gate.open_at(h.now() + 1);
+                    h.sleep(1).await;
+                }
+            });
+        }
+        sim.run().expect("no deadlock");
+
+        let counted = ALLOCS.load(Ordering::SeqCst);
+        assert_eq!(
+            counted, 0,
+            "{kind:?}: {counted} heap allocation(s) in the steady-state window \
+             (rounds {ARM_AT}..{DISARM_AT}, {WAITERS} waiters)"
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! Shared experiment plumbing: workload scales, benchmark dispatch, and
 //! table formatting.
 
-use osim_cpu::MachineCfg;
+use osim_cpu::{MachineCfg, SchedulerKind};
 use osim_mem::CacheCfg;
 use osim_report::{ReportScale, SimReport};
 use osim_uarch::FaultPlan;
@@ -13,7 +13,7 @@ use osim_workloads::matmul::MatmulCfg;
 use osim_workloads::{btree, hashtable, levenshtein, linked_list, matmul, rbtree};
 
 /// Workload sizes for one harness invocation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct Scale {
     /// Initial elements of the "small" irregular configurations.
     pub small: usize,
@@ -28,6 +28,25 @@ pub struct Scale {
     /// Deterministic fault-injection plan applied to every machine the
     /// invocation builds (`--inject <spec>`); `None` injects nothing.
     pub inject: Option<FaultPlan>,
+    /// Engine event-queue implementation (`--scheduler <kind>`); purely a
+    /// host-speed knob, simulated timing is identical under every kind.
+    pub scheduler: SchedulerKind,
+}
+
+/// Hand-rolled so the scheduler — a pure host-speed knob — stays out of
+/// rendered sweep headers, keeping them byte-identical across schedulers
+/// and with pre-existing baselines.
+impl std::fmt::Debug for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scale")
+            .field("small", &self.small)
+            .field("large", &self.large)
+            .field("ops", &self.ops)
+            .field("mat_n", &self.mat_n)
+            .field("lev_len", &self.lev_len)
+            .field("inject", &self.inject)
+            .finish()
+    }
 }
 
 impl Scale {
@@ -40,6 +59,7 @@ impl Scale {
             mat_n: 100,
             lev_len: 1000,
             inject: None,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -52,6 +72,7 @@ impl Scale {
             mat_n: 28,
             lev_len: 96,
             inject: None,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -65,6 +86,7 @@ impl Scale {
             mat_n: 8,
             lev_len: 24,
             inject: None,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -206,6 +228,7 @@ pub fn machine(scale: &Scale, cores: usize, l1_kb: Option<u32>, extra_latency: u
     }
     cfg.omgr.versioned_extra_latency = extra_latency;
     cfg.omgr.fault_plan = scale.inject;
+    cfg.scheduler = scale.scheduler;
     cfg
 }
 
@@ -250,6 +273,7 @@ pub fn report_run(run: &SweepRun, scale: &Scale) -> SimReport {
         r.cpu.clone(),
         r.mem.clone(),
         r.ostats.clone(),
+        r.engine,
     )
 }
 

@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run -p osim-experiments --release -- <experiment> [--full|--tiny]
 //!     [--scale <quick|tiny|full>] [--jobs <n>] [--stats] [--json <path>]
-//!     [--chrome <path>]
+//!     [--chrome <path>] [--scheduler <calendar|heap>]
 //!
 //! experiments:
 //!   config   Table II   — the simulated platform configuration
@@ -42,6 +42,11 @@
 //! [`SimReport`]s; `--chrome <path>` (trace experiment only) writes the
 //! run's Chrome trace-event document, loadable in Perfetto or
 //! `chrome://tracing`.
+//!
+//! `--scheduler <calendar|heap>` selects the engine's event-queue
+//! implementation (default: calendar). Simulated timing and every byte of
+//! output are identical under both; the binary heap is retained as the
+//! reference implementation the equivalence tests compare against.
 //!
 //! `--inject <spec>` applies a deterministic fault-injection plan
 //! ([`osim_uarch::FaultPlan::parse`]) to every machine the invocation
@@ -92,6 +97,14 @@ fn main() {
             Ok(plan) => plan,
             Err(e) => {
                 eprintln!("--inject {spec}: {e}");
+                std::process::exit(2);
+            }
+        });
+    let scheduler =
+        take_value(&mut args, "--scheduler").map(|v| match osim_cpu::SchedulerKind::parse(&v) {
+            Some(kind) => kind,
+            None => {
+                eprintln!("--scheduler must be calendar or heap, got {v:?}");
                 std::process::exit(2);
             }
         });
@@ -158,6 +171,9 @@ fn main() {
         _ => Scale::quick(),
     };
     scale.inject = inject;
+    if let Some(kind) = scheduler {
+        scale.scheduler = kind;
+    }
 
     let mut reports: Vec<SimReport> = Vec::new();
     let mut chrome_doc: Option<Json> = None;
@@ -187,6 +203,7 @@ fn main() {
                 "usage: osim-experiments <config|fig6|fig7|fig8|fig9|fig10|gc|trace|all|perf> \
                  [--full|--tiny] [--scale <quick|tiny|full>] [--jobs <n>] [--reps <n>] \
                  [--stats] [--json <path>] [--chrome <path>] \
+                 [--scheduler <calendar|heap>] \
                  [--inject <spec>] [--baseline-ms <ms> [--baseline-ref <label>]]\n\
                  \n\
                  --inject <spec>: deterministic fault injection. <spec> is a preset\n\

@@ -44,6 +44,7 @@ pub fn run(scale: &Scale, out: &mut Vec<SimReport>) -> Json {
         }));
     }
     let phase = m.run_tasks(tasks).expect("no deadlock");
+    let engine = m.engine_stats();
     let st = m.state();
     let st = st.borrow();
     let records = st.trace.records();
@@ -68,6 +69,7 @@ pub fn run(scale: &Scale, out: &mut Vec<SimReport>) -> Json {
         st.cpu.clone(),
         st.ms.hier.stats.clone(),
         st.omgr.stats.clone(),
+        engine,
     );
     rep.trace = Some(TraceCounts {
         records: records.len() as u64,

@@ -48,6 +48,7 @@ fn run_to_json(plan: FaultPlan) -> String {
         r.cpu.clone(),
         r.mem.clone(),
         r.ostats.clone(),
+        r.engine,
     );
     report.validate().expect("report invariants hold");
     report.to_json().to_pretty()

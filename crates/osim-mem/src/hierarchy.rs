@@ -127,9 +127,13 @@ impl Hierarchy {
             cfg.cores <= 64,
             "the L1 presence directory packs sharers into a u64 core mask"
         );
-        let l1s = (0..cfg.cores).map(|_| Cache::new(cfg.l1)).collect();
+        let l1s: Vec<Cache> = (0..cfg.cores).map(|_| Cache::new(cfg.l1)).collect();
         let l2 = Cache::new(cfg.l2);
         let stats = MemStats::new(cfg.cores);
+        // The directories track lines resident in some L1, so their
+        // population is bounded by the total L1 line count. Pre-sizing to
+        // that bound keeps the hot demand-access path free of rehashes.
+        let l1_lines_total = cfg.cores * (cfg.l1.size_bytes / crate::LINE_BYTES) as usize;
         Hierarchy {
             cfg,
             l1s,
@@ -137,8 +141,8 @@ impl Hierarchy {
             stats,
             events: EventLog::disabled(),
             clock: 0,
-            data_dir: FxHashMap::default(),
-            comp_dir: FxHashMap::default(),
+            data_dir: FxHashMap::with_capacity_and_hasher(l1_lines_total, Default::default()),
+            comp_dir: FxHashMap::with_capacity_and_hasher(l1_lines_total, Default::default()),
         }
     }
 

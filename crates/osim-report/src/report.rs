@@ -1,7 +1,7 @@
 //! The unified run report: one simulation's configuration, workload
 //! scale, and the statistics snapshot of every layer, as one JSON value.
 
-use osim_cpu::{CoreStats, CpuStats, MachineCfg, StallCause};
+use osim_cpu::{CoreStats, CpuStats, EngineStats, MachineCfg, StallCause};
 use osim_mem::MemStats;
 use osim_uarch::OStats;
 
@@ -15,7 +15,12 @@ use crate::json::{obj, Json};
 /// (`refill_retries`, `recovered_allocations`, `injected_carve_failures`,
 /// `injected_jitter_cycles`, `injected_coherence_delay_cycles`,
 /// `forced_gc_attempts`, `pool_shrink_events`).
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: `engine` object (`events_dispatched`, `stale_events`) — the
+/// engine's dispatch-loop counters. These are scheduler-invariant (every
+/// [`osim_cpu::SchedulerKind`] pops the same event multiset in the same
+/// order), so they are safe to include in byte-compared reports.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Workload sizes of the run (mirrors the experiment harness's scale).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +99,8 @@ pub struct SimReport {
     pub mem: MemStats,
     /// O-structure manager statistics.
     pub ostats: OStats,
+    /// Engine dispatch-loop counters (scheduler-invariant).
+    pub engine: EngineStats,
     /// Trace-buffer occupancy, when tracing was enabled.
     pub trace: Option<TraceCounts>,
 }
@@ -112,6 +119,7 @@ impl SimReport {
         cpu: CpuStats,
         mem: MemStats,
         ostats: OStats,
+        engine: EngineStats,
     ) -> Self {
         SimReport {
             experiment: experiment.to_string(),
@@ -131,6 +139,7 @@ impl SimReport {
             cpu,
             mem,
             ostats,
+            engine,
             trace: None,
         }
     }
@@ -269,6 +278,13 @@ impl SimReport {
                 Json::from_u64(self.ostats.pool_shrink_events),
             ),
         ]);
+        let engine = obj(vec![
+            (
+                "events_dispatched",
+                Json::from_u64(self.engine.events_dispatched),
+            ),
+            ("stale_events", Json::from_u64(self.engine.stale_events)),
+        ]);
         let trace = match &self.trace {
             None => Json::Null,
             Some(t) => obj(vec![
@@ -322,6 +338,7 @@ impl SimReport {
             ("cpu", cpu),
             ("mem", mem),
             ("mvm", mvm),
+            ("engine", engine),
             ("trace", trace),
         ])
     }
@@ -337,6 +354,7 @@ impl SimReport {
         let cpu_v = v.get("cpu").ok_or("missing cpu")?;
         let mem_v = v.get("mem").ok_or("missing mem")?;
         let mvm_v = v.get("mvm").ok_or("missing mvm")?;
+        let engine_v = v.get("engine").ok_or("missing engine")?;
 
         let mut stall_by_cause = [0u64; 4];
         let causes = cpu_v
@@ -406,6 +424,10 @@ impl SimReport {
             forced_gc_attempts: req_u64(mvm_v, "forced_gc_attempts")?,
             pool_shrink_events: req_u64(mvm_v, "pool_shrink_events")?,
         };
+        let engine = EngineStats {
+            events_dispatched: req_u64(engine_v, "events_dispatched")?,
+            stale_events: req_u64(engine_v, "stale_events")?,
+        };
         let trace = match v.get("trace") {
             None | Some(Json::Null) => None,
             Some(t) => Some(TraceCounts {
@@ -447,6 +469,7 @@ impl SimReport {
             cpu,
             mem,
             ostats,
+            engine,
             trace,
         })
     }
@@ -524,6 +547,10 @@ mod tests {
             cpu,
             mem,
             ostats,
+            EngineStats {
+                events_dispatched: 4096,
+                stale_events: 3,
+            },
         );
         r.trace = Some(TraceCounts {
             records: 99,
@@ -553,6 +580,8 @@ mod tests {
         assert_eq!(back.cpu.per_core[1].stall_cycles, 500);
         assert_eq!(back.mem.l1_read_hits, vec![10, 20]);
         assert_eq!(back.ostats.stores, 12);
+        assert_eq!(back.engine.events_dispatched, 4096);
+        assert_eq!(back.engine.stale_events, 3);
         assert_eq!(back.trace, r.trace);
     }
 
@@ -587,7 +616,7 @@ mod tests {
 
     #[test]
     fn from_json_reports_missing_fields() {
-        let v = parse("{\"schema\": 2}").unwrap();
+        let v = parse("{\"schema\": 3}").unwrap();
         assert!(SimReport::from_json(&v).is_err());
     }
 }

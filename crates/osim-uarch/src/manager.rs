@@ -238,9 +238,11 @@ pub struct OManager {
     /// Physical address of the first free version block (0 = empty).
     free_head: u32,
     free_count: u32,
-    /// Compressed-line payloads, keyed by `(core, root_pa)`. The matching
-    /// L1 slot is tracked by the hierarchy; both are kept in sync.
-    compressed: FxHashMap<(usize, u32), CompressedLine>,
+    /// Compressed-line payloads, one map per core keyed by `root_pa`. The
+    /// matching L1 slot is tracked by the hierarchy; both are kept in sync.
+    /// Splitting per core keeps the hot-path key a bare `u32` and each
+    /// map small (bounded by that core's L1 compressed slots).
+    compressed: Vec<FxHashMap<u32, CompressedLine>>,
     /// Shadowed version blocks: `(root_pa, block_pa)`.
     shadowed: Vec<(u32, u32)>,
     /// With `sorted_insertion` off, roots whose list order has actually
@@ -287,19 +289,25 @@ impl OManager {
     /// Creates a manager and carves its initial free list out of fresh
     /// version-block pool pages.
     pub fn new(cfg: OManagerCfg, ms: &mut MemSys) -> Result<Self, Fault> {
+        // Every mirrored list node backs one version block, so the pool
+        // size bounds both host-side maps: pre-sizing moves all their
+        // rehashes out of the measured hot path.
+        let blocks = cfg.initial_free_blocks as usize;
         let mut mgr = OManager {
             cfg,
             free_head: 0,
             free_count: 0,
-            compressed: FxHashMap::default(),
+            compressed: (0..ms.hier.cfg().cores)
+                .map(|_| FxHashMap::default())
+                .collect(),
             shadowed: Vec::new(),
             unsorted_roots: FxHashSet::default(),
             gc_phase: None,
             active: BTreeSet::new(),
             max_id_seen: 0,
             coherence_lost: FxHashSet::default(),
-            lists: FxHashMap::default(),
-            index: FxHashMap::default(),
+            lists: FxHashMap::with_capacity_and_hasher(blocks, Default::default()),
+            index: FxHashMap::with_capacity_and_hasher(blocks, Default::default()),
             walk_lines: Vec::new(),
             pending_trap_cycles: 0,
             injector: cfg.fault_plan.map(Injector::new),
@@ -719,8 +727,9 @@ impl OManager {
         // Any compressed line that cached a reclaimed block is stale;
         // conservatively drop the whole line (GC phases are rare).
         if !reclaimed.is_empty() {
-            self.compressed
-                .retain(|_, line| !line_contains_any(line, &reclaimed));
+            for per_core in &mut self.compressed {
+                per_core.retain(|_, line| !line_contains_any(line, &reclaimed));
+            }
         }
         self.stats.gc_phases += 1;
         self.events.push(MvmEvent {
@@ -771,7 +780,7 @@ impl OManager {
     /// Removes payloads whose L1 slots were evicted or invalidated.
     fn prune(&mut self, dropped: &[(usize, u32)]) {
         for &(core, root_pa) in dropped {
-            self.compressed.remove(&(core, root_pa));
+            self.compressed[core].remove(&root_pa);
         }
     }
 
@@ -785,10 +794,10 @@ impl OManager {
     ) -> Option<&mut CompressedLine> {
         let slot_hit = ms.hier.compressed_probe(core, root_pa);
         if !slot_hit {
-            self.compressed.remove(&(core, root_pa));
+            self.compressed[core].remove(&root_pa);
             return None;
         }
-        self.compressed.get_mut(&(core, root_pa))
+        self.compressed[core].get_mut(&root_pa)
     }
 
     /// Installs/updates this core's compressed line with an entry, allocating
@@ -803,7 +812,7 @@ impl OManager {
     ) {
         let dropped = ms.hier.compressed_fill(core, root_pa);
         self.prune(&dropped);
-        let line = self.compressed.entry((core, root_pa)).or_default();
+        let line = self.compressed[core].entry(root_pa).or_default();
         if !line.insert(entry) {
             // The version does not fit this line's 2^14 window (stale base):
             // rebuild the line around the new version, as hardware would
@@ -955,7 +964,7 @@ impl OManager {
                     debug_assert!(blk.unlocked());
                     blk.locked_by = lock_as;
                     blk.write(&mut ms.phys);
-                    if let Some(line) = self.compressed.get_mut(&(core, root_pa)) {
+                    if let Some(line) = self.compressed[core].get_mut(&root_pa) {
                         if !line.set_lock(e.version, lock_as) {
                             line.remove(e.version);
                         }
@@ -1432,7 +1441,7 @@ impl OManager {
         blk.write(&mut ms.phys);
         latency += ms.hier.access(core, block_pa, AccessKind::Write).latency;
 
-        if let Some(line) = self.compressed.get_mut(&(core, root_pa)) {
+        if let Some(line) = self.compressed[core].get_mut(&root_pa) {
             let _ = line.set_lock(vl, 0);
         }
         self.compressed_coherence(ms, core, root_pa);
@@ -1497,7 +1506,7 @@ impl OManager {
         // for the root die with it.
         for core in 0..ms.hier.cfg().cores {
             ms.hier.compressed_drop(core, root_pa);
-            self.compressed.remove(&(core, root_pa));
+            self.compressed[core].remove(&root_pa);
         }
         self.coherence_lost.retain(|&(_, r)| r != root_pa);
         self.stats.reclaimed_blocks += freed as u64;

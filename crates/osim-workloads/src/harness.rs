@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use osim_cpu::{CpuStats, Machine};
+use osim_cpu::{CpuStats, EngineStats, Machine};
 use osim_mem::MemStats;
 use osim_uarch::OStats;
 
@@ -159,6 +159,9 @@ pub struct DsResult {
     pub mem: MemStats,
     /// O-structure manager statistics for the measured phase.
     pub ostats: OStats,
+    /// Engine dispatch-loop counters for the whole run (scheduler-invariant,
+    /// so safe to include in byte-compared reports).
+    pub engine: EngineStats,
     /// True when results and final contents matched the reference.
     pub ok: bool,
     /// Human-readable mismatch description (empty when `ok`).
@@ -182,6 +185,7 @@ pub fn collect(m: &Machine, cycles: u64, ok: bool, detail: String) -> DsResult {
         cpu: st.cpu.clone(),
         mem: st.ms.hier.stats.clone(),
         ostats: st.omgr.stats.clone(),
+        engine: m.engine_stats(),
         ok,
         detail,
     }
