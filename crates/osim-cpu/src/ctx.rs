@@ -4,10 +4,11 @@ use std::cell::{Cell, RefCell};
 use std::convert::Infallible;
 use std::rc::Rc;
 
-use osim_engine::{Cycle, Gate, SimHandle, WaitInfo, WakeFilter, WakeTag};
+use osim_engine::{Cycle, Gate, SimHandle, WaitInfo, Wake, WakeFilter, WakeOrigin};
 use osim_mem::{AccessKind, Fault};
 use osim_uarch::{BlockReason, OpOutcome, TaskId, Version};
 
+use crate::capture::DepEdge;
 use crate::error::TaskFault;
 use crate::machine::{MachineState, WakeupPolicy};
 use crate::stats::StallCause;
@@ -157,8 +158,8 @@ impl TaskCtx {
     pub async fn load_u32(&self, va: u32) -> u32 {
         let res = {
             let mut st = self.st.borrow_mut();
+            st.tick(self.h.now());
             let MachineState { ms, cpu, .. } = &mut *st;
-            ms.hier.set_clock(self.h.now());
             ms.pt.translate_conventional(va).map(|pa| {
                 let acc = ms.hier.access(self.core, pa, AccessKind::Read);
                 cpu.instructions += 1;
@@ -180,8 +181,8 @@ impl TaskCtx {
     pub async fn store_u32(&self, va: u32, val: u32) {
         let res = {
             let mut st = self.st.borrow_mut();
+            st.tick(self.h.now());
             let MachineState { ms, cpu, .. } = &mut *st;
-            ms.hier.set_clock(self.h.now());
             ms.pt.translate_conventional(va).map(|pa| {
                 let acc = ms.hier.access(self.core, pa, AccessKind::Write);
                 cpu.instructions += 1;
@@ -204,8 +205,8 @@ impl TaskCtx {
     pub async fn cas_u32(&self, va: u32, expected: u32, new: u32) -> u32 {
         let res = {
             let mut st = self.st.borrow_mut();
+            st.tick(self.h.now());
             let MachineState { ms, cpu, .. } = &mut *st;
-            ms.hier.set_clock(self.h.now());
             ms.pt.translate_conventional(va).map(|pa| {
                 let acc = ms.hier.access(self.core, pa, AccessKind::Write);
                 cpu.instructions += 1;
@@ -283,14 +284,20 @@ impl TaskCtx {
         // Holder of the contended version at the last blocked attempt
         // (0 = none), for deadlock blame reports.
         let mut blocked_holder: TaskId = 0;
+        // Dependency-flow capture across retries: when the op first
+        // blocked, total blocked cycles, and the wake that released the
+        // final (satisfying) retry.
+        let mut first_block_at: Option<Cycle> = None;
+        let mut total_waited: Cycle = 0;
+        let mut last_wake: Option<(Wake, Cycle)> = None;
         // Injected delivery delay of the invalidation behind a
         // coherence-attributed block (fault injection only).
         let mut coh_extra: u64 = 0;
         loop {
             let res = {
                 let mut st = self.st.borrow_mut();
+                st.tick(self.h.now());
                 let MachineState { ms, omgr, .. } = &mut *st;
-                ms.hier.set_clock(self.h.now());
                 let r = match (latest, lock) {
                     (false, false) => omgr.load_version(ms, self.core, va, v),
                     (true, false) => omgr.load_latest(ms, self.core, va, v),
@@ -338,11 +345,30 @@ impl TaskCtx {
                         );
                     }
                     self.h.sleep(latency).await;
-                    if last_stall.is_some() {
+                    if let Some(cause) = last_stall {
                         let mut st = self.st.borrow_mut();
                         st.cpu.versioned_loads_stalled += 1;
                         if root {
                             st.cpu.root_loads_stalled += 1;
+                        }
+                        // Record the producer→consumer edge for the wake
+                        // that satisfied this load (observation only; see
+                        // `capture` module docs).
+                        if let Some((wake, woken_at)) = last_wake {
+                            st.deps.push(DepEdge {
+                                va,
+                                awaited: v,
+                                resolved: version,
+                                cause,
+                                consumer_tid: self.tid,
+                                consumer_core: self.core as u32,
+                                producer_tid: (wake.origin.label >> 32) as u32,
+                                producer_core: wake.origin.label as u32,
+                                produced_at: wake.origin.at,
+                                blocked_at: first_block_at.unwrap_or(woken_at),
+                                woken_at,
+                                waited: total_waited,
+                            });
                         }
                     }
                     let kind = if lock {
@@ -417,18 +443,21 @@ impl TaskCtx {
                         }
                     };
                     self.h.sleep(latency + coh_extra).await;
-                    let woken_by: WakeTag = ticket.await;
+                    let woken = ticket.await;
                     self.h.clear_wait_info();
                     if osim_trace() {
                         eprintln!(
                             "[{}] task {} woken by {} on va={va:#x}",
                             self.h.now(),
                             self.tid,
-                            wake::name(woken_by)
+                            wake::name(woken.tag)
                         );
                     }
+                    first_block_at.get_or_insert(stall_start);
+                    last_wake = Some((woken, self.h.now()));
                     let mut st = self.st.borrow_mut();
                     let waited = self.h.now() - stall_start;
+                    total_waited += waited;
                     st.cpu.charge_stall(self.core, cause, waited);
                 }
             }
@@ -442,8 +471,8 @@ impl TaskCtx {
             let mut st = self.st.borrow_mut();
             st.cpu.versioned_ops += 1;
             st.cpu.core_mut(self.core).versioned_ops += 1;
+            st.tick(self.h.now());
             let MachineState { ms, omgr, cpu, .. } = &mut *st;
-            ms.hier.set_clock(self.h.now());
             omgr.store_version(ms, self.core, va, v, val).map(|out| {
                 // Any OS refill-trap cycles inside that latency are stall
                 // time attributable to the free-list/GC machinery.
@@ -462,12 +491,14 @@ impl TaskCtx {
         let stall = (trap > 0).then_some(StallCause::FreeListGc);
         self.trace(OpKind::VersionedStore, va, v, self.h.now() - latency, stall);
         let wakeup = self.st.borrow().wakeup;
+        let origin = self.wake_origin();
         match wakeup {
-            WakeupPolicy::Broadcast => self.gate_for(va).open_tagged(wake::STORE),
+            WakeupPolicy::Broadcast => self.gate_for(va).open_tagged_from(wake::STORE, origin),
             // A store publishes exactly one version.
-            WakeupPolicy::Targeted => self
-                .gate_for(va)
-                .open_targeted(wake::STORE, &[u64::from(v)]),
+            WakeupPolicy::Targeted => {
+                self.gate_for(va)
+                    .open_targeted_from(wake::STORE, &[u64::from(v)], origin)
+            }
         }
     }
 
@@ -486,8 +517,8 @@ impl TaskCtx {
             let mut st = self.st.borrow_mut();
             st.cpu.versioned_ops += 1;
             st.cpu.core_mut(self.core).versioned_ops += 1;
+            st.tick(self.h.now());
             let MachineState { ms, omgr, cpu, .. } = &mut *st;
-            ms.hier.set_clock(self.h.now());
             omgr.unlock_version(ms, self.core, va, vl, self.tid, create)
                 .map(|out| {
                     // A rename (`create`) allocates a version block and may
@@ -507,15 +538,17 @@ impl TaskCtx {
         let stall = (trap > 0).then_some(StallCause::FreeListGc);
         self.trace(OpKind::Unlock, va, vl, self.h.now() - latency, stall);
         let wakeup = self.st.borrow().wakeup;
+        let origin = self.wake_origin();
         match wakeup {
-            WakeupPolicy::Broadcast => self.gate_for(va).open_tagged(wake::UNLOCK),
+            WakeupPolicy::Broadcast => self.gate_for(va).open_tagged_from(wake::UNLOCK, origin),
             // An unlock makes the locked version readable, and a rename
             // additionally publishes the created version; one open carrying
             // both keeps matching waiters waking in park order (two separate
             // opens would reorder them relative to a broadcast).
             WakeupPolicy::Targeted => {
                 let payloads = [u64::from(vl), u64::from(create.unwrap_or(vl))];
-                self.gate_for(va).open_targeted(wake::UNLOCK, &payloads)
+                self.gate_for(va)
+                    .open_targeted_from(wake::UNLOCK, &payloads, origin)
             }
         }
     }
@@ -534,8 +567,8 @@ impl TaskCtx {
     pub async fn release_structure(&self, va: u32) -> u32 {
         let res = {
             let mut st = self.st.borrow_mut();
+            st.tick(self.h.now());
             let MachineState { ms, omgr, .. } = &mut *st;
-            ms.hier.set_clock(self.h.now());
             let r = omgr.release_structure(ms, va);
             if r.is_ok() {
                 // A release is only legal at quiescent points, so the gate
@@ -567,8 +600,8 @@ impl TaskCtx {
     /// `TASK-END`: reports completion; may finalize a GC phase.
     pub fn task_end(&self) {
         let mut st = self.st.borrow_mut();
+        st.tick(self.h.now());
         let MachineState { ms, omgr, cpu, .. } = &mut *st;
-        ms.hier.set_clock(self.h.now());
         omgr.task_end(ms, self.tid);
         cpu.tasks_run += 1;
         cpu.core_mut(self.core).tasks_run += 1;
@@ -636,6 +669,16 @@ impl TaskCtx {
                 end: self.h.now(),
                 stall,
             });
+        }
+    }
+
+    /// Producer identity stamped on wake-ups this task publishes: the
+    /// task/core pair packed into the origin label (task ids start at 1,
+    /// so a real producer's label is never 0 = unattributed).
+    fn wake_origin(&self) -> WakeOrigin {
+        WakeOrigin {
+            label: (u64::from(self.tid) << 32) | self.core as u64,
+            at: self.h.now(),
         }
     }
 

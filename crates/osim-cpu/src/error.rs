@@ -20,6 +20,8 @@ use std::collections::HashMap;
 use osim_engine::{BlockedTask, Cycle, TaskId as EngineTaskId};
 use osim_mem::Fault;
 
+use crate::capture::DepEdge;
+
 /// An architectural fault annotated with the issuing task's coordinates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TaskFault {
@@ -98,6 +100,10 @@ pub struct BlameEntry {
     pub since: Option<Cycle>,
     /// Wait-for-graph classification.
     pub class: WaitClass,
+    /// Task and cycle of the last captured producer (store/unlock) on this
+    /// entry's structure, when dependency-flow capture was armed — names
+    /// the missing producer a `never-produced` waiter starved behind.
+    pub last_producer: Option<(u64, Cycle)>,
 }
 
 impl std::fmt::Display for BlameEntry {
@@ -117,6 +123,9 @@ impl std::fmt::Display for BlameEntry {
         }
         if let Some(at) = self.since {
             write!(f, " since cycle {at}")?;
+        }
+        if let Some((tid, at)) = self.last_producer {
+            write!(f, " (last producer: task {tid} at cycle {at})")?;
         }
         write!(f, " [{}]", self.class.name())
     }
@@ -154,6 +163,7 @@ impl DeadlockReport {
                 holder: b.info.as_ref().and_then(|w| w.holder),
                 since: b.since,
                 class: classify(&blocked, &by_label, b),
+                last_producer: None,
             })
             .collect();
         DeadlockReport { now, entries }
@@ -162,6 +172,22 @@ impl DeadlockReport {
     /// Entries of a given class.
     pub fn of_class(&self, class: WaitClass) -> impl Iterator<Item = &BlameEntry> {
         self.entries.iter().filter(move |e| e.class == class)
+    }
+
+    /// Links each blamed waiter to the last captured producer on its
+    /// structure (when dependency-flow capture was armed): for a
+    /// `never-produced` wait this names who *last* advanced the structure —
+    /// the task downstream of which the producer chain broke. A no-op when
+    /// no edges were captured.
+    pub fn link_producers(&mut self, deps: &[DepEdge]) {
+        for e in &mut self.entries {
+            let Some(va) = e.va else { continue };
+            e.last_producer = deps
+                .iter()
+                .filter(|d| d.attributed() && u64::from(d.va) == va)
+                .max_by_key(|d| d.produced_at)
+                .map(|d| (u64::from(d.producer_tid), d.produced_at));
+        }
     }
 }
 
@@ -337,6 +363,36 @@ mod tests {
     fn gone_holder_is_abandoned_lock() {
         let r = DeadlockReport::build(0, vec![blocked(0, 1, 3, Some(99))]);
         assert_eq!(r.entries[0].class, WaitClass::AbandonedLock);
+    }
+
+    #[test]
+    fn blamed_waiter_names_its_missing_producer() {
+        // Task 1 waits forever at va 0x1001 for version 7; the capture ring
+        // saw task 3 store version 6 there at cycle 40 — the report should
+        // name task 3 as the last producer the waiter starved behind.
+        let mut r = DeadlockReport::build(99, vec![blocked(0, 1, 7, None)]);
+        let edge = |va: u32, producer_tid: u32, produced_at: Cycle| DepEdge {
+            va,
+            awaited: 6,
+            resolved: 6,
+            cause: crate::stats::StallCause::MissingVersion,
+            consumer_tid: 2,
+            consumer_core: 0,
+            producer_tid,
+            producer_core: 1,
+            produced_at,
+            blocked_at: produced_at.saturating_sub(10),
+            woken_at: produced_at + 1,
+            waited: 11,
+        };
+        r.link_producers(&[
+            edge(0x1001, 3, 20),
+            edge(0x1001, 3, 40),
+            edge(0x2000, 5, 80), // different structure: ignored
+        ]);
+        assert_eq!(r.entries[0].last_producer, Some((3, 40)));
+        let msg = r.to_string();
+        assert!(msg.contains("last producer: task 3 at cycle 40"), "{msg}");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! cycle counts play the role of the paper's gem5 measurements.
 
 pub mod alloc;
+pub mod capture;
 pub mod ctx;
 pub mod error;
 pub mod machine;
@@ -31,6 +32,7 @@ pub mod rwlock;
 pub mod stats;
 pub mod trace;
 
+pub use capture::{CaptureCfg, DepEdge, Sample};
 pub use ctx::{wake, TaskCtx};
 pub use error::{BlameEntry, DeadlockReport, SimError, TaskFault, WaitClass, WatchdogReport};
 pub use machine::{Machine, MachineCfg, MachineState, PhaseReport, WakeupPolicy};

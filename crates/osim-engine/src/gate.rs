@@ -17,6 +17,31 @@ pub type WakeTag = u32;
 /// Tag used by the untagged [`Gate::open`] / [`Gate::open_at`].
 pub const WAKE_GENERIC: WakeTag = 0;
 
+/// Who caused a wake-up, as reported by the opener.
+///
+/// The engine treats the origin as an opaque payload delivered verbatim to
+/// every waiter the open releases: `label` identifies the producing actor
+/// in whatever encoding the upper layer chooses (the cpu crate packs
+/// `tid << 32 | core`), and `at` is the cycle the producing event
+/// completed. The default origin (`label == 0`) means "unattributed" —
+/// exactly what the plain `open*` family delivers — so dependency-edge
+/// capture can distinguish attributed wake-ups without a side channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WakeOrigin {
+    /// Opener-defined producer identity; 0 = unattributed.
+    pub label: u64,
+    /// Cycle at which the producing event completed.
+    pub at: Cycle,
+}
+
+/// What a resolved [`Wait`] yields: the tag of the open that released the
+/// waiter plus the opener-reported [`WakeOrigin`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wake {
+    pub tag: WakeTag,
+    pub origin: WakeOrigin,
+}
+
 /// What a parked waiter is prepared to be woken by, evaluated against the
 /// payload words an [`Gate::open_targeted`] carries.
 ///
@@ -67,8 +92,8 @@ enum SlotState {
     Free { next_free: u32 },
     /// A parked task and what it is prepared to be woken by.
     Parked { task: TaskId, filter: WakeFilter },
-    /// Woken with this tag; the owning [`Wait`] collects it at next poll.
-    Woken { tag: WakeTag },
+    /// Woken; the owning [`Wait`] collects the payload at next poll.
+    Woken { wake: Wake },
 }
 
 struct Slot {
@@ -127,12 +152,12 @@ impl WaiterArena {
     /// Marks a parked slot woken and returns its task. Callers pass only
     /// keys they just took from the park-order queue, which holds exactly
     /// the currently-parked waiters.
-    fn wake(&mut self, key: WaiterKey, tag: WakeTag) -> TaskId {
+    fn wake(&mut self, key: WaiterKey, wake: Wake) -> TaskId {
         let slot = &mut self.slots[key.idx as usize];
         debug_assert_eq!(slot.gen, key.gen, "queue entry went stale");
         match slot.state {
             SlotState::Parked { task, .. } => {
-                slot.state = SlotState::Woken { tag };
+                slot.state = SlotState::Woken { wake };
                 task
             }
             _ => unreachable!("queued waiter is not parked"),
@@ -231,8 +256,14 @@ impl Gate {
     /// its `Wait` future — how wake-ups tell blocked tasks *what* happened
     /// (a store vs. an unlock, say) without re-reading shared state.
     pub fn open_tagged(&self, tag: WakeTag) {
+        self.open_tagged_from(tag, WakeOrigin::default());
+    }
+
+    /// [`Gate::open_tagged`] carrying a [`WakeOrigin`] identifying the
+    /// producing actor, so waiters can record *who* released them.
+    pub fn open_tagged_from(&self, tag: WakeTag, origin: WakeOrigin) {
         let now = self.engine.borrow().now();
-        self.open_at_tagged(now, tag);
+        self.open_at_tagged_from(now, tag, origin);
     }
 
     /// Wakes every task currently parked on this gate at cycle `at`
@@ -243,13 +274,19 @@ impl Gate {
 
     /// [`Gate::open_at`] with a wake tag.
     pub fn open_at_tagged(&self, at: Cycle, tag: WakeTag) {
+        self.open_at_tagged_from(at, tag, WakeOrigin::default());
+    }
+
+    /// [`Gate::open_at_tagged`] with a [`WakeOrigin`].
+    pub fn open_at_tagged_from(&self, at: Cycle, tag: WakeTag, origin: WakeOrigin) {
         let st = &mut *self.state.borrow_mut();
         if st.queue.is_empty() {
             return;
         }
+        let wake = Wake { tag, origin };
         let mut engine = self.engine.borrow_mut();
         for key in st.queue.drain(..) {
-            let task = st.arena.wake(key, tag);
+            let task = st.arena.wake(key, wake);
             engine.schedule(at, task);
         }
     }
@@ -265,16 +302,33 @@ impl Gate {
     /// round trips. A waiter registered without a filter
     /// ([`WakeFilter::Any`]) always wakes.
     pub fn open_targeted(&self, tag: WakeTag, payloads: &[u64]) {
+        self.open_targeted_from(tag, payloads, WakeOrigin::default());
+    }
+
+    /// [`Gate::open_targeted`] with a [`WakeOrigin`].
+    pub fn open_targeted_from(&self, tag: WakeTag, payloads: &[u64], origin: WakeOrigin) {
         let now = self.engine.borrow().now();
-        self.open_targeted_at(now, tag, payloads);
+        self.open_targeted_at_from(now, tag, payloads, origin);
     }
 
     /// [`Gate::open_targeted`] at cycle `at` (clamped to the present).
     pub fn open_targeted_at(&self, at: Cycle, tag: WakeTag, payloads: &[u64]) {
+        self.open_targeted_at_from(at, tag, payloads, WakeOrigin::default());
+    }
+
+    /// [`Gate::open_targeted_at`] with a [`WakeOrigin`].
+    pub fn open_targeted_at_from(
+        &self,
+        at: Cycle,
+        tag: WakeTag,
+        payloads: &[u64],
+        origin: WakeOrigin,
+    ) {
         let st = &mut *self.state.borrow_mut();
         if st.queue.is_empty() {
             return;
         }
+        let wake = Wake { tag, origin };
         let mut engine = self.engine.borrow_mut();
         let arena = &mut st.arena;
         st.queue.retain(|&key| {
@@ -285,7 +339,7 @@ impl Gate {
             if !matches {
                 return true;
             }
-            let task = arena.wake(key, tag);
+            let task = arena.wake(key, wake);
             engine.schedule(at, task);
             false
         });
@@ -298,7 +352,7 @@ impl Gate {
 }
 
 /// Future returned by [`Gate::wait`] / [`Gate::ticket`]; resolves to the
-/// [`WakeTag`] of the `open` that released it.
+/// [`Wake`] (tag plus origin) of the `open` that released it.
 pub struct Wait {
     gate: Gate,
     key: Option<WaiterKey>,
@@ -306,20 +360,20 @@ pub struct Wait {
 }
 
 impl Future for Wait {
-    type Output = WakeTag;
+    type Output = Wake;
 
-    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<WakeTag> {
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Wake> {
         let this = self.get_mut();
         match this.key {
             Some(key) => {
                 let mut st = this.gate.state.borrow_mut();
                 match st.arena.state(key) {
-                    Some(&SlotState::Woken { tag }) => {
+                    Some(&SlotState::Woken { wake }) => {
                         st.arena.release(key);
                         // The slot is recycled; forget the key so Drop
                         // cannot release a future occupant.
                         this.key = None;
-                        Poll::Ready(tag)
+                        Poll::Ready(wake)
                     }
                     Some(SlotState::Parked { .. }) => Poll::Pending,
                     _ => unreachable!("waiter slot recycled while the Wait was live"),
@@ -476,8 +530,8 @@ mod tests {
             let gate = gate.clone();
             let tags = Rc::clone(&tags);
             sim.spawn(async move {
-                let tag = gate.wait().await;
-                tags.borrow_mut().push(tag);
+                let wake = gate.wait().await;
+                tags.borrow_mut().push(wake.tag);
             });
         }
         {
@@ -503,7 +557,9 @@ mod tests {
         {
             let gate = gate.clone();
             sim.spawn(async move {
-                assert_eq!(gate.wait().await, crate::WAKE_GENERIC);
+                let wake = gate.wait().await;
+                assert_eq!(wake.tag, crate::WAKE_GENERIC);
+                assert_eq!(wake.origin, WakeOrigin::default());
             });
         }
         {
@@ -515,6 +571,44 @@ mod tests {
             });
         }
         assert!(sim.run().is_ok());
+    }
+
+    #[test]
+    fn wake_origins_reach_waiters() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let gate = h.gate();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        for filter in [WakeFilter::Any, WakeFilter::Exact(9)] {
+            let gate = gate.clone();
+            let got = Rc::clone(&got);
+            sim.spawn(async move {
+                let wake = gate.ticket_filtered(filter).await;
+                got.borrow_mut().push(wake);
+            });
+        }
+        {
+            let gate = gate.clone();
+            let h = h.clone();
+            sim.spawn(async move {
+                h.sleep(4).await;
+                let origin = WakeOrigin {
+                    label: 0xabcd,
+                    at: 3,
+                };
+                // Targeted open reaches both (Any + the matching Exact).
+                gate.open_targeted_from(5, &[9], origin);
+            });
+        }
+        assert!(sim.run().is_ok());
+        let expect = Wake {
+            tag: 5,
+            origin: WakeOrigin {
+                label: 0xabcd,
+                at: 3,
+            },
+        };
+        assert_eq!(*got.borrow(), vec![expect, expect]);
     }
 
     #[test]

@@ -34,5 +34,5 @@ mod time;
 pub use executor::{
     BlockedTask, EngineStats, RunError, SchedulerKind, Sim, SimHandle, TaskId, WaitInfo,
 };
-pub use gate::{Gate, WakeFilter, WakeTag, WAKE_GENERIC};
+pub use gate::{Gate, Wake, WakeFilter, WakeOrigin, WakeTag, WAKE_GENERIC};
 pub use time::Cycle;

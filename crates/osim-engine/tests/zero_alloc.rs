@@ -1,6 +1,7 @@
 //! Proof of the PR's zero-allocation claim: once warm, steady-state gate
 //! `wait()`/`open_at()` traffic and event dispatch perform no heap
-//! allocations under either scheduler.
+//! allocations under either scheduler — including with dependency-flow
+//! capture armed, i.e. every open carrying a tagged [`WakeOrigin`].
 //!
 //! A counting `#[global_allocator]` is armed from inside the simulation
 //! after a warm-up window (slab slots claimed, wheel buckets and queues at
@@ -11,7 +12,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use osim_engine::{SchedulerKind, Sim};
+use osim_engine::{SchedulerKind, Sim, WakeOrigin};
 
 struct CountingAlloc;
 
@@ -80,7 +81,14 @@ fn steady_state_gate_and_dispatch_are_allocation_free() {
                     if round == DISARM_AT {
                         ARMED.store(false, Ordering::SeqCst);
                     }
-                    gate.open_at(h.now() + 1);
+                    // Attach a wake origin (the dependency-capture path):
+                    // origin propagation must be as allocation-free as the
+                    // plain open.
+                    let origin = WakeOrigin {
+                        label: (round << 32) | 1,
+                        at: h.now(),
+                    };
+                    gate.open_at_tagged_from(h.now() + 1, 1, origin);
                     h.sleep(1).await;
                 }
             });

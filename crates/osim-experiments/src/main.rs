@@ -15,6 +15,9 @@
 //!   fig10    Figure 10  — injected versioned-op latency (2..10 cycles)
 //!   gc       §IV-F      — garbage collection and version-sorting overhead
 //!   trace               — per-operation latency/stall breakdown (tracer demo)
+//!   analyze             — causal analysis: dependency critical path and top
+//!                         contenders of a figure workload (`--fig <6|7|9|10>`,
+//!                         default 7; `--sample-every <cycles>` telemetry epoch)
 //!   all      everything above
 //!   perf                — host-speed benchmark; writes BENCH_sweep.json
 //! ```
@@ -61,6 +64,7 @@ use std::fs;
 use osim_report::json::Json;
 use osim_report::SimReport;
 
+mod analyze;
 mod common;
 #[cfg(test)]
 mod equivalence_tests;
@@ -137,6 +141,26 @@ fn main() {
                 .unwrap_or_else(|| "baseline".to_string()),
         )
     });
+    let fig = match take_value(&mut args, "--fig") {
+        Some(v) => match v.parse::<u32>() {
+            Ok(n @ (6 | 7 | 9 | 10)) => n,
+            _ => {
+                eprintln!("--fig must be 6, 7, 9 or 10, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+        None => 7,
+    };
+    let sample_every = match take_value(&mut args, "--sample-every") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => n,
+            _ => {
+                eprintln!("--sample-every requires a cycle count, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+        None => 2048,
+    };
     let reps = match take_value(&mut args, "--reps") {
         Some(v) => match v.parse::<usize>() {
             Ok(n) if n >= 1 => n,
@@ -187,6 +211,7 @@ fn main() {
         "fig10" => fig10::run(&scale, jobs, &mut reports),
         "gc" => gc::run(&scale, jobs, &mut reports),
         "trace" => chrome_doc = Some(trace_cmd::run(&scale, &mut reports)),
+        "analyze" => analyze::run(&scale, fig, sample_every, jobs, &mut reports),
         "perf" => perf::run(&scale, scale_name, jobs, reps, baseline, "BENCH_sweep.json"),
         "all" => {
             common::print_config();
@@ -200,11 +225,16 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: osim-experiments <config|fig6|fig7|fig8|fig9|fig10|gc|trace|all|perf> \
+                "usage: osim-experiments <config|fig6|fig7|fig8|fig9|fig10|gc|trace|analyze|all|perf> \
                  [--full|--tiny] [--scale <quick|tiny|full>] [--jobs <n>] [--reps <n>] \
                  [--stats] [--json <path>] [--chrome <path>] \
                  [--scheduler <calendar|heap>] \
+                 [--fig <6|7|9|10>] [--sample-every <cycles>] \
                  [--inject <spec>] [--baseline-ms <ms> [--baseline-ref <label>]]\n\
+                 \n\
+                 analyze: runs the chosen figure's workload with dependency-flow\n\
+                 capture and interval telemetry armed, then prints the critical\n\
+                 path, its stall-cause split, and the top contended structures.\n\
                  \n\
                  --inject <spec>: deterministic fault injection. <spec> is a preset\n\
                  (pool-pressure, pool-exhaustion, latency-jitter, coherence-delay,\n\

@@ -8,7 +8,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use osim_cpu::{task, Machine, MachineCfg};
+use osim_cpu::{task, CaptureCfg, Machine, MachineCfg};
 use osim_report::json::Json;
 use osim_report::{chrome_trace, SimReport, TraceCounts};
 
@@ -18,6 +18,9 @@ pub fn run(scale: &Scale, out: &mut Vec<SimReport>) -> Json {
     println!("## Execution trace — producer/consumer chain + pipelined list segment\n");
     let mut mcfg = MachineCfg::paper(4);
     mcfg.omgr.fault_plan = scale.inject;
+    // Arm causal capture too: flows/counters in the Chrome export, ring
+    // occupancy in the report. Observation only — timing is unchanged.
+    mcfg.capture = CaptureCfg::armed(1 << 14, 256, 1 << 12);
     let mut m = Machine::new(mcfg.clone());
     m.enable_trace(1 << 20);
     let root = {
@@ -78,8 +81,20 @@ pub fn run(scale: &Scale, out: &mut Vec<SimReport>) -> Json {
         mem_dropped: st.ms.hier.events.dropped,
         mvm_events: mvm_events.len() as u64,
         mvm_dropped: st.omgr.events.dropped,
+        pt_walks: st.ms.pt.walk_event_len() as u64,
+        pt_dropped: st.ms.pt.walk_dropped(),
+        dep_edges: st.deps.len() as u64,
+        dep_dropped: st.deps.dropped,
+        samples: st.timeseries.len() as u64,
+        samples_dropped: st.timeseries.dropped,
     });
     out.push(rep);
 
-    chrome_trace(&records, &mem_events, &mvm_events)
+    chrome_trace(
+        &records,
+        &mem_events,
+        &mvm_events,
+        &st.deps.records(),
+        &st.timeseries.records(),
+    )
 }

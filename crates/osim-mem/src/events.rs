@@ -25,6 +25,19 @@ pub struct EventLog<T> {
     pub dropped: u64,
 }
 
+impl<T> Default for EventLog<T> {
+    /// Same as [`EventLog::disabled`]: records nothing.
+    fn default() -> Self {
+        EventLog {
+            enabled: false,
+            capacity: 0,
+            records: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+}
+
 impl<T: Clone> EventLog<T> {
     /// A log that records nothing.
     pub fn disabled() -> Self {
@@ -115,6 +128,12 @@ pub enum MemEventKind {
     /// A compressed O-structure line was discarded on this core by another
     /// core's mutation of the same structure.
     CompressedCoherenceDrop,
+    /// An L2 fill evicted a resident line (`pa` is the victim's tag; the
+    /// victim is also back-invalidated from every L1).
+    L2Evict {
+        /// Victim was in MESI Modified (write-back to DRAM implied).
+        dirty: bool,
+    },
 }
 
 impl MemEvent {
@@ -128,6 +147,13 @@ impl MemEvent {
                 Level::Dram => "access_dram",
             },
             MemEventKind::CompressedCoherenceDrop => "coherence_drop",
+            MemEventKind::L2Evict { dirty } => {
+                if dirty {
+                    "l2_evict_dirty"
+                } else {
+                    "l2_evict"
+                }
+            }
         }
     }
 }

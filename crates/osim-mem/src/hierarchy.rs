@@ -285,7 +285,9 @@ impl Hierarchy {
             // latencies are comparable, so we charge the L2 hit latency.
             self.stats.remote_forwards += 1;
             // Write the dirty data back into the L2 (stays inclusive).
-            self.l2.fill(line, LineKind::Data, Mesi::Modified);
+            if let Some(victim) = self.l2.fill(line, LineKind::Data, Mesi::Modified) {
+                self.push_l2_evict(core, &victim);
+            }
             if is_write {
                 self.l1s[owner].invalidate(line, LineKind::Data);
                 self.dir_remove_data(owner, line);
@@ -304,6 +306,7 @@ impl Hierarchy {
             // DRAM fill; allocate in L2 (inclusive).
             self.stats.l2_misses += 1;
             if let Some(victim) = self.l2.fill(line, LineKind::Data, Mesi::Exclusive) {
+                self.push_l2_evict(core, &victim);
                 self.back_invalidate(victim.tag, &mut dropped);
             }
             (Level::Dram, self.cfg.dram_latency)
@@ -384,6 +387,18 @@ impl Hierarchy {
         }
         self.dir_add_data(core, line, state);
         dropped
+    }
+
+    /// Records an L2 fill victim (observation only; never changes timing).
+    fn push_l2_evict(&mut self, core: usize, victim: &crate::cache::Line) {
+        self.events.push(MemEvent {
+            cycle: self.clock,
+            core,
+            pa: victim.tag,
+            kind: MemEventKind::L2Evict {
+                dirty: victim.state == Mesi::Modified,
+            },
+        });
     }
 
     /// Invalidates every remote L1 copy of `line` (write upgrade / RFO).

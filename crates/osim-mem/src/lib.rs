@@ -39,7 +39,7 @@ pub use fault::Fault;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use hierarchy::{AccessKind, AccessResult, Hierarchy, HierarchyCfg, Level};
 pub use inject::{FaultPlan, Injector, PoolShrink};
-pub use page::{PageFlags, PageTable, PAGE_SIZE};
+pub use page::{PageFlags, PageTable, WalkEvent, PAGE_SIZE};
 pub use phys::PhysMem;
 pub use stats::MemStats;
 

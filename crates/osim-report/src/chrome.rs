@@ -8,14 +8,22 @@
 //! * **pid 1 "tasks"** — one track per task with its lifetime span (first
 //!   to last traced operation);
 //! * **pid 2 "version manager"** — GC phases as duration events plus
-//!   free-list instants (carves, refill traps, watermark crossings).
+//!   free-list instants (carves, refill traps, watermark crossings);
+//! * **pid 3 "telemetry"** — counter (`ph: "C"`) tracks from the interval
+//!   sampler (instructions, stalls by cause, free blocks, cache hits),
+//!   plus cumulative per-core stalled-cycle counters on the core tracks;
+//! * dependency-flow edges as flow (`ph: "s"`/`"f"`) arrows from the
+//!   producing core's track to the woken consumer's.
 //!
 //! Timestamps are simulated cycles written into the `ts`/`dur` fields
 //! directly; `displayTimeUnit` is set so viewers render them compactly.
+//! Every event name passes through [`clean_name`], which clips overlong
+//! names and replaces non-printable characters — viewers choke on raw
+//! control bytes, and names here can embed formatted addresses.
 
 use std::collections::BTreeMap;
 
-use osim_cpu::TraceRecord;
+use osim_cpu::{DepEdge, Sample, TraceRecord};
 use osim_mem::{MemEvent, MemEventKind};
 use osim_uarch::{MvmEvent, MvmEventKind};
 
@@ -24,16 +32,44 @@ use crate::json::{obj, Json};
 const PID_CORES: u64 = 0;
 const PID_TASKS: u64 = 1;
 const PID_MVM: u64 = 2;
+const PID_TELEMETRY: u64 = 3;
 
-/// Builds the full Chrome trace-event document from the three capture
-/// streams of one traced run.
-pub fn chrome_trace(ops: &[TraceRecord], mem: &[MemEvent], mvm: &[MvmEvent]) -> Json {
+/// Longest event name emitted (viewers render, but truncate, long names;
+/// a runaway formatted name would bloat the file for no display benefit).
+const NAME_MAX: usize = 64;
+
+/// Defensive name sanitizer: replaces non-printable characters (which
+/// break some trace viewers' JSON handling) and clips to [`NAME_MAX`].
+fn clean_name(raw: &str) -> String {
+    raw.chars()
+        .take(NAME_MAX)
+        .map(|c| {
+            if c.is_control() || c == '"' || c == '\\' {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+/// Builds the full Chrome trace-event document from the capture streams
+/// of one traced run. `deps` and `samples` come from the causal-capture
+/// rings and may be empty (capture off).
+pub fn chrome_trace(
+    ops: &[TraceRecord],
+    mem: &[MemEvent],
+    mvm: &[MvmEvent],
+    deps: &[DepEdge],
+    samples: &[Sample],
+) -> Json {
     let mut events: Vec<Json> = Vec::new();
 
     for (pid, name) in [
         (PID_CORES, "cores"),
         (PID_TASKS, "tasks"),
         (PID_MVM, "version manager"),
+        (PID_TELEMETRY, "telemetry"),
     ] {
         events.push(obj(vec![
             ("name", Json::Str("process_name".into())),
@@ -55,7 +91,7 @@ pub fn chrome_trace(ops: &[TraceRecord], mem: &[MemEvent], mvm: &[MvmEvent]) -> 
             args.push(("stall_cause", Json::Str(cause.name().into())));
         }
         events.push(obj(vec![
-            ("name", Json::Str(r.kind.name().into())),
+            ("name", Json::Str(clean_name(r.kind.name()))),
             ("ph", Json::Str("X".into())),
             ("ts", Json::from_u64(r.start)),
             ("dur", Json::from_u64(r.end - r.start)),
@@ -63,6 +99,27 @@ pub fn chrome_trace(ops: &[TraceRecord], mem: &[MemEvent], mvm: &[MvmEvent]) -> 
             ("tid", Json::from_u64(r.core as u64)),
             ("args", obj(args)),
         ]));
+    }
+
+    // Cumulative per-core stalled-op cycles as counter tracks (one series
+    // per core, fed by the already-collected per-op stall attribution).
+    let mut stalled_cum: BTreeMap<usize, u64> = BTreeMap::new();
+    for r in ops {
+        if r.stall.is_some() {
+            let cum = stalled_cum.entry(r.core).or_insert(0);
+            *cum += r.end - r.start;
+            events.push(obj(vec![
+                (
+                    "name",
+                    Json::Str(clean_name(&format!("core {} stalled cycles", r.core))),
+                ),
+                ("ph", Json::Str("C".into())),
+                ("ts", Json::from_u64(r.end)),
+                ("pid", Json::from_u64(PID_CORES)),
+                ("tid", Json::from_u64(r.core as u64)),
+                ("args", obj(vec![("value", Json::from_u64(*cum))])),
+            ]));
+        }
     }
 
     // Per-task lifetime spans (first traced op to last).
@@ -74,7 +131,7 @@ pub fn chrome_trace(ops: &[TraceRecord], mem: &[MemEvent], mvm: &[MvmEvent]) -> 
     }
     for (tid, (start, end, core)) in spans {
         events.push(obj(vec![
-            ("name", Json::Str(format!("task {tid}"))),
+            ("name", Json::Str(clean_name(&format!("task {tid}")))),
             ("ph", Json::Str("X".into())),
             ("ts", Json::from_u64(start)),
             ("dur", Json::from_u64(end - start)),
@@ -91,7 +148,7 @@ pub fn chrome_trace(ops: &[TraceRecord], mem: &[MemEvent], mvm: &[MvmEvent]) -> 
             args.push(("latency", Json::from_u64(latency)));
         }
         events.push(obj(vec![
-            ("name", Json::Str(e.kind_name().into())),
+            ("name", Json::Str(clean_name(e.kind_name()))),
             ("ph", Json::Str("i".into())),
             ("s", Json::Str("t".into())),
             ("ts", Json::from_u64(e.cycle)),
@@ -146,6 +203,20 @@ pub fn chrome_trace(ops: &[TraceRecord], mem: &[MemEvent], mvm: &[MvmEvent]) -> 
                     vec![("attempt", Json::from_u64(attempt as u64))],
                 ));
             }
+            MvmEventKind::CompressedOccupancy {
+                core,
+                root_pa,
+                entries,
+            } => {
+                events.push(mvm_instant(
+                    e,
+                    vec![
+                        ("core", Json::from_u64(core as u64)),
+                        ("root_pa", Json::Str(format!("{root_pa:#x}"))),
+                        ("entries", Json::from_u64(entries as u64)),
+                    ],
+                ));
+            }
         }
     }
     if let Some((start, boundary, pending)) = gc_start {
@@ -157,6 +228,85 @@ pub fn chrome_trace(ops: &[TraceRecord], mem: &[MemEvent], mvm: &[MvmEvent]) -> 
             pending,
             None,
         ));
+    }
+
+    // Dependency-flow arrows: one flow per attributed edge, from the
+    // producing core's track at produce time to the consumer's at wake.
+    for (id, d) in deps.iter().enumerate().filter(|(_, d)| d.attributed()) {
+        let name = clean_name(&format!("dep va={:#x} v{}", d.va, d.resolved));
+        for (ph, ts, core, extra) in [
+            (
+                "s",
+                d.produced_at,
+                d.producer_core,
+                ("task", d.producer_tid),
+            ),
+            ("f", d.woken_at, d.consumer_core, ("task", d.consumer_tid)),
+        ] {
+            let mut ev = vec![
+                ("name", Json::Str(name.clone())),
+                ("cat", Json::Str("dep".into())),
+                ("id", Json::from_u64(id as u64)),
+                ("ph", Json::Str(ph.into())),
+                ("ts", Json::from_u64(ts)),
+                ("pid", Json::from_u64(PID_CORES)),
+                ("tid", Json::from_u64(u64::from(core))),
+                (
+                    "args",
+                    obj(vec![
+                        (extra.0, Json::from_u64(u64::from(extra.1))),
+                        ("cause", Json::Str(d.cause.name().into())),
+                    ]),
+                ),
+            ];
+            if ph == "f" {
+                // Bind the finish to the enclosing slice, per the spec.
+                ev.push(("bp", Json::Str("e".into())));
+            }
+            events.push(obj(ev));
+        }
+    }
+
+    // Interval-telemetry counter tracks.
+    for s in samples {
+        let stall_series: Vec<(&str, Json)> = osim_cpu::StallCause::ALL
+            .iter()
+            .map(|c| (c.name(), Json::from_u64(s.stalls[c.index()])))
+            .collect();
+        for (name, args) in [
+            (
+                "instructions",
+                vec![("value", Json::from_u64(s.instructions))],
+            ),
+            ("stalls", stall_series),
+            (
+                "free_blocks",
+                vec![("value", Json::from_u64(s.free_blocks))],
+            ),
+            (
+                "l1",
+                vec![
+                    ("hits", Json::from_u64(s.l1_hits)),
+                    ("misses", Json::from_u64(s.l1_misses)),
+                ],
+            ),
+            (
+                "l2",
+                vec![
+                    ("hits", Json::from_u64(s.l2_hits)),
+                    ("misses", Json::from_u64(s.l2_misses)),
+                ],
+            ),
+        ] {
+            events.push(obj(vec![
+                ("name", Json::Str(clean_name(name))),
+                ("ph", Json::Str("C".into())),
+                ("ts", Json::from_u64(s.at)),
+                ("pid", Json::from_u64(PID_TELEMETRY)),
+                ("tid", Json::from_u64(0)),
+                ("args", obj(args)),
+            ]));
+        }
     }
 
     obj(vec![
@@ -175,7 +325,7 @@ fn gc_phase(start: u64, end: u64, boundary: u32, pending: u32, reclaimed: Option
         None => args.push(("unfinished", Json::Bool(true))),
     }
     obj(vec![
-        ("name", Json::Str("gc phase".into())),
+        ("name", Json::Str(clean_name("gc phase"))),
         ("ph", Json::Str("X".into())),
         ("ts", Json::from_u64(start)),
         ("dur", Json::from_u64(end - start)),
@@ -187,7 +337,7 @@ fn gc_phase(start: u64, end: u64, boundary: u32, pending: u32, reclaimed: Option
 
 fn mvm_instant(e: &MvmEvent, args: Vec<(&str, Json)>) -> Json {
     obj(vec![
-        ("name", Json::Str(e.kind_name().into())),
+        ("name", Json::Str(clean_name(e.kind_name()))),
         ("ph", Json::Str("i".into())),
         ("s", Json::Str("g".into())),
         ("ts", Json::from_u64(e.cycle)),
@@ -245,7 +395,7 @@ mod tests {
                 kind: MvmEventKind::GcEnd { reclaimed: 10 },
             },
         ];
-        let doc = chrome_trace(&ops, &mem, &mvm);
+        let doc = chrome_trace(&ops, &mem, &mvm, &[], &[]);
         assert_eq!(
             doc.get("displayTimeUnit").and_then(Json::as_str),
             Some("ns")
@@ -291,6 +441,81 @@ mod tests {
     }
 
     #[test]
+    fn counters_and_flows_export() {
+        let ops = vec![op(1, 2, 20, 200, Some(StallCause::MissingVersion))];
+        let deps = vec![DepEdge {
+            va: 0x8000,
+            awaited: 2,
+            resolved: 2,
+            cause: StallCause::MissingVersion,
+            consumer_tid: 2,
+            consumer_core: 1,
+            producer_tid: 1,
+            producer_core: 0,
+            produced_at: 150,
+            blocked_at: 20,
+            woken_at: 190,
+            waited: 170,
+        }];
+        let samples = vec![Sample {
+            at: 1000,
+            instructions: 42,
+            stalls: [5, 0, 0, 0],
+            free_blocks: 99,
+            l1_hits: 7,
+            l1_misses: 1,
+            l2_hits: 2,
+            l2_misses: 1,
+        }];
+        let doc = chrome_trace(&ops, &[], &[], &deps, &samples);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // The stalled op fed a cumulative per-core counter.
+        let ctr = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("core 1 stalled cycles"))
+            .expect("stall counter present");
+        assert_eq!(ctr.get("ph").and_then(Json::as_str), Some("C"));
+        assert_eq!(
+            ctr.get("args").unwrap().get("value").and_then(Json::as_u64),
+            Some(180)
+        );
+        // The dependency edge became a matched flow pair.
+        let flows: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("dep"))
+            .collect();
+        assert_eq!(flows.len(), 2);
+        assert_eq!(flows[0].get("ph").and_then(Json::as_str), Some("s"));
+        assert_eq!(flows[0].get("ts").and_then(Json::as_u64), Some(150));
+        assert_eq!(flows[0].get("tid").and_then(Json::as_u64), Some(0));
+        assert_eq!(flows[1].get("ph").and_then(Json::as_str), Some("f"));
+        assert_eq!(flows[1].get("ts").and_then(Json::as_u64), Some(190));
+        assert_eq!(flows[1].get("tid").and_then(Json::as_u64), Some(1));
+        assert_eq!(flows[0].get("id"), flows[1].get("id"));
+        // Sample counters landed on the telemetry process.
+        let free = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("free_blocks"))
+            .expect("free_blocks counter present");
+        assert_eq!(free.get("pid").and_then(Json::as_u64), Some(PID_TELEMETRY));
+        assert_eq!(
+            free.get("args")
+                .unwrap()
+                .get("value")
+                .and_then(Json::as_u64),
+            Some(99)
+        );
+    }
+
+    #[test]
+    fn names_are_escaped_and_clipped() {
+        assert_eq!(clean_name("plain name"), "plain name");
+        assert_eq!(clean_name("bad\nname\t\"x\\"), "bad_name__x_");
+        let long = "x".repeat(200);
+        assert_eq!(clean_name(&long).len(), NAME_MAX);
+    }
+
+    #[test]
     fn unfinished_gc_phase_still_exports() {
         let mvm = vec![MvmEvent {
             cycle: 40,
@@ -299,7 +524,7 @@ mod tests {
                 pending: 2,
             },
         }];
-        let doc = chrome_trace(&[], &[], &mvm);
+        let doc = chrome_trace(&[], &[], &mvm, &[], &[]);
         let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
         let gc = events
             .iter()

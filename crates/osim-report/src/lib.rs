@@ -13,8 +13,10 @@
 //!   the cross-layer event logs.
 
 pub mod chrome;
+pub mod critpath;
 pub mod json;
 mod report;
 
 pub use chrome::chrome_trace;
+pub use critpath::{Contender, CoreWait, CritPath, Segment};
 pub use report::{ReportScale, SimReport, TraceCounts, SCHEMA_VERSION};

@@ -1,10 +1,11 @@
 //! The unified run report: one simulation's configuration, workload
 //! scale, and the statistics snapshot of every layer, as one JSON value.
 
-use osim_cpu::{CoreStats, CpuStats, EngineStats, MachineCfg, StallCause};
+use osim_cpu::{CoreStats, CpuStats, EngineStats, MachineCfg, Sample, StallCause};
 use osim_mem::MemStats;
 use osim_uarch::OStats;
 
+use crate::critpath::CritPath;
 use crate::json::{obj, Json};
 
 /// Schema version stamped into every report (bump on breaking layout
@@ -20,7 +21,16 @@ use crate::json::{obj, Json};
 /// engine's dispatch-loop counters. These are scheduler-invariant (every
 /// [`osim_cpu::SchedulerKind`] pops the same event multiset in the same
 /// order), so they are safe to include in byte-compared reports.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4: causal observability. `timeseries` — interval-telemetry samples
+/// (`[]` when the sampler was off): per-epoch instruction/stall deltas by
+/// cause, L1/L2 hit counters, and the MVM free-block gauge. `critpath` —
+/// the dependency critical-path analysis (`null` when edge capture was
+/// off): the longest producer→consumer chain as an exact compute/wait
+/// segment tiling, top contended structures, and per-core serialization.
+/// `trace` grows six counters for the new capture rings (`pt_walks`/
+/// `pt_dropped`, `dep_edges`/`dep_dropped`, `samples`/`samples_dropped`).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Workload sizes of the run (mirrors the experiment harness's scale).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +64,18 @@ pub struct TraceCounts {
     pub mvm_events: u64,
     /// Version-manager events overwritten.
     pub mvm_dropped: u64,
+    /// Page-table walk events retained.
+    pub pt_walks: u64,
+    /// Page-table walk events overwritten.
+    pub pt_dropped: u64,
+    /// Dependency-flow edges retained.
+    pub dep_edges: u64,
+    /// Dependency-flow edges overwritten.
+    pub dep_dropped: u64,
+    /// Interval-telemetry samples retained.
+    pub samples: u64,
+    /// Interval-telemetry samples overwritten.
+    pub samples_dropped: u64,
 }
 
 /// One simulation run, serializable to/from JSON.
@@ -103,6 +125,10 @@ pub struct SimReport {
     pub engine: EngineStats,
     /// Trace-buffer occupancy, when tracing was enabled.
     pub trace: Option<TraceCounts>,
+    /// Interval-telemetry samples (empty when the sampler was off).
+    pub timeseries: Vec<Sample>,
+    /// Dependency critical-path analysis, when edge capture was armed.
+    pub critpath: Option<CritPath>,
 }
 
 impl SimReport {
@@ -141,6 +167,8 @@ impl SimReport {
             ostats,
             engine,
             trace: None,
+            timeseries: Vec::new(),
+            critpath: None,
         }
     }
 
@@ -294,7 +322,37 @@ impl SimReport {
                 ("mem_dropped", Json::from_u64(t.mem_dropped)),
                 ("mvm_events", Json::from_u64(t.mvm_events)),
                 ("mvm_dropped", Json::from_u64(t.mvm_dropped)),
+                ("pt_walks", Json::from_u64(t.pt_walks)),
+                ("pt_dropped", Json::from_u64(t.pt_dropped)),
+                ("dep_edges", Json::from_u64(t.dep_edges)),
+                ("dep_dropped", Json::from_u64(t.dep_dropped)),
+                ("samples", Json::from_u64(t.samples)),
+                ("samples_dropped", Json::from_u64(t.samples_dropped)),
             ]),
+        };
+        let timeseries: Vec<Json> = self
+            .timeseries
+            .iter()
+            .map(|s| {
+                let stalls: Vec<(&str, Json)> = StallCause::ALL
+                    .iter()
+                    .map(|c| (c.name(), Json::from_u64(s.stalls[c.index()])))
+                    .collect();
+                obj(vec![
+                    ("at", Json::from_u64(s.at)),
+                    ("instructions", Json::from_u64(s.instructions)),
+                    ("stalls", obj(stalls)),
+                    ("free_blocks", Json::from_u64(s.free_blocks)),
+                    ("l1_hits", Json::from_u64(s.l1_hits)),
+                    ("l1_misses", Json::from_u64(s.l1_misses)),
+                    ("l2_hits", Json::from_u64(s.l2_hits)),
+                    ("l2_misses", Json::from_u64(s.l2_misses)),
+                ])
+            })
+            .collect();
+        let critpath = match &self.critpath {
+            None => Json::Null,
+            Some(p) => p.to_json(),
         };
         obj(vec![
             ("schema", Json::from_u64(SCHEMA_VERSION)),
@@ -340,6 +398,8 @@ impl SimReport {
             ("mvm", mvm),
             ("engine", engine),
             ("trace", trace),
+            ("timeseries", Json::Arr(timeseries)),
+            ("critpath", critpath),
         ])
     }
 
@@ -437,7 +497,40 @@ impl SimReport {
                 mem_dropped: req_u64(t, "mem_dropped")?,
                 mvm_events: req_u64(t, "mvm_events")?,
                 mvm_dropped: req_u64(t, "mvm_dropped")?,
+                pt_walks: req_u64(t, "pt_walks")?,
+                pt_dropped: req_u64(t, "pt_dropped")?,
+                dep_edges: req_u64(t, "dep_edges")?,
+                dep_dropped: req_u64(t, "dep_dropped")?,
+                samples: req_u64(t, "samples")?,
+                samples_dropped: req_u64(t, "samples_dropped")?,
             }),
+        };
+        let timeseries = match v.get("timeseries").and_then(Json::as_arr) {
+            None => Vec::new(),
+            Some(rows) => rows
+                .iter()
+                .map(|s| {
+                    let stalls_v = s.get("stalls").ok_or("missing sample stalls")?;
+                    let mut stalls = [0u64; 4];
+                    for cause in StallCause::ALL {
+                        stalls[cause.index()] = req_u64(stalls_v, cause.name())?;
+                    }
+                    Ok(Sample {
+                        at: req_u64(s, "at")?,
+                        instructions: req_u64(s, "instructions")?,
+                        stalls,
+                        free_blocks: req_u64(s, "free_blocks")?,
+                        l1_hits: req_u64(s, "l1_hits")?,
+                        l1_misses: req_u64(s, "l1_misses")?,
+                        l2_hits: req_u64(s, "l2_hits")?,
+                        l2_misses: req_u64(s, "l2_misses")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+        };
+        let critpath = match v.get("critpath") {
+            None | Some(Json::Null) => None,
+            Some(p) => Some(CritPath::from_json(p)?),
         };
         Ok(SimReport {
             experiment: req_str(v, "experiment")?,
@@ -471,6 +564,8 @@ impl SimReport {
             ostats,
             engine,
             trace,
+            timeseries,
+            critpath,
         })
     }
 }
@@ -559,7 +654,52 @@ mod tests {
             mem_dropped: 0,
             mvm_events: 7,
             mvm_dropped: 0,
+            pt_walks: 31,
+            pt_dropped: 2,
+            dep_edges: 12,
+            dep_dropped: 1,
+            samples: 4,
+            samples_dropped: 0,
         });
+        r.timeseries = vec![
+            Sample {
+                at: 1000,
+                instructions: 480,
+                stalls: [120, 0, 0, 0],
+                free_blocks: 200,
+                l1_hits: 300,
+                l1_misses: 12,
+                l2_hits: 8,
+                l2_misses: 4,
+            },
+            Sample {
+                at: 2000,
+                instructions: 520,
+                stalls: [0, 0, 0, 500],
+                free_blocks: 150,
+                l1_hits: 310,
+                l1_misses: 9,
+                l2_hits: 6,
+                l2_misses: 3,
+            },
+        ];
+        r.critpath = Some(CritPath::build(
+            &[osim_cpu::DepEdge {
+                va: 0x8000,
+                awaited: 3,
+                resolved: 3,
+                cause: StallCause::MissingVersion,
+                consumer_tid: 2,
+                consumer_core: 1,
+                producer_tid: 1,
+                producer_core: 0,
+                produced_at: 400,
+                blocked_at: 100,
+                woken_at: 420,
+                waited: 320,
+            }],
+            (0, 123_456),
+        ));
         r
     }
 
@@ -583,6 +723,8 @@ mod tests {
         assert_eq!(back.engine.events_dispatched, 4096);
         assert_eq!(back.engine.stale_events, 3);
         assert_eq!(back.trace, r.trace);
+        assert_eq!(back.timeseries, r.timeseries);
+        assert_eq!(back.critpath, r.critpath);
     }
 
     #[test]
@@ -616,7 +758,23 @@ mod tests {
 
     #[test]
     fn from_json_reports_missing_fields() {
-        let v = parse("{\"schema\": 3}").unwrap();
+        let v = parse("{\"schema\": 4}").unwrap();
         assert!(SimReport::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn absent_capture_serializes_as_empty_and_null() {
+        let mut r = sample();
+        r.timeseries.clear();
+        r.critpath = None;
+        let v = r.to_json();
+        assert_eq!(
+            v.get("timeseries").and_then(Json::as_arr).map(<[_]>::len),
+            Some(0)
+        );
+        assert_eq!(v.get("critpath"), Some(&Json::Null));
+        let back = SimReport::from_json(&v).unwrap();
+        assert!(back.timeseries.is_empty());
+        assert_eq!(back.critpath, None);
     }
 }

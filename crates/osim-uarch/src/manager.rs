@@ -162,6 +162,16 @@ pub enum MvmEventKind {
         /// Zero-based retry attempt this failure belongs to.
         attempt: u32,
     },
+    /// A compressed version-block line was installed/updated; samples the
+    /// line's per-line occupancy (live entries out of 8).
+    CompressedOccupancy {
+        /// Core whose L1 holds the compressed line.
+        core: u32,
+        /// Physical address of the O-structure root word (the line's tag).
+        root_pa: u32,
+        /// Live entries in the line after the update.
+        entries: u32,
+    },
 }
 
 impl MvmEvent {
@@ -176,6 +186,7 @@ impl MvmEvent {
             MvmEventKind::RefillTrap => "refill_trap",
             MvmEventKind::PoolShrink { .. } => "pool_shrink",
             MvmEventKind::CarveFailed { .. } => "carve_failed",
+            MvmEventKind::CompressedOccupancy { .. } => "compressed_occupancy",
         }
     }
 }
@@ -829,6 +840,15 @@ impl OManager {
                 line.set_head_version(Some(h));
             }
         }
+        let entries = line.len() as u32;
+        self.events.push(MvmEvent {
+            cycle: ms.hier.clock(),
+            kind: MvmEventKind::CompressedOccupancy {
+                core: core as u32,
+                root_pa,
+                entries,
+            },
+        });
     }
 
     /// Coherence: a mutation of the structure rooted at `root_pa` by `core`

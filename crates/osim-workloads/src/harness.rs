@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use osim_cpu::{CpuStats, EngineStats, Machine};
+use osim_cpu::{CpuStats, DepEdge, EngineStats, Machine, Sample};
 use osim_mem::MemStats;
 use osim_uarch::OStats;
 
@@ -166,6 +166,17 @@ pub struct DsResult {
     pub ok: bool,
     /// Human-readable mismatch description (empty when `ok`).
     pub detail: String,
+    /// Captured dependency-flow edges (empty unless capture was armed).
+    pub deps: Vec<DepEdge>,
+    /// Edges overwritten in the bounded ring.
+    pub deps_dropped: u64,
+    /// Interval-telemetry samples (empty unless the sampler was armed).
+    pub timeseries: Vec<Sample>,
+    /// Samples overwritten in the bounded ring.
+    pub samples_dropped: u64,
+    /// `[start, end]` cycle window the captures cover (end = machine time
+    /// at collection; start = end − measured cycles).
+    pub window: (u64, u64),
 }
 
 impl DsResult {
@@ -180,6 +191,7 @@ impl DsResult {
 pub fn collect(m: &Machine, cycles: u64, ok: bool, detail: String) -> DsResult {
     let st = m.state();
     let st = st.borrow();
+    let end = m.now();
     DsResult {
         cycles,
         cpu: st.cpu.clone(),
@@ -188,6 +200,11 @@ pub fn collect(m: &Machine, cycles: u64, ok: bool, detail: String) -> DsResult {
         engine: m.engine_stats(),
         ok,
         detail,
+        deps: st.deps.records(),
+        deps_dropped: st.deps.dropped,
+        timeseries: st.timeseries.records(),
+        samples_dropped: st.timeseries.dropped,
+        window: (end.saturating_sub(cycles), end),
     }
 }
 
