@@ -36,8 +36,8 @@ pub use capture::{CaptureCfg, DepEdge, Sample};
 pub use ctx::{wake, TaskCtx};
 pub use error::{BlameEntry, DeadlockReport, SimError, TaskFault, WaitClass, WatchdogReport};
 pub use machine::{Machine, MachineCfg, MachineState, PhaseReport, WakeupPolicy};
-pub use osim_engine::{EngineStats, SchedulerKind};
+pub use osim_engine::{EngineHists, EngineStats, SchedulerKind};
 pub use runtime::{task, TaskFn};
 pub use rwlock::SimRwLock;
-pub use stats::{CoreStats, CpuStats, StallCause};
+pub use stats::{CoreStats, CpuStats, RunHists, StallCause};
 pub use trace::{OpKind, Trace, TraceRecord, TraceSummary};

@@ -3,8 +3,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use osim_engine::{Cycle, EngineStats, Gate, RunError, SchedulerKind, Sim, SimHandle};
+use osim_engine::{Cycle, EngineHists, EngineStats, Gate, RunError, SchedulerKind, Sim, SimHandle};
 use osim_mem::{EventLog, Fault, FxHashMap, HierarchyCfg, MemSys};
+use osim_metrics::Histogram;
 use osim_uarch::{OManager, OManagerCfg};
 
 use crate::alloc::SimAlloc;
@@ -12,7 +13,7 @@ use crate::capture::{CaptureCfg, DepEdge, Sample, SampleBase, Sampler};
 use crate::ctx::TaskCtx;
 use crate::error::{DeadlockReport, SimError, TaskFault, WatchdogReport};
 use crate::runtime::{self, TaskFn};
-use crate::stats::CpuStats;
+use crate::stats::{CpuStats, RunHists};
 use crate::trace::Trace;
 
 /// How a completed `STORE-VERSION` / `UNLOCK-VERSION` wakes the tasks
@@ -105,6 +106,9 @@ pub struct MachineState {
     pub deps: EventLog<DepEdge>,
     /// Captured interval-telemetry samples (bounded ring).
     pub timeseries: EventLog<Sample>,
+    /// Simulated cycles each task ran from `TASK-BEGIN` to completion (the
+    /// static scheduler's run-quantum lengths); reset with the other stats.
+    pub hist_run_quantum: Histogram,
     pub(crate) sampler: Sampler,
     pub(crate) issue_width: u64,
     pub(crate) malloc_instrs: u64,
@@ -247,6 +251,7 @@ impl Machine {
                 next_at: cfg.capture.sample_every.max(1),
                 base: SampleBase::default(),
             },
+            hist_run_quantum: Histogram::new(),
             issue_width: cfg.issue_width,
             malloc_instrs: cfg.malloc_instrs,
             wakeup: cfg.wakeup,
@@ -303,6 +308,29 @@ impl Machine {
     /// Engine-side counters (events dispatched, stale wakes skipped).
     pub fn engine_stats(&self) -> EngineStats {
         self.sim.stats()
+    }
+
+    /// Engine-side gate wait/fan-out histograms.
+    pub fn engine_hists(&self) -> EngineHists {
+        self.sim.hists()
+    }
+
+    /// Every layer's latency histograms, gathered into one snapshot
+    /// (engine gate waits, MVM walks/GC pauses, cache access latencies,
+    /// and task run quanta). All simulated-cycle quantities.
+    pub fn run_hists(&self) -> RunHists {
+        let st = self.state.borrow();
+        let eng = self.sim.hists();
+        RunHists {
+            gate_wait: eng.gate_wait,
+            wake_fanout: eng.wake_fanout,
+            version_walk: st.omgr.hists.version_walk.clone(),
+            gc_pause: st.omgr.hists.gc_pause.clone(),
+            l1_access: st.ms.hier.hists.l1_access.clone(),
+            l2_access: st.ms.hier.hists.l2_access.clone(),
+            coherence_delay: st.ms.hier.hists.coherence_delay.clone(),
+            run_quantum: st.hist_run_quantum.clone(),
+        }
     }
 
     /// Runs `tasks` to completion under the static scheduler: task `i` is
@@ -403,7 +431,11 @@ impl Machine {
         let mut st = self.state.borrow_mut();
         st.cpu.reset();
         st.ms.hier.stats.reset();
+        st.ms.hier.hists.reset();
         st.omgr.stats.reset();
+        st.omgr.hists.reset();
+        st.hist_run_quantum.reset();
+        self.sim.handle().reset_engine_hists();
         let dep_cap = self.cfg.capture.dep_edges;
         st.deps = EventLog::with_capacity(dep_cap);
         if st.sampler.every > 0 {

@@ -71,7 +71,10 @@ pub(crate) fn spawn_static(
                 if let Some(p) = prev.take() {
                     p.task_end();
                 }
+                let began = handle.now();
                 body(ctx.clone()).await;
+                let quantum = handle.now() - began;
+                st.borrow_mut().hist_run_quantum.record(quantum);
                 prev = Some(ctx);
             }
             if let Some(p) = prev.take() {

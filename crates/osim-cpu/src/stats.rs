@@ -1,5 +1,77 @@
 //! Execution statistics collected by the cores.
 
+use osim_metrics::Histogram;
+
+/// The full set of latency/shape histograms one run produces, gathered
+/// across every simulator layer. All of them record **simulated-cycle**
+/// quantities (never host wall time), so their contents are deterministic
+/// and scheduler-invariant — safe to land in byte-compared reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunHists {
+    /// Cycles tasks spent parked on gates before their wakeup fired.
+    pub gate_wait: Histogram,
+    /// Waiters released per gate-open event (0 when an open found no one).
+    pub wake_fanout: Histogram,
+    /// Cycles charged per version-list walk in the O-structure manager.
+    pub version_walk: Histogram,
+    /// Cycles per free-list refill trap, including forced-GC recovery.
+    pub gc_pause: Histogram,
+    /// L1 data-cache access latencies (hits and misses alike).
+    pub l1_access: Histogram,
+    /// Latencies of accesses serviced at or beyond the shared L2.
+    pub l2_access: Histogram,
+    /// Latencies of accesses whose service required a coherence action
+    /// (S→M upgrade, dirty remote-L1 forward, cross-core invalidation).
+    pub coherence_delay: Histogram,
+    /// Run-quantum lengths: cycles from a task's `TASK-BEGIN` to its
+    /// body's completion on its statically assigned core.
+    pub run_quantum: Histogram,
+}
+
+impl RunHists {
+    /// Stable field names, in serialization order.
+    pub const NAMES: [&'static str; 8] = [
+        "gate_wait",
+        "wake_fanout",
+        "version_walk",
+        "gc_pause",
+        "l1_access",
+        "l2_access",
+        "coherence_delay",
+        "run_quantum",
+    ];
+
+    /// The histograms paired with their stable names, in [`RunHists::NAMES`]
+    /// order.
+    pub fn named(&self) -> [(&'static str, &Histogram); 8] {
+        [
+            ("gate_wait", &self.gate_wait),
+            ("wake_fanout", &self.wake_fanout),
+            ("version_walk", &self.version_walk),
+            ("gc_pause", &self.gc_pause),
+            ("l1_access", &self.l1_access),
+            ("l2_access", &self.l2_access),
+            ("coherence_delay", &self.coherence_delay),
+            ("run_quantum", &self.run_quantum),
+        ]
+    }
+
+    /// Mutable access by stable name (deserialization helper).
+    pub fn by_name_mut(&mut self, name: &str) -> Option<&mut Histogram> {
+        match name {
+            "gate_wait" => Some(&mut self.gate_wait),
+            "wake_fanout" => Some(&mut self.wake_fanout),
+            "version_walk" => Some(&mut self.version_walk),
+            "gc_pause" => Some(&mut self.gc_pause),
+            "l1_access" => Some(&mut self.l1_access),
+            "l2_access" => Some(&mut self.l2_access),
+            "coherence_delay" => Some(&mut self.coherence_delay),
+            "run_quantum" => Some(&mut self.run_quantum),
+            _ => None,
+        }
+    }
+}
+
 /// Why a core spent cycles stalled on a versioned operation.
 ///
 /// Every stall cycle in [`CpuStats::stall_cycles`] is attributed to

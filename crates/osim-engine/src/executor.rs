@@ -8,6 +8,8 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
+use osim_metrics::Histogram;
+
 use crate::time::Cycle;
 
 /// Identifier of a spawned simulation task (a hardware context, usually).
@@ -65,6 +67,29 @@ pub struct EngineStats {
     /// removed — popped-and-skipped or dropped by a queue sweep. Each one
     /// is queue space a dead task was still holding.
     pub stale_events: u64,
+}
+
+/// Latency distributions recorded by the engine's wait/notify layer.
+///
+/// Like [`EngineStats`], the contents are functions of the simulated
+/// event multiset only — park and wake cycles are identical under both
+/// [`SchedulerKind`]s — so the histograms are scheduler-invariant and safe
+/// to embed in byte-compared reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineHists {
+    /// Simulated cycles each gate waiter spent parked before its wake.
+    pub gate_wait: Histogram,
+    /// Waiters released per gate open (0 when a targeted open matched
+    /// nobody; empty-queue opens are not recorded).
+    pub wake_fanout: Histogram,
+}
+
+impl EngineHists {
+    /// Clears both histograms.
+    pub fn reset(&mut self) {
+        self.gate_wait.reset();
+        self.wake_fanout.reset();
+    }
 }
 
 /// What a blocked task is waiting for, as reported by the layer that parked
@@ -439,6 +464,8 @@ pub(crate) struct Inner {
     /// accumulate, the run loop sweeps them out (see [`SWEEP_MIN_DEAD`]).
     dead_events: u64,
     stats: EngineStats,
+    /// Gate wait/fan-out distributions (recorded by `gate.rs`).
+    hists: EngineHists,
     /// Wait records registered by parked tasks (indexed like `tasks`),
     /// paired with the registration cycle.
     wait_info: Vec<Option<(Cycle, WaitInfo)>>,
@@ -459,6 +486,18 @@ impl Inner {
 
     pub(crate) fn now(&self) -> Cycle {
         self.now
+    }
+
+    /// Records one waiter's parked duration (allocation-free).
+    #[inline]
+    pub(crate) fn record_gate_wait(&mut self, cycles: Cycle) {
+        self.hists.gate_wait.record(cycles);
+    }
+
+    /// Records how many waiters one gate open released (allocation-free).
+    #[inline]
+    pub(crate) fn record_wake_fanout(&mut self, n: u64) {
+        self.hists.wake_fanout.record(n);
     }
 
     pub(crate) fn current_task(&self) -> TaskId {
@@ -544,6 +583,7 @@ impl Sim {
                 pending: Vec::new(),
                 dead_events: 0,
                 stats: EngineStats::default(),
+                hists: EngineHists::default(),
                 wait_info: Vec::new(),
                 halt: false,
             })),
@@ -644,6 +684,11 @@ impl Sim {
     pub fn stats(&self) -> EngineStats {
         self.inner.borrow().stats
     }
+
+    /// Snapshot of the gate wait/fan-out histograms accumulated so far.
+    pub fn hists(&self) -> EngineHists {
+        self.inner.borrow().hists.clone()
+    }
 }
 
 /// A cloneable handle to the simulation, usable from inside tasks.
@@ -666,6 +711,17 @@ impl SimHandle {
     /// Dispatch-loop counters accumulated so far.
     pub fn engine_stats(&self) -> EngineStats {
         self.inner.borrow().stats
+    }
+
+    /// Snapshot of the gate wait/fan-out histograms accumulated so far.
+    pub fn engine_hists(&self) -> EngineHists {
+        self.inner.borrow().hists.clone()
+    }
+
+    /// Clears the gate wait/fan-out histograms (used when a measurement
+    /// window starts after a warm-up phase).
+    pub fn reset_engine_hists(&self) {
+        self.inner.borrow_mut().hists.reset();
     }
 
     /// Spawns a new task, runnable at the current simulated time.

@@ -90,8 +90,13 @@ struct WaiterKey {
 enum SlotState {
     /// Recycled: next free slot index (or [`NO_SLOT`]).
     Free { next_free: u32 },
-    /// A parked task and what it is prepared to be woken by.
-    Parked { task: TaskId, filter: WakeFilter },
+    /// A parked task, what it is prepared to be woken by, and the cycle
+    /// it parked at (for the engine's gate-wait histogram).
+    Parked {
+        task: TaskId,
+        filter: WakeFilter,
+        since: Cycle,
+    },
     /// Woken; the owning [`Wait`] collects the payload at next poll.
     Woken { wake: Wake },
 }
@@ -122,8 +127,12 @@ impl Default for WaiterArena {
 
 impl WaiterArena {
     /// Claims a slot for a parked task, recycling a free one when possible.
-    fn park(&mut self, task: TaskId, filter: WakeFilter) -> WaiterKey {
-        let state = SlotState::Parked { task, filter };
+    fn park(&mut self, task: TaskId, filter: WakeFilter, since: Cycle) -> WaiterKey {
+        let state = SlotState::Parked {
+            task,
+            filter,
+            since,
+        };
         let idx = if self.free_head != NO_SLOT {
             let idx = self.free_head;
             let slot = &mut self.slots[idx as usize];
@@ -149,16 +158,16 @@ impl WaiterArena {
         (slot.gen == key.gen).then_some(&slot.state)
     }
 
-    /// Marks a parked slot woken and returns its task. Callers pass only
-    /// keys they just took from the park-order queue, which holds exactly
-    /// the currently-parked waiters.
-    fn wake(&mut self, key: WaiterKey, wake: Wake) -> TaskId {
+    /// Marks a parked slot woken and returns its task plus the cycle it
+    /// parked at. Callers pass only keys they just took from the
+    /// park-order queue, which holds exactly the currently-parked waiters.
+    fn wake(&mut self, key: WaiterKey, wake: Wake) -> (TaskId, Cycle) {
         let slot = &mut self.slots[key.idx as usize];
         debug_assert_eq!(slot.gen, key.gen, "queue entry went stale");
         match slot.state {
-            SlotState::Parked { task, .. } => {
+            SlotState::Parked { task, since, .. } => {
                 slot.state = SlotState::Woken { wake };
-                task
+                (task, since)
             }
             _ => unreachable!("queued waiter is not parked"),
         }
@@ -236,9 +245,12 @@ impl Gate {
     /// this waiter, but [`Gate::open_targeted`] skips it unless some
     /// payload word matches the filter.
     pub fn ticket_filtered(&self, filter: WakeFilter) -> Wait {
-        let task = self.engine.borrow().current_task();
+        let (task, now) = {
+            let engine = self.engine.borrow();
+            (engine.current_task(), engine.now())
+        };
         let mut st = self.state.borrow_mut();
-        let key = st.arena.park(task, filter);
+        let key = st.arena.park(task, filter, now);
         st.queue.push(key);
         Wait {
             gate: self.clone(),
@@ -285,10 +297,14 @@ impl Gate {
         }
         let wake = Wake { tag, origin };
         let mut engine = self.engine.borrow_mut();
+        let eff_at = at.max(engine.now());
+        let fanout = st.queue.len() as u64;
         for key in st.queue.drain(..) {
-            let task = st.arena.wake(key, wake);
+            let (task, since) = st.arena.wake(key, wake);
+            engine.record_gate_wait(eff_at.saturating_sub(since));
             engine.schedule(at, task);
         }
+        engine.record_wake_fanout(fanout);
     }
 
     /// Wakes — at the current cycle — only the waiters whose [`WakeFilter`]
@@ -330,7 +346,9 @@ impl Gate {
         }
         let wake = Wake { tag, origin };
         let mut engine = self.engine.borrow_mut();
+        let eff_at = at.max(engine.now());
         let arena = &mut st.arena;
+        let mut fanout = 0u64;
         st.queue.retain(|&key| {
             let matches = match arena.state(key) {
                 Some(SlotState::Parked { filter, .. }) => filter.matches(payloads),
@@ -339,10 +357,13 @@ impl Gate {
             if !matches {
                 return true;
             }
-            let task = arena.wake(key, wake);
+            let (task, since) = arena.wake(key, wake);
+            engine.record_gate_wait(eff_at.saturating_sub(since));
             engine.schedule(at, task);
+            fanout += 1;
             false
         });
+        engine.record_wake_fanout(fanout);
     }
 
     /// Number of tasks currently parked.
@@ -380,9 +401,12 @@ impl Future for Wait {
                 }
             }
             None => {
-                let task = this.gate.engine.borrow().current_task();
+                let (task, now) = {
+                    let engine = this.gate.engine.borrow();
+                    (engine.current_task(), engine.now())
+                };
                 let mut st = this.gate.state.borrow_mut();
-                let key = st.arena.park(task, this.filter);
+                let key = st.arena.park(task, this.filter, now);
                 st.queue.push(key);
                 this.key = Some(key);
                 Poll::Pending

@@ -32,7 +32,8 @@ mod gate;
 mod time;
 
 pub use executor::{
-    BlockedTask, EngineStats, RunError, SchedulerKind, Sim, SimHandle, TaskId, WaitInfo,
+    BlockedTask, EngineHists, EngineStats, RunError, SchedulerKind, Sim, SimHandle, TaskId,
+    WaitInfo,
 };
 pub use gate::{Gate, Wake, WakeFilter, WakeOrigin, WakeTag, WAKE_GENERIC};
 pub use time::Cycle;

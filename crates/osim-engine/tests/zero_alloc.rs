@@ -1,7 +1,10 @@
-//! Proof of the PR's zero-allocation claim: once warm, steady-state gate
+//! Proof of the zero-allocation claim: once warm, steady-state gate
 //! `wait()`/`open_at()` traffic and event dispatch perform no heap
 //! allocations under either scheduler — including with dependency-flow
-//! capture armed, i.e. every open carrying a tagged [`WakeOrigin`].
+//! capture armed (every open carrying a tagged [`WakeOrigin`]) and with
+//! metrics recording live: the engine's gate-wait/fan-out histograms are
+//! fed inline by every open, and `osim_metrics::Histogram` record/merge
+//! is additionally hammered directly inside the armed window.
 //!
 //! A counting `#[global_allocator]` is armed from inside the simulation
 //! after a warm-up window (slab slots claimed, wheel buckets and queues at
@@ -12,7 +15,11 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use osim_engine::{SchedulerKind, Sim, WakeOrigin};
+use osim_metrics::Histogram;
 
 struct CountingAlloc;
 
@@ -71,8 +78,13 @@ fn steady_state_gate_and_dispatch_are_allocation_free() {
                 }
             });
         }
+        // Allocated before the window arms: `Histogram` itself is a flat
+        // fixed-size value, so record()/merge() inside the loop must not
+        // touch the heap.
+        let local_hist = Rc::new(RefCell::new((Histogram::new(), Histogram::new())));
         {
             let h = h.clone();
+            let local_hist = Rc::clone(&local_hist);
             sim.spawn(async move {
                 for round in 0..ROUNDS {
                     if round == ARM_AT {
@@ -89,6 +101,15 @@ fn steady_state_gate_and_dispatch_are_allocation_free() {
                         at: h.now(),
                     };
                     gate.open_at_tagged_from(h.now() + 1, 1, origin);
+                    // Metrics armed on the hot loop: record spans the
+                    // linear and log bucket ranges, and a merge runs every
+                    // round — all of it inside the counted window.
+                    {
+                        let (ref mut a, ref mut b) = *local_hist.borrow_mut();
+                        a.record(round);
+                        a.record(round << 8);
+                        b.merge(a);
+                    }
                     h.sleep(1).await;
                 }
             });
@@ -101,5 +122,12 @@ fn steady_state_gate_and_dispatch_are_allocation_free() {
             "{kind:?}: {counted} heap allocation(s) in the steady-state window \
              (rounds {ARM_AT}..{DISARM_AT}, {WAITERS} waiters)"
         );
+        // The window was not vacuously quiet: the engine-side histograms
+        // were recording throughout (one wait per waiter wake, one fan-out
+        // sample per open), and the direct record/merge traffic landed.
+        let eng = sim.hists();
+        assert_eq!(eng.wake_fanout.count(), ROUNDS);
+        assert_eq!(eng.gate_wait.count(), WAITERS as u64 * ROUNDS);
+        assert_eq!(local_hist.borrow().0.count(), 2 * ROUNDS);
     }
 }

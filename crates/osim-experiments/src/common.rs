@@ -274,6 +274,7 @@ pub fn report_run(run: &SweepRun, scale: &Scale) -> SimReport {
         r.mem.clone(),
         r.ostats.clone(),
         r.engine,
+        r.hists.clone(),
     )
 }
 

@@ -4,7 +4,10 @@
 //! ```text
 //! cargo run -p osim-experiments --release -- <experiment> [--full|--tiny]
 //!     [--scale <quick|tiny|full>] [--jobs <n>] [--stats] [--json <path>]
-//!     [--chrome <path>] [--scheduler <calendar|heap>]
+//!     [--chrome <path>] [--scheduler <calendar|heap>] [--progress]
+//!     [--sweep-json <path>]
+//! cargo run -p osim-experiments --release -- compare <a.json> <b.json>
+//!     [--json <path>]
 //!
 //! experiments:
 //!   config   Table II   — the simulated platform configuration
@@ -20,6 +23,8 @@
 //!                         default 7; `--sample-every <cycles>` telemetry epoch)
 //!   all      everything above
 //!   perf                — host-speed benchmark; writes BENCH_sweep.json
+//!   compare             — diff two `--json` report files: counters, stall
+//!                         causes, histograms, ranked regression attribution
 //! ```
 //!
 //! `perf` additionally accepts `--reps <n>` (repetitions, default 3) and
@@ -51,6 +56,22 @@
 //! output are identical under both; the binary heap is retained as the
 //! reference implementation the equivalence tests compare against.
 //!
+//! `--progress` paints a live one-line sweep status (done/running/queued
+//! counts, an ETA, and what each worker is on) to **stderr**, so stdout
+//! and `--json` stay byte-identical with and without it. `--sweep-json
+//! <path>` writes the host-side sweep telemetry after the run: per-job
+//! queue wait and wall time, per-worker busy time and utilization, and
+//! stale-event rates. Both are wall-clock observations of the host and
+//! deliberately never enter the `SimReport` stream.
+//!
+//! `compare <a.json> <b.json>` loads two report files (as written by
+//! `--json`), pairs runs by experiment/benchmark/variant, and prints a
+//! per-pair diff: cycle delta with a ranked stall-cause attribution
+//! table, changed counters, and histogram quantile shifts. Exit code 0
+//! means byte-equivalent simulated results, 1 means deltas were found
+//! (usage errors exit 2), so CI can assert either direction without
+//! parsing; `--json` writes the machine-readable diff document.
+//!
 //! `--inject <spec>` applies a deterministic fault-injection plan
 //! ([`osim_uarch::FaultPlan::parse`]) to every machine the invocation
 //! builds: version-block pool shrinks, transient OS-carve failures,
@@ -66,6 +87,7 @@ use osim_report::SimReport;
 
 mod analyze;
 mod common;
+mod compare_cmd;
 #[cfg(test)]
 mod equivalence_tests;
 mod fig10;
@@ -79,6 +101,56 @@ mod pool;
 mod trace_cmd;
 
 use common::Scale;
+
+/// Builds the `--sweep-json` document from the pool telemetry accumulated
+/// over the invocation. Everything wall-clock in here is host-side and
+/// nondeterministic — deliberately kept out of the `SimReport` stream.
+fn sweep_telemetry_doc(jobs_flag: usize, scale: &Scale) -> Json {
+    use osim_report::json::obj;
+    let t = pool::drain_telemetry();
+    let workers: Vec<Json> = t
+        .busy_ms
+        .iter()
+        .zip(t.utilization())
+        .enumerate()
+        .map(|(i, (&busy, util))| {
+            obj(vec![
+                ("worker", Json::from_u64(i as u64)),
+                ("busy_ms", Json::Num(busy)),
+                ("utilization", Json::Num(util)),
+            ])
+        })
+        .collect();
+    let job_rows: Vec<Json> = t
+        .jobs
+        .iter()
+        .map(|j| {
+            obj(vec![
+                ("label", Json::Str(j.label.clone())),
+                ("queue_ms", Json::Num(j.queue_ms)),
+                ("run_ms", Json::Num(j.run_ms)),
+                ("worker", Json::from_u64(j.worker as u64)),
+                ("events_dispatched", Json::from_u64(j.events_dispatched)),
+                ("stale_events", Json::from_u64(j.stale_events)),
+            ])
+        })
+        .collect();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1) as u64;
+    obj(vec![
+        ("schema", Json::Str("osim-sweep-telemetry-v1".to_string())),
+        ("host_cpus", Json::from_u64(host_cpus)),
+        ("jobs_flag", Json::from_u64(jobs_flag as u64)),
+        ("scheduler", Json::Str(scale.scheduler.name().to_string())),
+        ("batches", Json::from_u64(t.batches)),
+        ("wall_ms", Json::Num(t.wall_ms)),
+        ("job_count", Json::from_u64(t.jobs.len() as u64)),
+        ("stale_event_rate", Json::Num(t.stale_rate())),
+        ("workers", Json::Arr(workers)),
+        ("jobs", Json::Arr(job_rows)),
+    ])
+}
 
 /// Removes `flag <value>` from `args`, returning the value.
 fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
@@ -96,6 +168,13 @@ fn main() {
     let mut args: Vec<String> = env::args().skip(1).collect();
     let json_path = take_value(&mut args, "--json");
     let chrome_path = take_value(&mut args, "--chrome");
+    let sweep_json = take_value(&mut args, "--sweep-json");
+    let progress = if let Some(i) = args.iter().position(|a| a == "--progress") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
     let inject =
         take_value(&mut args, "--inject").map(|spec| match osim_uarch::FaultPlan::parse(&spec) {
             Ok(plan) => plan,
@@ -199,8 +278,27 @@ fn main() {
         scale.scheduler = kind;
     }
 
+    pool::set_progress(progress);
+
     let mut reports: Vec<SimReport> = Vec::new();
     let mut chrome_doc: Option<Json> = None;
+
+    if cmd == "compare" {
+        let files: Vec<String> = args
+            .iter()
+            .filter(|a| !a.starts_with("--") && a.as_str() != "compare")
+            .cloned()
+            .collect();
+        if files.len() != 2 {
+            eprintln!(
+                "compare requires exactly two report files, got {}",
+                files.len()
+            );
+            std::process::exit(2);
+        }
+        let code = compare_cmd::run(&files[0], &files[1], json_path.as_deref());
+        std::process::exit(code);
+    }
 
     match cmd {
         "config" => common::print_config(),
@@ -230,7 +328,22 @@ fn main() {
                  [--stats] [--json <path>] [--chrome <path>] \
                  [--scheduler <calendar|heap>] \
                  [--fig <6|7|9|10>] [--sample-every <cycles>] \
+                 [--progress] [--sweep-json <path>] \
                  [--inject <spec>] [--baseline-ms <ms> [--baseline-ref <label>]]\n\
+                 \n\
+                 osim-experiments compare <a.json> <b.json> [--json <path>]\n\
+                 \n\
+                 compare: pairs the runs of two --json report files by\n\
+                 (experiment, benchmark, variant), diffs every counter, stall\n\
+                 cause, and latency histogram, and prints a ranked regression\n\
+                 attribution per pair. Exit code 0 = identical, 1 = deltas.\n\
+                 \n\
+                 --progress: live sweep status line on stderr (jobs queued/\n\
+                 running/done, ETA, per-worker state); stdout is untouched.\n\
+                 --sweep-json <path>: host-side sweep telemetry (per-job wall\n\
+                 time, queue wait, worker utilization, stale-event rates).\n\
+                 Wall-clock numbers are nondeterministic, which is why they\n\
+                 get their own document instead of the SimReport stream.\n\
                  \n\
                  analyze: runs the chosen figure's workload with dependency-flow\n\
                  capture and interval telemetry armed, then prints the critical\n\
@@ -261,6 +374,14 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote {} report(s) to {path}", reports.len());
+    }
+    if let Some(path) = sweep_json {
+        let doc = sweep_telemetry_doc(jobs, &scale);
+        if let Err(e) = fs::write(&path, doc.to_pretty()) {
+            eprintln!("cannot write --sweep-json output {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote sweep telemetry to {path}");
     }
     if let Some(path) = chrome_path {
         match chrome_doc {

@@ -120,6 +120,13 @@ pub fn run(
         ("jobs", Json::from_u64(jobs as u64)),
         ("reps", Json::from_u64(reps as u64)),
         ("host_cpus", Json::from_u64(host_cpus as u64)),
+        // Host environment stamp: what kind of machine produced these
+        // wall-times. A committed baseline from a many-core host must not
+        // be speed-compared against a 1-CPU CI runner; the CI guard reads
+        // host_cpus from both sides before comparing.
+        ("host_os", Json::Str(std::env::consts::OS.to_string())),
+        ("host_arch", Json::Str(std::env::consts::ARCH.to_string())),
+        ("scheduler", Json::Str(scale.scheduler.name().to_string())),
     ];
     if let Some((ms, ref_name)) = &baseline {
         fields.push((

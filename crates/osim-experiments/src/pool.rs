@@ -8,9 +8,18 @@
 //! in slots indexed by submission order. Rendering consumes the slots in
 //! that order, so stdout and the `--json` report stream are byte-identical
 //! to a serial run regardless of worker count or completion order.
+//!
+//! The pool is additionally *instrumented*: every batch records per-job
+//! queue wait and run wall time, the worker that executed it, and its
+//! engine stale-event counters into a process-wide [`SweepTelemetry`]
+//! accumulator (drained by `--sweep-json`). With [`set_progress`] armed a
+//! live status line — jobs queued/running/done, ETA, per-worker state —
+//! is maintained on **stderr**, so stdout and the `--json` stream stay
+//! byte-identical whatever the host timing does.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 use osim_cpu::MachineCfg;
 use osim_workloads::harness::DsResult;
@@ -64,6 +73,156 @@ pub struct SweepRun {
     pub result: DsResult,
 }
 
+/// Host-side timing of one executed job. Everything in here is wall-clock
+/// and therefore nondeterministic — it must never leak into a
+/// [`osim_report::SimReport`]; it is only surfaced through `--sweep-json`.
+#[derive(Debug, Clone)]
+pub struct JobTiming {
+    /// `fig/bench/tag` label of the job.
+    pub label: String,
+    /// Milliseconds between batch submission and the job starting.
+    pub queue_ms: f64,
+    /// Milliseconds the job ran for.
+    pub run_ms: f64,
+    /// Worker index (0 for the inline path).
+    pub worker: usize,
+    /// Engine events the run dispatched (simulated-side, deterministic).
+    pub events_dispatched: u64,
+    /// Stale wakeups the engine skipped.
+    pub stale_events: u64,
+}
+
+/// Accumulated pool telemetry for the whole process: one entry per job
+/// across every `run_jobs` batch the invocation executed.
+#[derive(Debug, Clone, Default)]
+pub struct SweepTelemetry {
+    /// `run_jobs` batches executed.
+    pub batches: u64,
+    /// Sum of batch wall times, in milliseconds.
+    pub wall_ms: f64,
+    /// Per-worker busy time (ms), indexed by worker id.
+    pub busy_ms: Vec<f64>,
+    /// Per-job host-side timings, in completion-recording order.
+    pub jobs: Vec<JobTiming>,
+}
+
+impl SweepTelemetry {
+    /// Total stale-event rate across every job (0 when nothing dispatched).
+    pub fn stale_rate(&self) -> f64 {
+        let dispatched: u64 = self.jobs.iter().map(|j| j.events_dispatched).sum();
+        let stale: u64 = self.jobs.iter().map(|j| j.stale_events).sum();
+        if dispatched == 0 {
+            0.0
+        } else {
+            stale as f64 / dispatched as f64
+        }
+    }
+
+    /// Per-worker utilization: busy time over accumulated batch wall time.
+    pub fn utilization(&self) -> Vec<f64> {
+        self.busy_ms
+            .iter()
+            .map(|&b| {
+                if self.wall_ms > 0.0 {
+                    b / self.wall_ms
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+
+fn telemetry() -> &'static Mutex<SweepTelemetry> {
+    static T: OnceLock<Mutex<SweepTelemetry>> = OnceLock::new();
+    T.get_or_init(|| Mutex::new(SweepTelemetry::default()))
+}
+
+/// Arms (or disarms) the live stderr progress line for subsequent batches.
+pub fn set_progress(on: bool) {
+    PROGRESS.store(on, Ordering::Relaxed);
+}
+
+/// Takes the telemetry accumulated so far, leaving the accumulator empty.
+pub fn drain_telemetry() -> SweepTelemetry {
+    std::mem::take(&mut *telemetry().lock().expect("telemetry mutex poisoned"))
+}
+
+/// Shared progress state of one in-flight batch.
+struct Progress {
+    started: Instant,
+    total: usize,
+    done: AtomicUsize,
+    /// What each worker is currently running (`None` = idle).
+    current: Vec<Mutex<Option<String>>>,
+}
+
+impl Progress {
+    fn new(total: usize, workers: usize) -> Self {
+        Progress {
+            started: Instant::now(),
+            total,
+            done: AtomicUsize::new(0),
+            current: (0..workers).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    fn begin(&self, worker: usize, label: &str) {
+        *self.current[worker]
+            .lock()
+            .expect("progress mutex poisoned") = Some(label.to_string());
+        self.render();
+    }
+
+    fn finish(&self, worker: usize) {
+        self.done.fetch_add(1, Ordering::Relaxed);
+        *self.current[worker]
+            .lock()
+            .expect("progress mutex poisoned") = None;
+        self.render();
+    }
+
+    fn render(&self) {
+        if !PROGRESS.load(Ordering::Relaxed) {
+            return;
+        }
+        let done = self.done.load(Ordering::Relaxed);
+        let mut running = 0usize;
+        let mut states = String::new();
+        for (i, slot) in self.current.iter().enumerate() {
+            let cur = slot.lock().expect("progress mutex poisoned");
+            match cur.as_deref() {
+                Some(label) => {
+                    running += 1;
+                    states.push_str(&format!(" w{i}:{label}"));
+                }
+                None => states.push_str(&format!(" w{i}:idle")),
+            }
+        }
+        let queued = self.total - done - running;
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let eta = if done > 0 {
+            format!("{:.1}s", elapsed / done as f64 * (self.total - done) as f64)
+        } else {
+            "?".to_string()
+        };
+        // \r keeps it a single live line; \x1b[K clears the tail of a
+        // longer previous render.
+        eprint!(
+            "\r[sweep] {done}/{} done, {running} running, {queued} queued, eta {eta} |{states}\x1b[K",
+            self.total
+        );
+    }
+
+    fn close(&self) {
+        if PROGRESS.load(Ordering::Relaxed) {
+            eprintln!();
+        }
+    }
+}
+
 fn exec(job: SweepJob) -> SweepRun {
     let SweepJob {
         fig,
@@ -81,48 +240,95 @@ fn exec(job: SweepJob) -> SweepRun {
     }
 }
 
+/// Runs one job under the batch's progress/telemetry instrumentation.
+fn exec_timed(job: SweepJob, worker: usize, batch_start: Instant, progress: &Progress) -> SweepRun {
+    let label = format!("{}/{}/{}", job.fig, job.bench, job.tag);
+    progress.begin(worker, &label);
+    let queue_ms = batch_start.elapsed().as_secs_f64() * 1e3;
+    let started = Instant::now();
+    let run = exec(job);
+    let run_ms = started.elapsed().as_secs_f64() * 1e3;
+    progress.finish(worker);
+    let mut t = telemetry().lock().expect("telemetry mutex poisoned");
+    if t.busy_ms.len() <= worker {
+        t.busy_ms.resize(worker + 1, 0.0);
+    }
+    t.busy_ms[worker] += run_ms;
+    t.jobs.push(JobTiming {
+        label,
+        queue_ms,
+        run_ms,
+        worker,
+        events_dispatched: run.result.engine.events_dispatched,
+        stale_events: run.result.engine.stale_events,
+    });
+    run
+}
+
 /// Runs `jobs` on up to `threads` workers, returning results in submission
 /// order. `threads <= 1` executes inline on the calling thread (the serial
 /// reference behaviour); either way the returned order — and therefore
 /// everything rendered from it — is identical.
 pub fn run_jobs(jobs: Vec<SweepJob>, threads: usize) -> Vec<SweepRun> {
     let n = jobs.len();
-    if threads <= 1 || n <= 1 {
-        return jobs.into_iter().map(exec).collect();
+    if n == 0 {
+        return Vec::new();
     }
-    // Hand-rolled fan-out: a shared cursor deals jobs to workers in index
-    // order; each finished run is stored in its own slot. No job or result
-    // is ever shared between two threads, and slot `i` always holds job
-    // `i`'s result, whatever the completion order was.
-    let cursor = AtomicUsize::new(0);
-    let pending: Vec<Mutex<Option<SweepJob>>> =
-        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let slots: Vec<Mutex<Option<SweepRun>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..threads.min(n) {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let job = pending[i]
-                    .lock()
-                    .expect("job mutex poisoned")
-                    .take()
-                    .expect("each job index is claimed exactly once");
-                let done = exec(job);
-                *slots[i].lock().expect("slot mutex poisoned") = Some(done);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("slot mutex poisoned")
-                .expect("worker filled every claimed slot")
-        })
-        .collect()
+    let batch_start = Instant::now();
+    let out = if threads <= 1 || n <= 1 {
+        let progress = Progress::new(n, 1);
+        let runs = jobs
+            .into_iter()
+            .map(|j| exec_timed(j, 0, batch_start, &progress))
+            .collect();
+        progress.close();
+        runs
+    } else {
+        // Hand-rolled fan-out: a shared cursor deals jobs to workers in index
+        // order; each finished run is stored in its own slot. No job or result
+        // is ever shared between two threads, and slot `i` always holds job
+        // `i`'s result, whatever the completion order was.
+        let workers = threads.min(n);
+        let progress = Progress::new(n, workers);
+        let cursor = AtomicUsize::new(0);
+        let pending: Vec<Mutex<Option<SweepJob>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let slots: Vec<Mutex<Option<SweepRun>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let progress = &progress;
+                let cursor = &cursor;
+                let pending = &pending;
+                let slots = &slots;
+                s.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let job = pending[i]
+                        .lock()
+                        .expect("job mutex poisoned")
+                        .take()
+                        .expect("each job index is claimed exactly once");
+                    let done = exec_timed(job, w, batch_start, progress);
+                    *slots[i].lock().expect("slot mutex poisoned") = Some(done);
+                });
+            }
+        });
+        progress.close();
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("slot mutex poisoned")
+                    .expect("worker filled every claimed slot")
+            })
+            .collect()
+    };
+    let mut t = telemetry().lock().expect("telemetry mutex poisoned");
+    t.batches += 1;
+    t.wall_ms += batch_start.elapsed().as_secs_f64() * 1e3;
+    out
 }
 
 #[cfg(test)]
@@ -168,5 +374,30 @@ mod tests {
     fn zero_and_one_thread_run_inline() {
         assert_eq!(run_jobs(tiny_jobs(2), 0).len(), 2);
         assert_eq!(run_jobs(Vec::new(), 8).len(), 0);
+    }
+
+    #[test]
+    fn telemetry_records_every_job() {
+        let n = 4;
+        let runs = run_jobs(tiny_jobs(n), 2);
+        assert_eq!(runs.len(), n);
+        // The accumulator is process-global and other tests run
+        // concurrently in this binary, so assert on lower bounds and on
+        // this test's own labels rather than exact totals.
+        let t = drain_telemetry();
+        assert!(t.batches >= 1);
+        assert!(t.wall_ms >= 0.0);
+        let mine: Vec<&JobTiming> = t
+            .jobs
+            .iter()
+            .filter(|j| j.label.starts_with("test/Linked list/job"))
+            .collect();
+        assert!(mine.len() >= n, "{} timed jobs", mine.len());
+        for j in mine {
+            assert!(j.run_ms >= 0.0 && j.queue_ms >= 0.0, "{}", j.label);
+            assert!(j.events_dispatched > 0, "{}", j.label);
+        }
+        assert!(!t.utilization().is_empty());
+        assert!((0.0..=1.0).contains(&t.stale_rate()));
     }
 }

@@ -73,6 +73,7 @@ pub fn run(scale: &Scale, out: &mut Vec<SimReport>) -> Json {
         st.ms.hier.stats.clone(),
         st.omgr.stats.clone(),
         engine,
+        m.run_hists(),
     );
     rep.trace = Some(TraceCounts {
         records: records.len() as u64,

@@ -49,6 +49,7 @@ fn run_to_json(plan: FaultPlan) -> String {
         r.mem.clone(),
         r.ostats.clone(),
         r.engine,
+        r.hists.clone(),
     );
     report.validate().expect("report invariants hold");
     report.to_json().to_pretty()

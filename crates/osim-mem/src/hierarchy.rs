@@ -5,7 +5,7 @@ use crate::cache::{Cache, CacheCfg, LineKind, Mesi};
 use crate::events::{EventLog, MemEvent, MemEventKind};
 use crate::fxhash::FxHashMap;
 use crate::line_of;
-use crate::stats::MemStats;
+use crate::stats::{MemHists, MemStats};
 
 /// Which L1s hold a copy of one line, as a core bitmask, plus the single
 /// core (if any) holding it Modified. A pure host-side acceleration
@@ -107,6 +107,8 @@ pub struct Hierarchy {
     l2: Cache,
     /// Counters; `reset` between warm-up and measurement phases.
     pub stats: MemStats,
+    /// Latency distributions; `reset` alongside [`Hierarchy::stats`].
+    pub hists: MemHists,
     /// Observable event stream (disabled by default; enable by replacing
     /// with [`EventLog::with_capacity`]). Observation-only: logging never
     /// changes access latencies.
@@ -139,6 +141,7 @@ impl Hierarchy {
             l1s,
             l2,
             stats,
+            hists: MemHists::default(),
             events: EventLog::disabled(),
             clock: 0,
             data_dir: FxHashMap::with_capacity_and_hasher(l1_lines_total, Default::default()),
@@ -249,6 +252,10 @@ impl Hierarchy {
             } else {
                 self.stats.l1_read_hits[core] += 1;
             }
+            self.hists.l1_access.record(self.cfg.l1.hit_latency);
+            if is_write && state == Mesi::Shared {
+                self.hists.coherence_delay.record(self.cfg.l1.hit_latency);
+            }
             self.events.push(MemEvent {
                 cycle: self.clock,
                 core,
@@ -299,6 +306,9 @@ impl Hierarchy {
             (Level::RemoteL1, self.cfg.l2.hit_latency)
         } else if self.l2.probe(line, LineKind::Data).is_some() {
             if is_write {
+                if self.data_sharers_except(core, line) != 0 {
+                    self.hists.coherence_delay.record(self.cfg.l2.hit_latency);
+                }
                 self.invalidate_others(core, line);
             }
             (Level::L2, self.cfg.l2.hit_latency)
@@ -313,6 +323,10 @@ impl Hierarchy {
         };
         if level == Level::L2 {
             self.stats.l2_hits += 1;
+        }
+        self.hists.l2_access.record(latency);
+        if level == Level::RemoteL1 {
+            self.hists.coherence_delay.record(latency);
         }
 
         // Fill the local L1 unless the caller asked not to pollute it.

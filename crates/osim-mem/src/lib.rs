@@ -41,7 +41,7 @@ pub use hierarchy::{AccessKind, AccessResult, Hierarchy, HierarchyCfg, Level};
 pub use inject::{FaultPlan, Injector, PoolShrink};
 pub use page::{PageFlags, PageTable, WalkEvent, PAGE_SIZE};
 pub use phys::PhysMem;
-pub use stats::MemStats;
+pub use stats::{MemHists, MemStats};
 
 /// The full memory system of one simulated machine, bundled so the
 /// O-structure manager and the cores can thread it through their operations.

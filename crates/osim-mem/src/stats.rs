@@ -1,5 +1,32 @@
 //! Memory-system statistics.
 
+use osim_metrics::Histogram;
+
+/// Latency distributions recorded by the [`crate::Hierarchy`] alongside
+/// the [`MemStats`] counters. Values are simulated cycles, so the
+/// contents are deterministic and scheduler-invariant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemHists {
+    /// Latencies of accesses satisfied by the local L1.
+    pub l1_access: Histogram,
+    /// Latencies of accesses that missed the L1 (remote-L1 forward, L2
+    /// hit, or DRAM fill — the miss-path service time).
+    pub l2_access: Histogram,
+    /// Latencies of accesses whose service required a coherence action:
+    /// an S→M upgrade, a dirty remote-L1 forward, or a write reaching a
+    /// line other cores still share.
+    pub coherence_delay: Histogram,
+}
+
+impl MemHists {
+    /// Clears all three histograms.
+    pub fn reset(&mut self) {
+        self.l1_access.reset();
+        self.l2_access.reset();
+        self.coherence_delay.reset();
+    }
+}
+
 /// Counters accumulated by the [`crate::Hierarchy`].
 ///
 /// `l1_*` counters are per-core (indexed by core id); the shared-level

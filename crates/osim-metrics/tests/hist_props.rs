@@ -1,0 +1,72 @@
+//! Property tests for the histogram invariants the compare tooling
+//! relies on: merge commutes and conserves counts, quantiles stay
+//! monotone and inside the recorded range, and JSON round-trips.
+
+use osim_metrics::Histogram;
+use proptest::prelude::*;
+
+fn sample() -> impl Strategy<Value = u64> {
+    prop_oneof![0u64..64, 16u64..4096, 1u64 << 20..1 << 44, Just(u64::MAX),]
+}
+
+proptest! {
+    #[test]
+    fn merge_commutes_and_conserves_count(
+        xs in proptest::collection::vec(sample(), 0..64),
+        ys in proptest::collection::vec(sample(), 0..64),
+    ) {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &v in &xs { a.record(v); }
+        for &v in &ys { b.record(v); }
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.count(), (xs.len() + ys.len()) as u64);
+
+        // Merge equals recording the concatenation directly.
+        let mut all = Histogram::new();
+        for &v in xs.iter().chain(ys.iter()) { all.record(v); }
+        prop_assert_eq!(&ab, &all);
+    }
+
+    #[test]
+    fn quantiles_monotone_and_bounded(xs in proptest::collection::vec(sample(), 1..128)) {
+        let mut h = Histogram::new();
+        for &v in &xs { h.record(v); }
+        let lo = *xs.iter().min().unwrap();
+        let hi = *xs.iter().max().unwrap();
+        prop_assert_eq!(h.min(), lo);
+        prop_assert_eq!(h.max(), hi);
+        let mut prev = 0u64;
+        for i in 0..=16 {
+            let q = h.quantile(i as f64 / 16.0);
+            prop_assert!(q >= prev, "quantile dipped: {} < {}", q, prev);
+            prop_assert!(q >= lo && q <= hi, "quantile {} outside [{}, {}]", q, lo, hi);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn bucket_value_within_relative_error(v in 16u64..(1 << 38)) {
+        let mut h = Histogram::new();
+        h.record(v);
+        // A single sample's p100 equals the exact value (clamped to max),
+        // and its bucket bounds contain it with <= 12.5% width.
+        prop_assert_eq!(h.quantile(1.0), v);
+        prop_assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    // Bounded samples: the JSON writer (like the rest of the report
+    // stack) carries integers as f64 and clamps sums at 2^53.
+    fn json_round_trips(xs in proptest::collection::vec(0u64..(1 << 44), 0..64)) {
+        let mut h = Histogram::new();
+        for &v in &xs { h.record(v); }
+        let back = Histogram::from_json(&h.to_json()).unwrap();
+        prop_assert_eq!(back, h);
+    }
+}

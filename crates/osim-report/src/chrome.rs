@@ -65,6 +65,21 @@ pub fn chrome_trace(
 ) -> Json {
     let mut events: Vec<Json> = Vec::new();
 
+    // Last timestamp any stream reaches: counter tracks flush a final
+    // sample here. Perfetto clips a counter series at its last sample, so
+    // a counter that stops emitting mid-run reads as truncated (or worse,
+    // as having dropped to nothing) even though the value simply stopped
+    // changing.
+    let run_end = ops
+        .iter()
+        .map(|r| r.end)
+        .chain(mem.iter().map(|e| e.cycle))
+        .chain(mvm.iter().map(|e| e.cycle))
+        .chain(deps.iter().map(|d| d.woken_at))
+        .chain(samples.iter().map(|s| s.at))
+        .max()
+        .unwrap_or(0);
+
     for (pid, name) in [
         (PID_CORES, "cores"),
         (PID_TASKS, "tasks"),
@@ -103,22 +118,21 @@ pub fn chrome_trace(
 
     // Cumulative per-core stalled-op cycles as counter tracks (one series
     // per core, fed by the already-collected per-op stall attribution).
-    let mut stalled_cum: BTreeMap<usize, u64> = BTreeMap::new();
+    // `(cumulative, last emitted ts)` per core, so the final flush below
+    // knows which series already reach the end of the run.
+    let mut stalled_cum: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
     for r in ops {
         if r.stall.is_some() {
-            let cum = stalled_cum.entry(r.core).or_insert(0);
-            *cum += r.end - r.start;
-            events.push(obj(vec![
-                (
-                    "name",
-                    Json::Str(clean_name(&format!("core {} stalled cycles", r.core))),
-                ),
-                ("ph", Json::Str("C".into())),
-                ("ts", Json::from_u64(r.end)),
-                ("pid", Json::from_u64(PID_CORES)),
-                ("tid", Json::from_u64(r.core as u64)),
-                ("args", obj(vec![("value", Json::from_u64(*cum))])),
-            ]));
+            let e = stalled_cum.entry(r.core).or_insert((0, 0));
+            e.0 += r.end - r.start;
+            e.1 = r.end;
+            events.push(core_stall_counter(r.core, r.end, e.0));
+        }
+    }
+    // Final flush sample at run end for every stall-counter series.
+    for (&core, &(cum, last_ts)) in &stalled_cum {
+        if last_ts < run_end {
+            events.push(core_stall_counter(core, run_end, cum));
         }
     }
 
@@ -267,45 +281,14 @@ pub fn chrome_trace(
         }
     }
 
-    // Interval-telemetry counter tracks.
+    // Interval-telemetry counter tracks, with a final flush sample at run
+    // end repeating the last values so the series span the whole trace.
     for s in samples {
-        let stall_series: Vec<(&str, Json)> = osim_cpu::StallCause::ALL
-            .iter()
-            .map(|c| (c.name(), Json::from_u64(s.stalls[c.index()])))
-            .collect();
-        for (name, args) in [
-            (
-                "instructions",
-                vec![("value", Json::from_u64(s.instructions))],
-            ),
-            ("stalls", stall_series),
-            (
-                "free_blocks",
-                vec![("value", Json::from_u64(s.free_blocks))],
-            ),
-            (
-                "l1",
-                vec![
-                    ("hits", Json::from_u64(s.l1_hits)),
-                    ("misses", Json::from_u64(s.l1_misses)),
-                ],
-            ),
-            (
-                "l2",
-                vec![
-                    ("hits", Json::from_u64(s.l2_hits)),
-                    ("misses", Json::from_u64(s.l2_misses)),
-                ],
-            ),
-        ] {
-            events.push(obj(vec![
-                ("name", Json::Str(clean_name(name))),
-                ("ph", Json::Str("C".into())),
-                ("ts", Json::from_u64(s.at)),
-                ("pid", Json::from_u64(PID_TELEMETRY)),
-                ("tid", Json::from_u64(0)),
-                ("args", obj(args)),
-            ]));
+        telemetry_counters(s, s.at, &mut events);
+    }
+    if let Some(last) = samples.last() {
+        if last.at < run_end {
+            telemetry_counters(last, run_end, &mut events);
         }
     }
 
@@ -313,6 +296,63 @@ pub fn chrome_trace(
         ("displayTimeUnit", Json::Str("ns".into())),
         ("traceEvents", Json::Arr(events)),
     ])
+}
+
+/// One sample of a per-core cumulative stalled-cycles counter track.
+fn core_stall_counter(core: usize, ts: u64, value: u64) -> Json {
+    obj(vec![
+        (
+            "name",
+            Json::Str(clean_name(&format!("core {core} stalled cycles"))),
+        ),
+        ("ph", Json::Str("C".into())),
+        ("ts", Json::from_u64(ts)),
+        ("pid", Json::from_u64(PID_CORES)),
+        ("tid", Json::from_u64(core as u64)),
+        ("args", obj(vec![("value", Json::from_u64(value))])),
+    ])
+}
+
+/// The five interval-telemetry counter events of one sample, stamped `ts`.
+fn telemetry_counters(s: &Sample, ts: u64, events: &mut Vec<Json>) {
+    let stall_series: Vec<(&str, Json)> = osim_cpu::StallCause::ALL
+        .iter()
+        .map(|c| (c.name(), Json::from_u64(s.stalls[c.index()])))
+        .collect();
+    for (name, args) in [
+        (
+            "instructions",
+            vec![("value", Json::from_u64(s.instructions))],
+        ),
+        ("stalls", stall_series),
+        (
+            "free_blocks",
+            vec![("value", Json::from_u64(s.free_blocks))],
+        ),
+        (
+            "l1",
+            vec![
+                ("hits", Json::from_u64(s.l1_hits)),
+                ("misses", Json::from_u64(s.l1_misses)),
+            ],
+        ),
+        (
+            "l2",
+            vec![
+                ("hits", Json::from_u64(s.l2_hits)),
+                ("misses", Json::from_u64(s.l2_misses)),
+            ],
+        ),
+    ] {
+        events.push(obj(vec![
+            ("name", Json::Str(clean_name(name))),
+            ("ph", Json::Str("C".into())),
+            ("ts", Json::from_u64(ts)),
+            ("pid", Json::from_u64(PID_TELEMETRY)),
+            ("tid", Json::from_u64(0)),
+            ("args", obj(args)),
+        ]));
+    }
 }
 
 fn gc_phase(start: u64, end: u64, boundary: u32, pending: u32, reclaimed: Option<u32>) -> Json {
@@ -500,6 +540,62 @@ mod tests {
         assert_eq!(free.get("pid").and_then(Json::as_u64), Some(PID_TELEMETRY));
         assert_eq!(
             free.get("args")
+                .unwrap()
+                .get("value")
+                .and_then(Json::as_u64),
+            Some(99)
+        );
+    }
+
+    #[test]
+    fn counter_tracks_flush_at_run_end() {
+        // The stalled op ends at 200 and the last telemetry sample sits at
+        // 1000, but a mem event stretches the run to 5000: every counter
+        // series must emit a final sample there or Perfetto renders it
+        // truncated.
+        let ops = vec![op(1, 2, 20, 200, Some(StallCause::MissingVersion))];
+        let mem = vec![MemEvent {
+            cycle: 5000,
+            core: 0,
+            pa: 0x8000,
+            kind: MemEventKind::Access {
+                kind: osim_mem::AccessKind::Read,
+                level: Level::Dram,
+                latency: 120,
+            },
+        }];
+        let samples = vec![Sample {
+            at: 1000,
+            instructions: 42,
+            stalls: [5, 0, 0, 0],
+            free_blocks: 99,
+            l1_hits: 7,
+            l1_misses: 1,
+            l2_hits: 2,
+            l2_misses: 1,
+        }];
+        let doc = chrome_trace(&ops, &mem, &[], &[], &samples);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let series = |name: &str| -> Vec<u64> {
+            events
+                .iter()
+                .filter(|e| e.get("name").and_then(Json::as_str) == Some(name))
+                .map(|e| e.get("ts").and_then(Json::as_u64).unwrap())
+                .collect()
+        };
+        // Each counter series ends with a flush sample at the run end,
+        // repeating the last value.
+        let stall_ts = series("core 1 stalled cycles");
+        assert_eq!(stall_ts, vec![200, 5000]);
+        let free_ts = series("free_blocks");
+        assert_eq!(free_ts, vec![1000, 5000]);
+        let last_free = events
+            .iter()
+            .rfind(|e| e.get("name").and_then(Json::as_str) == Some("free_blocks"))
+            .unwrap();
+        assert_eq!(
+            last_free
+                .get("args")
                 .unwrap()
                 .get("value")
                 .and_then(Json::as_u64),

@@ -1,478 +1,8 @@
-//! A small self-contained JSON model, writer, and parser.
+//! Re-export of the shared JSON model.
 //!
-//! The build environment has no crates.io access, so serde is not
-//! available; this module covers what the report and trace exporters
-//! need: building values, pretty/compact writing, and parsing them back
-//! for round-trip tests. Object member order is preserved (members are a
-//! `Vec`, not a map), so written output is deterministic.
+//! The value model, writer, and parser moved to `osim-metrics::json` so
+//! the metrics layer (which sits below this crate) can serialize with the
+//! same conventions; this alias keeps the historical `osim_report::json`
+//! paths working.
 
-use std::fmt::Write as _;
-
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    Null,
-    Bool(bool),
-    /// All numbers are carried as `f64`; the counters this crate reports
-    /// stay far below 2^53, so the mantissa is exact for them.
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    pub fn from_u64(n: u64) -> Json {
-        debug_assert!(n < (1 << 53), "u64 {n} not exactly representable");
-        Json::Num(n as f64)
-    }
-
-    /// Looks up an object member by key.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
-            _ => None,
-        }
-    }
-
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
-        match self {
-            Json::Obj(members) => Some(members),
-            _ => None,
-        }
-    }
-
-    /// Compact single-line rendering.
-    pub fn to_compact(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, None, 0);
-        out
-    }
-
-    /// Two-space-indented rendering ending without a newline.
-    pub fn to_pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, Some(2), 0);
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(n) => write_num(out, *n),
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
-                    items[i].write(out, indent, d)
-                })
-            }
-            Json::Obj(members) => {
-                write_seq(out, indent, depth, '{', '}', members.len(), |out, i, d| {
-                    let (k, v) = &members[i];
-                    write_escaped(out, k);
-                    out.push(':');
-                    if indent.is_some() {
-                        out.push(' ');
-                    }
-                    v.write(out, indent, d)
-                })
-            }
-        }
-    }
-}
-
-fn write_num(out: &mut String, n: f64) {
-    if n.fract() == 0.0 && n.abs() < 1e15 {
-        let _ = write!(out, "{}", n as i64);
-    } else {
-        let _ = write!(out, "{n}");
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn write_seq(
-    out: &mut String,
-    indent: Option<usize>,
-    depth: usize,
-    open: char,
-    close: char,
-    len: usize,
-    mut item: impl FnMut(&mut String, usize, usize),
-) {
-    out.push(open);
-    if len == 0 {
-        out.push(close);
-        return;
-    }
-    for i in 0..len {
-        if i > 0 {
-            out.push(',');
-        }
-        if let Some(width) = indent {
-            out.push('\n');
-            for _ in 0..(depth + 1) * width {
-                out.push(' ');
-            }
-        }
-        item(out, i, depth + 1);
-    }
-    if let Some(width) = indent {
-        out.push('\n');
-        for _ in 0..depth * width {
-            out.push(' ');
-        }
-    }
-    out.push(close);
-}
-
-/// Where and why parsing failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseError {
-    /// Byte offset of the failure in the input.
-    pub at: usize,
-    pub msg: &'static str,
-}
-
-impl std::fmt::Display for ParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.at, self.msg)
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-/// Parses one JSON document; trailing non-whitespace is an error.
-pub fn parse(input: &str) -> Result<Json, ParseError> {
-    let mut p = Parser {
-        bytes: input.as_bytes(),
-        pos: 0,
-    };
-    p.skip_ws();
-    let value = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(p.err("trailing characters after document"));
-    }
-    Ok(value)
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn err(&self, msg: &'static str) -> ParseError {
-        ParseError { at: self.pos, msg }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err("unexpected character"))
-        }
-    }
-
-    fn literal(&mut self, text: &str, value: Json) -> Result<Json, ParseError> {
-        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
-            self.pos += text.len();
-            Ok(value)
-        } else {
-            Err(self.err("invalid literal"))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, ParseError> {
-        match self.peek() {
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(self.err("expected a value")),
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'{')?;
-        let mut members = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(members));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            members.push((key, self.value()?));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(members));
-                }
-                _ => return Err(self.err("expected ',' or '}'")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
-        let mut s = String::new();
-        loop {
-            let start = self.pos;
-            // Run of plain bytes, copied as one UTF-8 chunk.
-            while !matches!(self.peek(), None | Some(b'"' | b'\\')) && self.bytes[self.pos] >= 0x20
-            {
-                self.pos += 1;
-            }
-            s.push_str(
-                std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
-            );
-            match self.peek() {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(s);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => s.push('"'),
-                        b'\\' => s.push('\\'),
-                        b'/' => s.push('/'),
-                        b'n' => s.push('\n'),
-                        b'r' => s.push('\r'),
-                        b't' => s.push('\t'),
-                        b'b' => s.push('\u{8}'),
-                        b'f' => s.push('\u{c}'),
-                        b'u' => {
-                            let code = self.hex4()?;
-                            // Surrogate pairs are not needed by our own
-                            // output; reject rather than mis-decode.
-                            let c = char::from_u32(code)
-                                .ok_or_else(|| self.err("unsupported \\u escape"))?;
-                            s.push(c);
-                        }
-                        _ => return Err(self.err("invalid escape")),
-                    }
-                }
-                _ => return Err(self.err("unterminated string")),
-            }
-        }
-    }
-
-    fn hex4(&mut self) -> Result<u32, ParseError> {
-        let mut code = 0u32;
-        for _ in 0..4 {
-            let digit = match self.peek() {
-                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
-                Some(b @ b'a'..=b'f') => (b - b'a') as u32 + 10,
-                Some(b @ b'A'..=b'F') => (b - b'A') as u32 + 10,
-                _ => return Err(self.err("invalid \\u escape")),
-            };
-            code = code * 16 + digit;
-            self.pos += 1;
-        }
-        Ok(code)
-    }
-
-    fn number(&mut self) -> Result<Json, ParseError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(
-            self.peek(),
-            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-        ) {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("invalid number"))
-    }
-}
-
-/// Convenience for building objects in declaration order.
-pub fn obj(members: Vec<(&str, Json)>) -> Json {
-    Json::Obj(
-        members
-            .into_iter()
-            .map(|(k, v)| (k.to_string(), v))
-            .collect(),
-    )
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn round_trips_compact_and_pretty() {
-        let v = obj(vec![
-            ("name", Json::Str("fig6 \"quoted\"\n".into())),
-            ("count", Json::from_u64(123456789)),
-            ("ratio", Json::Num(0.25)),
-            ("ok", Json::Bool(true)),
-            ("missing", Json::Null),
-            (
-                "rows",
-                Json::Arr(vec![Json::from_u64(1), Json::from_u64(2)]),
-            ),
-            ("empty_obj", Json::Obj(vec![])),
-            ("empty_arr", Json::Arr(vec![])),
-        ]);
-        assert_eq!(parse(&v.to_compact()).unwrap(), v);
-        assert_eq!(parse(&v.to_pretty()).unwrap(), v);
-    }
-
-    #[test]
-    fn accessors() {
-        let v = parse(r#"{"a": 3, "b": [1, 2.5], "c": "x", "d": false}"#).unwrap();
-        assert_eq!(v.get("a").unwrap().as_u64(), Some(3));
-        assert_eq!(v.get("b").unwrap().as_arr().unwrap().len(), 2);
-        assert_eq!(v.get("b").unwrap().as_arr().unwrap()[1].as_f64(), Some(2.5));
-        assert_eq!(v.get("b").unwrap().as_arr().unwrap()[1].as_u64(), None);
-        assert_eq!(v.get("c").unwrap().as_str(), Some("x"));
-        assert_eq!(v.get("d").unwrap().as_bool(), Some(false));
-        assert!(v.get("zzz").is_none());
-    }
-
-    #[test]
-    fn parses_nested_and_whitespace() {
-        let v = parse(" { \"a\" : [ { \"b\" : null } , true ] } ").unwrap();
-        let inner = v.get("a").unwrap().as_arr().unwrap();
-        assert_eq!(inner[0].get("b"), Some(&Json::Null));
-        assert_eq!(inner[1].as_bool(), Some(true));
-    }
-
-    #[test]
-    fn rejects_malformed() {
-        for bad in [
-            "",
-            "{",
-            "[1,]",
-            "{\"a\":}",
-            "tru",
-            "\"abc",
-            "1 2",
-            "{\"a\" 1}",
-        ] {
-            assert!(parse(bad).is_err(), "accepted: {bad}");
-        }
-    }
-
-    #[test]
-    fn unicode_escapes() {
-        let v = parse(r#""tab\tA""#).unwrap();
-        assert_eq!(v.as_str(), Some("tab\tA"));
-        let ctl = Json::Str("\u{1}".into());
-        assert_eq!(ctl.to_compact(), r#""\u0001""#);
-        assert_eq!(parse(&ctl.to_compact()).unwrap(), ctl);
-    }
-
-    #[test]
-    fn negative_and_exponent_numbers() {
-        assert_eq!(parse("-17").unwrap().as_f64(), Some(-17.0));
-        assert_eq!(parse("2e3").unwrap().as_u64(), Some(2000));
-        assert_eq!(parse("-17").unwrap().as_u64(), None);
-    }
-}
+pub use osim_metrics::json::*;

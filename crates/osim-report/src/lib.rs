@@ -13,10 +13,12 @@
 //!   the cross-layer event logs.
 
 pub mod chrome;
+pub mod compare;
 pub mod critpath;
 pub mod json;
 mod report;
 
 pub use chrome::chrome_trace;
+pub use compare::{compare, Attribution, CounterDelta, HistDelta, ReportDiff};
 pub use critpath::{Contender, CoreWait, CritPath, Segment};
-pub use report::{ReportScale, SimReport, TraceCounts, SCHEMA_VERSION};
+pub use report::{ReportScale, SimReport, TraceCounts, MIN_SCHEMA_VERSION, SCHEMA_VERSION};

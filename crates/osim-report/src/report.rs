@@ -1,7 +1,7 @@
 //! The unified run report: one simulation's configuration, workload
 //! scale, and the statistics snapshot of every layer, as one JSON value.
 
-use osim_cpu::{CoreStats, CpuStats, EngineStats, MachineCfg, Sample, StallCause};
+use osim_cpu::{CoreStats, CpuStats, EngineStats, MachineCfg, RunHists, Sample, StallCause};
 use osim_mem::MemStats;
 use osim_uarch::OStats;
 
@@ -30,7 +30,20 @@ use crate::json::{obj, Json};
 /// segment tiling, top contended structures, and per-core serialization.
 /// `trace` grows six counters for the new capture rings (`pt_walks`/
 /// `pt_dropped`, `dep_edges`/`dep_dropped`, `samples`/`samples_dropped`).
-pub const SCHEMA_VERSION: u64 = 4;
+///
+/// v5: fleet telemetry. `hist` — eight log-bucketed latency histograms
+/// spanning every layer (`gate_wait`, `wake_fanout`, `version_walk`,
+/// `gc_pause`, `l1_access`, `l2_access`, `coherence_delay`,
+/// `run_quantum`), each serialized sparsely as
+/// `{count, sum, min, max, buckets: [[index, n], ...]}`. All record
+/// simulated-cycle quantities, so the section is deterministic and
+/// scheduler-invariant. The reader is forward-compatible: v4 documents
+/// still parse, with `hist` defaulting to empty.
+pub const SCHEMA_VERSION: u64 = 5;
+
+/// Oldest schema version [`SimReport::from_json`] still accepts. v4
+/// reports predate the `hist` section; everything else is unchanged.
+pub const MIN_SCHEMA_VERSION: u64 = 4;
 
 /// Workload sizes of the run (mirrors the experiment harness's scale).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +136,9 @@ pub struct SimReport {
     pub ostats: OStats,
     /// Engine dispatch-loop counters (scheduler-invariant).
     pub engine: EngineStats,
+    /// Latency histograms from every layer (empty on reports parsed from
+    /// pre-v5 documents).
+    pub hists: RunHists,
     /// Trace-buffer occupancy, when tracing was enabled.
     pub trace: Option<TraceCounts>,
     /// Interval-telemetry samples (empty when the sampler was off).
@@ -146,6 +162,7 @@ impl SimReport {
         mem: MemStats,
         ostats: OStats,
         engine: EngineStats,
+        hists: RunHists,
     ) -> Self {
         SimReport {
             experiment: experiment.to_string(),
@@ -166,6 +183,7 @@ impl SimReport {
             mem,
             ostats,
             engine,
+            hists,
             trace: None,
             timeseries: Vec::new(),
             critpath: None,
@@ -313,6 +331,13 @@ impl SimReport {
             ),
             ("stale_events", Json::from_u64(self.engine.stale_events)),
         ]);
+        let hist = Json::Obj(
+            self.hists
+                .named()
+                .iter()
+                .map(|(name, h)| (name.to_string(), h.to_json()))
+                .collect(),
+        );
         let trace = match &self.trace {
             None => Json::Null,
             Some(t) => obj(vec![
@@ -397,6 +422,7 @@ impl SimReport {
             ("mem", mem),
             ("mvm", mvm),
             ("engine", engine),
+            ("hist", hist),
             ("trace", trace),
             ("timeseries", Json::Arr(timeseries)),
             ("critpath", critpath),
@@ -406,7 +432,7 @@ impl SimReport {
     /// Parses a report back from its JSON form, verifying the schema.
     pub fn from_json(v: &Json) -> Result<SimReport, String> {
         let schema = req_u64(v, "schema")?;
-        if schema != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema) {
             return Err(format!("unsupported schema version {schema}"));
         }
         let config = v.get("config").ok_or("missing config")?;
@@ -488,6 +514,19 @@ impl SimReport {
             events_dispatched: req_u64(engine_v, "events_dispatched")?,
             stale_events: req_u64(engine_v, "stale_events")?,
         };
+        let mut hists = RunHists::default();
+        // v4 documents have no `hist` section; leave the default (empty).
+        if let Some(Json::Obj(members)) = v.get("hist") {
+            for (name, hv) in members {
+                let slot = hists
+                    .by_name_mut(name)
+                    .ok_or_else(|| format!("unknown histogram {name:?}"))?;
+                *slot = osim_metrics::Histogram::from_json(hv)
+                    .map_err(|e| format!("histogram {name:?}: {e}"))?;
+            }
+        } else if schema >= 5 {
+            return Err("missing hist".into());
+        }
         let trace = match v.get("trace") {
             None | Some(Json::Null) => None,
             Some(t) => Some(TraceCounts {
@@ -563,6 +602,7 @@ impl SimReport {
             mem,
             ostats,
             engine,
+            hists,
             trace,
             timeseries,
             critpath,
@@ -601,11 +641,11 @@ fn req_u64_arr(v: &Json, key: &str) -> Result<Vec<u64>, String> {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests_support {
     use super::*;
-    use crate::json::parse;
 
-    fn sample() -> SimReport {
+    /// A fully-populated report for serialization and diff tests.
+    pub(crate) fn sample_report() -> SimReport {
         let mut cpu = CpuStats::for_cores(2);
         cpu.instructions = 1000;
         cpu.versioned_ops = 64;
@@ -626,6 +666,13 @@ mod tests {
             gc_phases: 1,
             ..OStats::default()
         };
+        let mut hists = RunHists::default();
+        hists.gate_wait.record(120);
+        hists.gate_wait.record(500);
+        hists.wake_fanout.record(0);
+        hists.version_walk.record(48);
+        hists.l1_access.record(1);
+        hists.run_quantum.record(4096);
         let mut r = SimReport::new(
             "fig6",
             "Linked list",
@@ -646,6 +693,7 @@ mod tests {
                 events_dispatched: 4096,
                 stale_events: 3,
             },
+            hists,
         );
         r.trace = Some(TraceCounts {
             records: 99,
@@ -702,6 +750,16 @@ mod tests {
         ));
         r
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample() -> SimReport {
+        tests_support::sample_report()
+    }
 
     #[test]
     fn round_trips_through_json_text() {
@@ -722,6 +780,8 @@ mod tests {
         assert_eq!(back.ostats.stores, 12);
         assert_eq!(back.engine.events_dispatched, 4096);
         assert_eq!(back.engine.stale_events, 3);
+        assert_eq!(back.hists, r.hists);
+        assert_eq!(back.hists.gate_wait.count(), 2);
         assert_eq!(back.trace, r.trace);
         assert_eq!(back.timeseries, r.timeseries);
         assert_eq!(back.critpath, r.critpath);
@@ -760,6 +820,34 @@ mod tests {
     fn from_json_reports_missing_fields() {
         let v = parse("{\"schema\": 4}").unwrap();
         assert!(SimReport::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn parses_v4_fixture_without_hist_section() {
+        // A schema-4 document produced by the pre-v5 binary: must still
+        // load, with the histograms defaulting to empty.
+        let text = include_str!("../tests/fixtures/report_v4.json");
+        let back = SimReport::from_json(&parse(text).unwrap()).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.experiment, "fig7");
+        assert_eq!(back.hists, RunHists::default());
+        assert!(back.hists.gate_wait.is_empty());
+        // Re-serializing stamps the current schema and an empty hist
+        // section, which must round-trip.
+        let v = back.to_json();
+        assert_eq!(v.get("schema").and_then(Json::as_u64), Some(SCHEMA_VERSION));
+        let again = SimReport::from_json(&v).unwrap();
+        assert_eq!(again.hists, back.hists);
+    }
+
+    #[test]
+    fn v5_document_missing_hist_is_rejected() {
+        let r = sample();
+        let mut v = r.to_json();
+        if let Json::Obj(members) = &mut v {
+            members.retain(|(k, _)| k != "hist");
+        }
+        assert!(SimReport::from_json(&v).unwrap_err().contains("hist"));
     }
 
     #[test]

@@ -1,12 +1,12 @@
-//! Property tests for the critical-path analysis and the schema-v4
-//! report: whatever (possibly nonsensical) edge soup capture hands over,
+//! Property tests for the critical-path analysis and the report schema:
+//! whatever (possibly nonsensical) edge soup capture hands over,
 //! the extracted path must stay inside the measured window, its segments
 //! must tile it exactly with no gaps or overlaps, and a report carrying
 //! it must survive a JSON round-trip unchanged.
 
 use proptest::prelude::*;
 
-use osim_cpu::{CpuStats, DepEdge, EngineStats, MachineCfg, Sample, StallCause};
+use osim_cpu::{CpuStats, DepEdge, EngineStats, MachineCfg, RunHists, Sample, StallCause};
 use osim_mem::MemStats;
 use osim_report::json::parse;
 use osim_report::{CritPath, ReportScale, Segment, SimReport, TraceCounts};
@@ -101,10 +101,10 @@ proptest! {
         prop_assert_eq!(waits, cp.wait_cycles());
     }
 
-    /// A schema-v4 report carrying a critical path and timeseries
+    /// A current-schema report carrying a critical path and timeseries
     /// round-trips `to_json` → text → `from_json` exactly.
     #[test]
-    fn schema_v4_report_round_trips(
+    fn capture_report_round_trips(
         edges in proptest::collection::vec(edge_strategy(2048), 0..20),
         samples in proptest::collection::vec(
             (
@@ -128,6 +128,7 @@ proptest! {
             MemStats::default(),
             OStats::default(),
             EngineStats::default(),
+            RunHists::default(),
         );
         r.critpath = Some(CritPath::build(&edges, (0, cycles)));
         r.timeseries = samples

@@ -29,7 +29,8 @@ pub use compressed::CompressedLine;
 pub use osim_mem::{FaultPlan, Injector, PoolShrink};
 
 pub use manager::{
-    BlockReason, GcConfig, MvmEvent, MvmEventKind, OManager, OManagerCfg, OStats, OpOutcome,
+    BlockReason, GcConfig, MvmEvent, MvmEventKind, MvmHists, OManager, OManagerCfg, OStats,
+    OpOutcome,
 };
 pub use vblock::VBlock;
 

@@ -2,6 +2,7 @@
 //! Memory Version Manager's garbage collector (§III of the paper).
 
 use osim_mem::{FxHashMap, FxHashSet};
+use osim_metrics::Histogram;
 use std::collections::{BTreeSet, HashSet};
 
 use osim_mem::{
@@ -104,6 +105,27 @@ impl OStats {
     /// Resets all counters.
     pub fn reset(&mut self) {
         *self = OStats::default();
+    }
+}
+
+/// Latency distributions recorded by the manager alongside [`OStats`].
+/// Values are simulated cycles, so the contents are deterministic and
+/// scheduler-invariant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MvmHists {
+    /// Cycles charged per version-list walk (the `ReadNoAlloc` pointer
+    /// chase of a full lookup; 0 for single-node lists already local).
+    pub version_walk: Histogram,
+    /// Cycles an allocation was paused by the refill-trap/forced-GC path
+    /// — the graceful-degradation pauses of an empty free list.
+    pub gc_pause: Histogram,
+}
+
+impl MvmHists {
+    /// Clears both histograms.
+    pub fn reset(&mut self) {
+        self.version_walk.reset();
+        self.gc_pause.reset();
     }
 }
 
@@ -291,6 +313,8 @@ pub struct OManager {
     injector: Option<Injector>,
     /// Counters; reset between warm-up and measurement.
     pub stats: OStats,
+    /// Latency distributions; reset alongside [`OManager::stats`].
+    pub hists: MvmHists,
     /// Observable event stream (disabled by default; enable by replacing
     /// with [`EventLog::with_capacity`]).
     pub events: EventLog<MvmEvent>,
@@ -323,6 +347,7 @@ impl OManager {
             pending_trap_cycles: 0,
             injector: cfg.fault_plan.map(Injector::new),
             stats: OStats::default(),
+            hists: MvmHists::default(),
             events: EventLog::disabled(),
         };
         mgr.carve(ms, cfg.initial_free_blocks)?;
@@ -434,6 +459,7 @@ impl OManager {
             }
         }
         self.walk_lines = lines;
+        self.hists.version_walk.record(latency);
         latency
     }
 
@@ -584,6 +610,7 @@ impl OManager {
                 if attempt > 0 {
                     self.stats.recovered_allocations += 1;
                 }
+                self.hists.gc_pause.record(latency);
                 return Ok(latency);
             }
             self.events.push(MvmEvent {
@@ -597,6 +624,7 @@ impl OManager {
             self.force_gc(ms, now);
             if self.free_count > 0 {
                 self.stats.recovered_allocations += 1;
+                self.hists.gc_pause.record(latency);
                 return Ok(latency);
             }
 

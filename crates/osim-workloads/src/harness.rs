@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use osim_cpu::{CpuStats, DepEdge, EngineStats, Machine, Sample};
+use osim_cpu::{CpuStats, DepEdge, EngineStats, Machine, RunHists, Sample};
 use osim_mem::MemStats;
 use osim_uarch::OStats;
 
@@ -162,6 +162,9 @@ pub struct DsResult {
     /// Engine dispatch-loop counters for the whole run (scheduler-invariant,
     /// so safe to include in byte-compared reports).
     pub engine: EngineStats,
+    /// Latency histograms from every layer, for the measured phase. All
+    /// simulated-cycle quantities (scheduler-invariant).
+    pub hists: RunHists,
     /// True when results and final contents matched the reference.
     pub ok: bool,
     /// Human-readable mismatch description (empty when `ok`).
@@ -198,6 +201,7 @@ pub fn collect(m: &Machine, cycles: u64, ok: bool, detail: String) -> DsResult {
         mem: st.ms.hier.stats.clone(),
         ostats: st.omgr.stats.clone(),
         engine: m.engine_stats(),
+        hists: m.run_hists(),
         ok,
         detail,
         deps: st.deps.records(),
