@@ -3,7 +3,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use osim_engine::{Cycle, EngineHists, EngineStats, Gate, RunError, SchedulerKind, Sim, SimHandle};
+use osim_engine::{
+    Cycle, EngineHists, EngineStats, Gate, RunError, SchedulerKind, ShakePolicy, Sim, SimHandle,
+};
 use osim_mem::{EventLog, Fault, FxHashMap, HierarchyCfg, MemSys};
 use osim_metrics::Histogram;
 use osim_uarch::{OManager, OManagerCfg};
@@ -61,6 +63,10 @@ pub struct MachineCfg {
     /// [`SchedulerKind::CalendarQueue`]). Timing is identical under every
     /// kind; only host speed differs.
     pub scheduler: SchedulerKind,
+    /// Same-cycle tie-break policy (default [`ShakePolicy::Off`]). Unlike
+    /// `scheduler`, a seeded shake *does* change simulated interleavings —
+    /// deterministically per seed — and is meant for the stress harness.
+    pub shake: ShakePolicy,
     /// Causal-observability capture (dependency edges + interval
     /// telemetry). Default: everything off; capture is host-side
     /// observation only and never changes simulated timing.
@@ -82,6 +88,7 @@ impl MachineCfg {
             watchdog_cycles: None,
             wakeup: WakeupPolicy::default(),
             scheduler: SchedulerKind::default(),
+            shake: ShakePolicy::default(),
             capture: CaptureCfg::default(),
         }
     }
@@ -258,7 +265,7 @@ impl Machine {
             fault: None,
         };
         Ok(Machine {
-            sim: Sim::with_scheduler(cfg.scheduler),
+            sim: Sim::with_policy(cfg.scheduler, cfg.shake),
             state: Rc::new(RefCell::new(state)),
             cfg,
             next_tid: 1,

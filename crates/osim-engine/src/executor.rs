@@ -20,17 +20,18 @@ type BoxedTask = Pin<Box<dyn Future<Output = ()>>>;
 /// Which event-queue implementation a [`Sim`] dispatches from.
 ///
 /// Both produce the exact same dispatch order — the total order on
-/// `(cycle, seq)` — so simulated results are bit-identical under either;
-/// the equivalence is enforced by property tests and a CLI byte-comparison.
-/// The calendar queue is the default because its push/pop are O(1) in the
-/// common case; the binary heap is kept as the reference implementation.
+/// `(cycle, tie, seq)` (see [`ShakePolicy`]) — so simulated results are
+/// bit-identical under either; the equivalence is enforced by property
+/// tests and a CLI byte-comparison. The calendar queue is the default
+/// because its push/pop are O(1) in the common case; the binary heap is
+/// kept as the reference implementation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedulerKind {
     /// Hierarchical calendar queue (time wheel): near-future events live in
     /// per-cycle buckets, far-future events in an overflow heap.
     #[default]
     CalendarQueue,
-    /// `BinaryHeap<Reverse<(Cycle, u64, TaskId)>>` — the reference
+    /// `BinaryHeap<Reverse<(Cycle, u64, u64, TaskId)>>` — the reference
     /// implementation the calendar queue is checked against.
     BinaryHeap,
 }
@@ -52,6 +53,59 @@ impl SchedulerKind {
             _ => None,
         }
     }
+}
+
+/// How the executor breaks ties between events scheduled for the same
+/// cycle.
+///
+/// Every event carries an ordering key `(cycle, tie, seq)` where `seq` is
+/// the global schedule sequence number. With the default [`Off`] policy the
+/// tie word *is* `seq`, so ties resolve in schedule (FIFO) order — the
+/// order every committed reference output was produced under. With
+/// [`Seeded`] each event instead draws its tie word from a splitmix64
+/// stream, which permutes same-cycle dispatch order while leaving the time
+/// order untouched. The stream is consumed once per [`Inner::schedule`]
+/// call, in schedule order, so a given seed produces one exact schedule:
+/// same seed ⇒ byte-identical run, on either [`SchedulerKind`], regardless
+/// of host parallelism. The stress harness fans many seeds to exercise
+/// invariants across interleavings; see `osim-experiments stress`.
+///
+/// [`Off`]: ShakePolicy::Off
+/// [`Seeded`]: ShakePolicy::Seeded
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShakePolicy {
+    /// FIFO tie-breaks (`tie == seq`). The deterministic default.
+    #[default]
+    Off,
+    /// Randomized tie-breaks drawn from a splitmix64 stream with this
+    /// seed. Still fully deterministic per seed.
+    Seeded(u64),
+}
+
+impl ShakePolicy {
+    /// The seed when shaking is on.
+    pub fn seed(&self) -> Option<u64> {
+        match self {
+            ShakePolicy::Off => None,
+            ShakePolicy::Seeded(s) => Some(*s),
+        }
+    }
+
+    /// Initial RNG state for the tie-break stream (`None` when off).
+    fn rng_state(self) -> Option<u64> {
+        self.seed()
+    }
+}
+
+/// One step of the splitmix64 sequence (same generator the fault injector
+/// uses); advances `state` and returns the output word.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Host-side counters describing what the engine's dispatch loop did.
@@ -196,31 +250,32 @@ const WHEEL_SLOTS: usize = 1 << WHEEL_BITS;
 const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
 const WHEEL_WORDS: usize = WHEEL_SLOTS / 64;
 
-/// One calendar bucket: all events for a single cycle, in schedule
-/// (sequence) order. `head` marks how many have been consumed; the `Vec`
-/// keeps its capacity across wheel turns, so steady-state pushes are
-/// allocation-free.
+/// One calendar bucket: all events for a single cycle, in `(tie, seq)`
+/// order. `head` marks how many have been consumed; the `Vec` keeps its
+/// capacity across wheel turns, so steady-state pushes are allocation-free.
 #[derive(Default)]
 struct Bucket {
     head: usize,
-    events: Vec<(u64, TaskId)>,
+    events: Vec<(u64, u64, TaskId)>,
 }
 
-/// Hierarchical calendar queue over `(cycle, seq, task)` events.
+/// Hierarchical calendar queue over `(cycle, tie, seq, task)` events.
 ///
 /// Invariants that make the pop order identical to the reference heap:
 ///
 /// * `epoch` only moves forward, and bucket `i` holds events for exactly
 ///   cycle `epoch * WHEEL_SLOTS + i`. Because `schedule` clamps times to
 ///   `>= now`, a push targeting the current epoch can only land at or after
-///   the cursor, and appends within a bucket arrive in increasing `seq`.
+///   the cursor. With shaking off (`tie == seq`, monotone) appends within a
+///   bucket already arrive sorted; with shaking on, `push` binary-searches
+///   the un-consumed tail so the bucket stays in `(tie, seq)` order.
 /// * The overflow heap only ever holds events of epochs *after* `epoch`
 ///   (current-epoch events go straight to their bucket), so near events
 ///   always sort before every overflow event and the two stores never have
 ///   to be merged for a single cycle.
 /// * When the near wheel drains, the queue jumps to the earliest overflow
 ///   epoch and migrates that whole epoch into the (empty) buckets; the heap
-///   pops in `(cycle, seq)` order, so each bucket is filled in seq order.
+///   pops in `(cycle, tie, seq)` order, so each bucket is filled sorted.
 struct CalendarQueue {
     epoch: u64,
     /// Next bucket index to inspect; trails `now & WHEEL_MASK`.
@@ -229,14 +284,17 @@ struct CalendarQueue {
     near_len: usize,
     /// Total events (near wheel + overflow).
     len: usize,
+    /// Whether tie words may be non-monotone (shaking on); gates the
+    /// sorted-insert path in `push` so the common case stays a plain append.
+    shaken: bool,
     /// One bit per bucket with at least one un-consumed event.
     occupied: [u64; WHEEL_WORDS],
     buckets: Vec<Bucket>,
-    overflow: BinaryHeap<Reverse<(Cycle, u64, TaskId)>>,
+    overflow: BinaryHeap<Reverse<(Cycle, u64, u64, TaskId)>>,
 }
 
 impl CalendarQueue {
-    fn new() -> Self {
+    fn new(shaken: bool) -> Self {
         let mut buckets = Vec::with_capacity(WHEEL_SLOTS);
         buckets.resize_with(WHEEL_SLOTS, Bucket::default);
         CalendarQueue {
@@ -244,6 +302,7 @@ impl CalendarQueue {
             cursor: 0,
             near_len: 0,
             len: 0,
+            shaken,
             occupied: [0; WHEEL_WORDS],
             buckets,
             overflow: BinaryHeap::new(),
@@ -251,15 +310,24 @@ impl CalendarQueue {
     }
 
     #[inline]
-    fn push(&mut self, at: Cycle, seq: u64, task: TaskId) {
+    fn push(&mut self, at: Cycle, tie: u64, seq: u64, task: TaskId) {
         self.len += 1;
         if at >> WHEEL_BITS == self.epoch {
             let idx = (at & WHEEL_MASK) as usize;
-            self.buckets[idx].events.push((seq, task));
+            let b = &mut self.buckets[idx];
+            if self.shaken {
+                // Keep the un-consumed tail sorted by (tie, seq); already-
+                // dispatched entries before `head` must not move.
+                let pos =
+                    b.head + b.events[b.head..].partition_point(|&(t, s, _)| (t, s) < (tie, seq));
+                b.events.insert(pos, (tie, seq, task));
+            } else {
+                b.events.push((tie, seq, task));
+            }
             self.occupied[idx / 64] |= 1 << (idx % 64);
             self.near_len += 1;
         } else {
-            self.overflow.push(Reverse((at, seq, task)));
+            self.overflow.push(Reverse((at, tie, seq, task)));
         }
     }
 
@@ -274,7 +342,7 @@ impl CalendarQueue {
         let idx = self.next_occupied(self.cursor);
         self.cursor = idx;
         let b = &mut self.buckets[idx];
-        let (_, task) = b.events[b.head];
+        let (_, _, task) = b.events[b.head];
         b.head += 1;
         if b.head == b.events.len() {
             b.events.clear();
@@ -291,21 +359,21 @@ impl CalendarQueue {
     /// near wheel is empty and the overflow is not.
     fn advance_epoch(&mut self) {
         let next = match self.overflow.peek() {
-            Some(&Reverse((c, _, _))) => c >> WHEEL_BITS,
+            Some(&Reverse((c, _, _, _))) => c >> WHEEL_BITS,
             None => unreachable!("non-empty queue with empty wheel and empty overflow"),
         };
         debug_assert!(next > self.epoch, "epoch went backwards");
         self.epoch = next;
         self.cursor = 0;
-        while let Some(&Reverse((c, _, _))) = self.overflow.peek() {
+        while let Some(&Reverse((c, _, _, _))) = self.overflow.peek() {
             if c >> WHEEL_BITS != self.epoch {
                 break;
             }
-            let Some(Reverse((c, seq, task))) = self.overflow.pop() else {
+            let Some(Reverse((c, tie, seq, task))) = self.overflow.pop() else {
                 unreachable!("peeked entry vanished")
             };
             let idx = (c & WHEEL_MASK) as usize;
-            self.buckets[idx].events.push((seq, task));
+            self.buckets[idx].events.push((tie, seq, task));
             self.occupied[idx / 64] |= 1 << (idx % 64);
             self.near_len += 1;
         }
@@ -340,7 +408,7 @@ impl CalendarQueue {
             let mut w = 0;
             for r in b.head..b.events.len() {
                 let ev = b.events[r];
-                if live(ev.1) {
+                if live(ev.2) {
                     b.events[w] = ev;
                     w += 1;
                 } else {
@@ -359,7 +427,7 @@ impl CalendarQueue {
             let kept: Vec<_> = self
                 .overflow
                 .drain()
-                .filter(|&Reverse((_, _, t))| live(t))
+                .filter(|&Reverse((_, _, _, t))| live(t))
                 .collect();
             removed += (before - kept.len()) as u64;
             self.overflow = BinaryHeap::from(kept);
@@ -381,32 +449,32 @@ impl CalendarQueue {
 }
 
 /// The event store behind a [`Sim`], selected by [`SchedulerKind`]. Both
-/// variants implement the same `(cycle, seq)` total order.
+/// variants implement the same `(cycle, tie, seq)` total order.
 enum EventQueue {
-    Heap(BinaryHeap<Reverse<(Cycle, u64, TaskId)>>),
+    Heap(BinaryHeap<Reverse<(Cycle, u64, u64, TaskId)>>),
     Calendar(CalendarQueue),
 }
 
 impl EventQueue {
-    fn new(kind: SchedulerKind) -> Self {
+    fn new(kind: SchedulerKind, shaken: bool) -> Self {
         match kind {
             SchedulerKind::BinaryHeap => EventQueue::Heap(BinaryHeap::new()),
-            SchedulerKind::CalendarQueue => EventQueue::Calendar(CalendarQueue::new()),
+            SchedulerKind::CalendarQueue => EventQueue::Calendar(CalendarQueue::new(shaken)),
         }
     }
 
     #[inline]
-    fn push(&mut self, at: Cycle, seq: u64, task: TaskId) {
+    fn push(&mut self, at: Cycle, tie: u64, seq: u64, task: TaskId) {
         match self {
-            EventQueue::Heap(h) => h.push(Reverse((at, seq, task))),
-            EventQueue::Calendar(c) => c.push(at, seq, task),
+            EventQueue::Heap(h) => h.push(Reverse((at, tie, seq, task))),
+            EventQueue::Calendar(c) => c.push(at, tie, seq, task),
         }
     }
 
     #[inline]
     fn pop(&mut self) -> Option<(Cycle, TaskId)> {
         match self {
-            EventQueue::Heap(h) => h.pop().map(|Reverse((at, _, task))| (at, task)),
+            EventQueue::Heap(h) => h.pop().map(|Reverse((at, _, _, task))| (at, task)),
             EventQueue::Calendar(c) => c.pop(),
         }
     }
@@ -423,7 +491,7 @@ impl EventQueue {
         match self {
             EventQueue::Heap(h) => {
                 let before = h.len();
-                let kept: Vec<_> = h.drain().filter(|&Reverse((_, _, t))| live(t)).collect();
+                let kept: Vec<_> = h.drain().filter(|&Reverse((_, _, _, t))| live(t)).collect();
                 let removed = (before - kept.len()) as u64;
                 *h = BinaryHeap::from(kept);
                 removed
@@ -448,8 +516,13 @@ const SWEEP_MIN_DEAD: u64 = 64;
 pub(crate) struct Inner {
     now: Cycle,
     next_seq: u64,
-    /// Pending `(wake_time, sequence, task)` events. The sequence number
-    /// makes the pop order a total order, which makes runs deterministic.
+    /// splitmix64 state for shaken tie-breaks; `None` when the policy is
+    /// [`ShakePolicy::Off`] (ties then fall back to `seq`).
+    shake_rng: Option<u64>,
+    /// Pending `(wake_time, tie, sequence, task)` events. The sequence
+    /// number makes the pop order a total order, which makes runs
+    /// deterministic — including shaken runs, where the tie word comes
+    /// from a seeded stream consumed in schedule order.
     queue: EventQueue,
     tasks: Vec<Option<BoxedTask>>,
     live: usize,
@@ -479,9 +552,13 @@ impl Inner {
     pub(crate) fn schedule(&mut self, at: Cycle, task: TaskId) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let tie = match &mut self.shake_rng {
+            Some(state) => splitmix64(state),
+            None => seq,
+        };
         let at = at.max(self.now);
         self.pending[task] += 1;
-        self.queue.push(at, seq, task);
+        self.queue.push(at, tie, seq, task);
     }
 
     pub(crate) fn now(&self) -> Cycle {
@@ -570,13 +647,20 @@ impl Sim {
     }
 
     /// Creates an empty simulation at cycle 0 dispatching from the given
-    /// event-queue implementation.
+    /// event-queue implementation, with shaking off.
     pub fn with_scheduler(kind: SchedulerKind) -> Self {
+        Self::with_policy(kind, ShakePolicy::Off)
+    }
+
+    /// Creates an empty simulation at cycle 0 with an explicit event-queue
+    /// implementation and same-cycle tie-break policy.
+    pub fn with_policy(kind: SchedulerKind, shake: ShakePolicy) -> Self {
         Sim {
             inner: Rc::new(RefCell::new(Inner {
                 now: 0,
                 next_seq: 0,
-                queue: EventQueue::new(kind),
+                shake_rng: shake.rng_state(),
+                queue: EventQueue::new(kind, shake != ShakePolicy::Off),
                 tasks: Vec::new(),
                 live: 0,
                 current: None,
@@ -1164,6 +1248,89 @@ mod tests {
             );
             assert!(stats.events_dispatched > 0);
         }
+    }
+
+    /// Order in which same-cycle ties dispatch for one (kind, shake) pair.
+    fn tie_order(kind: SchedulerKind, shake: ShakePolicy, tasks: u32) -> Vec<u32> {
+        let sim = Sim::with_policy(kind, shake);
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        for id in 0..tasks {
+            let h = sim.handle();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                h.sleep(10).await;
+                log.borrow_mut().push(id);
+            });
+        }
+        sim.run().unwrap();
+        Rc::try_unwrap(log).unwrap().into_inner()
+    }
+
+    #[test]
+    fn shake_off_keeps_fifo_tie_order() {
+        for kind in [SchedulerKind::CalendarQueue, SchedulerKind::BinaryHeap] {
+            assert_eq!(
+                tie_order(kind, ShakePolicy::Off, 8),
+                (0..8).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn shaken_ties_are_deterministic_per_seed_and_scheduler_equivalent() {
+        let mut permuted = false;
+        for seed in 1..=16u64 {
+            let shake = ShakePolicy::Seeded(seed);
+            let cal = tie_order(SchedulerKind::CalendarQueue, shake, 8);
+            // Same seed ⇒ identical order on a re-run and on the
+            // reference heap.
+            assert_eq!(cal, tie_order(SchedulerKind::CalendarQueue, shake, 8));
+            assert_eq!(cal, tie_order(SchedulerKind::BinaryHeap, shake, 8));
+            // It is still a permutation of the same event multiset.
+            let mut sorted = cal.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+            permuted |= cal != (0..8).collect::<Vec<_>>();
+        }
+        assert!(permuted, "16 seeds never permuted an 8-way tie");
+    }
+
+    #[test]
+    fn shaken_runs_preserve_time_order_across_epochs() {
+        // Shaking permutes same-cycle ties only; events at distinct cycles
+        // (including overflow-heap epochs) must still dispatch in time
+        // order, and per-seed determinism must hold across schedulers.
+        for seed in [3u64, 41] {
+            let mut runs = Vec::new();
+            for kind in [SchedulerKind::CalendarQueue, SchedulerKind::BinaryHeap] {
+                let sim = Sim::with_policy(kind, ShakePolicy::Seeded(seed));
+                let log: Rc<RefCell<Vec<(u32, Cycle)>>> = Rc::default();
+                for (id, period) in [(0u32, 7u64), (1, 300), (2, 70_000)] {
+                    let h = sim.handle();
+                    let log = Rc::clone(&log);
+                    sim.spawn(async move {
+                        for _ in 0..3 {
+                            h.sleep(period).await;
+                            log.borrow_mut().push((id, h.now()));
+                        }
+                    });
+                }
+                sim.run().unwrap();
+                let log = Rc::try_unwrap(log).unwrap().into_inner();
+                let mut sorted = log.clone();
+                sorted.sort_by_key(|&(_, at)| at);
+                assert_eq!(log, sorted, "dispatch must follow time order");
+                runs.push(log);
+            }
+            assert_eq!(runs[0], runs[1], "seed {seed} differs across schedulers");
+        }
+    }
+
+    #[test]
+    fn shake_policy_seed_accessor() {
+        assert_eq!(ShakePolicy::Off.seed(), None);
+        assert_eq!(ShakePolicy::Seeded(9).seed(), Some(9));
+        assert_eq!(ShakePolicy::default(), ShakePolicy::Off);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use osim_engine::{SchedulerKind, Sim};
+use osim_engine::{EngineStats, SchedulerKind, ShakePolicy, Sim};
 use proptest::prelude::*;
 
 const GATES: usize = 3;
@@ -41,9 +41,14 @@ fn program_strategy() -> impl Strategy<Value = Vec<Vec<Action>>> {
 
 type Log = Rc<RefCell<Vec<(usize, usize, u64)>>>;
 
-/// Runs `program` under `kind`, returning the dispatch log and end time.
-fn run(program: &[Vec<Action>], kind: SchedulerKind) -> (Vec<(usize, usize, u64)>, u64) {
-    let sim = Sim::with_scheduler(kind);
+/// Runs `program` under `kind`/`shake`, returning the dispatch log and
+/// end time.
+fn run_shaken(
+    program: &[Vec<Action>],
+    kind: SchedulerKind,
+    shake: ShakePolicy,
+) -> (Vec<(usize, usize, u64)>, u64) {
+    let sim = Sim::with_policy(kind, shake);
     let h = sim.handle();
     let gates: Vec<_> = (0..GATES).map(|_| h.gate()).collect();
     let log: Log = Rc::default();
@@ -84,6 +89,57 @@ fn run(program: &[Vec<Action>], kind: SchedulerKind) -> (Vec<(usize, usize, u64)
     (Rc::try_unwrap(log).unwrap().into_inner(), end)
 }
 
+/// Runs `program` under `kind` with shaking off.
+fn run(program: &[Vec<Action>], kind: SchedulerKind) -> (Vec<(usize, usize, u64)>, u64) {
+    run_shaken(program, kind, ShakePolicy::Off)
+}
+
+/// A structured wait/open/abandon program whose event *totals* are
+/// interleaving-invariant by construction: `waiters` tasks take a gate
+/// ticket at cycle 0 and await it, `abandoners` take a ticket, sleep past
+/// the opener, and drop it unawaited, and one opener wakes everyone at
+/// `OPEN_AT`. Each task resumes exactly twice whatever the same-cycle
+/// dispatch order is, and each abandoned ticket's wake dispatches stale.
+/// Returns the engine counters and end time.
+const OPEN_AT: u64 = 5000; // beyond the wheel span, so the overflow heap runs too
+
+fn stale_run(
+    kind: SchedulerKind,
+    shake: ShakePolicy,
+    waiters: usize,
+    abandoners: &[u64],
+) -> (EngineStats, u64) {
+    let sim = Sim::with_policy(kind, shake);
+    let h = sim.handle();
+    let gate = h.gate();
+    for _ in 0..waiters {
+        let gate = gate.clone();
+        sim.spawn(async move {
+            gate.ticket().await;
+        });
+    }
+    for &d in abandoners {
+        let h = h.clone();
+        let gate = gate.clone();
+        sim.spawn(async move {
+            let ticket = gate.ticket();
+            // Outlive the opener's drain (cycle 1), die before the wake.
+            h.sleep(2 + d).await;
+            drop(ticket);
+        });
+    }
+    {
+        let h = h.clone();
+        let gate = gate.clone();
+        sim.spawn(async move {
+            h.sleep(1).await;
+            gate.open_at(OPEN_AT);
+        });
+    }
+    let end = sim.run().expect("opener wakes every waiter");
+    (sim.stats(), end)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -93,5 +149,48 @@ proptest! {
         let (log_heap, end_heap) = run(&program, SchedulerKind::BinaryHeap);
         prop_assert_eq!(end_cal, end_heap, "end times diverged");
         prop_assert_eq!(log_cal, log_heap, "dispatch order diverged");
+    }
+
+    /// The equivalence holds per shake seed too: a seeded tie-break
+    /// stream defines one total order that both queue implementations
+    /// must realize identically.
+    #[test]
+    fn shaken_schedulers_dispatch_identically(program in program_strategy(), seed in any::<u64>()) {
+        let shake = ShakePolicy::Seeded(seed);
+        let (log_cal, end_cal) = run_shaken(&program, SchedulerKind::CalendarQueue, shake);
+        let (log_heap, end_heap) = run_shaken(&program, SchedulerKind::BinaryHeap, shake);
+        prop_assert_eq!(end_cal, end_heap, "end times diverged under seed {}", seed);
+        prop_assert_eq!(log_cal, log_heap, "dispatch order diverged under seed {}", seed);
+    }
+
+    /// Event accounting is schedule-invariant: however a seed permutes
+    /// same-cycle dispatch, the wait/open/abandon program dispatches the
+    /// same number of events and skips the same number of stale wakes —
+    /// and the exact totals follow from the program shape alone.
+    #[test]
+    fn stale_event_totals_are_schedule_invariant(
+        waiters in 1usize..6,
+        abandoners in proptest::collection::vec(0u64..600, 1..6),
+        seeds in proptest::collection::vec(any::<u64>(), 1..4),
+    ) {
+        let tasks = (waiters + abandoners.len() + 1) as u64;
+        let (ref_stats, ref_end) =
+            stale_run(SchedulerKind::CalendarQueue, ShakePolicy::Off, waiters, &abandoners);
+        prop_assert_eq!(ref_stats.events_dispatched, 2 * tasks, "two resumptions per task");
+        prop_assert_eq!(ref_stats.stale_events, abandoners.len() as u64,
+            "one stale wake per abandoned ticket");
+        prop_assert_eq!(ref_end, OPEN_AT);
+        let mut policies = vec![ShakePolicy::Off];
+        policies.extend(seeds.iter().map(|&s| ShakePolicy::Seeded(s)));
+        for shake in policies {
+            for kind in [SchedulerKind::CalendarQueue, SchedulerKind::BinaryHeap] {
+                let (stats, end) = stale_run(kind, shake, waiters, &abandoners);
+                prop_assert_eq!(stats.events_dispatched, ref_stats.events_dispatched,
+                    "dispatch total diverged under {:?}/{:?}", kind, shake);
+                prop_assert_eq!(stats.stale_events, ref_stats.stale_events,
+                    "stale total diverged under {:?}/{:?}", kind, shake);
+                prop_assert_eq!(end, ref_end, "end time diverged under {:?}/{:?}", kind, shake);
+            }
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Shared experiment plumbing: workload scales, benchmark dispatch, and
 //! table formatting.
 
-use osim_cpu::{MachineCfg, SchedulerKind};
+use osim_cpu::{MachineCfg, SchedulerKind, ShakePolicy};
 use osim_mem::CacheCfg;
 use osim_report::{ReportScale, SimReport};
 use osim_uarch::FaultPlan;
@@ -31,11 +31,21 @@ pub struct Scale {
     /// Engine event-queue implementation (`--scheduler <kind>`); purely a
     /// host-speed knob, simulated timing is identical under every kind.
     pub scheduler: SchedulerKind,
+    /// Same-cycle tie-break perturbation (`--shake-seed <n>`). Off by
+    /// default; a seeded shake deterministically permutes same-cycle
+    /// dispatch order, so simulated numbers may differ from the committed
+    /// references (the point of the stress harness).
+    pub shake: ShakePolicy,
+    /// Arm the manager's runtime invariant oracles (the `stress`
+    /// subcommand turns this on; adds host-side checking cost only).
+    pub oracles: bool,
 }
 
-/// Hand-rolled so the scheduler — a pure host-speed knob — stays out of
-/// rendered sweep headers, keeping them byte-identical across schedulers
-/// and with pre-existing baselines.
+/// Hand-rolled so host-only knobs — the scheduler, the shake policy and
+/// the oracle arm bit — stay out of rendered sweep headers, keeping them
+/// byte-identical across schedulers and with pre-existing baselines.
+/// (Shaken runs may still differ in the *numbers*; the header format is
+/// what stays fixed.)
 impl std::fmt::Debug for Scale {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Scale")
@@ -60,6 +70,8 @@ impl Scale {
             lev_len: 1000,
             inject: None,
             scheduler: SchedulerKind::default(),
+            shake: ShakePolicy::Off,
+            oracles: false,
         }
     }
 
@@ -73,6 +85,8 @@ impl Scale {
             lev_len: 96,
             inject: None,
             scheduler: SchedulerKind::default(),
+            shake: ShakePolicy::Off,
+            oracles: false,
         }
     }
 
@@ -87,6 +101,8 @@ impl Scale {
             lev_len: 24,
             inject: None,
             scheduler: SchedulerKind::default(),
+            shake: ShakePolicy::Off,
+            oracles: false,
         }
     }
 
@@ -228,7 +244,9 @@ pub fn machine(scale: &Scale, cores: usize, l1_kb: Option<u32>, extra_latency: u
     }
     cfg.omgr.versioned_extra_latency = extra_latency;
     cfg.omgr.fault_plan = scale.inject;
+    cfg.omgr.oracles = scale.oracles;
     cfg.scheduler = scale.scheduler;
+    cfg.shake = scale.shake;
     cfg
 }
 

@@ -8,10 +8,12 @@
 
 use std::fs;
 
-use osim_report::json::{obj, parse, Json};
-use osim_report::{compare, ReportDiff, SimReport};
+use osim_report::json::{obj, Json};
+use osim_report::{compare, load_reports, ReportDiff, SimReport};
 
-/// Loads every report in `path` (object or array form).
+/// Loads every report in `path` (object or array form) through the shared
+/// hardened loader — corrupt or truncated files exit 2 with a typed
+/// message instead of panicking.
 fn load(path: &str) -> Vec<SimReport> {
     let text = match fs::read_to_string(path) {
         Ok(t) => t,
@@ -20,28 +22,13 @@ fn load(path: &str) -> Vec<SimReport> {
             std::process::exit(2);
         }
     };
-    let doc = match parse(&text) {
-        Ok(v) => v,
+    match load_reports(&text) {
+        Ok(reports) => reports,
         Err(e) => {
-            eprintln!("{path}: invalid JSON: {e}");
+            eprintln!("{path}: {e}");
             std::process::exit(2);
         }
-    };
-    let elems: Vec<&Json> = match &doc {
-        Json::Arr(items) => items.iter().collect(),
-        other => vec![other],
-    };
-    elems
-        .into_iter()
-        .enumerate()
-        .map(|(i, v)| match SimReport::from_json(v) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("{path}[{i}]: not a report: {e}");
-                std::process::exit(2);
-            }
-        })
-        .collect()
+    }
 }
 
 fn key(r: &SimReport) -> (String, String, String) {

@@ -36,6 +36,9 @@ fn ds_cfg(scale: &Scale) -> DsCfg {
 fn job(scale: &Scale, name: &'static str, tweak: impl Fn(&mut MachineCfg)) -> SweepJob {
     let mut m = MachineCfg::paper(1);
     m.omgr.fault_plan = scale.inject;
+    m.omgr.oracles = scale.oracles;
+    m.scheduler = scale.scheduler;
+    m.shake = scale.shake;
     tweak(&mut m);
     let cfg = ds_cfg(scale);
     // The Fig. 1-faithful protocol (renaming every passed cell) supplies

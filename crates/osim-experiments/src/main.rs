@@ -25,7 +25,18 @@
 //!   perf                — host-speed benchmark; writes BENCH_sweep.json
 //!   compare             — diff two `--json` report files: counters, stall
 //!                         causes, histograms, ranked regression attribution
+//!   stress              — schedule-shaking robustness harness: every quick
+//!                         figure under `--seeds` seeded tie-break
+//!                         perturbations with the invariant oracles armed
+//!                         (`--shake-seed` pins the first seed, `--fig`
+//!                         restricts the figure set; exit 0 = clean)
 //! ```
+//!
+//! `--shake-seed <n>` arms [`osim_cpu::ShakePolicy::Seeded`] on every
+//! machine of the invocation: same-cycle ready-queue tie-breaks are drawn
+//! from splitmix64 stream `n` instead of FIFO order. A given seed is
+//! byte-identical across `--jobs` counts and both schedulers, but its
+//! numbers may legally differ from the committed (unshaken) references.
 //!
 //! `perf` additionally accepts `--reps <n>` (repetitions, default 3) and
 //! `--baseline-ms <ms> [--baseline-ref <label>]` to embed the reference
@@ -98,6 +109,7 @@ mod fig9;
 mod gc;
 mod perf;
 mod pool;
+mod stress;
 mod trace_cmd;
 
 use common::Scale;
@@ -220,15 +232,23 @@ fn main() {
                 .unwrap_or_else(|| "baseline".to_string()),
         )
     });
-    let fig = match take_value(&mut args, "--fig") {
-        Some(v) => match v.parse::<u32>() {
-            Ok(n @ (6 | 7 | 9 | 10)) => n,
+    let fig_flag = take_value(&mut args, "--fig");
+    let shake_seed = take_value(&mut args, "--shake-seed").map(|v| match v.parse::<u64>() {
+        Ok(n) => n,
+        _ => {
+            eprintln!("--shake-seed requires an unsigned integer, got {v:?}");
+            std::process::exit(2);
+        }
+    });
+    let seeds = match take_value(&mut args, "--seeds") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) if n >= 1 => n,
             _ => {
-                eprintln!("--fig must be 6, 7, 9 or 10, got {v:?}");
+                eprintln!("--seeds requires a positive integer, got {v:?}");
                 std::process::exit(2);
             }
         },
-        None => 7,
+        None => 25,
     };
     let sample_every = match take_value(&mut args, "--sample-every") {
         Some(v) => match v.parse::<u64>() {
@@ -277,6 +297,11 @@ fn main() {
     if let Some(kind) = scheduler {
         scale.scheduler = kind;
     }
+    if let Some(seed) = shake_seed {
+        // For the stress subcommand the seed pins the start of the seed
+        // range instead; stress sets the per-run policy itself.
+        scale.shake = osim_cpu::ShakePolicy::Seeded(seed);
+    }
 
     pool::set_progress(progress);
 
@@ -309,7 +334,41 @@ fn main() {
         "fig10" => fig10::run(&scale, jobs, &mut reports),
         "gc" => gc::run(&scale, jobs, &mut reports),
         "trace" => chrome_doc = Some(trace_cmd::run(&scale, &mut reports)),
-        "analyze" => analyze::run(&scale, fig, sample_every, jobs, &mut reports),
+        "analyze" => {
+            let fig = match fig_flag.as_deref() {
+                Some(v) => match v.trim_start_matches("fig").parse::<u32>() {
+                    Ok(n @ (6 | 7 | 9 | 10)) => n,
+                    _ => {
+                        eprintln!("analyze --fig must be 6, 7, 9 or 10, got {v:?}");
+                        std::process::exit(2);
+                    }
+                },
+                None => 7,
+            };
+            analyze::run(&scale, fig, sample_every, jobs, &mut reports)
+        }
+        "stress" => {
+            let fig_filter = fig_flag.as_deref().map(|v| {
+                let name = if v.chars().all(|c| c.is_ascii_digit()) {
+                    format!("fig{v}")
+                } else {
+                    v.to_string()
+                };
+                match stress::figure_names().iter().find(|f| **f == name) {
+                    Some(f) => *f,
+                    None => {
+                        eprintln!(
+                            "stress --fig must be one of {}, got {v:?}",
+                            stress::figure_names().join(", ")
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            });
+            let first_seed = shake_seed.unwrap_or(1);
+            let code = stress::run(&scale, scale_name, first_seed, seeds, fig_filter, jobs);
+            std::process::exit(code);
+        }
         "perf" => perf::run(&scale, scale_name, jobs, reps, baseline, "BENCH_sweep.json"),
         "all" => {
             common::print_config();
@@ -323,15 +382,28 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: osim-experiments <config|fig6|fig7|fig8|fig9|fig10|gc|trace|analyze|all|perf> \
+                "usage: osim-experiments <config|fig6|fig7|fig8|fig9|fig10|gc|trace|analyze|all|perf|stress> \
                  [--full|--tiny] [--scale <quick|tiny|full>] [--jobs <n>] [--reps <n>] \
                  [--stats] [--json <path>] [--chrome <path>] \
                  [--scheduler <calendar|heap>] \
                  [--fig <6|7|9|10>] [--sample-every <cycles>] \
+                 [--shake-seed <n>] [--seeds <n>] \
                  [--progress] [--sweep-json <path>] \
                  [--inject <spec>] [--baseline-ms <ms> [--baseline-ref <label>]]\n\
                  \n\
                  osim-experiments compare <a.json> <b.json> [--json <path>]\n\
+                 \n\
+                 stress: schedule-shaking robustness harness. Runs every quick\n\
+                 figure under --seeds (default 25) seeded tie-break perturbations\n\
+                 (--shake-seed pins the first seed), with the manager's invariant\n\
+                 oracles armed, and cross-checks both event-queue implementations\n\
+                 per seed. Prints a minimal repro line per violation; exit 0 =\n\
+                 all invariants held, 1 = violations. --fig <6|7|8|9|10|gc>\n\
+                 restricts the figure set.\n\
+                 \n\
+                 --shake-seed <n>: for the other experiments, perturb same-cycle\n\
+                 dispatch order from splitmix64 stream n (byte-identical per seed;\n\
+                 numbers may differ from the committed references).\n\
                  \n\
                  compare: pairs the runs of two --json report files by\n\
                  (experiment, benchmark, variant), diffs every counter, stall\n\

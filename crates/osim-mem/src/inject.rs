@@ -65,6 +65,59 @@ impl Default for FaultPlan {
     }
 }
 
+/// Why an `--inject` spec did not parse. Every malformed input — including
+/// arbitrary bytes — maps to one of these; the parser never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A bare word (no `=`) that names no known preset.
+    UnknownPreset(String),
+    /// A preset name appearing after the first comma-separated part, where
+    /// it would silently clobber the overrides before it.
+    MisplacedPreset(String),
+    /// A `key=value` pair with an unrecognized key.
+    UnknownKey(String),
+    /// A recognized key whose value did not parse or was out of range.
+    BadValue {
+        /// The key the value was given for.
+        key: String,
+        /// The offending value text.
+        value: String,
+        /// What the key accepts.
+        expected: &'static str,
+    },
+    /// The same key given twice. Last-wins would silently mask a typo in a
+    /// long spec, so duplicates are a hard error.
+    DuplicateKey(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::UnknownPreset(p) => write!(f, "unknown fault-injection preset {p:?}"),
+            SpecError::MisplacedPreset(p) => {
+                write!(f, "preset {p:?} must come first in the spec")
+            }
+            SpecError::UnknownKey(k) => write!(f, "unknown fault-injection key {k:?}"),
+            SpecError::BadValue {
+                key,
+                value,
+                expected,
+            } => write!(
+                f,
+                "bad value {value:?} for key {key:?} (expected {expected})"
+            ),
+            SpecError::DuplicateKey(k) => {
+                write!(
+                    f,
+                    "key {k:?} given more than once (duplicates are an error)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 impl FaultPlan {
     /// Parses an `--inject` spec: a preset name, `key=value` pairs, or a
     /// preset followed by overrides, comma-separated.
@@ -73,8 +126,13 @@ impl FaultPlan {
     /// `coherence-delay`, `chaos`. Keys: `seed`, `shrink-at`,
     /// `shrink-keep`, `carve-fail-pct`, `max-carve-failures`,
     /// `refill-budget`, `jitter`, `coherence-delay`.
-    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+    ///
+    /// Total on every input: arbitrary bytes yield a typed [`SpecError`],
+    /// never a panic, and a repeated key is rejected rather than silently
+    /// taking the last occurrence.
+    pub fn parse(spec: &str) -> Result<FaultPlan, SpecError> {
         let mut plan = FaultPlan::default();
+        let mut seen: Vec<String> = Vec::new();
         for (i, part) in spec.split(',').enumerate() {
             let part = part.trim();
             if part.is_empty() {
@@ -83,12 +141,19 @@ impl FaultPlan {
             match part.split_once('=') {
                 None => {
                     if i != 0 {
-                        return Err(format!("preset {part:?} must come first in the spec"));
+                        return Err(SpecError::MisplacedPreset(part.to_string()));
                     }
                     plan = Self::preset(part)
-                        .ok_or_else(|| format!("unknown fault-injection preset {part:?}"))?;
+                        .ok_or_else(|| SpecError::UnknownPreset(part.to_string()))?;
                 }
-                Some((key, value)) => plan.set(key.trim(), value.trim())?,
+                Some((key, value)) => {
+                    let key = key.trim();
+                    if seen.iter().any(|k| k == key) {
+                        return Err(SpecError::DuplicateKey(key.to_string()));
+                    }
+                    plan.set(key, value.trim())?;
+                    seen.push(key.to_string());
+                }
             }
         }
         Ok(plan)
@@ -142,16 +207,22 @@ impl FaultPlan {
         })
     }
 
-    fn set(&mut self, key: &str, value: &str) -> Result<(), String> {
-        fn num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
-            value
-                .parse()
-                .map_err(|_| format!("bad value {value:?} for key {key:?}"))
+    fn set(&mut self, key: &str, value: &str) -> Result<(), SpecError> {
+        fn num<T: std::str::FromStr>(
+            key: &str,
+            value: &str,
+            expected: &'static str,
+        ) -> Result<T, SpecError> {
+            value.parse().map_err(|_| SpecError::BadValue {
+                key: key.to_string(),
+                value: value.to_string(),
+                expected,
+            })
         }
         match key {
-            "seed" => self.seed = num(key, value)?,
+            "seed" => self.seed = num(key, value, "an unsigned integer")?,
             "shrink-at" => {
-                let at: u64 = num(key, value)?;
+                let at: u64 = num(key, value, "an allocation count")?;
                 let keep = self.pool_shrink.map(|s| s.keep_blocks).unwrap_or(0);
                 self.pool_shrink = Some(PoolShrink {
                     at_alloc: at,
@@ -159,7 +230,7 @@ impl FaultPlan {
                 });
             }
             "shrink-keep" => {
-                let keep: u32 = num(key, value)?;
+                let keep: u32 = num(key, value, "a block count")?;
                 let at = self.pool_shrink.map(|s| s.at_alloc).unwrap_or(1);
                 self.pool_shrink = Some(PoolShrink {
                     at_alloc: at,
@@ -167,17 +238,21 @@ impl FaultPlan {
                 });
             }
             "carve-fail-pct" => {
-                let pct: u8 = num(key, value)?;
+                let pct: u8 = num(key, value, "a percentage 0..=100")?;
                 if pct > 100 {
-                    return Err(format!("carve-fail-pct {pct} exceeds 100"));
+                    return Err(SpecError::BadValue {
+                        key: key.to_string(),
+                        value: value.to_string(),
+                        expected: "a percentage 0..=100",
+                    });
                 }
                 self.carve_fail_pct = pct;
             }
-            "max-carve-failures" => self.max_carve_failures = num(key, value)?,
-            "refill-budget" => self.refill_budget = Some(num(key, value)?),
-            "jitter" => self.latency_jitter = num(key, value)?,
-            "coherence-delay" => self.coherence_delay = num(key, value)?,
-            _ => return Err(format!("unknown fault-injection key {key:?}")),
+            "max-carve-failures" => self.max_carve_failures = num(key, value, "a failure count")?,
+            "refill-budget" => self.refill_budget = Some(num(key, value, "a refill count")?),
+            "jitter" => self.latency_jitter = num(key, value, "a cycle count")?,
+            "coherence-delay" => self.coherence_delay = num(key, value, "a cycle count")?,
+            _ => return Err(SpecError::UnknownKey(key.to_string())),
         }
         Ok(())
     }

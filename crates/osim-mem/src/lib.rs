@@ -38,7 +38,7 @@ pub use events::{EventLog, MemEvent, MemEventKind};
 pub use fault::Fault;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use hierarchy::{AccessKind, AccessResult, Hierarchy, HierarchyCfg, Level};
-pub use inject::{FaultPlan, Injector, PoolShrink};
+pub use inject::{FaultPlan, Injector, PoolShrink, SpecError};
 pub use page::{PageFlags, PageTable, WalkEvent, PAGE_SIZE};
 pub use phys::PhysMem;
 pub use stats::{MemHists, MemStats};

@@ -1,0 +1,128 @@
+//! Fuzz/property tests for the `--inject` spec parser: arbitrary byte
+//! strings must yield a typed [`SpecError`] (never a panic), valid specs
+//! must round-trip through [`FaultPlan::to_spec`], and duplicate keys are
+//! a hard error rather than a silent last-wins.
+
+use proptest::prelude::*;
+
+use osim_mem::{FaultPlan, PoolShrink, SpecError};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The parser is total: any byte soup either parses or returns a typed
+    /// error. Accepted specs must additionally survive a canonicalizing
+    /// round-trip.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let spec = String::from_utf8_lossy(&bytes);
+        if let Ok(plan) = FaultPlan::parse(&spec) {
+            let back = FaultPlan::parse(&plan.to_spec());
+            prop_assert_eq!(back, Ok(plan), "canonical spec must re-parse");
+        }
+    }
+
+    /// Structured near-miss inputs — the shapes a typo actually produces —
+    /// also never panic, and their canonical forms re-parse.
+    #[test]
+    fn keyish_soup_never_panics(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("pool-pressure".to_string()),
+                Just("chaos".to_string()),
+                Just("jitter".to_string()),
+                Just("jitter=3".to_string()),
+                Just("seed=".to_string()),
+                Just("=7".to_string()),
+                Just("==".to_string()),
+                Just("".to_string()),
+                (0u64..1 << 40).prop_map(|n| format!("seed={n}")),
+                (0u64..1 << 40).prop_map(|n| format!("shrink-at={n}")),
+                any::<u8>().prop_map(|b| format!("carve-fail-pct={b}")),
+            ],
+            0..6,
+        ),
+    ) {
+        let spec = parts.join(",");
+        if let Ok(plan) = FaultPlan::parse(&spec) {
+            let back = FaultPlan::parse(&plan.to_spec());
+            prop_assert_eq!(back, Ok(plan));
+        }
+    }
+
+    /// Every expressible plan's canonical spec parses back to the same
+    /// plan (`to_spec` and `parse` are inverses on the plan domain).
+    #[test]
+    fn plans_round_trip(
+        seed in any::<u64>(),
+        shrink in proptest::option::of((1u64..1 << 20, 0u32..4096)),
+        carve_fail_pct in 0u8..=100,
+        max_carve_failures in 0u32..16,
+        refill_budget in proptest::option::of(0u32..64),
+        latency_jitter in 0u64..32,
+        coherence_delay in 0u64..128,
+    ) {
+        let plan = FaultPlan {
+            seed,
+            pool_shrink: shrink.map(|(at_alloc, keep_blocks)| PoolShrink { at_alloc, keep_blocks }),
+            // `to_spec` only emits max-carve-failures alongside a nonzero
+            // fail percentage; mirror that coupling here.
+            carve_fail_pct,
+            max_carve_failures: if carve_fail_pct > 0 { max_carve_failures } else { 0 },
+            refill_budget,
+            latency_jitter,
+            coherence_delay,
+        };
+        let back = FaultPlan::parse(&plan.to_spec());
+        prop_assert_eq!(back, Ok(plan));
+    }
+}
+
+#[test]
+fn duplicate_keys_are_a_hard_error() {
+    assert_eq!(
+        FaultPlan::parse("jitter=1,jitter=2"),
+        Err(SpecError::DuplicateKey("jitter".to_string()))
+    );
+    assert_eq!(
+        FaultPlan::parse("chaos,seed=1,coherence-delay=5,seed=9"),
+        Err(SpecError::DuplicateKey("seed".to_string()))
+    );
+    // Distinct keys that touch the same field are not duplicates.
+    assert!(FaultPlan::parse("shrink-at=4,shrink-keep=2").is_ok());
+}
+
+#[test]
+fn errors_are_typed_and_specific() {
+    assert_eq!(
+        FaultPlan::parse("bogus"),
+        Err(SpecError::UnknownPreset("bogus".to_string()))
+    );
+    assert_eq!(
+        FaultPlan::parse("seed=1,chaos"),
+        Err(SpecError::MisplacedPreset("chaos".to_string()))
+    );
+    assert_eq!(
+        FaultPlan::parse("jitterz=1"),
+        Err(SpecError::UnknownKey("jitterz".to_string()))
+    );
+    match FaultPlan::parse("carve-fail-pct=101") {
+        Err(SpecError::BadValue { key, value, .. }) => {
+            assert_eq!(key, "carve-fail-pct");
+            assert_eq!(value, "101");
+        }
+        other => panic!("expected BadValue, got {other:?}"),
+    }
+    match FaultPlan::parse("jitter=x") {
+        Err(SpecError::BadValue { key, .. }) => assert_eq!(key, "jitter"),
+        other => panic!("expected BadValue, got {other:?}"),
+    }
+    // Errors render as single-line human-readable messages.
+    let msg = FaultPlan::parse("jitter=1,jitter=2")
+        .unwrap_err()
+        .to_string();
+    assert!(
+        msg.contains("jitter") && msg.contains("more than once"),
+        "{msg}"
+    );
+}

@@ -21,4 +21,6 @@ mod report;
 pub use chrome::chrome_trace;
 pub use compare::{compare, Attribution, CounterDelta, HistDelta, ReportDiff};
 pub use critpath::{Contender, CoreWait, CritPath, Segment};
-pub use report::{ReportScale, SimReport, TraceCounts, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
+pub use report::{
+    load_reports, ReportScale, SimReport, TraceCounts, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+};

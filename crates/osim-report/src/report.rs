@@ -610,6 +610,28 @@ impl SimReport {
     }
 }
 
+/// Parses every report in a `--json` document: a single [`SimReport`]
+/// object or the array form the experiments binary writes.
+///
+/// Total on any input: truncated files, corrupt JSON, hostile nesting and
+/// well-formed-but-not-a-report documents all come back as a typed message
+/// naming the offending element — never a panic. Both the `compare`
+/// subcommand and external tooling load report files through this.
+pub fn load_reports(text: &str) -> Result<Vec<SimReport>, String> {
+    let doc = crate::json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let elems: Vec<&Json> = match &doc {
+        Json::Arr(items) => items.iter().collect(),
+        other => vec![other],
+    };
+    elems
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| {
+            SimReport::from_json(v).map_err(|e| format!("element {i}: not a report: {e}"))
+        })
+        .collect()
+}
+
 fn u64_arr(values: &[u64]) -> Json {
     Json::Arr(values.iter().map(|&v| Json::from_u64(v)).collect())
 }

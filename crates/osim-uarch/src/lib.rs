@@ -15,6 +15,9 @@
 //!   vs. full list walk, pollution-avoiding fills, coherence discards), owns
 //!   the hardware free list, and runs the shadowed/pending-list garbage
 //!   collector of §III-B.
+//! * [`oracle`] — opt-in runtime invariant oracles (lock exclusion, version
+//!   monotonicity, GC liveness) the schedule-shaking stress harness checks
+//!   across perturbed interleavings.
 //!
 //! All state that the paper puts "in memory" (version blocks, free-list
 //! links) really is in [`osim_mem::PhysMem`]; all state the paper puts in
@@ -23,15 +26,17 @@
 
 pub mod compressed;
 pub mod manager;
+pub mod oracle;
 pub mod vblock;
 
 pub use compressed::CompressedLine;
-pub use osim_mem::{FaultPlan, Injector, PoolShrink};
+pub use osim_mem::{FaultPlan, Injector, PoolShrink, SpecError};
 
 pub use manager::{
     BlockReason, GcConfig, MvmEvent, MvmEventKind, MvmHists, OManager, OManagerCfg, OStats,
     OpOutcome,
 };
+pub use oracle::OracleReport;
 pub use vblock::VBlock;
 
 /// A version identifier. Under the task-based runtime these are task IDs,

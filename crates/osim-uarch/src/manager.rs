@@ -10,6 +10,7 @@ use osim_mem::{
 };
 
 use crate::compressed::{CEntry, CompressedLine};
+use crate::oracle::OracleReport;
 use crate::vblock::{VBlock, VBLOCK_BYTES};
 use crate::{TaskId, Version};
 
@@ -47,6 +48,11 @@ pub struct OManagerCfg {
     /// modeled trap cost (bounded exponential backoff) and forces a
     /// garbage-collection attempt first.
     pub refill_retry_limit: u32,
+    /// Arm the runtime invariant oracles (lock exclusion, version
+    /// monotonicity, GC liveness); violations accumulate in the
+    /// [`crate::OracleReport`] returned by [`OManager::oracle_report`].
+    /// Off by default — the stress harness turns it on.
+    pub oracles: bool,
 }
 
 impl Default for OManagerCfg {
@@ -60,6 +66,7 @@ impl Default for OManagerCfg {
             gc: GcConfig { watermark: 1 << 10 },
             fault_plan: None,
             refill_retry_limit: 3,
+            oracles: false,
         }
     }
 }
@@ -311,6 +318,9 @@ pub struct OManager {
     pending_trap_cycles: u64,
     /// Deterministic fault injector (present iff the config carries a plan).
     injector: Option<Injector>,
+    /// Invariant-oracle accumulator (present iff `cfg.oracles`); boxed so
+    /// the disarmed common case costs one pointer.
+    oracle: Option<Box<OracleReport>>,
     /// Counters; reset between warm-up and measurement.
     pub stats: OStats,
     /// Latency distributions; reset alongside [`OManager::stats`].
@@ -346,6 +356,7 @@ impl OManager {
             walk_lines: Vec::new(),
             pending_trap_cycles: 0,
             injector: cfg.fault_plan.map(Injector::new),
+            oracle: cfg.oracles.then(Box::default),
             stats: OStats::default(),
             hists: MvmHists::default(),
             events: EventLog::disabled(),
@@ -378,6 +389,120 @@ impl OManager {
     /// version order (always true with sorted insertion).
     fn list_sorted(&self, root_pa: u32) -> bool {
         self.cfg.sorted_insertion || !self.unsorted_roots.contains(&root_pa)
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant oracles (armed by `OManagerCfg::oracles`)
+    // ------------------------------------------------------------------
+
+    /// The invariant-oracle accumulator (None unless [`OManagerCfg::oracles`]
+    /// was set). The report survives stat resets: oracle checks are about
+    /// whole-run correctness, not the measurement window.
+    pub fn oracle_report(&self) -> Option<&OracleReport> {
+        self.oracle.as_deref()
+    }
+
+    /// Lock-exclusion oracle, acquire side: a lock grant must find the
+    /// block unlocked.
+    #[inline]
+    fn oracle_lock_grant(
+        &mut self,
+        root_pa: u32,
+        block_pa: u32,
+        held_by: TaskId,
+        grant_to: TaskId,
+    ) {
+        if let Some(o) = self.oracle.as_deref_mut() {
+            o.lock_checks += 1;
+            if held_by != 0 {
+                o.violation(format!(
+                    "lock-exclusion: root {root_pa:#010x} block {block_pa:#010x} \
+                     granted to task {grant_to} while held by task {held_by}"
+                ));
+            }
+        }
+    }
+
+    /// Lock-exclusion oracle, release side: the cleared lock must have been
+    /// held by the releasing task.
+    #[inline]
+    fn oracle_lock_release(&mut self, root_pa: u32, block_pa: u32, held_by: TaskId, tid: TaskId) {
+        if let Some(o) = self.oracle.as_deref_mut() {
+            o.lock_checks += 1;
+            if held_by != tid {
+                o.violation(format!(
+                    "lock-exclusion: root {root_pa:#010x} block {block_pa:#010x} \
+                     unlocked by task {tid} but held by task {held_by}"
+                ));
+            }
+        }
+    }
+
+    /// Version-monotonicity oracle: after inserting `v` at `pos`, a sorted
+    /// list must still be strictly descending around the insertion point.
+    fn oracle_order(&mut self, root_pa: u32, pos: usize, v: Version) {
+        if self.oracle.is_none() || !self.list_sorted(root_pa) {
+            return;
+        }
+        let (prev, next) = match self.lists.get(&root_pa) {
+            Some(list) => (
+                pos.checked_sub(1)
+                    .and_then(|i| list.get(i))
+                    .map(|&(p, _)| p),
+                list.get(pos + 1).map(|&(n, _)| n),
+            ),
+            None => (None, None),
+        };
+        let Some(o) = self.oracle.as_deref_mut() else {
+            return;
+        };
+        o.order_checks += 1;
+        if prev.is_some_and(|p| p <= v) || next.is_some_and(|n| n >= v) {
+            o.violation(format!(
+                "version-monotonicity: root {root_pa:#010x} insert of version {v} \
+                 at position {pos} between {prev:?} and {next:?} breaks descending order"
+            ));
+        }
+    }
+
+    /// GC-liveness oracle: a block the collector just reclaimed must have
+    /// been shadowed, unlocked, off the list head, and superseded by a
+    /// strictly newer version — i.e. unreachable by every present or
+    /// future task (§III-B).
+    fn oracle_gc_free(&mut self, ms: &MemSys, root_pa: u32, blk: &VBlock) {
+        if self.oracle.is_none() {
+            return;
+        }
+        let head = ms.phys.read_u32(root_pa);
+        let newer = self
+            .lists
+            .get(&root_pa)
+            .is_some_and(|l| l.iter().any(|&(ver, _)| ver > blk.version));
+        let Some(o) = self.oracle.as_deref_mut() else {
+            return;
+        };
+        o.gc_checks += 1;
+        let mut bad: Vec<&str> = Vec::new();
+        if !blk.shadowed {
+            bad.push("not shadowed");
+        }
+        if !blk.unlocked() {
+            bad.push("still locked");
+        }
+        if head == blk.pa {
+            bad.push("is the list head");
+        }
+        if !newer {
+            bad.push("no newer version remains");
+        }
+        if !bad.is_empty() {
+            o.violation(format!(
+                "gc-liveness: root {root_pa:#010x} freed version {} block {:#010x}: {}",
+                blk.version,
+                blk.pa,
+                bad.join(", ")
+            ));
+        }
     }
 
     // ------------------------------------------------------------------
@@ -752,12 +877,22 @@ impl OManager {
             let blk = VBlock::read(&ms.phys, block_pa);
             if !blk.unlocked() {
                 // A leaked lock: keep the block alive rather than corrupt
-                // the structure (debug builds flag the protocol violation).
+                // the structure (debug builds flag the protocol violation;
+                // the oracle records it so release stress runs see it too).
+                if let Some(o) = self.oracle.as_deref_mut() {
+                    o.gc_checks += 1;
+                    o.violation(format!(
+                        "gc-liveness: shadowed block {block_pa:#010x} reached \
+                         finalization still locked by task {}",
+                        blk.locked_by
+                    ));
+                }
                 debug_assert!(false, "shadowed block {block_pa:#010x} still locked");
                 self.shadowed.push((root_pa, block_pa));
                 continue;
             }
             if self.unlink(ms, root_pa, block_pa) {
+                self.oracle_gc_free(ms, root_pa, &blk);
                 self.push_free(ms, block_pa);
                 reclaimed.insert(block_pa);
                 self.stats.reclaimed_blocks += 1;
@@ -791,6 +926,13 @@ impl OManager {
             // A shadowed block has a newer version, so it is never the head
             // while that newer version is still linked; reaching here means
             // the protocol was violated.
+            if let Some(o) = self.oracle.as_deref_mut() {
+                o.gc_checks += 1;
+                o.violation(format!(
+                    "gc-liveness: shadowed block {block_pa:#010x} is the head \
+                     of the list rooted at {root_pa:#010x}"
+                ));
+            }
             debug_assert!(false, "shadowed block at head of list");
             return false;
         }
@@ -1009,6 +1151,7 @@ impl OManager {
                     // Acquire the lock: write the backing version block.
                     latency += ms.hier.access(core, e.block_pa, AccessKind::Write).latency;
                     let mut blk = VBlock::read(&ms.phys, e.block_pa);
+                    self.oracle_lock_grant(root_pa, e.block_pa, blk.locked_by, lock_as);
                     debug_assert!(blk.unlocked());
                     blk.locked_by = lock_as;
                     blk.write(&mut ms.phys);
@@ -1116,6 +1259,7 @@ impl OManager {
         let mut locked_by = 0;
         if lock_as != 0 {
             latency += ms.hier.access(core, blk.pa, AccessKind::Write).latency;
+            self.oracle_lock_grant(root_pa, blk.pa, blk.locked_by, lock_as);
             let mut b = blk;
             b.locked_by = lock_as;
             b.write(&mut ms.phys);
@@ -1201,6 +1345,7 @@ impl OManager {
             "mirror head is stale"
         );
         self.mirror_insert(root_pa, 0, v, new_pa);
+        self.oracle_order(root_pa, 0, v);
         self.stats.stores += 1;
         let head_version = self.list_sorted(root_pa).then_some(v);
         self.compressed_install(
@@ -1215,6 +1360,13 @@ impl OManager {
             },
             head_version,
         );
+        if head_version.is_none() {
+            // The head changed but the list is no longer provably sorted:
+            // any head-version claim the line carries is stale now.
+            if let Some(line) = self.compressed[core].get_mut(&root_pa) {
+                line.set_head_version(None);
+            }
+        }
         self.compressed_coherence(ms, core, root_pa);
         Ok(OpOutcome::Done {
             value: data,
@@ -1365,6 +1517,7 @@ impl OManager {
             latency += ms.hier.access(core, p.pa, AccessKind::Write).latency;
         }
         self.mirror_insert(root_pa, prev_idx.map_or(0, |i| i + 1), v, new_pa);
+        self.oracle_order(root_pa, prev_idx.map_or(0, |i| i + 1), v);
 
         // Shadow the next-older version (Figure 5): creating v makes the
         // version just below it unreachable for tasks ≥ v. (An
@@ -1397,9 +1550,15 @@ impl OManager {
             },
             head_version,
         );
-        if !at_front {
-            // Our line may claim to know the head; it still does (the head
-            // did not change), so nothing to fix. Remote lines are dropped.
+        if at_front && head_version.is_none() {
+            // An out-of-order prepend changed the head without proving
+            // "newest overall": drop any stale head-version claim so the
+            // store fast path cannot front-insert against the wrong block.
+            // (When not at front the head did not change and our line's
+            // claim stays valid; remote lines are dropped either way.)
+            if let Some(line) = self.compressed[core].get_mut(&root_pa) {
+                line.set_head_version(None);
+            }
         }
         self.compressed_coherence(ms, core, root_pa);
 
@@ -1485,6 +1644,7 @@ impl OManager {
         if blk.locked_by != tid {
             return Err(Fault::NotLockOwner { va, version: vl });
         }
+        self.oracle_lock_release(root_pa, block_pa, blk.locked_by, tid);
         blk.locked_by = 0;
         blk.write(&mut ms.phys);
         latency += ms.hier.access(core, block_pa, AccessKind::Write).latency;

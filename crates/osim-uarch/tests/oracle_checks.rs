@@ -1,0 +1,97 @@
+//! Integration tests for the runtime invariant oracles: armed runs must
+//! record checks (and no violations) across lock, store and GC paths, and
+//! disarmed runs must report nothing.
+
+use osim_mem::{HierarchyCfg, MemSys, PageFlags};
+use osim_uarch::{GcConfig, OManager, OManagerCfg};
+
+fn setup(cfg: OManagerCfg) -> (MemSys, OManager, u32) {
+    let mut ms = MemSys::new(HierarchyCfg::paper(2), 64 << 20);
+    let va = ms.map_zeroed(1, PageFlags::VersionedRoot).unwrap();
+    let mgr = OManager::new(cfg, &mut ms).unwrap();
+    (ms, mgr, va)
+}
+
+fn armed_cfg() -> OManagerCfg {
+    OManagerCfg {
+        initial_free_blocks: 256,
+        refill_blocks: 256,
+        gc: GcConfig { watermark: 10_000 }, // trigger on every allocation
+        oracles: true,
+        ..OManagerCfg::default()
+    }
+}
+
+#[test]
+fn disarmed_manager_reports_no_oracle() {
+    let (mut ms, mut mgr, va) = setup(OManagerCfg::default());
+    mgr.store_version(&mut ms, 0, va, 1, 10).unwrap();
+    assert!(mgr.oracle_report().is_none());
+}
+
+#[test]
+fn lock_oracle_counts_grants_and_releases() {
+    let (mut ms, mut mgr, va) = setup(armed_cfg());
+    mgr.store_version(&mut ms, 0, va, 1, 10).unwrap();
+    // Grant via the full-lookup path, release, then grant again through the
+    // compressed line (direct path).
+    mgr.lock_load_version(&mut ms, 0, va, 1, 7).unwrap();
+    mgr.unlock_version(&mut ms, 0, va, 1, 7, None).unwrap();
+    mgr.lock_load_version(&mut ms, 0, va, 1, 8).unwrap();
+    mgr.unlock_version(&mut ms, 0, va, 1, 8, None).unwrap();
+    let rep = mgr.oracle_report().expect("oracle armed");
+    assert!(rep.ok(), "no violations expected: {:?}", rep.details);
+    assert_eq!(rep.lock_checks, 4, "2 grants + 2 releases");
+}
+
+#[test]
+fn order_oracle_checks_sorted_insertions() {
+    let (mut ms, mut mgr, va) = setup(armed_cfg());
+    // Out-of-order creation exercises middle, front and back insertions.
+    for v in [5u32, 2, 9, 7, 1] {
+        mgr.store_version(&mut ms, 0, va, v, v).unwrap();
+    }
+    let rep = mgr.oracle_report().expect("oracle armed");
+    assert!(rep.ok(), "no violations expected: {:?}", rep.details);
+    assert_eq!(rep.order_checks, 5, "one check per store");
+}
+
+#[test]
+fn gc_oracle_checks_reclaimed_blocks() {
+    let (mut ms, mut mgr, va) = setup(armed_cfg());
+    mgr.task_begin(1);
+    mgr.store_version(&mut ms, 0, va, 1, 10).unwrap();
+    mgr.task_begin(2);
+    mgr.store_version(&mut ms, 0, va, 2, 20).unwrap(); // shadows v1
+    mgr.task_begin(3);
+    mgr.store_version(&mut ms, 0, va, 3, 30).unwrap(); // phase starts
+    mgr.task_end(&mut ms, 1);
+    mgr.task_end(&mut ms, 2);
+    mgr.task_end(&mut ms, 3); // phase finalizes, v1 reclaimed
+    assert_eq!(mgr.stats.reclaimed_blocks, 1);
+    let rep = mgr.oracle_report().expect("oracle armed");
+    assert!(rep.ok(), "no violations expected: {:?}", rep.details);
+    assert_eq!(rep.gc_checks, 1, "one check per reclaimed block");
+    assert!(rep.checks() >= rep.gc_checks + rep.order_checks);
+}
+
+#[test]
+fn oracle_stays_clean_under_unsorted_insertion_ablation() {
+    // The §IV-F "no version sorting" ablation prepends unconditionally; the
+    // order oracle must skip lists whose order was genuinely violated
+    // rather than flag the ablation as a bug.
+    let cfg = OManagerCfg {
+        sorted_insertion: false,
+        ..armed_cfg()
+    };
+    let (mut ms, mut mgr, va) = setup(cfg);
+    for v in [5u32, 2, 9, 7, 1] {
+        mgr.store_version(&mut ms, 0, va, v, v).unwrap();
+    }
+    let rep = mgr.oracle_report().expect("oracle armed");
+    assert!(
+        rep.ok(),
+        "ablation must not trip the oracle: {:?}",
+        rep.details
+    );
+}

@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 
 use osim_cpu::{CpuStats, DepEdge, EngineStats, Machine, RunHists, Sample};
 use osim_mem::MemStats;
-use osim_uarch::OStats;
+use osim_uarch::{OStats, OracleReport};
 
 /// Workload configuration for the irregular data structures.
 #[derive(Debug, Clone)]
@@ -180,6 +180,9 @@ pub struct DsResult {
     /// `[start, end]` cycle window the captures cover (end = machine time
     /// at collection; start = end − measured cycles).
     pub window: (u64, u64),
+    /// Invariant-oracle report for the whole run (None unless
+    /// [`osim_uarch::OManagerCfg::oracles`] armed the checks).
+    pub oracle: Option<OracleReport>,
 }
 
 impl DsResult {
@@ -209,6 +212,7 @@ pub fn collect(m: &Machine, cycles: u64, ok: bool, detail: String) -> DsResult {
         timeseries: st.timeseries.records(),
         samples_dropped: st.timeseries.dropped,
         window: (end.saturating_sub(cycles), end),
+        oracle: st.omgr.oracle_report().cloned(),
     }
 }
 

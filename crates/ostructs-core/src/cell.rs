@@ -292,6 +292,45 @@ impl<T: Clone> OCell<T> {
         self.inner.state.lock().held.get(&tid).copied()
     }
 
+    /// Invariant oracle: cross-checks the lock bookkeeping both ways —
+    /// every held-lock record must point at a version locked by exactly
+    /// that task, and every locked version must have a matching held
+    /// record. Returns the first inconsistency. The software twin of the
+    /// simulator's lock-exclusion oracle; the stress harness's test suites
+    /// call it after perturbed interleavings.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let st = self.inner.state.lock();
+        for (&tid, &v) in &st.held {
+            match st.versions.get(&v) {
+                Some(slot) if slot.locked_by == Some(tid) => {}
+                Some(slot) => {
+                    return Err(format!(
+                        "task {tid} records a lock on version {v}, but the \
+                         version is held by {:?}",
+                        slot.locked_by
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "task {tid} records a lock on version {v}, which does \
+                         not exist"
+                    ))
+                }
+            }
+        }
+        for (&v, slot) in &st.versions {
+            if let Some(tid) = slot.locked_by {
+                if st.held.get(&tid) != Some(&v) {
+                    return Err(format!(
+                        "version {v} is locked by task {tid}, which has no \
+                         matching held record"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// All existing versions, ascending (diagnostics / tests).
     pub fn versions(&self) -> Vec<Version> {
         self.inner.state.lock().versions.keys().copied().collect()
@@ -437,6 +476,21 @@ mod tests {
         assert_eq!(c.held_by(2), Some(4));
         c.unlock_version(2, None).unwrap();
         assert_eq!(c.held_by(2), None);
+    }
+
+    #[test]
+    fn invariants_hold_through_lock_lifecycle() {
+        let c = OCell::with_initial(1, 0u32);
+        c.check_invariants().unwrap();
+        c.lock_load_version(1, 3).unwrap();
+        c.check_invariants().unwrap();
+        c.unlock_version(3, Some(2)).unwrap();
+        c.check_invariants().unwrap();
+        c.lock_load_version(2, 4).unwrap();
+        c.prune_below(2);
+        c.check_invariants().unwrap();
+        c.unlock_version(4, None).unwrap();
+        c.check_invariants().unwrap();
     }
 
     #[test]
