@@ -1,16 +1,25 @@
 //! Software O-structure benchmarks (the §II-C observation that software
 //! versioning is much slower than plain memory operations, motivating
 //! hardware support).
+//!
+//! Set `OSIM_BENCH_SMOKE=1` to shrink every workload to CI-smoke size.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ostructs_core::{OCell, ORuntime};
 use std::hint::black_box;
 
+fn smoke() -> bool {
+    std::env::var_os("OSIM_BENCH_SMOKE").is_some()
+}
+
 fn cell_ops(c: &mut Criterion) {
+    let versions = if smoke() { 8u64 } else { 64 };
+    let tasks = if smoke() { 8 } else { 64 };
     let mut g = c.benchmark_group("software_cell");
+    g.sample_size(10);
     g.bench_function("store_version", |b| {
         b.iter_with_setup(OCell::new, |cell| {
-            for v in 1..=64u64 {
+            for v in 1..=versions {
                 cell.store_version(v, v as u32).unwrap();
             }
             black_box(cell.version_count())
@@ -18,10 +27,10 @@ fn cell_ops(c: &mut Criterion) {
     });
     g.bench_function("load_latest_64_versions", |b| {
         let cell = OCell::new();
-        for v in 1..=64u64 {
+        for v in 1..=versions {
             cell.store_version(v, v as u32).unwrap();
         }
-        b.iter(|| black_box(cell.load_latest(black_box(64))))
+        b.iter(|| black_box(cell.load_latest(black_box(versions))))
     });
     g.bench_function("lock_unlock_rename", |b| {
         let cell = OCell::with_initial(0, 0u32);
@@ -47,7 +56,7 @@ fn cell_ops(c: &mut Criterion) {
             let rt = ORuntime::new(4);
             let cell = OCell::with_initial(0, 0u64);
             rt.track(&cell);
-            let tasks: Vec<Box<dyn FnOnce(u64) + Send>> = (0..64)
+            let tasks: Vec<Box<dyn FnOnce(u64) + Send>> = (0..tasks)
                 .map(|_| {
                     let cell = cell.clone();
                     Box::new(move |tid: u64| {

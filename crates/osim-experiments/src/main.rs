@@ -22,7 +22,12 @@
 //!                         contenders of a figure workload (`--fig <6|7|9|10>`,
 //!                         default 7; `--sample-every <cycles>` telemetry epoch)
 //!   all      everything above
-//!   perf                — host-speed benchmark; writes BENCH_sweep.json
+//!   perf                — host-speed benchmark; writes BENCH_sweep.json.
+//!                         With `--ostructs`, benchmarks the concurrent
+//!                         versioned store instead (committed-read fast
+//!                         path vs the pre-sharding mutex baseline,
+//!                         multi-thread throughput, zipf mix with a live
+//!                         vacuum) and writes BENCH_ostructs.json
 //!   compare             — diff two `--json` report files: counters, stall
 //!                         causes, histograms, ranked regression attribution
 //!   stress              — schedule-shaking robustness harness: every quick
@@ -107,6 +112,7 @@ mod fig7;
 mod fig8;
 mod fig9;
 mod gc;
+mod ostructs_perf;
 mod perf;
 mod pool;
 mod stress;
@@ -182,6 +188,12 @@ fn main() {
     let chrome_path = take_value(&mut args, "--chrome");
     let sweep_json = take_value(&mut args, "--sweep-json");
     let progress = if let Some(i) = args.iter().position(|a| a == "--progress") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let ostructs = if let Some(i) = args.iter().position(|a| a == "--ostructs") {
         args.remove(i);
         true
     } else {
@@ -369,6 +381,7 @@ fn main() {
             let code = stress::run(&scale, scale_name, first_seed, seeds, fig_filter, jobs);
             std::process::exit(code);
         }
+        "perf" if ostructs => ostructs_perf::run(scale_name, reps, "BENCH_ostructs.json"),
         "perf" => perf::run(&scale, scale_name, jobs, reps, baseline, "BENCH_sweep.json"),
         "all" => {
             common::print_config();
@@ -388,7 +401,7 @@ fn main() {
                  [--scheduler <calendar|heap>] \
                  [--fig <6|7|9|10>] [--sample-every <cycles>] \
                  [--shake-seed <n>] [--seeds <n>] \
-                 [--progress] [--sweep-json <path>] \
+                 [--progress] [--sweep-json <path>] [--ostructs] \
                  [--inject <spec>] [--baseline-ms <ms> [--baseline-ref <label>]]\n\
                  \n\
                  osim-experiments compare <a.json> <b.json> [--json <path>]\n\

@@ -1,6 +1,36 @@
 //! The multi-version cell.
+//!
+//! # Hot-path layout (read-optimized split)
+//!
+//! The original prototype kept everything — version map, lock table,
+//! waiter bookkeeping — behind one `Mutex<State>`, so every committed-read
+//! serialized against every other operation on the cell. This version
+//! splits the cell in two:
+//!
+//! * **Truth** stays in `Mutex<State>`: a `BTreeMap<Version, Slot>` plus
+//!   the per-task lock table and the `Condvar` that blocking operations
+//!   park on. All mutations and all *blocking* waits go through it.
+//! * **A read-mostly snapshot** of the version list is published behind a
+//!   `RwLock<Arc<Snapshot>>` and atomically swapped on every mutation.
+//!   Loads of already-committed versions resolve entirely against the
+//!   snapshot: a brief shared read guard, a binary search, and an `Arc`
+//!   bump — no exclusive lock, and concurrent readers never serialize
+//!   against each other.
+//!
+//! The snapshot stores the version list **path-compressed into runs**
+//! (à la the `PersistentCell` of persistency): a run `[lo, hi]` covers
+//! every one of the contiguous versions `lo..=hi`, all sharing one
+//! `Arc<T>` value. Rename chains (`unlock_version(_, Some(v+1))` in a
+//! hand-over-hand pipeline) therefore collapse to a single run — a
+//! million-rename history is one entry and one heap allocation. The
+//! snapshot keeps at most [`WINDOW_RUNS`] of the *newest* runs; anything
+//! below that window falls back to the mutex slow path (the window is a
+//! cache, never a semantic boundary). Values live in `Arc<T>` throughout,
+//! so the `_arc` load variants return without cloning `T` at all.
 
+use std::cell::UnsafeCell;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -9,9 +39,124 @@ use parking_lot::{Condvar, Mutex};
 use crate::error::OError;
 use crate::{TaskId, Version};
 
+/// Maximum number of runs retained in the published read snapshot. A cell
+/// whose history compresses to at most this many runs is fully answerable
+/// on the fast path; older history past the window takes the slow path.
+const WINDOW_RUNS: usize = 32;
+
 struct Slot<T> {
-    value: T,
+    value: Arc<T>,
     locked_by: Option<TaskId>,
+}
+
+/// A maximal range of contiguous versions `lo..=hi` that all exist and
+/// share one value allocation (renames reuse the predecessor's `Arc`).
+struct Run<T> {
+    lo: Version,
+    hi: Version,
+    value: Arc<T>,
+}
+
+impl<T> Clone for Run<T> {
+    fn clone(&self) -> Self {
+        Run {
+            lo: self.lo,
+            hi: self.hi,
+            value: Arc::clone(&self.value),
+        }
+    }
+}
+
+/// The published read-mostly view: the newest runs plus the (small) set of
+/// currently locked versions. Immutable once published; mutations build a
+/// fresh snapshot and swap the `Arc`.
+struct Snapshot<T> {
+    /// When true, `runs` covers *every* existing version; an absent lookup
+    /// is authoritative. When false, only versions `>= floor()` are
+    /// covered and anything below must consult the slow path.
+    complete: bool,
+    /// Sorted by `lo`, disjoint, covering all versions `>= floor()`.
+    runs: Vec<Run<T>>,
+    /// Sorted; every currently locked version of the whole cell.
+    locked: Vec<Version>,
+}
+
+/// Fast-path resolution against a [`Snapshot`]. Borrows the snapshot, so
+/// hits can be consumed (cloned, `Arc`-bumped, or just read) while the
+/// snap guard is held — the cloning load paths copy `T` without ever
+/// touching the value `Arc`'s refcount.
+enum FastRead<'a, T> {
+    /// Committed and unlocked: the authoritative answer.
+    Hit(Version, &'a Arc<T>),
+    /// Authoritatively absent right now (no such version / none <= cap).
+    Absent,
+    /// The target version exists but is locked right now.
+    Locked,
+    /// Below the snapshot window; only the slow path knows.
+    Unknown,
+}
+
+impl<T> Snapshot<T> {
+    fn empty() -> Self {
+        Snapshot {
+            complete: true,
+            runs: Vec::new(),
+            locked: Vec::new(),
+        }
+    }
+
+    /// Lowest version the window covers (0 when complete or empty).
+    fn floor(&self) -> Version {
+        if self.complete {
+            0
+        } else {
+            self.runs.first().map_or(0, |r| r.lo)
+        }
+    }
+
+    fn is_locked(&self, v: Version) -> bool {
+        self.locked.binary_search(&v).is_ok()
+    }
+
+    /// Newest existing version `<= cap`, if the window can answer.
+    fn read_latest(&self, cap: Version) -> FastRead<'_, T> {
+        let i = self.runs.partition_point(|r| r.lo <= cap);
+        if i == 0 {
+            // No covered version <= cap: authoritative only if the window
+            // covers everything.
+            return if self.complete {
+                FastRead::Absent
+            } else {
+                FastRead::Unknown
+            };
+        }
+        let run = &self.runs[i - 1];
+        let v = run.hi.min(cap);
+        if self.is_locked(v) {
+            FastRead::Locked
+        } else {
+            FastRead::Hit(v, &run.value)
+        }
+    }
+
+    /// Exact-version lookup, if the window can answer.
+    fn read_exact(&self, version: Version) -> FastRead<'_, T> {
+        if !self.complete && version < self.floor() {
+            return FastRead::Unknown;
+        }
+        let i = self.runs.partition_point(|r| r.lo <= version);
+        if i == 0 {
+            return FastRead::Absent;
+        }
+        let run = &self.runs[i - 1];
+        if version > run.hi {
+            FastRead::Absent
+        } else if self.is_locked(version) {
+            FastRead::Locked
+        } else {
+            FastRead::Hit(version, &run.value)
+        }
+    }
 }
 
 struct State<T> {
@@ -19,16 +164,203 @@ struct State<T> {
     /// Which version each task currently holds locked (at most one lock
     /// per task per cell, as in the Fig. 1 API).
     held: HashMap<TaskId, Version>,
+    /// Mirror of the published runs, maintained incrementally so the
+    /// common append (store at a new maximum version) publishes in O(1)
+    /// amortized instead of rewalking the map.
+    window: Vec<Run<T>>,
+    window_complete: bool,
+}
+
+impl<T> State<T> {
+    /// Rebuilds the window by walking the newest versions of the map,
+    /// coalescing contiguous same-value versions into runs. Used after
+    /// out-of-order stores and pruning; the append path updates in place.
+    fn rebuild_window(&mut self) {
+        self.window.clear();
+        self.window_complete = true;
+        for (&v, slot) in self.versions.iter().rev() {
+            if let Some(lowest) = self.window.last_mut() {
+                if lowest.lo == v + 1 && Arc::ptr_eq(&lowest.value, &slot.value) {
+                    lowest.lo = v;
+                    continue;
+                }
+                if self.window.len() == WINDOW_RUNS {
+                    self.window_complete = false;
+                    break;
+                }
+            }
+            self.window.push(Run {
+                lo: v,
+                hi: v,
+                value: Arc::clone(&slot.value),
+            });
+        }
+        // Built newest-first; publish ascending.
+        self.window.reverse();
+    }
+
+    /// Records a freshly inserted version in the window.
+    fn window_note_store(&mut self, v: Version, value: &Arc<T>) {
+        match self.window.last_mut() {
+            Some(last) if v > last.hi => {
+                if v == last.hi + 1 && Arc::ptr_eq(&last.value, value) {
+                    last.hi = v; // rename chain: extend the run in place
+                } else {
+                    self.window.push(Run {
+                        lo: v,
+                        hi: v,
+                        value: Arc::clone(value),
+                    });
+                    if self.window.len() > WINDOW_RUNS {
+                        self.window.remove(0);
+                        self.window_complete = false;
+                    }
+                }
+            }
+            Some(first_any) => {
+                // Out-of-order store. Below the window floor it is already
+                // slow-path territory and the window stays valid; inside
+                // the window's span, rebuild.
+                let _ = first_any;
+                let floor = self.window.first().map_or(0, |r| r.lo);
+                if self.window_complete || v >= floor {
+                    self.rebuild_window();
+                }
+            }
+            None => {
+                self.window.push(Run {
+                    lo: v,
+                    hi: v,
+                    value: Arc::clone(value),
+                });
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot<T> {
+        let mut locked: Vec<Version> = self.held.values().copied().collect();
+        locked.sort_unstable();
+        Snapshot {
+            complete: self.window_complete,
+            runs: self.window.clone(),
+            locked,
+        }
+    }
+}
+
+/// A minimal reader-count guard for the published snapshot — the
+/// "seqlock-style guard" of the design: two uncontended atomic RMWs per
+/// read (no pthread rwlock, no syscall path), and writers — always
+/// serialized by the cell's state mutex — briefly drain readers before
+/// swapping the `Arc`. Reads never block writers for longer than a
+/// snapshot lookup; the writer critical section is a pointer swap.
+///
+/// `state` encoding: bit 0 = writer present, bits 1.. = reader count × 2.
+struct SnapLock<T> {
+    state: AtomicU32,
+    slot: UnsafeCell<Arc<Snapshot<T>>>,
+}
+
+// Safety: `slot` is only written in `set()` with the writer bit held and
+// all readers drained, and only read through `SnapGuard` while a reader
+// increment holds the writer out. The contained `Arc<Snapshot<T>>` is
+// shared across threads, hence the `Send + Sync` bounds.
+unsafe impl<T: Send + Sync> Sync for SnapLock<T> {}
+unsafe impl<T: Send> Send for SnapLock<T> {}
+
+const WRITER_BIT: u32 = 1;
+
+struct SnapGuard<'a, T> {
+    lock: &'a SnapLock<T>,
+}
+
+impl<T> std::ops::Deref for SnapGuard<'_, T> {
+    type Target = Snapshot<T>;
+    fn deref(&self) -> &Snapshot<T> {
+        // Safety: the reader increment taken in `read()` keeps writers
+        // out until this guard drops.
+        unsafe { &*self.lock.slot.get() }
+    }
+}
+
+impl<T> Drop for SnapGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.state.fetch_sub(2, Ordering::Release);
+    }
+}
+
+impl<T> SnapLock<T> {
+    fn new(snap: Arc<Snapshot<T>>) -> Self {
+        SnapLock {
+            state: AtomicU32::new(0),
+            slot: UnsafeCell::new(snap),
+        }
+    }
+
+    fn read(&self) -> SnapGuard<'_, T> {
+        loop {
+            let s = self.state.fetch_add(2, Ordering::Acquire);
+            if s & WRITER_BIT == 0 {
+                return SnapGuard { lock: self };
+            }
+            // A writer is mid-swap: back out and wait for it. The writer
+            // section is a pointer swap, so spinning is the common case;
+            // yield covers a preempted writer.
+            self.state.fetch_sub(2, Ordering::Release);
+            let mut spins = 0u32;
+            while self.state.load(Ordering::Relaxed) & WRITER_BIT != 0 {
+                spins += 1;
+                if spins > 128 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Replaces the snapshot. Callers must already be serialized (the
+    /// cell publishes only under its state mutex).
+    fn set(&self, snap: Arc<Snapshot<T>>) {
+        let prev = self.state.fetch_or(WRITER_BIT, Ordering::Acquire);
+        debug_assert_eq!(prev & WRITER_BIT, 0, "publishers must be serialized");
+        let mut spins = 0u32;
+        while self.state.load(Ordering::Acquire) != WRITER_BIT {
+            spins += 1;
+            if spins > 128 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // Safety: writer bit held and all readers drained — exclusive.
+        unsafe {
+            *self.slot.get() = snap;
+        }
+        self.state.fetch_and(!WRITER_BIT, Ordering::Release);
+    }
 }
 
 struct Inner<T> {
     state: Mutex<State<T>>,
+    /// The atomically swapped read snapshot. Lock order: `state` is held
+    /// while publishing; readers take the snap guard alone and always
+    /// release it before touching `state`.
+    published: SnapLock<T>,
     changed: Condvar,
 }
 
-/// Type-erased garbage-collection interface; the runtime holds tracked
-/// cells as `Weak<dyn Prune>` so one collector can prune cells of any
-/// value type.
+impl<T> Inner<T> {
+    /// Publishes the current state as a fresh snapshot. Callers hold the
+    /// state mutex, so publications are totally ordered.
+    fn publish(&self, st: &State<T>) {
+        self.published.set(Arc::new(st.snapshot()));
+    }
+}
+
+/// Type-erased garbage-collection interface; the runtime and the vacuum
+/// hold tracked stores as `Weak<dyn Prune>` so one collector can prune
+/// cells (or whole maps) of any value type.
 pub trait Prune {
     /// See [`OCell::prune_below`].
     fn prune_below(&self, boundary: Version) -> usize;
@@ -43,15 +375,21 @@ impl<T> Prune for Inner<T> {
         let before = st.versions.len();
         st.versions
             .retain(|&v, slot| v >= keep || slot.locked_by.is_some());
-        before - st.versions.len()
+        let reclaimed = before - st.versions.len();
+        if reclaimed > 0 {
+            st.rebuild_window();
+            self.publish(&st);
+        }
+        reclaimed
     }
 }
 
 /// A software O-structure: one memory location, many ordered versions.
 ///
-/// Cheap to clone (a handle); all clones refer to the same cell. `T` must
-/// be `Clone` because loads return copies while the version stays in place
-/// for other readers.
+/// Cheap to clone (a handle); all clones refer to the same cell. Values
+/// are stored once in an `Arc<T>`: the `_arc` load variants share that
+/// allocation, while the plain load variants clone `T` out of it (so `T:
+/// Clone` is only required where a copy is actually returned).
 ///
 /// # Blocking semantics (§II-A of the paper)
 ///
@@ -65,7 +403,9 @@ impl<T> Prune for Inner<T> {
 ///   an already-locked version blocks.
 /// * [`OCell::unlock_version`] releases the caller's lock and can
 ///   atomically create a successor version carrying the same value — the
-///   rename step of hand-over-hand pipelining.
+///   rename step of hand-over-hand pipelining. The successor shares the
+///   predecessor's value allocation, so rename chains cost no value
+///   clones and compress to a single run in the read snapshot.
 pub struct OCell<T> {
     inner: Arc<Inner<T>>,
 }
@@ -78,13 +418,13 @@ impl<T> Clone for OCell<T> {
     }
 }
 
-impl<T: Clone> Default for OCell<T> {
+impl<T> Default for OCell<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T: Clone> OCell<T> {
+impl<T> OCell<T> {
     /// An empty cell (no versions yet; all loads block).
     pub fn new() -> Self {
         OCell {
@@ -92,7 +432,10 @@ impl<T: Clone> OCell<T> {
                 state: Mutex::new(State {
                     versions: BTreeMap::new(),
                     held: HashMap::new(),
+                    window: Vec::new(),
+                    window_complete: true,
                 }),
+                published: SnapLock::new(Arc::new(Snapshot::empty())),
                 changed: Condvar::new(),
             }),
         }
@@ -109,6 +452,12 @@ impl<T: Clone> OCell<T> {
     /// `STORE-VERSION`: creates `version` holding `value` and wakes every
     /// blocked load. Versions are immutable once created.
     pub fn store_version(&self, version: Version, value: T) -> Result<(), OError> {
+        self.store_version_arc(version, Arc::new(value))
+    }
+
+    /// `STORE-VERSION` from an existing allocation: shares `value` instead
+    /// of re-boxing it (the zero-copy publish path).
+    pub fn store_version_arc(&self, version: Version, value: Arc<T>) -> Result<(), OError> {
         let mut st = self.inner.state.lock();
         if st.versions.contains_key(&version) {
             return Err(OError::VersionExists(version));
@@ -116,175 +465,93 @@ impl<T: Clone> OCell<T> {
         st.versions.insert(
             version,
             Slot {
-                value,
+                value: Arc::clone(&value),
                 locked_by: None,
             },
         );
+        st.window_note_store(version, &value);
+        self.inner.publish(&st);
         drop(st);
         self.inner.changed.notify_all();
         Ok(())
     }
 
-    /// `LOAD-VERSION`: blocks until `version` exists and is unlocked.
-    pub fn load_version(&self, version: Version) -> T {
+    /// `LOAD-VERSION` returning the shared allocation: blocks until
+    /// `version` exists and is unlocked, without cloning `T`.
+    pub fn load_version_arc(&self, version: Version) -> Arc<T> {
+        // The snap guard must drop before the state mutex is taken (the
+        // explicit block), or a concurrent publisher draining readers
+        // while holding the state mutex would deadlock with us.
+        {
+            let snap = self.inner.published.read();
+            if let FastRead::Hit(_, value) = snap.read_exact(version) {
+                return Arc::clone(value);
+            }
+        }
         let mut st = self.inner.state.lock();
         loop {
             if let Some(slot) = st.versions.get(&version) {
                 if slot.locked_by.is_none() {
-                    return slot.value.clone();
+                    return Arc::clone(&slot.value);
                 }
             }
             self.inner.changed.wait(&mut st);
         }
     }
 
-    /// Non-blocking `LOAD-VERSION`: `None` if absent or locked.
-    pub fn try_load_version(&self, version: Version) -> Option<T> {
+    /// Non-blocking `LOAD-VERSION` returning the shared allocation.
+    pub fn try_load_version_arc(&self, version: Version) -> Option<Arc<T>> {
+        {
+            let snap = self.inner.published.read();
+            match snap.read_exact(version) {
+                FastRead::Hit(_, value) => return Some(Arc::clone(value)),
+                FastRead::Absent | FastRead::Locked => return None,
+                FastRead::Unknown => {}
+            }
+        }
         let st = self.inner.state.lock();
         st.versions
             .get(&version)
             .filter(|s| s.locked_by.is_none())
-            .map(|s| s.value.clone())
+            .map(|s| Arc::clone(&s.value))
     }
 
-    /// `LOAD-VERSION` with a timeout — mainly for tests that must detect a
-    /// stall without hanging. `None` on timeout.
-    pub fn load_version_timeout(&self, version: Version, dur: Duration) -> Option<T> {
-        let deadline = std::time::Instant::now() + dur;
-        let mut st = self.inner.state.lock();
-        loop {
-            if let Some(slot) = st.versions.get(&version) {
-                if slot.locked_by.is_none() {
-                    return Some(slot.value.clone());
-                }
-            }
-            if self.inner.changed.wait_until(&mut st, deadline).timed_out() {
-                return None;
+    /// `LOAD-LATEST` returning the shared allocation: blocks until some
+    /// version ≤ `cap` exists and the newest such version is unlocked.
+    pub fn load_latest_arc(&self, cap: Version) -> (Version, Arc<T>) {
+        {
+            let snap = self.inner.published.read();
+            if let FastRead::Hit(v, value) = snap.read_latest(cap) {
+                return (v, Arc::clone(value));
             }
         }
-    }
-
-    /// `LOAD-LATEST`: blocks until some version ≤ `cap` exists and the
-    /// newest such version is unlocked. Returns `(version, value)`.
-    pub fn load_latest(&self, cap: Version) -> (Version, T) {
         let mut st = self.inner.state.lock();
         loop {
             if let Some((&v, slot)) = st.versions.range(..=cap).next_back() {
                 if slot.locked_by.is_none() {
-                    return (v, slot.value.clone());
+                    return (v, Arc::clone(&slot.value));
                 }
             }
             self.inner.changed.wait(&mut st);
         }
     }
 
-    /// Non-blocking `LOAD-LATEST`.
-    pub fn try_load_latest(&self, cap: Version) -> Option<(Version, T)> {
+    /// Non-blocking `LOAD-LATEST` returning the shared allocation.
+    pub fn try_load_latest_arc(&self, cap: Version) -> Option<(Version, Arc<T>)> {
+        {
+            let snap = self.inner.published.read();
+            match snap.read_latest(cap) {
+                FastRead::Hit(v, value) => return Some((v, Arc::clone(value))),
+                FastRead::Absent | FastRead::Locked => return None,
+                FastRead::Unknown => {}
+            }
+        }
         let st = self.inner.state.lock();
         st.versions
             .range(..=cap)
             .next_back()
             .filter(|(_, s)| s.locked_by.is_none())
-            .map(|(&v, s)| (v, s.value.clone()))
-    }
-
-    /// `LOCK-LOAD-VERSION`: exact load + lock as `tid`. Blocks while the
-    /// version is absent or locked (by anyone, including `tid`).
-    pub fn lock_load_version(&self, version: Version, tid: TaskId) -> Result<T, OError> {
-        if tid == 0 {
-            return Err(OError::ReservedTaskId);
-        }
-        let mut st = self.inner.state.lock();
-        loop {
-            if let Some(slot) = st.versions.get_mut(&version) {
-                if slot.locked_by.is_none() {
-                    slot.locked_by = Some(tid);
-                    let value = slot.value.clone();
-                    st.held.insert(tid, version);
-                    return Ok(value);
-                }
-            }
-            self.inner.changed.wait(&mut st);
-        }
-    }
-
-    /// Non-blocking `LOCK-LOAD-LATEST`: `None` when the newest version ≤
-    /// `cap` is absent or already locked.
-    pub fn try_lock_load_latest(&self, cap: Version, tid: TaskId) -> Option<(Version, T)> {
-        if tid == 0 {
-            return None;
-        }
-        let mut st = self.inner.state.lock();
-        let v = st
-            .versions
-            .range(..=cap)
-            .next_back()
-            .filter(|(_, s)| s.locked_by.is_none())
-            .map(|(&v, _)| v)?;
-        let slot = st.versions.get_mut(&v).expect("just found");
-        slot.locked_by = Some(tid);
-        let value = slot.value.clone();
-        st.held.insert(tid, v);
-        Some((v, value))
-    }
-
-    /// `LOCK-LOAD-LATEST`: capped load + lock as `tid`.
-    /// Returns `(version, value)`.
-    pub fn lock_load_latest(&self, cap: Version, tid: TaskId) -> Result<(Version, T), OError> {
-        if tid == 0 {
-            return Err(OError::ReservedTaskId);
-        }
-        let mut st = self.inner.state.lock();
-        loop {
-            let found = st
-                .versions
-                .range(..=cap)
-                .next_back()
-                .filter(|(_, s)| s.locked_by.is_none())
-                .map(|(&v, _)| v);
-            if let Some(v) = found {
-                let slot = st.versions.get_mut(&v).expect("just found");
-                slot.locked_by = Some(tid);
-                let value = slot.value.clone();
-                st.held.insert(tid, v);
-                return Ok((v, value));
-            }
-            self.inner.changed.wait(&mut st);
-        }
-    }
-
-    /// `UNLOCK-VERSION`: releases `tid`'s lock on this cell; with
-    /// `create = Some(vn)` also creates unlocked version `vn` carrying the
-    /// just-unlocked value (the rename). Wakes all waiters.
-    pub fn unlock_version(&self, tid: TaskId, create: Option<Version>) -> Result<(), OError> {
-        let mut st = self.inner.state.lock();
-        let Some(vl) = st.held.remove(&tid) else {
-            return Err(OError::NotLockOwner(tid));
-        };
-        let value = {
-            let slot = st.versions.get_mut(&vl).expect("held version exists");
-            debug_assert_eq!(slot.locked_by, Some(tid));
-            slot.locked_by = None;
-            slot.value.clone()
-        };
-        if let Some(vn) = create {
-            if st.versions.contains_key(&vn) {
-                // Roll the unlock forward anyway; the create is the error.
-                drop(st);
-                self.inner.changed.notify_all();
-                return Err(OError::VersionExists(vn));
-            }
-            st.versions.insert(
-                vn,
-                Slot {
-                    value,
-                    locked_by: None,
-                },
-            );
-        }
-        drop(st);
-        self.inner.changed.notify_all();
-        Ok(())
+            .map(|(&v, s)| (v, Arc::clone(&s.value)))
     }
 
     /// The version `tid` currently holds locked, if any.
@@ -295,9 +562,13 @@ impl<T: Clone> OCell<T> {
     /// Invariant oracle: cross-checks the lock bookkeeping both ways —
     /// every held-lock record must point at a version locked by exactly
     /// that task, and every locked version must have a matching held
-    /// record. Returns the first inconsistency. The software twin of the
-    /// simulator's lock-exclusion oracle; the stress harness's test suites
-    /// call it after perturbed interleavings.
+    /// record — and then validates the published read snapshot against the
+    /// version map: every run must cover exactly the contiguous versions
+    /// it claims (sharing their value allocation), the window must cover
+    /// every version above its floor, and the locked list must mirror the
+    /// lock table. Returns the first inconsistency. The software twin of
+    /// the simulator's lock-exclusion oracle; the stress harness's test
+    /// suites call it after perturbed interleavings.
     pub fn check_invariants(&self) -> Result<(), String> {
         let st = self.inner.state.lock();
         for (&tid, &v) in &st.held {
@@ -328,6 +599,60 @@ impl<T: Clone> OCell<T> {
                 }
             }
         }
+        // Snapshot-vs-truth cross-check. The publication happens under the
+        // state mutex, so under this lock the published view must agree.
+        let snap = self.inner.published.read();
+        if snap.complete != st.window_complete || snap.runs.len() != st.window.len() {
+            return Err("published snapshot lags the state window".to_string());
+        }
+        let mut covered = 0usize;
+        let mut prev_hi: Option<Version> = None;
+        for run in &snap.runs {
+            if run.lo > run.hi {
+                return Err(format!("run [{}, {}] is inverted", run.lo, run.hi));
+            }
+            if let Some(p) = prev_hi {
+                if run.lo <= p {
+                    return Err(format!("run [{}, {}] overlaps predecessor", run.lo, run.hi));
+                }
+            }
+            prev_hi = Some(run.hi);
+            for v in run.lo..=run.hi {
+                covered += 1;
+                match st.versions.get(&v) {
+                    Some(slot) if Arc::ptr_eq(&slot.value, &run.value) => {}
+                    Some(_) => {
+                        return Err(format!(
+                            "run [{}, {}] does not share version {v}'s value",
+                            run.lo, run.hi
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "run [{}, {}] covers version {v}, which does not exist",
+                            run.lo, run.hi
+                        ))
+                    }
+                }
+            }
+        }
+        let floor = snap.floor();
+        let above_floor = st.versions.range(floor..).count();
+        if covered != above_floor || (snap.complete && covered != st.versions.len()) {
+            return Err(format!(
+                "window covers {covered} versions but {above_floor} exist at or \
+                 above its floor {floor} (complete={})",
+                snap.complete
+            ));
+        }
+        let mut locked: Vec<Version> = st.held.values().copied().collect();
+        locked.sort_unstable();
+        if snap.locked != locked {
+            return Err(format!(
+                "published locked set {:?} does not match lock table {:?}",
+                snap.locked, locked
+            ));
+        }
         Ok(())
     }
 
@@ -346,19 +671,205 @@ impl<T: Clone> OCell<T> {
     /// task whose cap is ≥ `boundary`. Locked versions are never dropped.
     /// Returns how many versions were reclaimed.
     ///
-    /// Safety is the caller's contract (the runtime's rules 1–3): no
-    /// active or future task may load below `boundary` afterwards.
+    /// Safety is the caller's contract (the runtime's rules 1–3, or the
+    /// vacuum's reader watermark): no active or future task may load below
+    /// `boundary` afterwards.
     pub fn prune_below(&self, boundary: Version) -> usize {
         Prune::prune_below(&*self.inner, boundary)
     }
 
-    /// A type-erased weak handle for the runtime's collector.
+    /// A type-erased weak handle for the runtime's collector or the
+    /// background [`crate::vacuum::Vacuum`].
     pub fn prune_handle(&self) -> std::sync::Weak<dyn Prune + Send + Sync>
     where
-        T: Send + 'static,
+        T: Send + Sync + 'static,
     {
         let arc: Arc<dyn Prune + Send + Sync> = Arc::clone(&self.inner) as _;
         Arc::downgrade(&arc)
+    }
+}
+
+impl<T: Clone> OCell<T> {
+    /// `LOAD-VERSION`: blocks until `version` exists and is unlocked.
+    pub fn load_version(&self, version: Version) -> T {
+        // Clone `T` straight out of the published snapshot — no state
+        // mutex, no Arc refcount traffic.
+        {
+            let snap = self.inner.published.read();
+            if let FastRead::Hit(_, value) = snap.read_exact(version) {
+                return (**value).clone();
+            }
+        }
+        (*self.load_version_arc(version)).clone()
+    }
+
+    /// Non-blocking `LOAD-VERSION`: `None` if absent or locked.
+    pub fn try_load_version(&self, version: Version) -> Option<T> {
+        {
+            let snap = self.inner.published.read();
+            match snap.read_exact(version) {
+                FastRead::Hit(_, value) => return Some((**value).clone()),
+                FastRead::Absent | FastRead::Locked => return None,
+                FastRead::Unknown => {}
+            }
+        }
+        self.try_load_version_arc(version).map(|v| (*v).clone())
+    }
+
+    /// `LOAD-VERSION` with a timeout — mainly for tests that must detect a
+    /// stall without hanging. `None` on timeout.
+    pub fn load_version_timeout(&self, version: Version, dur: Duration) -> Option<T> {
+        {
+            let snap = self.inner.published.read();
+            if let FastRead::Hit(_, value) = snap.read_exact(version) {
+                return Some((**value).clone());
+            }
+        }
+        let deadline = std::time::Instant::now() + dur;
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(slot) = st.versions.get(&version) {
+                if slot.locked_by.is_none() {
+                    return Some((*slot.value).clone());
+                }
+            }
+            if self.inner.changed.wait_until(&mut st, deadline).timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// `LOAD-LATEST`: blocks until some version ≤ `cap` exists and the
+    /// newest such version is unlocked. Returns `(version, value)`.
+    pub fn load_latest(&self, cap: Version) -> (Version, T) {
+        {
+            let snap = self.inner.published.read();
+            if let FastRead::Hit(v, value) = snap.read_latest(cap) {
+                return (v, (**value).clone());
+            }
+        }
+        let (v, value) = self.load_latest_arc(cap);
+        (v, (*value).clone())
+    }
+
+    /// Non-blocking `LOAD-LATEST`.
+    pub fn try_load_latest(&self, cap: Version) -> Option<(Version, T)> {
+        {
+            let snap = self.inner.published.read();
+            match snap.read_latest(cap) {
+                FastRead::Hit(v, value) => return Some((v, (**value).clone())),
+                FastRead::Absent | FastRead::Locked => return None,
+                FastRead::Unknown => {}
+            }
+        }
+        self.try_load_latest_arc(cap)
+            .map(|(v, a)| (v, (*a).clone()))
+    }
+
+    /// `LOCK-LOAD-VERSION`: exact load + lock as `tid`. Blocks while the
+    /// version is absent or locked (by anyone, including `tid`).
+    pub fn lock_load_version(&self, version: Version, tid: TaskId) -> Result<T, OError> {
+        if tid == 0 {
+            return Err(OError::ReservedTaskId);
+        }
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(slot) = st.versions.get_mut(&version) {
+                if slot.locked_by.is_none() {
+                    slot.locked_by = Some(tid);
+                    let value = (*slot.value).clone();
+                    st.held.insert(tid, version);
+                    self.inner.publish(&st);
+                    return Ok(value);
+                }
+            }
+            self.inner.changed.wait(&mut st);
+        }
+    }
+
+    /// Non-blocking `LOCK-LOAD-LATEST`: `None` when the newest version ≤
+    /// `cap` is absent or already locked.
+    pub fn try_lock_load_latest(&self, cap: Version, tid: TaskId) -> Option<(Version, T)> {
+        if tid == 0 {
+            return None;
+        }
+        let mut st = self.inner.state.lock();
+        let v = st
+            .versions
+            .range(..=cap)
+            .next_back()
+            .filter(|(_, s)| s.locked_by.is_none())
+            .map(|(&v, _)| v)?;
+        let slot = st.versions.get_mut(&v).expect("just found");
+        slot.locked_by = Some(tid);
+        let value = (*slot.value).clone();
+        st.held.insert(tid, v);
+        self.inner.publish(&st);
+        Some((v, value))
+    }
+
+    /// `LOCK-LOAD-LATEST`: capped load + lock as `tid`.
+    /// Returns `(version, value)`.
+    pub fn lock_load_latest(&self, cap: Version, tid: TaskId) -> Result<(Version, T), OError> {
+        if tid == 0 {
+            return Err(OError::ReservedTaskId);
+        }
+        let mut st = self.inner.state.lock();
+        loop {
+            let found = st
+                .versions
+                .range(..=cap)
+                .next_back()
+                .filter(|(_, s)| s.locked_by.is_none())
+                .map(|(&v, _)| v);
+            if let Some(v) = found {
+                let slot = st.versions.get_mut(&v).expect("just found");
+                slot.locked_by = Some(tid);
+                let value = (*slot.value).clone();
+                st.held.insert(tid, v);
+                self.inner.publish(&st);
+                return Ok((v, value));
+            }
+            self.inner.changed.wait(&mut st);
+        }
+    }
+
+    /// `UNLOCK-VERSION`: releases `tid`'s lock on this cell; with
+    /// `create = Some(vn)` also creates unlocked version `vn` carrying the
+    /// just-unlocked value (the rename — sharing the value allocation).
+    /// Wakes all waiters.
+    pub fn unlock_version(&self, tid: TaskId, create: Option<Version>) -> Result<(), OError> {
+        let mut st = self.inner.state.lock();
+        let Some(vl) = st.held.remove(&tid) else {
+            return Err(OError::NotLockOwner(tid));
+        };
+        let value = {
+            let slot = st.versions.get_mut(&vl).expect("held version exists");
+            debug_assert_eq!(slot.locked_by, Some(tid));
+            slot.locked_by = None;
+            Arc::clone(&slot.value)
+        };
+        if let Some(vn) = create {
+            if st.versions.contains_key(&vn) {
+                // Roll the unlock forward anyway; the create is the error.
+                self.inner.publish(&st);
+                drop(st);
+                self.inner.changed.notify_all();
+                return Err(OError::VersionExists(vn));
+            }
+            st.versions.insert(
+                vn,
+                Slot {
+                    value: Arc::clone(&value),
+                    locked_by: None,
+                },
+            );
+            st.window_note_store(vn, &value);
+        }
+        self.inner.publish(&st);
+        drop(st);
+        self.inner.changed.notify_all();
+        Ok(())
     }
 }
 
@@ -375,6 +886,7 @@ mod tests {
         let c = OCell::new();
         c.store_version(3, 42).unwrap();
         assert_eq!(c.load_version(3), 42);
+        c.check_invariants().unwrap();
     }
 
     #[test]
@@ -404,6 +916,7 @@ mod tests {
         c.store_version(1, 11).unwrap();
         assert_eq!(c.load_version(1), 11);
         assert_eq!(c.versions(), vec![1, 2]);
+        c.check_invariants().unwrap();
     }
 
     #[test]
@@ -512,6 +1025,7 @@ mod tests {
         assert_eq!(c.versions(), vec![7, 8, 9, 10]);
         // A task with cap 7 still gets the right answer.
         assert_eq!(c.load_latest(7), (7, 7));
+        c.check_invariants().unwrap();
     }
 
     #[test]
@@ -523,6 +1037,7 @@ mod tests {
         c.lock_load_version(2, 8).unwrap();
         c.prune_below(5);
         assert_eq!(c.versions(), vec![2, 5], "locked version 2 survives");
+        c.check_invariants().unwrap();
         c.unlock_version(8, None).unwrap();
     }
 
@@ -567,5 +1082,52 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*order.lock(), (2..=9u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rename_chain_compresses_to_one_run() {
+        // A long rename pipeline shares one allocation and one run; every
+        // intermediate version stays loadable on the fast path.
+        let c = OCell::with_initial(1, 7u32);
+        for tid in 1..=200u64 {
+            c.lock_load_version(tid, tid).unwrap();
+            c.unlock_version(tid, Some(tid + 1)).unwrap();
+        }
+        assert_eq!(c.version_count(), 201);
+        c.check_invariants().unwrap();
+        for v in [1u64, 50, 199, 201] {
+            assert_eq!(c.try_load_version(v), Some(7));
+        }
+        let a = c.load_version_arc(1);
+        let b = c.load_version_arc(201);
+        assert!(Arc::ptr_eq(&a, &b), "renames share the value allocation");
+    }
+
+    #[test]
+    fn window_overflow_falls_back_to_slow_path() {
+        // >WINDOW_RUNS distinct-value versions: old versions leave the
+        // published window but remain loadable (slow path), and lookups
+        // above the floor stay authoritative.
+        let c = OCell::new();
+        let n = (WINDOW_RUNS as u64) * 3;
+        for v in 1..=n {
+            c.store_version(v * 2, v as u32).unwrap(); // gaps: no coalescing
+        }
+        c.check_invariants().unwrap();
+        for v in 1..=n {
+            assert_eq!(c.try_load_version(v * 2), Some(v as u32));
+            assert_eq!(c.try_load_version(v * 2 + 1), None);
+        }
+        assert_eq!(c.load_latest(u64::MAX), (n * 2, n as u32));
+        assert_eq!(c.try_load_latest(1), None);
+    }
+
+    #[test]
+    fn arc_loads_share_the_allocation() {
+        let c = OCell::with_initial(3, String::from("value"));
+        let a = c.load_latest_arc(10).1;
+        let b = c.try_load_version_arc(3).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, "value");
     }
 }

@@ -78,6 +78,12 @@ impl<T: Clone> IVar<T> {
         self.cell.try_load_version(IVER)
     }
 
+    /// Blocking read sharing the allocation instead of cloning — the
+    /// broadcast-friendly flavor (N readers, one value, zero copies).
+    pub fn get_arc(&self) -> Arc<T> {
+        self.cell.load_version_arc(IVER)
+    }
+
     /// True once `put` has happened.
     pub fn is_full(&self) -> bool {
         self.try_get().is_some()

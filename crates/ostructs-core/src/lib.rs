@@ -18,6 +18,12 @@
 //!   sequential list of tasks across worker threads with task-id order,
 //!   plus the §III-B garbage collector (shadowed list → pending list →
 //!   reclaim once the active-task window has passed).
+//! * [`map::OMap`] — a sharded, snapshot-isolated concurrent map (one
+//!   cell per key, fxhash shard selection, per-shard locks).
+//! * [`vacuum`] — epoch-watermark reclamation for free-threaded use:
+//!   a [`vacuum::ReaderRegistry`] of pinned snapshot caps feeding a
+//!   background [`vacuum::Vacuum`] that prunes below the oldest live
+//!   reader, with counters surfaced through `osim-metrics`.
 //!
 //! The cycle-level microarchitectural implementation that the paper's
 //! evaluation is based on lives in the `osim-*` crates; this crate is the
@@ -31,11 +37,14 @@ pub mod error;
 pub mod istructs;
 pub mod map;
 pub mod runtime;
+pub mod vacuum;
 pub mod versioned;
 
 pub use cell::OCell;
 pub use error::OError;
+pub use map::OMap;
 pub use runtime::ORuntime;
+pub use vacuum::{ReaderGuard, ReaderRegistry, Vacuum, VacuumCfg, VacuumStats};
 pub use versioned::Versioned;
 
 /// A version identifier. Under task-based execution these are task ids, so

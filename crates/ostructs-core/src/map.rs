@@ -7,6 +7,26 @@
 //! writers", which the paper lists as the concurrent-data-structure use
 //! case for O-structures.
 //!
+//! # Sharding
+//!
+//! The key → cell index is split across a fixed power-of-two array of
+//! shards selected by an fxhash of the key, each shard a
+//! `RwLock<BTreeMap>`. Writers to different keys land on different shards
+//! with high probability and never serialize on a global lock; per-key
+//! version history still lives in the cell, so the index locks stay
+//! uncontended and *brief*. The lock discipline is strict: a shard lock
+//! is only ever held to look up or create a cell *handle* — it is always
+//! released before any `OCell` operation runs, because cell operations
+//! can block indefinitely (waiting on an unwritten version) and a lock
+//! held across one would wedge every unrelated key in the shard.
+//!
+//! # Values
+//!
+//! Values are stored once as `Arc<V>`. [`OMap::get_arc`] and
+//! [`OMap::get_with`] read without cloning `V`; [`OMap::get`],
+//! [`OMap::snapshot`], and [`OMap::scan`] are thin cloning wrappers kept
+//! for the original API.
+//!
 //! Consistency contract (the same one the paper's runtime rules give):
 //! writers use monotonically increasing versions (e.g. task ids), and a
 //! snapshot at cap `c` reflects exactly the writes with version ≤ `c`.
@@ -14,15 +34,124 @@
 //! versions); writers to different keys need no coordination at all.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Weak};
 
 use parking_lot::RwLock;
 
-use crate::cell::OCell;
+use crate::cell::{OCell, Prune};
 use crate::error::OError;
 use crate::Version;
 
-/// A concurrent map with versioned values and snapshot reads.
+/// Default shard count (power of two).
+const DEFAULT_SHARDS: usize = 64;
+
+/// Fx hash (the FireFox / rustc hasher): multiply-xor over machine words.
+/// Inlined here because the crate must stay dependency-light and the
+/// quality bar is only shard selection, not cryptography.
+struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    fn new() -> Self {
+        FxHasher { hash: 0 }
+    }
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type Shard<K, V> = RwLock<BTreeMap<K, OCell<Option<Arc<V>>>>>;
+
+struct MapInner<K, V> {
+    /// `shards.len()` is a power of two; selection is `hash & mask`.
+    shards: Box<[Shard<K, V>]>,
+    mask: u64,
+}
+
+impl<K, V> MapInner<K, V>
+where
+    K: Hash,
+{
+    fn shard(&self, key: &K) -> &Shard<K, V> {
+        let mut h = FxHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() & self.mask) as usize]
+    }
+}
+
+impl<K, V> Prune for MapInner<K, V>
+where
+    K: Ord,
+{
+    /// Prunes every cell and drops cells absent in all surviving
+    /// versions. Only non-blocking cell operations run under the shard
+    /// write lock.
+    fn prune_below(&self, boundary: Version) -> usize {
+        let mut reclaimed = 0;
+        for shard in self.shards.iter() {
+            let mut w = shard.write();
+            w.retain(|_, cell| {
+                reclaimed += cell.prune_below(boundary);
+                // Keep the cell if any snapshot at or after the boundary
+                // can still observe a value in it.
+                cell.versions()
+                    .iter()
+                    .any(|&v| cell.try_load_version(v).flatten().is_some() || v > boundary)
+                    || cell.try_load_latest(Version::MAX).map(|(_, v)| v.is_some()) == Some(true)
+            });
+        }
+        reclaimed
+    }
+}
+
+/// A sharded concurrent map with versioned values and snapshot reads.
 ///
 /// ```
 /// use ostructs_core::map::OMap;
@@ -38,41 +167,71 @@ use crate::Version;
 /// assert_eq!(m.snapshot(9), vec![("y", 20)]);
 /// ```
 pub struct OMap<K, V> {
-    cells: Arc<RwLock<BTreeMap<K, OCell<Option<V>>>>>,
+    inner: Arc<MapInner<K, V>>,
 }
 
 impl<K, V> Clone for OMap<K, V> {
     fn clone(&self) -> Self {
         OMap {
-            cells: Arc::clone(&self.cells),
+            inner: Arc::clone(&self.inner),
         }
     }
 }
 
-impl<K: Ord + Clone, V: Clone> Default for OMap<K, V> {
+impl<K: Ord + Hash + Clone, V> Default for OMap<K, V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<K: Ord + Clone, V: Clone> OMap<K, V> {
-    /// An empty map.
+impl<K: Ord + Hash + Clone, V> OMap<K, V> {
+    /// An empty map with the default shard count.
     pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// An empty map with at least `shards` shards (rounded up to a power
+    /// of two). `with_shards(1)` degenerates to a single global lock —
+    /// useful in tests that want maximum contention.
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
         OMap {
-            cells: Arc::new(RwLock::new(BTreeMap::new())),
+            inner: Arc::new(MapInner {
+                shards: (0..n).map(|_| RwLock::new(BTreeMap::new())).collect(),
+                mask: (n - 1) as u64,
+            }),
         }
     }
 
-    fn cell_for(&self, key: &K) -> OCell<Option<V>> {
-        if let Some(cell) = self.cells.read().get(key) {
+    /// Number of shards the key space is split across.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Looks up or creates the cell for `key`, returning a *handle*; the
+    /// shard lock is released before this returns, so callers may block
+    /// on the cell freely.
+    fn cell_for(&self, key: &K) -> OCell<Option<Arc<V>>> {
+        let shard = self.inner.shard(key);
+        if let Some(cell) = shard.read().get(key) {
             return cell.clone();
         }
-        let mut w = self.cells.write();
+        let mut w = shard.write();
         w.entry(key.clone()).or_default().clone()
+    }
+
+    /// The cell for `key` if one exists (no creation).
+    fn cell_get(&self, key: &K) -> Option<OCell<Option<Arc<V>>>> {
+        self.inner.shard(key).read().get(key).cloned()
     }
 
     /// Publishes `key -> value` at `version`.
     pub fn insert(&self, key: K, version: Version, value: V) -> Result<(), OError> {
+        self.insert_arc(key, version, Arc::new(value))
+    }
+
+    /// Publishes an already-shared value at `version` without re-boxing.
+    pub fn insert_arc(&self, key: K, version: Version, value: Arc<V>) -> Result<(), OError> {
         self.cell_for(&key).store_version(version, Some(value))
     }
 
@@ -82,72 +241,136 @@ impl<K: Ord + Clone, V: Clone> OMap<K, V> {
         self.cell_for(&key).store_version(version, None)
     }
 
-    /// The value of `key` in the snapshot at `cap` (non-blocking: a key
-    /// with no version ≤ `cap` is simply absent from that snapshot).
-    pub fn get(&self, key: K, cap: Version) -> Option<V> {
-        let cell = self.cells.read().get(&key)?.clone();
-        cell.try_load_latest(cap).and_then(|(_, v)| v)
+    /// The shared value of `key` in the snapshot at `cap`, without
+    /// cloning `V` (non-blocking: a key with no version ≤ `cap` is simply
+    /// absent from that snapshot).
+    pub fn get_arc(&self, key: &K, cap: Version) -> Option<Arc<V>> {
+        let cell = self.cell_get(key)?;
+        cell.try_load_latest_arc(cap)
+            .and_then(|(_, v)| (*v).clone())
     }
 
-    /// The full snapshot at `cap`, in key order.
-    pub fn snapshot(&self, cap: Version) -> Vec<(K, V)> {
-        let cells: Vec<(K, OCell<Option<V>>)> = self
-            .cells
-            .read()
-            .iter()
-            .map(|(k, c)| (k.clone(), c.clone()))
-            .collect();
-        cells
-            .into_iter()
-            .filter_map(|(k, cell)| {
-                cell.try_load_latest(cap)
-                    .and_then(|(_, v)| v)
-                    .map(|v| (k, v))
-            })
-            .collect()
+    /// Borrowed visitation: applies `f` to the value of `key` at `cap`
+    /// without cloning or sharing it.
+    pub fn get_with<R>(&self, key: &K, cap: Version, f: impl FnOnce(&V) -> R) -> Option<R> {
+        self.get_arc(key, cap).map(|v| f(&v))
     }
 
-    /// A range scan over the snapshot at `cap`: up to `limit` entries with
-    /// key ≥ `from` — the operation Figure 8 measures.
-    pub fn scan(&self, from: K, limit: usize, cap: Version) -> Vec<(K, V)> {
-        let cells: Vec<(K, OCell<Option<V>>)> = self
-            .cells
-            .read()
-            .range(from..)
-            .map(|(k, c)| (k.clone(), c.clone()))
-            .collect();
-        cells
-            .into_iter()
-            .filter_map(|(k, cell)| {
-                cell.try_load_latest(cap)
-                    .and_then(|(_, v)| v)
-                    .map(|v| (k, v))
-            })
-            .take(limit)
-            .collect()
+    /// Blocks until `key` has version `version` published, and returns
+    /// the shared value at exactly that version (`None` = the version is
+    /// a removal). The blocking analogue of [`OMap::get_arc`] for
+    /// dataflow-style consumers waiting on a specific writer. No shard
+    /// lock is held while blocked.
+    pub fn wait_version(&self, key: K, version: Version) -> Option<Arc<V>> {
+        let cell = self.cell_for(&key);
+        (*cell.load_version_arc(version)).clone()
     }
 
-    /// Garbage collection: drops versions below the newest one ≤ `boundary`
-    /// in every cell, and drops cells that are absent in every surviving
-    /// version. Safe once no reader's cap can go below `boundary`.
-    pub fn prune_below(&self, boundary: Version) -> usize {
-        let mut reclaimed = 0;
-        let mut w = self.cells.write();
-        w.retain(|_, cell| {
-            reclaimed += cell.prune_below(boundary);
-            // Keep the cell if any snapshot at or after the boundary can
-            // still observe a value in it.
-            cell.versions()
+    /// The full snapshot at `cap` as shared values, in key order.
+    pub fn snapshot_arc(&self, cap: Version) -> Vec<(K, Arc<V>)> {
+        let mut out = Vec::new();
+        for shard in self.inner.shards.iter() {
+            // Handles out first; the shard lock is not held across the
+            // (non-blocking) cell reads below only for discipline
+            // uniformity — try_* cannot block, but cheap index critical
+            // sections are the point of sharding.
+            let cells: Vec<(K, OCell<Option<Arc<V>>>)> = shard
+                .read()
                 .iter()
-                .any(|&v| cell.try_load_version(v).flatten().is_some() || v > boundary)
-                || cell.try_load_latest(Version::MAX).map(|(_, v)| v.is_some()) == Some(true)
-        });
-        reclaimed
+                .map(|(k, c)| (k.clone(), c.clone()))
+                .collect();
+            for (k, cell) in cells {
+                if let Some(v) = cell
+                    .try_load_latest_arc(cap)
+                    .and_then(|(_, v)| (*v).clone())
+                {
+                    out.push((k, v));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// A range scan over the snapshot at `cap`: up to `limit` entries
+    /// with key ≥ `from` — the operation Figure 8 measures.
+    pub fn scan_arc(&self, from: K, limit: usize, cap: Version) -> Vec<(K, Arc<V>)> {
+        let mut out = Vec::new();
+        for shard in self.inner.shards.iter() {
+            let cells: Vec<(K, OCell<Option<Arc<V>>>)> = shard
+                .read()
+                .range(from.clone()..)
+                .map(|(k, c)| (k.clone(), c.clone()))
+                .collect();
+            for (k, cell) in cells {
+                if let Some(v) = cell
+                    .try_load_latest_arc(cap)
+                    .and_then(|(_, v)| (*v).clone())
+                {
+                    out.push((k, v));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out.truncate(limit);
+        out
+    }
+
+    /// Garbage collection: drops versions below the newest one ≤
+    /// `boundary` in every cell, and drops cells that are absent in every
+    /// surviving version. Safe once no reader's cap can go below
+    /// `boundary`.
+    pub fn prune_below(&self, boundary: Version) -> usize {
+        Prune::prune_below(&*self.inner, boundary)
+    }
+
+    /// A type-erased weak handle for the background
+    /// [`crate::vacuum::Vacuum`].
+    pub fn prune_handle(&self) -> Weak<dyn Prune + Send + Sync>
+    where
+        K: Send + Sync + 'static,
+        V: Send + Sync + 'static,
+    {
+        let arc: Arc<dyn Prune + Send + Sync> = Arc::clone(&self.inner) as _;
+        Arc::downgrade(&arc)
     }
 
     /// Number of keys with any version history.
     pub fn tracked_keys(&self) -> usize {
-        self.cells.read().len()
+        self.inner.shards.iter().map(|s| s.read().len()).sum()
+    }
+}
+
+impl<K: Ord + Hash + Clone, V: Clone> OMap<K, V> {
+    /// The value of `key` in the snapshot at `cap`, cloned out.
+    pub fn get(&self, key: K, cap: Version) -> Option<V> {
+        self.get_arc(&key, cap).map(|v| (*v).clone())
+    }
+
+    /// The full snapshot at `cap`, cloned, in key order.
+    pub fn snapshot(&self, cap: Version) -> Vec<(K, V)> {
+        self.snapshot_arc(cap)
+            .into_iter()
+            .map(|(k, v)| (k, (*v).clone()))
+            .collect()
+    }
+
+    /// A cloned range scan; see [`OMap::scan_arc`].
+    pub fn scan(&self, from: K, limit: usize, cap: Version) -> Vec<(K, V)> {
+        self.scan_arc(from, limit, cap)
+            .into_iter()
+            .map(|(k, v)| (k, (*v).clone()))
+            .collect()
+    }
+}
+
+impl<K, V> crate::vacuum::Prunable for OMap<K, V>
+where
+    K: Ord + Hash + Clone + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    fn prune_weak(&self) -> Weak<dyn Prune + Send + Sync> {
+        self.prune_handle()
     }
 }
 
@@ -192,6 +415,41 @@ mod tests {
         // Cap 8 means only keys 0..=7 exist (version = key+1).
         let got = m.scan(5, 4, 8);
         assert_eq!(got, vec![(5, 50), (6, 60), (7, 70)]);
+    }
+
+    #[test]
+    fn shard_counts_round_up_and_degenerate() {
+        assert_eq!(OMap::<u32, u32>::with_shards(1).shard_count(), 1);
+        assert_eq!(OMap::<u32, u32>::with_shards(3).shard_count(), 4);
+        assert_eq!(OMap::<u32, u32>::with_shards(64).shard_count(), 64);
+        // All operations still work on the degenerate single shard.
+        let m: OMap<u32, u32> = OMap::with_shards(1);
+        for k in 0..32 {
+            m.insert(k, (k + 1) as u64, k).unwrap();
+        }
+        assert_eq!(m.snapshot(u64::MAX).len(), 32);
+    }
+
+    #[test]
+    fn arc_reads_share_the_allocation() {
+        let m: OMap<u32, String> = OMap::new();
+        m.insert(1, 1, "shared".to_string()).unwrap();
+        let a = m.get_arc(&1, 5).unwrap();
+        let b = m.get_arc(&1, 5).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "reads share one allocation");
+        let len = m.get_with(&1, 5, |s| s.len()).unwrap();
+        assert_eq!(len, 6);
+        assert_eq!(m.get_with(&2, 5, |s: &String| s.len()), None);
+    }
+
+    #[test]
+    fn wait_version_blocks_until_publish() {
+        let m: OMap<u32, u32> = OMap::new();
+        let m2 = m.clone();
+        let t = thread::spawn(move || m2.wait_version(7, 3).map(|v| *v));
+        thread::sleep(std::time::Duration::from_millis(20));
+        m.insert(7, 3, 30).unwrap();
+        assert_eq!(t.join().unwrap(), Some(30));
     }
 
     #[test]
@@ -251,5 +509,21 @@ mod tests {
         // Key 1's only surviving version is an absence: the cell may go.
         assert_eq!(m.get(1, u64::MAX), None);
         assert_eq!(m.get(2, u64::MAX), Some(20));
+    }
+
+    #[test]
+    fn vacuum_tracks_whole_maps() {
+        use crate::vacuum::{ReaderRegistry, Vacuum, VacuumCfg};
+        let reg = ReaderRegistry::new();
+        let vac = Vacuum::start(reg.clone(), VacuumCfg::default());
+        let m: OMap<u32, u64> = OMap::new();
+        vac.track(&m);
+        for _ in 0..20 {
+            let v = reg.next_version();
+            m.insert(1, v, v).unwrap();
+        }
+        let reclaimed = vac.run_pass();
+        assert_eq!(reclaimed, 19);
+        assert_eq!(m.get(1, u64::MAX), Some(20));
     }
 }

@@ -91,8 +91,14 @@ impl ORuntime {
     }
 
     /// Registers a cell for garbage collection.
-    pub fn track<T: Clone + Send + 'static>(&self, cell: &OCell<T>) {
+    pub fn track<T: Send + Sync + 'static>(&self, cell: &OCell<T>) {
         self.state.lock().tracked.push(cell.prune_handle());
+    }
+
+    /// Registers any prunable store (e.g. a whole [`crate::map::OMap`])
+    /// for garbage collection.
+    pub fn track_store<S: crate::vacuum::Prunable>(&self, store: &S) {
+        self.state.lock().tracked.push(store.prune_weak());
     }
 
     /// Collection counters so far.

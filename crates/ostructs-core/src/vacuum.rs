@@ -1,0 +1,526 @@
+//! Epoch-watermark reclamation: the reader registry and the background
+//! vacuum.
+//!
+//! The paper's §III-B garbage collector assumes the `ORuntime` execution
+//! model (task ids = versions, `TASK-BEGIN`/`TASK-END` reported to the
+//! memory system). Free-threaded users of [`crate::OCell`] /
+//! [`crate::map::OMap`] — long-lived services where readers come and go —
+//! need the MVCC equivalent: a registry of live readers pinning their
+//! snapshot caps, and a background **vacuum** pruning versions strictly
+//! below the oldest pinned cap (the *watermark*). This is the
+//! `running_transactions` + `Vacuum` pattern of xdb's `VersionManager`.
+//!
+//! Protocol:
+//!
+//! 1. Writers allocate versions from the registry's monotone
+//!    [`ReaderRegistry::next_version`] clock (or advance it past
+//!    externally chosen versions with [`ReaderRegistry::advance_to`]).
+//! 2. Readers call [`ReaderRegistry::pin`] *before* choosing a snapshot
+//!    cap and hold the returned [`ReaderGuard`] for the duration; the cap
+//!    is the guard's pinned version. Dropping the guard unpins.
+//! 3. The [`Vacuum`] periodically computes the watermark — the oldest
+//!    pinned cap, or the current clock when no reader is live — and calls
+//!    [`crate::cell::Prune::prune_below`] on every tracked store.
+//!    `prune_below` keeps the newest version ≤ the boundary, so a reader
+//!    pinned exactly *at* the watermark still resolves every load.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::cell::Prune;
+use crate::Version;
+
+/// Registry of live readers; the source of the vacuum's watermark and of
+/// writers' monotone versions.
+///
+/// Cheap to clone (a handle); all clones share one registry.
+pub struct ReaderRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+struct RegistryInner {
+    /// Monotone version clock: the next version a writer should use.
+    clock: AtomicU64,
+    /// Multiset of pinned caps (a cap may be pinned by several readers).
+    pinned: Mutex<std::collections::BTreeMap<Version, usize>>,
+}
+
+impl Clone for ReaderRegistry {
+    fn clone(&self) -> Self {
+        ReaderRegistry {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Default for ReaderRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReaderRegistry {
+    /// An empty registry with the version clock at 1 (version 0 is the
+    /// conventional "initial value" version).
+    pub fn new() -> Self {
+        ReaderRegistry {
+            inner: Arc::new(RegistryInner {
+                clock: AtomicU64::new(1),
+                pinned: Mutex::new(std::collections::BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Allocates the next writer version (monotone, never reused).
+    ///
+    /// Allocate-then-publish: a reader pinning between the allocation and
+    /// the store may watch version ≤ its cap *appear* (its observed
+    /// latest version only ever grows toward the cap — reclamation safety
+    /// is unaffected). A single writer wanting pin-stable snapshots can
+    /// instead publish at [`ReaderRegistry::current`] and then
+    /// [`ReaderRegistry::advance_to`] it, so caps only ever cover
+    /// published versions.
+    pub fn next_version(&self) -> Version {
+        self.inner.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The newest version the clock has moved past (i.e. every allocated
+    /// version is `< current()`).
+    pub fn current(&self) -> Version {
+        self.inner.clock.load(Ordering::Relaxed)
+    }
+
+    /// Advances the clock to at least `version + 1`, for writers that
+    /// choose versions externally (e.g. task ids). Never moves backwards.
+    pub fn advance_to(&self, version: Version) {
+        self.inner.clock.fetch_max(version + 1, Ordering::Relaxed);
+    }
+
+    /// Pins the newest allocated version as a snapshot cap and returns
+    /// the guard holding it live. Read with `guard.cap()` as the version
+    /// cap; the vacuum will not reclaim anything such a read could
+    /// observe until the guard drops. Writers that allocate *after* the
+    /// pin get versions above the cap, so the snapshot is stable.
+    pub fn pin(&self) -> ReaderGuard {
+        // Pin first, read the clock inside the lock: a concurrent vacuum
+        // computing the watermark serializes on the same mutex, so it can
+        // never observe "no readers" after this reader chose its cap.
+        let mut pinned = self.inner.pinned.lock();
+        let cap = self.inner.clock.load(Ordering::Relaxed).saturating_sub(1);
+        *pinned.entry(cap).or_insert(0) += 1;
+        drop(pinned);
+        ReaderGuard {
+            registry: self.clone(),
+            cap,
+        }
+    }
+
+    /// Pins an explicit cap (for readers replaying a historical snapshot
+    /// they know is still live).
+    pub fn pin_at(&self, cap: Version) -> ReaderGuard {
+        *self.inner.pinned.lock().entry(cap).or_insert(0) += 1;
+        ReaderGuard {
+            registry: self.clone(),
+            cap,
+        }
+    }
+
+    /// The reclamation boundary: the oldest pinned cap, or the current
+    /// clock when no reader is live. Versions strictly below the newest
+    /// version ≤ this value are unreachable by any current or future
+    /// reader.
+    pub fn watermark(&self) -> Version {
+        let pinned = self.inner.pinned.lock();
+        match pinned.keys().next() {
+            Some(&oldest) => oldest,
+            None => self.inner.clock.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of live reader guards.
+    pub fn live_readers(&self) -> usize {
+        self.inner.pinned.lock().values().sum()
+    }
+
+    fn unpin(&self, cap: Version) {
+        let mut pinned = self.inner.pinned.lock();
+        if let Some(n) = pinned.get_mut(&cap) {
+            *n -= 1;
+            if *n == 0 {
+                pinned.remove(&cap);
+            }
+        }
+    }
+}
+
+/// RAII pin on a snapshot cap; see [`ReaderRegistry::pin`].
+pub struct ReaderGuard {
+    registry: ReaderRegistry,
+    cap: Version,
+}
+
+impl ReaderGuard {
+    /// The pinned snapshot cap — use it as the version cap for every load
+    /// performed under this guard.
+    pub fn cap(&self) -> Version {
+        self.cap
+    }
+}
+
+impl Drop for ReaderGuard {
+    fn drop(&mut self) {
+        self.registry.unpin(self.cap);
+    }
+}
+
+/// Vacuum configuration.
+#[derive(Debug, Clone)]
+pub struct VacuumCfg {
+    /// Sleep between passes.
+    pub interval: Duration,
+}
+
+impl Default for VacuumCfg {
+    fn default() -> Self {
+        VacuumCfg {
+            interval: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Counters for one vacuum's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VacuumStats {
+    /// Passes executed (including ones that reclaimed nothing).
+    pub passes: u64,
+    /// Total versions reclaimed.
+    pub reclaimed: u64,
+    /// The boundary used by the most recent pass.
+    pub last_watermark: Version,
+}
+
+struct VacuumShared {
+    registry: ReaderRegistry,
+    tracked: Mutex<Vec<Weak<dyn Prune + Send + Sync>>>,
+    stats: Mutex<VacuumStats>,
+    /// Per-pass duration in microseconds, merged into `osim-metrics`
+    /// output via [`Vacuum::fill_registry`].
+    pause_us: Mutex<osim_metrics::Histogram>,
+    stop: Mutex<bool>,
+    wake: Condvar,
+}
+
+impl VacuumShared {
+    fn pass(&self) -> u64 {
+        let started = Instant::now();
+        let boundary = self.registry.watermark();
+        let cells: Vec<_> = {
+            let mut tracked = self.tracked.lock();
+            tracked.retain(|w| w.strong_count() > 0);
+            tracked.clone()
+        };
+        let mut reclaimed = 0u64;
+        for weak in cells {
+            if let Some(cell) = weak.upgrade() {
+                reclaimed += cell.prune_below(boundary) as u64;
+            }
+        }
+        {
+            let mut stats = self.stats.lock();
+            stats.passes += 1;
+            stats.reclaimed += reclaimed;
+            stats.last_watermark = boundary;
+        }
+        self.pause_us
+            .lock()
+            .record(started.elapsed().as_micros() as u64);
+        reclaimed
+    }
+}
+
+/// Background reclamation daemon over a [`ReaderRegistry`].
+///
+/// ```
+/// use std::time::Duration;
+/// use ostructs_core::vacuum::{ReaderRegistry, Vacuum, VacuumCfg};
+/// use ostructs_core::OCell;
+///
+/// let registry = ReaderRegistry::new();
+/// let vac = Vacuum::start(
+///     registry.clone(),
+///     VacuumCfg { interval: Duration::from_millis(1) },
+/// );
+/// let cell = OCell::with_initial(0, 0u64);
+/// vac.track(&cell);
+/// for _ in 0..100 {
+///     let v = registry.next_version();
+///     cell.store_version(v, v).unwrap();
+/// }
+/// vac.run_pass(); // or just wait for the background cadence
+/// assert_eq!(cell.version_count(), 1);
+/// drop(vac); // clean shutdown: joins the background thread
+/// ```
+pub struct Vacuum {
+    shared: Arc<VacuumShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Vacuum {
+    /// Starts the background thread pruning every `cfg.interval`.
+    pub fn start(registry: ReaderRegistry, cfg: VacuumCfg) -> Self {
+        let shared = Arc::new(VacuumShared {
+            registry,
+            tracked: Mutex::new(Vec::new()),
+            stats: Mutex::new(VacuumStats::default()),
+            pause_us: Mutex::new(osim_metrics::Histogram::new()),
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+        });
+        let bg = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("ostructs-vacuum".into())
+            .spawn(move || loop {
+                {
+                    let mut stop = bg.stop.lock();
+                    if !*stop {
+                        let deadline = Instant::now() + cfg.interval;
+                        let _ = bg.wake.wait_until(&mut stop, deadline);
+                    }
+                    if *stop {
+                        return;
+                    }
+                }
+                bg.pass();
+            })
+            .expect("spawn vacuum thread");
+        Vacuum {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    /// Registers a prunable store (a cell, map, or anything exposing a
+    /// [`Prune`] handle). Tracking is by weak reference — dropping the
+    /// store untracks it.
+    pub fn track<S: Prunable>(&self, store: &S) {
+        self.shared.tracked.lock().push(store.prune_weak());
+    }
+
+    /// Runs one pass synchronously on the calling thread; returns the
+    /// number of versions reclaimed.
+    pub fn run_pass(&self) -> u64 {
+        self.shared.pass()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> VacuumStats {
+        *self.shared.stats.lock()
+    }
+
+    /// The registry this vacuum reclaims against.
+    pub fn registry(&self) -> &ReaderRegistry {
+        &self.shared.registry
+    }
+
+    /// Folds the vacuum's telemetry into an `osim-metrics` registry:
+    /// `ostructs_vacuum_passes_total`, `ostructs_vacuum_reclaimed_total`,
+    /// `ostructs_vacuum_watermark`, and the per-pass
+    /// `ostructs_vacuum_pause_us` histogram.
+    pub fn fill_registry(&self, reg: &mut osim_metrics::Registry) {
+        let stats = self.stats();
+        reg.counter_add("ostructs_vacuum_passes_total", &[], stats.passes);
+        reg.counter_add("ostructs_vacuum_reclaimed_total", &[], stats.reclaimed);
+        reg.gauge_set(
+            "ostructs_vacuum_watermark",
+            &[],
+            stats.last_watermark as f64,
+        );
+        reg.hist_mut("ostructs_vacuum_pause_us", &[])
+            .merge(&self.shared.pause_us.lock());
+    }
+
+    /// Stops the background thread and joins it. Idempotent; also run by
+    /// `Drop`.
+    pub fn stop(&mut self) {
+        *self.shared.stop.lock() = true;
+        self.shared.wake.notify_all();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Vacuum {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Anything the vacuum can track: exposes a weak, type-erased [`Prune`]
+/// handle.
+pub trait Prunable {
+    fn prune_weak(&self) -> Weak<dyn Prune + Send + Sync>;
+}
+
+impl<T: Send + Sync + 'static> Prunable for crate::OCell<T> {
+    fn prune_weak(&self) -> Weak<dyn Prune + Send + Sync> {
+        self.prune_handle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OCell;
+
+    fn fast_cfg() -> VacuumCfg {
+        VacuumCfg {
+            interval: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn watermark_follows_oldest_pin() {
+        let reg = ReaderRegistry::new();
+        assert_eq!(reg.watermark(), 1, "clock starts at 1");
+        for _ in 0..9 {
+            reg.next_version();
+        }
+        assert_eq!(reg.watermark(), 10, "no readers: watermark = clock");
+        let old = reg.pin();
+        assert_eq!(old.cap(), 9, "caps at the newest allocated version");
+        for _ in 0..5 {
+            reg.next_version();
+        }
+        let newer = reg.pin();
+        assert_eq!(newer.cap(), 14);
+        assert_eq!(reg.watermark(), old.cap());
+        drop(old);
+        assert_eq!(reg.watermark(), newer.cap());
+        drop(newer);
+        assert_eq!(reg.watermark(), 15);
+        assert_eq!(reg.live_readers(), 0);
+    }
+
+    #[test]
+    fn duplicate_caps_unpin_one_at_a_time() {
+        let reg = ReaderRegistry::new();
+        let a = reg.pin();
+        let b = reg.pin();
+        assert_eq!(a.cap(), b.cap());
+        assert_eq!(reg.live_readers(), 2);
+        drop(a);
+        assert_eq!(reg.watermark(), b.cap(), "second pin still holds");
+        drop(b);
+        assert_eq!(reg.live_readers(), 0);
+    }
+
+    #[test]
+    fn advance_to_never_regresses() {
+        let reg = ReaderRegistry::new();
+        reg.advance_to(100);
+        assert_eq!(reg.current(), 101);
+        reg.advance_to(50);
+        assert_eq!(reg.current(), 101);
+    }
+
+    #[test]
+    fn vacuum_prunes_unpinned_history() {
+        let reg = ReaderRegistry::new();
+        let mut vac = Vacuum::start(reg.clone(), fast_cfg());
+        let cell = OCell::with_initial(0, 0u64);
+        vac.track(&cell);
+        for _ in 0..50 {
+            let v = reg.next_version();
+            cell.store_version(v, v).unwrap();
+        }
+        let reclaimed = vac.run_pass();
+        assert_eq!(reclaimed, 50, "all but the newest version reclaimed");
+        assert_eq!(cell.version_count(), 1);
+        cell.check_invariants().unwrap();
+        vac.stop();
+        let stats = vac.stats();
+        assert!(stats.passes >= 1);
+        assert_eq!(stats.reclaimed, 50);
+    }
+
+    #[test]
+    fn vacuum_never_reclaims_pinned_snapshots() {
+        let reg = ReaderRegistry::new();
+        let vac = Vacuum::start(reg.clone(), fast_cfg());
+        let cell = OCell::with_initial(0, 0u64);
+        vac.track(&cell);
+        let v1 = reg.next_version();
+        cell.store_version(v1, 111).unwrap();
+        let pin = reg.pin(); // caps at the clock after v1
+        for _ in 0..20 {
+            let v = reg.next_version();
+            cell.store_version(v, v).unwrap();
+        }
+        vac.run_pass();
+        // The pinned snapshot still resolves: newest version ≤ cap is v1.
+        assert_eq!(cell.try_load_latest(pin.cap()), Some((v1, 111)));
+        drop(pin);
+        vac.run_pass();
+        assert_eq!(cell.version_count(), 1, "history drains after unpin");
+    }
+
+    #[test]
+    fn background_cadence_prunes_without_explicit_passes() {
+        let reg = ReaderRegistry::new();
+        let vac = Vacuum::start(reg.clone(), fast_cfg());
+        let cell = OCell::with_initial(0, 0u64);
+        vac.track(&cell);
+        for _ in 0..100 {
+            let v = reg.next_version();
+            cell.store_version(v, v).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while cell.version_count() > 1 {
+            assert!(Instant::now() < deadline, "vacuum never caught up");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn stop_is_clean_and_idempotent() {
+        let reg = ReaderRegistry::new();
+        let mut vac = Vacuum::start(reg, fast_cfg());
+        vac.stop();
+        vac.stop();
+        assert!(vac.thread.is_none());
+    }
+
+    #[test]
+    fn dropped_cells_are_untracked() {
+        let reg = ReaderRegistry::new();
+        let vac = Vacuum::start(reg, fast_cfg());
+        {
+            let cell = OCell::with_initial(0, 0u32);
+            vac.track(&cell);
+        }
+        assert_eq!(vac.run_pass(), 0, "dead weak refs are skipped");
+    }
+
+    #[test]
+    fn metrics_surface() {
+        let reg = ReaderRegistry::new();
+        let vac = Vacuum::start(reg.clone(), fast_cfg());
+        let cell = OCell::with_initial(0, 0u64);
+        vac.track(&cell);
+        for _ in 0..10 {
+            let v = reg.next_version();
+            cell.store_version(v, v).unwrap();
+        }
+        vac.run_pass();
+        let mut m = osim_metrics::Registry::new();
+        vac.fill_registry(&mut m);
+        assert!(m.counter("ostructs_vacuum_passes_total", &[]) >= 1);
+        assert_eq!(m.counter("ostructs_vacuum_reclaimed_total", &[]), 10);
+        let h = m.hist("ostructs_vacuum_pause_us", &[]).unwrap();
+        assert!(h.count() >= 1);
+    }
+}
