@@ -617,24 +617,29 @@ impl<T> OCell<T> {
                 }
             }
             prev_hi = Some(run.hi);
-            for v in run.lo..=run.hi {
-                covered += 1;
-                match st.versions.get(&v) {
-                    Some(slot) if Arc::ptr_eq(&slot.value, &run.value) => {}
-                    Some(_) => {
-                        return Err(format!(
-                            "run [{}, {}] does not share version {v}'s value",
-                            run.lo, run.hi
-                        ))
-                    }
-                    None => {
-                        return Err(format!(
-                            "run [{}, {}] covers version {v}, which does not exist",
-                            run.lo, run.hi
-                        ))
-                    }
+            // One ordered range pass per run instead of a per-version map
+            // lookup: a million-rename run costs one linear walk, not 10^6
+            // O(log n) probes, so the oracle stays usable on the long
+            // chains the runs exist to compress.
+            let span = (run.hi - run.lo + 1) as usize;
+            let mut present = 0usize;
+            for (&v, slot) in st.versions.range(run.lo..=run.hi) {
+                present += 1;
+                if !Arc::ptr_eq(&slot.value, &run.value) {
+                    return Err(format!(
+                        "run [{}, {}] does not share version {v}'s value",
+                        run.lo, run.hi
+                    ));
                 }
             }
+            if present != span {
+                return Err(format!(
+                    "run [{}, {}] claims {span} contiguous versions but only \
+                     {present} exist",
+                    run.lo, run.hi
+                ));
+            }
+            covered += span;
         }
         let floor = snap.floor();
         let above_floor = st.versions.range(floor..).count();
@@ -686,6 +691,15 @@ impl<T> OCell<T> {
     {
         let arc: Arc<dyn Prune + Send + Sync> = Arc::clone(&self.inner) as _;
         Arc::downgrade(&arc)
+    }
+
+    /// Number of live handles to this cell (the strong count of the shared
+    /// inner, including `self`). A container that indexes cells can use
+    /// this to tell whether anyone outside the index still holds the cell:
+    /// while the container's lock keeps new handles from being minted, a
+    /// count of exactly one means the index entry is the only reference.
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
     }
 }
 

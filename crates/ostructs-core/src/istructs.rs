@@ -47,7 +47,7 @@ impl<T> Clone for IVar<T> {
     }
 }
 
-impl<T: Clone> Default for IVar<T> {
+impl<T> Default for IVar<T> {
     fn default() -> Self {
         Self::new()
     }
@@ -55,7 +55,9 @@ impl<T: Clone> Default for IVar<T> {
 
 const IVER: Version = 1;
 
-impl<T: Clone> IVar<T> {
+/// The zero-copy surface needs no `T: Clone` — values move in through
+/// `put` and come back out shared, so non-`Clone` payloads work too.
+impl<T> IVar<T> {
     /// An empty (unwritten) I-structure.
     pub fn new() -> Self {
         IVar { cell: OCell::new() }
@@ -67,6 +69,24 @@ impl<T: Clone> IVar<T> {
         self.cell.store_version(IVER, value)
     }
 
+    /// Blocking read sharing the allocation instead of cloning — the
+    /// broadcast-friendly flavor (N readers, one value, zero copies).
+    pub fn get_arc(&self) -> Arc<T> {
+        self.cell.load_version_arc(IVER)
+    }
+
+    /// Non-blocking shared read.
+    pub fn try_get_arc(&self) -> Option<Arc<T>> {
+        self.cell.try_load_version_arc(IVER)
+    }
+
+    /// True once `put` has happened.
+    pub fn is_full(&self) -> bool {
+        self.try_get_arc().is_some()
+    }
+}
+
+impl<T: Clone> IVar<T> {
     /// Blocks until the variable is full, then returns its value. Any
     /// number of readers may get concurrently.
     pub fn get(&self) -> T {
@@ -76,17 +96,6 @@ impl<T: Clone> IVar<T> {
     /// Non-blocking read.
     pub fn try_get(&self) -> Option<T> {
         self.cell.try_load_version(IVER)
-    }
-
-    /// Blocking read sharing the allocation instead of cloning — the
-    /// broadcast-friendly flavor (N readers, one value, zero copies).
-    pub fn get_arc(&self) -> Arc<T> {
-        self.cell.load_version_arc(IVER)
-    }
-
-    /// True once `put` has happened.
-    pub fn is_full(&self) -> bool {
-        self.try_get().is_some()
     }
 }
 
@@ -190,6 +199,17 @@ mod tests {
             assert_eq!(r.join().unwrap(), "hello");
         }
         assert_eq!(v.put("again".into()), Err(OError::VersionExists(1)));
+    }
+
+    #[test]
+    fn ivar_shared_reads_need_no_clone() {
+        struct NoClone(u32);
+        let v: IVar<NoClone> = IVar::new();
+        assert!(!v.is_full());
+        assert!(v.try_get_arc().is_none());
+        v.put(NoClone(7)).unwrap();
+        assert!(v.is_full());
+        assert_eq!(v.get_arc().0, 7);
     }
 
     #[test]

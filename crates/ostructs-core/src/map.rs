@@ -139,11 +139,21 @@ where
             let mut w = shard.write();
             w.retain(|_, cell| {
                 reclaimed += cell.prune_below(boundary);
-                // Keep the cell if any snapshot at or after the boundary
-                // can still observe a value in it.
-                cell.versions()
-                    .iter()
-                    .any(|&v| cell.try_load_version(v).flatten().is_some() || v > boundary)
+                // Keep any cell someone outside the index still holds a
+                // handle to: `cell_for` hands out handles after releasing
+                // the shard lock, so a writer (or `wait_version` waiter)
+                // may be about to store into a cell that currently looks
+                // empty — dropping it would orphan that store and strand
+                // its waiters. The shard write lock held here keeps new
+                // handles from being minted, so strong count == 1 proves
+                // the index entry is the only reference.
+                cell.handle_count() > 1
+                    // Otherwise keep the cell only if some snapshot at or
+                    // after the boundary can still observe a value in it.
+                    || cell
+                        .versions()
+                        .iter()
+                        .any(|&v| cell.try_load_version(v).flatten().is_some() || v > boundary)
                     || cell.try_load_latest(Version::MAX).map(|(_, v)| v.is_some()) == Some(true)
             });
         }
@@ -509,6 +519,35 @@ mod tests {
         // Key 1's only surviving version is an absence: the cell may go.
         assert_eq!(m.get(1, u64::MAX), None);
         assert_eq!(m.get(2, u64::MAX), Some(20));
+    }
+
+    #[test]
+    fn prune_keeps_cells_with_outstanding_handles() {
+        // The vacuum-vs-writer race: a writer acquires the cell handle for
+        // a fresh key (shard lock already released) but has not stored
+        // yet; a vacuum pass in that window must not drop the cell from
+        // the index, or the store lands in an orphan every later read
+        // misses.
+        let m: OMap<u32, u32> = OMap::new();
+        let cell = m.cell_for(&1);
+        m.prune_below(u64::MAX - 1);
+        cell.store_version(1, Some(Arc::new(10))).unwrap();
+        assert_eq!(m.get(1, u64::MAX), Some(10));
+    }
+
+    #[test]
+    fn prune_does_not_strand_wait_version_waiters() {
+        // Same race, waiter flavor: a wait_version parked on an unwritten
+        // key materializes the cell; a vacuum pass must leave it indexed
+        // so the eventual insert wakes the waiter instead of creating a
+        // fresh cell (which would hang the waiter forever).
+        let m: OMap<u32, u32> = OMap::new();
+        let m2 = m.clone();
+        let t = thread::spawn(move || m2.wait_version(5, 1).map(|v| *v));
+        thread::sleep(std::time::Duration::from_millis(20));
+        m.prune_below(u64::MAX - 1);
+        m.insert(5, 1, 50).unwrap();
+        assert_eq!(t.join().unwrap(), Some(50));
     }
 
     #[test]
