@@ -11,7 +11,7 @@ use osim_cpu::{CaptureCfg, MachineCfg, StallCause};
 use osim_report::{CritPath, SimReport, TraceCounts};
 
 use crate::common::{checked_run, machine, pct, report_run, Bench, Scale};
-use crate::pool::{SweepJob, SweepRun};
+use crate::runner::{SweepJob, SweepRun};
 
 /// Dependency-edge ring capacity for analysis runs.
 const DEP_RING: usize = 1 << 14;
@@ -41,6 +41,7 @@ pub fn plan(scale: &Scale, fig: u32, sample_every: u64) -> Vec<SweepJob> {
                 "analyze",
                 bench.name(),
                 format!("fig{fig}-capture"),
+                scale,
                 cfg,
                 move |m| bench.run_versioned(m, &s, true, 4),
             )
@@ -130,6 +131,6 @@ pub fn render(scale: &Scale, fig: u32, runs: &[SweepRun], out: &mut Vec<SimRepor
 }
 
 pub fn run(scale: &Scale, fig: u32, sample_every: u64, jobs: usize, out: &mut Vec<SimReport>) {
-    let runs = crate::pool::run_jobs(plan(scale, fig, sample_every), jobs);
+    let runs = crate::runner::run_jobs(plan(scale, fig, sample_every), jobs);
     render(scale, fig, &runs, out);
 }

@@ -7,7 +7,7 @@ use osim_report::{ReportScale, SimReport};
 use osim_uarch::FaultPlan;
 use osim_workloads::harness::{DsCfg, DsResult};
 
-use crate::pool::SweepRun;
+use crate::runner::SweepRun;
 use osim_workloads::levenshtein::LevCfg;
 use osim_workloads::matmul::MatmulCfg;
 use osim_workloads::{btree, hashtable, levenshtein, linked_list, matmul, rbtree};

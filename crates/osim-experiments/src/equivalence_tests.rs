@@ -12,12 +12,12 @@ use proptest::prelude::*;
 use osim_uarch::FaultPlan;
 
 use crate::common::{report_run, Scale};
-use crate::pool::{run_jobs, SweepJob};
+use crate::runner::{run_jobs, SweepJob};
 use crate::{fig6, fig8, gc};
 
 /// Serializes completed runs exactly as `--json` would: the pretty-printed
 /// `SimReport` array, in plan order.
-fn report_json(scale: &Scale, runs: &[crate::pool::SweepRun]) -> String {
+fn report_json(scale: &Scale, runs: &[crate::runner::SweepRun]) -> String {
     runs.iter()
         .map(|r| report_run(r, scale).to_json().to_pretty())
         .collect::<Vec<_>>()

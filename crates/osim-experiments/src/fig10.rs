@@ -8,7 +8,7 @@
 use osim_report::SimReport;
 
 use crate::common::{checked_run, machine, report_run, Bench, Scale};
-use crate::pool::{SweepJob, SweepRun};
+use crate::runner::{SweepJob, SweepRun};
 
 const EXTRA: [u64; 5] = [2, 4, 6, 8, 10];
 
@@ -26,6 +26,7 @@ pub fn plan(scale: &Scale) -> Vec<SweepJob> {
                 "fig10",
                 bench.name(),
                 format!("{variant}+0cy"),
+                scale,
                 machine(scale, cores, None, 0),
                 move |m| bench.run_versioned(m, &s, true, 4),
             ));
@@ -34,6 +35,7 @@ pub fn plan(scale: &Scale) -> Vec<SweepJob> {
                     "fig10",
                     bench.name(),
                     format!("{variant}+{e}cy"),
+                    scale,
                     machine(scale, cores, None, e),
                     move |m| bench.run_versioned(m, &s, true, 4),
                 ));
@@ -85,6 +87,6 @@ pub fn render(scale: &Scale, runs: &[SweepRun], out: &mut Vec<SimReport>) {
 }
 
 pub fn run(scale: &Scale, jobs: usize, out: &mut Vec<SimReport>) {
-    let runs = crate::pool::run_jobs(plan(scale), jobs);
+    let runs = crate::runner::run_jobs(plan(scale), jobs);
     render(scale, &runs, out);
 }

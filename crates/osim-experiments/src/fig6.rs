@@ -10,7 +10,7 @@
 use osim_report::SimReport;
 
 use crate::common::{checked_run, f2, machine, pct, report_run, Bench, Scale};
-use crate::pool::{SweepJob, SweepRun};
+use crate::runner::{SweepJob, SweepRun};
 
 const CORES: usize = 32;
 
@@ -30,6 +30,7 @@ pub fn plan(scale: &Scale) -> Vec<SweepJob> {
                 "fig6",
                 bench.name(),
                 format!("unversioned-{tag}"),
+                scale,
                 machine(scale, 1, None, 0),
                 move |m| bench.run_unversioned(m, &s, large, rpw),
             ));
@@ -37,6 +38,7 @@ pub fn plan(scale: &Scale) -> Vec<SweepJob> {
                 "fig6",
                 bench.name(),
                 format!("versioned-{tag}"),
+                scale,
                 machine(scale, CORES, None, 0),
                 move |m| bench.run_versioned(m, &s, large, rpw),
             ));
@@ -47,6 +49,7 @@ pub fn plan(scale: &Scale) -> Vec<SweepJob> {
             "fig6",
             bench.name(),
             "unversioned".to_string(),
+            scale,
             machine(scale, 1, None, 0),
             move |m| bench.run_unversioned(m, &s, false, 4),
         ));
@@ -54,6 +57,7 @@ pub fn plan(scale: &Scale) -> Vec<SweepJob> {
             "fig6",
             bench.name(),
             "versioned".to_string(),
+            scale,
             machine(scale, CORES, None, 0),
             move |m| bench.run_versioned(m, &s, false, 4),
         ));
@@ -64,6 +68,7 @@ pub fn plan(scale: &Scale) -> Vec<SweepJob> {
         "fig6",
         Bench::MatrixMul.name(),
         "unversioned-1c".to_string(),
+        scale,
         machine(scale, 1, None, 0),
         move |m| Bench::MatrixMul.run_unversioned(m, &s, false, 4),
     ));
@@ -71,6 +76,7 @@ pub fn plan(scale: &Scale) -> Vec<SweepJob> {
         "fig6",
         Bench::MatrixMul.name(),
         "versioned-1c".to_string(),
+        scale,
         machine(scale, 1, None, 0),
         move |m| Bench::MatrixMul.run_versioned(m, &s, false, 4),
     ));
@@ -157,6 +163,6 @@ pub fn render(scale: &Scale, stats: bool, runs: &[SweepRun], out: &mut Vec<SimRe
 }
 
 pub fn run(scale: &Scale, stats: bool, jobs: usize, out: &mut Vec<SimReport>) {
-    let runs = crate::pool::run_jobs(plan(scale), jobs);
+    let runs = crate::runner::run_jobs(plan(scale), jobs);
     render(scale, stats, &runs, out);
 }

@@ -9,7 +9,7 @@
 use osim_report::SimReport;
 
 use crate::common::{checked_run, f2, machine, pct, report_run, Bench, Scale};
-use crate::pool::{SweepJob, SweepRun};
+use crate::runner::{SweepJob, SweepRun};
 
 const CORE_COUNTS: [usize; 4] = [4, 8, 16, 32];
 
@@ -23,6 +23,7 @@ pub fn plan(scale: &Scale) -> Vec<SweepJob> {
             "fig7",
             bench.name(),
             "versioned-1c".to_string(),
+            scale,
             machine(scale, 1, None, 0),
             move |m| bench.run_versioned(m, &s, true, 4),
         ));
@@ -31,6 +32,7 @@ pub fn plan(scale: &Scale) -> Vec<SweepJob> {
                 "fig7",
                 bench.name(),
                 format!("versioned-{cores}c"),
+                scale,
                 machine(scale, cores, None, 0),
                 move |m| bench.run_versioned(m, &s, true, 4),
             ));
@@ -98,6 +100,6 @@ pub fn render(scale: &Scale, stats: bool, runs: &[SweepRun], out: &mut Vec<SimRe
 }
 
 pub fn run(scale: &Scale, stats: bool, jobs: usize, out: &mut Vec<SimReport>) {
-    let runs = crate::pool::run_jobs(plan(scale), jobs);
+    let runs = crate::runner::run_jobs(plan(scale), jobs);
     render(scale, stats, &runs, out);
 }

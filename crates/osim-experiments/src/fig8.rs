@@ -12,7 +12,7 @@ use osim_workloads::btree;
 use osim_workloads::harness::DsCfg;
 
 use crate::common::{checked_run, f2, machine, report_run, Scale};
-use crate::pool::{SweepJob, SweepRun};
+use crate::runner::{SweepJob, SweepRun};
 
 const CORE_COUNTS: [usize; 4] = [4, 8, 16, 32];
 const SCAN_RANGES: [u32; 3] = [1, 8, 64];
@@ -40,6 +40,7 @@ pub fn plan(scale: &Scale) -> Vec<SweepJob> {
             "fig8",
             "Binary tree",
             format!("versioned-r{range}-1c"),
+            scale,
             machine(scale, 1, None, 0),
             move |m| btree::run_versioned(m, &cv),
         ));
@@ -48,6 +49,7 @@ pub fn plan(scale: &Scale) -> Vec<SweepJob> {
             "fig8",
             "Binary tree",
             format!("rwlock-r{range}-1c"),
+            scale,
             machine(scale, 1, None, 0),
             move |m| btree::run_rwlock(m, &cr),
         ));
@@ -57,6 +59,7 @@ pub fn plan(scale: &Scale) -> Vec<SweepJob> {
                 "fig8",
                 "Binary tree",
                 format!("versioned-r{range}-{cores}c"),
+                scale,
                 machine(scale, cores, None, 0),
                 move |m| btree::run_versioned(m, &cv),
             ));
@@ -65,6 +68,7 @@ pub fn plan(scale: &Scale) -> Vec<SweepJob> {
                 "fig8",
                 "Binary tree",
                 format!("rwlock-r{range}-{cores}c"),
+                scale,
                 machine(scale, cores, None, 0),
                 move |m| btree::run_rwlock(m, &cr),
             ));
@@ -125,6 +129,6 @@ pub fn render(scale: &Scale, runs: &[SweepRun], out: &mut Vec<SimReport>) {
 }
 
 pub fn run(scale: &Scale, jobs: usize, out: &mut Vec<SimReport>) {
-    let runs = crate::pool::run_jobs(plan(scale), jobs);
+    let runs = crate::runner::run_jobs(plan(scale), jobs);
     render(scale, &runs, out);
 }

@@ -9,7 +9,7 @@
 use osim_report::SimReport;
 
 use crate::common::{checked_run, f2, machine, report_run, Bench, Scale};
-use crate::pool::{SweepJob, SweepRun};
+use crate::runner::{SweepJob, SweepRun};
 
 const SIZES_KB: [u32; 5] = [8, 16, 32, 64, 128];
 
@@ -27,6 +27,7 @@ pub fn plan(scale: &Scale) -> Vec<SweepJob> {
                     "fig9",
                     bench.name(),
                     format!("{variant}-{kb}kB"),
+                    scale,
                     machine(scale, cores, Some(kb), 0),
                     move |m| {
                         if versioned {
@@ -80,6 +81,6 @@ pub fn render(scale: &Scale, runs: &[SweepRun], out: &mut Vec<SimReport>) {
 }
 
 pub fn run(scale: &Scale, jobs: usize, out: &mut Vec<SimReport>) {
-    let runs = crate::pool::run_jobs(plan(scale), jobs);
+    let runs = crate::runner::run_jobs(plan(scale), jobs);
     render(scale, &runs, out);
 }

@@ -19,7 +19,7 @@ use osim_workloads::harness::DsCfg;
 use osim_workloads::linked_list;
 
 use crate::common::{checked_run, report_run, Scale};
-use crate::pool::{SweepJob, SweepRun};
+use crate::runner::{SweepJob, SweepRun};
 
 fn ds_cfg(scale: &Scale) -> DsCfg {
     DsCfg {
@@ -43,7 +43,7 @@ fn job(scale: &Scale, name: &'static str, tweak: impl Fn(&mut MachineCfg)) -> Sw
     let cfg = ds_cfg(scale);
     // The Fig. 1-faithful protocol (renaming every passed cell) supplies
     // the version churn this experiment is about.
-    SweepJob::new("gc", "Linked list", name.to_string(), m, move |mc| {
+    SweepJob::new("gc", "Linked list", name.to_string(), scale, m, move |mc| {
         linked_list::run_versioned_with(mc, &cfg, true)
     })
 }
@@ -109,6 +109,6 @@ pub fn render(scale: &Scale, runs: &[SweepRun], out: &mut Vec<SimReport>) {
 }
 
 pub fn run(scale: &Scale, jobs: usize, out: &mut Vec<SimReport>) {
-    let runs = crate::pool::run_jobs(plan(scale), jobs);
+    let runs = crate::runner::run_jobs(plan(scale), jobs);
     render(scale, &runs, out);
 }

@@ -8,6 +8,8 @@
 //!     [--sweep-json <path>]
 //! cargo run -p osim-experiments --release -- compare <a.json> <b.json>
 //!     [--json <path>]
+//! cargo run -p osim-experiments --release -- cache <stats|verify|clear>
+//!     [--cache <dir>] [--json]
 //!
 //! experiments:
 //!   config   Table II   — the simulated platform configuration
@@ -30,6 +32,8 @@
 //!                         vacuum) and writes BENCH_ostructs.json
 //!   compare             — diff two `--json` report files: counters, stall
 //!                         causes, histograms, ranked regression attribution
+//!   cache               — run-cache maintenance: `stats`, `verify` (decode
+//!                         every entry with per-entry blame), `clear`
 //!   stress              — schedule-shaking robustness harness: every quick
 //!                         figure under `--seeds` seeded tie-break
 //!                         perturbations with the invariant oracles armed
@@ -88,6 +92,19 @@
 //! (usage errors exit 2), so CI can assert either direction without
 //! parsing; `--json` writes the machine-readable diff document.
 //!
+//! `--cache <dir>` arms the content-addressed run cache: every sweep job
+//! is keyed by a stable hash of everything that can affect its simulated
+//! result (figure/benchmark/variant, scale, machine geometry, `--inject`
+//! spec, `--shake-seed`, capture configuration, and the engine-semantics
+//! version), and completed results are stored under `<dir>` as one JSON
+//! entry per key. A warm rerun skips simulation entirely and reproduces
+//! stdout and `--json` byte-identically — host-only knobs (`--jobs`,
+//! `--scheduler`, `--progress`) are deliberately *not* part of the key.
+//! Corrupt or stale entries are detected, dropped, and re-run; a cache
+//! can slow an invocation down but never change or fail it. `--cache off`
+//! (the default) disables it. `perf --cache-bench` measures the cold
+//! vs warm sweep and writes `BENCH_cache.json`.
+//!
 //! `--inject <spec>` applies a deterministic fault-injection plan
 //! ([`osim_uarch::FaultPlan::parse`]) to every machine the invocation
 //! builds: version-block pool shrinks, transient OS-carve failures,
@@ -102,6 +119,8 @@ use osim_report::json::Json;
 use osim_report::SimReport;
 
 mod analyze;
+mod cache_bench;
+mod cache_cmd;
 mod common;
 mod compare_cmd;
 #[cfg(test)]
@@ -114,7 +133,8 @@ mod fig9;
 mod gc;
 mod ostructs_perf;
 mod perf;
-mod pool;
+mod runcache;
+mod runner;
 mod stress;
 mod trace_cmd;
 
@@ -125,7 +145,7 @@ use common::Scale;
 /// nondeterministic — deliberately kept out of the `SimReport` stream.
 fn sweep_telemetry_doc(jobs_flag: usize, scale: &Scale) -> Json {
     use osim_report::json::obj;
-    let t = pool::drain_telemetry();
+    let t = runner::drain_telemetry();
     let workers: Vec<Json> = t
         .busy_ms
         .iter()
@@ -148,6 +168,7 @@ fn sweep_telemetry_doc(jobs_flag: usize, scale: &Scale) -> Json {
                 ("queue_ms", Json::Num(j.queue_ms)),
                 ("run_ms", Json::Num(j.run_ms)),
                 ("worker", Json::from_u64(j.worker as u64)),
+                ("cache_hit", Json::Bool(j.cache_hit)),
                 ("events_dispatched", Json::from_u64(j.events_dispatched)),
                 ("stale_events", Json::from_u64(j.stale_events)),
             ])
@@ -164,6 +185,8 @@ fn sweep_telemetry_doc(jobs_flag: usize, scale: &Scale) -> Json {
         ("batches", Json::from_u64(t.batches)),
         ("wall_ms", Json::Num(t.wall_ms)),
         ("job_count", Json::from_u64(t.jobs.len() as u64)),
+        ("cache_hits", Json::from_u64(t.cache_hits)),
+        ("cache_misses", Json::from_u64(t.cache_misses)),
         ("stale_event_rate", Json::Num(t.stale_rate())),
         ("workers", Json::Arr(workers)),
         ("jobs", Json::Arr(job_rows)),
@@ -184,6 +207,39 @@ fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
 
 fn main() {
     let mut args: Vec<String> = env::args().skip(1).collect();
+
+    // The `cache` subcommand is dispatched before general flag parsing:
+    // its `--json` is a boolean (print the document to stdout), unlike the
+    // experiments' `--json <path>`.
+    if args.first().map(String::as_str) == Some("cache") {
+        args.remove(0);
+        let dir = take_value(&mut args, "--cache")
+            .filter(|d| d != "off")
+            .unwrap_or_else(|| ".osim-cache".to_string());
+        let json = if let Some(i) = args.iter().position(|a| a == "--json") {
+            args.remove(i);
+            true
+        } else {
+            false
+        };
+        let action = args
+            .iter()
+            .find(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .unwrap_or("stats");
+        let dir = std::path::PathBuf::from(dir);
+        let code = match action {
+            "stats" => cache_cmd::stats(&dir, json),
+            "verify" => cache_cmd::verify(&dir, json),
+            "clear" => cache_cmd::clear(&dir, json),
+            other => {
+                eprintln!("cache action must be stats, verify or clear, got {other:?}");
+                2
+            }
+        };
+        std::process::exit(code);
+    }
+
     let json_path = take_value(&mut args, "--json");
     let chrome_path = take_value(&mut args, "--chrome");
     let sweep_json = take_value(&mut args, "--sweep-json");
@@ -199,6 +255,13 @@ fn main() {
     } else {
         false
     };
+    let cache_bench = if let Some(i) = args.iter().position(|a| a == "--cache-bench") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let cache_flag = take_value(&mut args, "--cache").filter(|v| v != "off");
     let inject =
         take_value(&mut args, "--inject").map(|spec| match osim_uarch::FaultPlan::parse(&spec) {
             Ok(plan) => plan,
@@ -315,7 +378,10 @@ fn main() {
         scale.shake = osim_cpu::ShakePolicy::Seeded(seed);
     }
 
-    pool::set_progress(progress);
+    runner::set_progress(progress);
+    if let Some(dir) = &cache_flag {
+        runner::set_cache(Some(std::sync::Arc::new(osim_jobq::TextStore::at_dir(dir))));
+    }
 
     let mut reports: Vec<SimReport> = Vec::new();
     let mut chrome_doc: Option<Json> = None;
@@ -382,6 +448,23 @@ fn main() {
             std::process::exit(code);
         }
         "perf" if ostructs => ostructs_perf::run(scale_name, reps, "BENCH_ostructs.json"),
+        "perf" if cache_bench => {
+            // The benchmark owns its cache (cleared first, all three
+            // passes measured); an armed session cache would taint the
+            // cold pass, so `--cache <dir>` just redirects the scratch
+            // directory.
+            runner::set_cache(None);
+            let dir = cache_flag
+                .clone()
+                .unwrap_or_else(|| ".osim-cache-bench".to_string());
+            cache_bench::run(
+                &scale,
+                scale_name,
+                jobs,
+                std::path::Path::new(&dir),
+                "BENCH_cache.json",
+            );
+        }
         "perf" => perf::run(&scale, scale_name, jobs, reps, baseline, "BENCH_sweep.json"),
         "all" => {
             common::print_config();
@@ -401,10 +484,28 @@ fn main() {
                  [--scheduler <calendar|heap>] \
                  [--fig <6|7|9|10>] [--sample-every <cycles>] \
                  [--shake-seed <n>] [--seeds <n>] \
-                 [--progress] [--sweep-json <path>] [--ostructs] \
+                 [--progress] [--sweep-json <path>] [--ostructs] [--cache-bench] \
+                 [--cache <dir|off>] \
                  [--inject <spec>] [--baseline-ms <ms> [--baseline-ref <label>]]\n\
                  \n\
                  osim-experiments compare <a.json> <b.json> [--json <path>]\n\
+                 osim-experiments cache <stats|verify|clear> [--cache <dir>] [--json]\n\
+                 \n\
+                 --cache <dir>: content-addressed run cache. Completed sweep jobs\n\
+                 are stored under <dir> keyed by everything that affects their\n\
+                 simulated result; a warm rerun skips simulation and reproduces\n\
+                 stdout and --json byte-identically. Host-only knobs (--jobs,\n\
+                 --scheduler, --progress) do not affect the key. Corrupt entries\n\
+                 are dropped and re-run. Default: off.\n\
+                 \n\
+                 cache: maintenance for such a directory (default .osim-cache):\n\
+                 stats (entry counts, bytes), verify (decode every entry with\n\
+                 per-entry blame; exit 1 if any is bad), clear. --json prints\n\
+                 the machine-readable document instead.\n\
+                 \n\
+                 perf --cache-bench: cold vs warm sweep benchmark; writes\n\
+                 BENCH_cache.json with hit/miss counts, per-entry read latency\n\
+                 quantiles, and the warm speedup.\n\
                  \n\
                  stress: schedule-shaking robustness harness. Runs every quick\n\
                  figure under --seeds (default 25) seeded tie-break perturbations\n\

@@ -17,13 +17,13 @@ use std::time::Instant;
 use osim_report::json::{obj, Json};
 
 use crate::common::Scale;
-use crate::pool::{self, SweepRun};
+use crate::runner::{self, SweepRun};
 use crate::{fig10, fig6, fig7, fig8, fig9, gc};
 
 /// One figure of the sweep: name + plan entry point.
-type Fig = (&'static str, fn(&Scale) -> Vec<pool::SweepJob>);
+pub(crate) type Fig = (&'static str, fn(&Scale) -> Vec<runner::SweepJob>);
 
-const FIGS: [Fig; 6] = [
+pub(crate) const FIGS: [Fig; 6] = [
     ("fig6", fig6::plan),
     ("fig7", fig7::plan),
     ("fig8", fig8::plan),
@@ -32,7 +32,7 @@ const FIGS: [Fig; 6] = [
     ("gc", gc::plan),
 ];
 
-fn validate(runs: &[SweepRun]) -> u64 {
+pub(crate) fn validate(runs: &[SweepRun]) -> u64 {
     let mut cycles = 0;
     for run in runs {
         assert!(
@@ -70,7 +70,7 @@ pub fn run(
         let rep_start = Instant::now();
         for (i, (name, plan)) in FIGS.iter().enumerate() {
             let t = Instant::now();
-            let runs = pool::run_jobs(plan(scale), jobs);
+            let runs = runner::run_jobs(plan(scale), jobs);
             // Round to 1 µs so the committed JSON stays diff-friendly.
             let wall_ms = (t.elapsed().as_secs_f64() * 1e6).round() / 1e3;
             let cycles = validate(&runs);

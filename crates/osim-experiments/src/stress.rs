@@ -26,7 +26,7 @@
 use osim_cpu::{SchedulerKind, ShakePolicy};
 
 use crate::common::{report_run, Scale};
-use crate::pool::{run_jobs, SweepJob, SweepRun};
+use crate::runner::{run_jobs, SweepJob, SweepRun};
 use crate::{fig10, fig6, fig7, fig8, fig9, gc};
 
 /// One figure sweep the harness shakes: its name (also the `--fig` filter
@@ -227,7 +227,16 @@ pub fn run(
             };
             let mut flip_plan = (figure.plan)(&flipped_scale);
             if !flip_plan.is_empty() {
-                let flip = run_jobs(vec![flip_plan.remove(0)], 1);
+                // The flip job must bypass the run cache: the scheduler is
+                // host-only and deliberately not part of the cache key, so
+                // a cached answer would be the *same entry* the shaken run
+                // stored — trivially equal, checking nothing. Equivalence
+                // is only meaningful if the flipped queue actually runs.
+                let flip = run_jobs(vec![flip_plan.remove(0).uncached()], 1);
+                assert!(
+                    !flip[0].cache_hit,
+                    "flip run must simulate, not hit the run cache"
+                );
                 total_runs += 1;
                 for what in check_flip(&shaken[0], &flip[0]) {
                     fig_failures += 1;

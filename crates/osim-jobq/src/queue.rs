@@ -1,0 +1,785 @@
+//! Deterministic parallel execution of generic jobs.
+//!
+//! Callers first *plan* their work — a flat, ordered list of [`Job`]s —
+//! and only then consume the results. The split lets the runs execute on
+//! a worker pool: each job is built, run and torn down entirely inside
+//! one worker thread, while results land in slots indexed by submission
+//! order. Consuming the slots in that order makes everything rendered
+//! from them byte-identical to a serial run regardless of worker count or
+//! completion order.
+//!
+//! Two layers are offered:
+//!
+//! * [`JobQueue`] — long-lived workers fed through a bounded queue.
+//!   [`JobQueue::submit`] blocks once `capacity` jobs are in flight, so a
+//!   fast planner cannot buffer unbounded closures ahead of slow workers
+//!   (backpressure).
+//! * [`run_jobs`] — the batch convenience wrapper: submit a whole plan,
+//!   wait, get results back in submission order. `threads <= 1` executes
+//!   inline on the calling thread (the serial reference behaviour).
+//!
+//! Jobs carrying a [`CacheKey`] are probed against the batch's
+//! [`ResultCache`] before execution: a hit skips the run entirely and is
+//! reported as an instantly-completed job — it contributes no worker busy
+//! time and is excluded from the ETA's throughput estimate, but shows up
+//! in the progress line and telemetry under a distinct `hit` label.
+//!
+//! The queue is additionally *instrumented*: every batch records per-job
+//! queue wait and run wall time, the worker that executed it, cache-hit
+//! status, and caller-defined engine counters into a process-wide
+//! [`Telemetry`] accumulator (drained by `drain_telemetry`). With
+//! [`set_progress`] armed a live status line — jobs queued/running/done,
+//! cache hits, ETA, per-worker state — is maintained on **stderr**, so
+//! stdout and any machine-readable output stay byte-identical whatever
+//! the host timing does.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use crate::key::CacheKey;
+
+/// One unit of work: an opaque closure plus the label and optional cache
+/// key the queue needs to report and deduplicate it.
+pub struct Job<R> {
+    /// Display label (`fig/bench/tag` in the sweep runner).
+    pub label: String,
+    /// Content hash of everything that determines the result. `None`
+    /// bypasses the cache even when one is armed.
+    pub key: Option<CacheKey>,
+    /// Performs the run.
+    pub run: Box<dyn FnOnce() -> R + Send>,
+}
+
+impl<R> Job<R> {
+    /// An uncached job running `f`.
+    pub fn new(label: impl Into<String>, f: impl FnOnce() -> R + Send + 'static) -> Self {
+        Job {
+            label: label.into(),
+            key: None,
+            run: Box::new(f),
+        }
+    }
+
+    /// A cacheable job: `key` must cover every input that affects `f`'s
+    /// result.
+    pub fn keyed(
+        label: impl Into<String>,
+        key: CacheKey,
+        f: impl FnOnce() -> R + Send + 'static,
+    ) -> Self {
+        Job {
+            label: label.into(),
+            key: Some(key),
+            run: Box::new(f),
+        }
+    }
+}
+
+/// A completed [`Job`]: its identity plus the result and how it was
+/// obtained.
+pub struct Outcome<R> {
+    /// The job's display label.
+    pub label: String,
+    /// The job's cache key, if it had one.
+    pub key: Option<CacheKey>,
+    /// `true` when the result came from the cache instead of running.
+    pub cache_hit: bool,
+    /// The job's result.
+    pub result: R,
+}
+
+/// A result cache consulted before running keyed jobs.
+///
+/// `lookup` returning `Some` must yield a value indistinguishable from
+/// re-running the job — the queue trusts it blindly. Implementations are
+/// expected to treat corrupt or unreadable entries as misses, never
+/// errors.
+pub trait ResultCache<R>: Send + Sync {
+    /// Fetch a previously stored result, or `None` to run the job.
+    fn lookup(&self, key: &CacheKey, label: &str) -> Option<R>;
+    /// Persist a freshly computed result.
+    fn store(&self, key: &CacheKey, label: &str, result: &R);
+}
+
+/// Extracts `(events_dispatched, stale_events)`-style deterministic
+/// counters from a result for telemetry. Use [`no_counters`] when the
+/// result type has none.
+pub type CountersFn<R> = fn(&R) -> (u64, u64);
+
+/// A [`CountersFn`] reporting zeros.
+pub fn no_counters<R>(_: &R) -> (u64, u64) {
+    (0, 0)
+}
+
+/// Host-side timing of one executed job. Everything in here is wall-clock
+/// and therefore nondeterministic — it must never leak into byte-compared
+/// output; it is only surfaced through telemetry sinks like `--sweep-json`.
+#[derive(Debug, Clone)]
+pub struct JobTiming {
+    /// The job's display label.
+    pub label: String,
+    /// Milliseconds between batch submission and the job starting.
+    pub queue_ms: f64,
+    /// Milliseconds the job ran for (cache-probe time for hits).
+    pub run_ms: f64,
+    /// Worker index (0 for the inline path).
+    pub worker: usize,
+    /// `true` when the result was served from the cache.
+    pub cache_hit: bool,
+    /// First caller-defined counter (engine events dispatched, in osim).
+    pub events_dispatched: u64,
+    /// Second caller-defined counter (stale wakeups skipped, in osim).
+    pub stale_events: u64,
+}
+
+/// Accumulated queue telemetry for the whole process: one entry per job
+/// across every batch the invocation executed.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// Batches executed.
+    pub batches: u64,
+    /// Sum of batch wall times, in milliseconds.
+    pub wall_ms: f64,
+    /// Per-worker busy time (ms), indexed by worker id. Cache hits
+    /// contribute nothing here — no simulation ran.
+    pub busy_ms: Vec<f64>,
+    /// Jobs served from the result cache.
+    pub cache_hits: u64,
+    /// Keyed jobs that missed and had to run (unkeyed jobs count too
+    /// when a cache was armed for their batch).
+    pub cache_misses: u64,
+    /// Per-job host-side timings, in completion-recording order.
+    pub jobs: Vec<JobTiming>,
+}
+
+impl Telemetry {
+    /// Total stale-event rate across every job (0 when nothing dispatched).
+    pub fn stale_rate(&self) -> f64 {
+        let dispatched: u64 = self.jobs.iter().map(|j| j.events_dispatched).sum();
+        let stale: u64 = self.jobs.iter().map(|j| j.stale_events).sum();
+        if dispatched == 0 {
+            0.0
+        } else {
+            stale as f64 / dispatched as f64
+        }
+    }
+
+    /// Per-worker utilization: busy time over accumulated batch wall time.
+    pub fn utilization(&self) -> Vec<f64> {
+        self.busy_ms
+            .iter()
+            .map(|&b| {
+                if self.wall_ms > 0.0 {
+                    b / self.wall_ms
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+
+fn telemetry() -> &'static Mutex<Telemetry> {
+    static T: OnceLock<Mutex<Telemetry>> = OnceLock::new();
+    T.get_or_init(|| Mutex::new(Telemetry::default()))
+}
+
+/// Arms (or disarms) the live stderr progress line for subsequent batches.
+pub fn set_progress(on: bool) {
+    PROGRESS.store(on, Ordering::Relaxed);
+}
+
+/// Takes the telemetry accumulated so far, leaving the accumulator empty.
+pub fn drain_telemetry() -> Telemetry {
+    std::mem::take(&mut *telemetry().lock().expect("telemetry mutex poisoned"))
+}
+
+/// Shared progress state of one in-flight batch.
+struct Progress {
+    started: Instant,
+    total: AtomicUsize,
+    done: AtomicUsize,
+    hits: AtomicUsize,
+    /// What each worker is currently running (`None` = idle).
+    current: Vec<Mutex<Option<String>>>,
+}
+
+impl Progress {
+    fn new(workers: usize) -> Self {
+        Progress {
+            started: Instant::now(),
+            total: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+            current: (0..workers).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    fn add_total(&self, n: usize) {
+        self.total.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn begin(&self, worker: usize, label: &str) {
+        *self.current[worker]
+            .lock()
+            .expect("progress mutex poisoned") = Some(label.to_string());
+        self.render();
+    }
+
+    fn finish(&self, worker: usize) {
+        self.done.fetch_add(1, Ordering::Relaxed);
+        *self.current[worker]
+            .lock()
+            .expect("progress mutex poisoned") = None;
+        self.render();
+    }
+
+    /// A cache hit completes instantly: it never occupies the worker slot,
+    /// is counted separately, and is shown with a distinct `hit:` label so
+    /// the line reflects that no simulation ran.
+    fn hit(&self, worker: usize, label: &str) {
+        self.done.fetch_add(1, Ordering::Relaxed);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        if PROGRESS.load(Ordering::Relaxed) {
+            *self.current[worker]
+                .lock()
+                .expect("progress mutex poisoned") = Some(format!("hit:{label}"));
+            self.render();
+            *self.current[worker]
+                .lock()
+                .expect("progress mutex poisoned") = None;
+        }
+    }
+
+    fn render(&self) {
+        if !PROGRESS.load(Ordering::Relaxed) {
+            return;
+        }
+        let total = self.total.load(Ordering::Relaxed);
+        let done = self.done.load(Ordering::Relaxed);
+        let hits = self.hits.load(Ordering::Relaxed);
+        let mut running = 0usize;
+        let mut states = String::new();
+        for (i, slot) in self.current.iter().enumerate() {
+            let cur = slot.lock().expect("progress mutex poisoned");
+            match cur.as_deref() {
+                Some(label) => {
+                    running += 1;
+                    states.push_str(&format!(" w{i}:{label}"));
+                }
+                None => states.push_str(&format!(" w{i}:idle")),
+            }
+        }
+        let queued = total.saturating_sub(done + running);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        // ETA extrapolates from *executed* jobs only: cache hits are
+        // effectively free, and folding them into the throughput estimate
+        // would make the remaining (possibly uncached) work look faster
+        // than it is.
+        let executed = done - hits;
+        let remaining = total - done;
+        let eta = if remaining == 0 {
+            "0.0s".to_string()
+        } else if executed > 0 {
+            format!("{:.1}s", elapsed / executed as f64 * remaining as f64)
+        } else if hits > 0 {
+            // Everything so far was a hit; assume the rest will be too.
+            "~0s".to_string()
+        } else {
+            "?".to_string()
+        };
+        let hit_note = if hits > 0 {
+            format!(" ({hits} hit)")
+        } else {
+            String::new()
+        };
+        // \r keeps it a single live line; \x1b[K clears the tail of a
+        // longer previous render.
+        eprint!(
+            "\r[sweep] {done}/{total} done{hit_note}, {running} running, {queued} queued, eta {eta} |{states}\x1b[K"
+        );
+    }
+
+    fn close(&self) {
+        if PROGRESS.load(Ordering::Relaxed) {
+            eprintln!();
+        }
+    }
+}
+
+/// Runs (or cache-serves) one job under the batch's progress/telemetry
+/// instrumentation.
+fn exec_timed<R>(
+    job: Job<R>,
+    worker: usize,
+    batch_start: Instant,
+    progress: &Progress,
+    cache: Option<&dyn ResultCache<R>>,
+    counters: CountersFn<R>,
+) -> Outcome<R> {
+    let Job { label, key, run } = job;
+    let queue_ms = batch_start.elapsed().as_secs_f64() * 1e3;
+    if let (Some(k), Some(c)) = (key.as_ref(), cache) {
+        let probe_started = Instant::now();
+        if let Some(result) = c.lookup(k, &label) {
+            let probe_ms = probe_started.elapsed().as_secs_f64() * 1e3;
+            progress.hit(worker, &label);
+            let (events_dispatched, stale_events) = counters(&result);
+            let mut t = telemetry().lock().expect("telemetry mutex poisoned");
+            t.cache_hits += 1;
+            t.jobs.push(JobTiming {
+                label: label.clone(),
+                queue_ms,
+                run_ms: probe_ms,
+                worker,
+                cache_hit: true,
+                events_dispatched,
+                stale_events,
+            });
+            return Outcome {
+                label,
+                key,
+                cache_hit: true,
+                result,
+            };
+        }
+    }
+    progress.begin(worker, &label);
+    let started = Instant::now();
+    let result = run();
+    let run_ms = started.elapsed().as_secs_f64() * 1e3;
+    if let (Some(k), Some(c)) = (key.as_ref(), cache) {
+        c.store(k, &label, &result);
+    }
+    progress.finish(worker);
+    let (events_dispatched, stale_events) = counters(&result);
+    let mut t = telemetry().lock().expect("telemetry mutex poisoned");
+    if t.busy_ms.len() <= worker {
+        t.busy_ms.resize(worker + 1, 0.0);
+    }
+    t.busy_ms[worker] += run_ms;
+    if cache.is_some() {
+        t.cache_misses += 1;
+    }
+    t.jobs.push(JobTiming {
+        label: label.clone(),
+        queue_ms,
+        run_ms,
+        worker,
+        cache_hit: false,
+        events_dispatched,
+        stale_events,
+    });
+    Outcome {
+        label,
+        key,
+        cache_hit: false,
+        result,
+    }
+}
+
+/// How a batch executes: worker count, optional result cache, and the
+/// telemetry counters extractor.
+pub struct RunCfg<R> {
+    /// Worker threads. `<= 1` runs inline on the calling thread.
+    pub threads: usize,
+    /// Result cache consulted for keyed jobs.
+    pub cache: Option<Arc<dyn ResultCache<R>>>,
+    /// Extracts deterministic counters from each result for telemetry.
+    pub counters: CountersFn<R>,
+}
+
+impl<R> RunCfg<R> {
+    /// Serial, uncached, counter-less execution.
+    pub fn serial() -> Self {
+        RunCfg {
+            threads: 1,
+            cache: None,
+            counters: no_counters,
+        }
+    }
+
+    /// Uncached execution on `threads` workers.
+    pub fn threads(threads: usize) -> Self {
+        RunCfg {
+            threads,
+            cache: None,
+            counters: no_counters,
+        }
+    }
+}
+
+struct QState<R> {
+    pending: VecDeque<(usize, Job<R>)>,
+    results: Vec<Option<Outcome<R>>>,
+    submitted: usize,
+    completed: usize,
+    closed: bool,
+}
+
+struct Shared<R> {
+    q: Mutex<QState<R>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    progress: Progress,
+    batch_start: Instant,
+    cache: Option<Arc<dyn ResultCache<R>>>,
+    counters: CountersFn<R>,
+}
+
+fn qlock<R>(shared: &Shared<R>) -> MutexGuard<'_, QState<R>> {
+    shared.q.lock().expect("job queue mutex poisoned")
+}
+
+/// A streaming job queue: long-lived workers fed through a bounded buffer.
+///
+/// [`submit`](JobQueue::submit) blocks while `capacity` jobs are in flight
+/// (queued or running), which bounds how many planned-but-unstarted
+/// closures exist at once — the backpressure a future socket-fed sweep
+/// service needs, and a no-op for batch callers that size `capacity` to
+/// the plan. [`finish`](JobQueue::finish) waits for everything and
+/// returns the outcomes in submission order.
+pub struct JobQueue<R: Send + 'static> {
+    shared: Arc<Shared<R>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<R: Send + 'static> JobQueue<R> {
+    /// A queue with `workers` threads admitting at most `capacity` in-flight
+    /// jobs (both clamped to at least 1).
+    pub fn new(
+        workers: usize,
+        capacity: usize,
+        cfg_cache: Option<Arc<dyn ResultCache<R>>>,
+        counters: CountersFn<R>,
+    ) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            q: Mutex::new(QState {
+                pending: VecDeque::new(),
+                results: Vec::new(),
+                submitted: 0,
+                completed: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+            progress: Progress::new(workers),
+            batch_start: Instant::now(),
+            cache: cfg_cache,
+            counters,
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, w))
+            })
+            .collect();
+        JobQueue {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Enqueues a job, blocking while the in-flight window is full.
+    /// Returns the job's submission index.
+    pub fn submit(&self, job: Job<R>) -> usize {
+        let mut st = qlock(&self.shared);
+        while st.submitted - st.completed >= self.shared.capacity {
+            st = self
+                .shared
+                .not_full
+                .wait(st)
+                .expect("job queue mutex poisoned");
+        }
+        let idx = st.submitted;
+        st.submitted += 1;
+        st.results.push(None);
+        st.pending.push_back((idx, job));
+        drop(st);
+        self.shared.progress.add_total(1);
+        self.shared.progress.render();
+        self.shared.not_empty.notify_one();
+        idx
+    }
+
+    /// Closes the queue, waits for every submitted job, and returns the
+    /// outcomes in submission order.
+    pub fn finish(self) -> Vec<Outcome<R>> {
+        {
+            let mut st = qlock(&self.shared);
+            st.closed = true;
+        }
+        self.shared.not_empty.notify_all();
+        for h in self.workers {
+            h.join().expect("worker thread panicked");
+        }
+        self.shared.progress.close();
+        let mut st = qlock(&self.shared);
+        std::mem::take(&mut st.results)
+            .into_iter()
+            .map(|r| r.expect("worker filled every claimed slot"))
+            .collect()
+    }
+}
+
+fn worker_loop<R: Send + 'static>(shared: &Shared<R>, worker: usize) {
+    loop {
+        let (idx, job) = {
+            let mut st = qlock(shared);
+            loop {
+                if let Some(x) = st.pending.pop_front() {
+                    break x;
+                }
+                if st.closed {
+                    return;
+                }
+                st = shared.not_empty.wait(st).expect("job queue mutex poisoned");
+            }
+        };
+        let outcome = exec_timed(
+            job,
+            worker,
+            shared.batch_start,
+            &shared.progress,
+            shared.cache.as_deref(),
+            shared.counters,
+        );
+        let mut st = qlock(shared);
+        st.results[idx] = Some(outcome);
+        st.completed += 1;
+        drop(st);
+        shared.not_full.notify_one();
+    }
+}
+
+/// Runs a whole plan, returning results in submission order. `threads <= 1`
+/// (or a single job) executes inline on the calling thread — the serial
+/// reference behaviour; either way the returned order, and therefore
+/// everything rendered from it, is identical.
+pub fn run_jobs<R: Send + 'static>(jobs: Vec<Job<R>>, cfg: RunCfg<R>) -> Vec<Outcome<R>> {
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let batch_start = Instant::now();
+    let out = if cfg.threads <= 1 || n <= 1 {
+        let progress = Progress::new(1);
+        progress.add_total(n);
+        let outs = jobs
+            .into_iter()
+            .map(|j| {
+                exec_timed(
+                    j,
+                    0,
+                    batch_start,
+                    &progress,
+                    cfg.cache.as_deref(),
+                    cfg.counters,
+                )
+            })
+            .collect();
+        progress.close();
+        outs
+    } else {
+        let q = JobQueue::new(cfg.threads.min(n), n, cfg.cache, cfg.counters);
+        for j in jobs {
+            q.submit(j);
+        }
+        q.finish()
+    };
+    let mut t = telemetry().lock().expect("telemetry mutex poisoned");
+    t.batches += 1;
+    t.wall_ms += batch_start.elapsed().as_secs_f64() * 1e3;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::atomic::AtomicU64;
+
+    use crate::key::KeyBuilder;
+
+    /// The telemetry accumulator is process-global and the test harness
+    /// runs tests concurrently, so every test that executes jobs holds
+    /// this lock to keep exact assertions meaningful.
+    fn guard() -> MutexGuard<'static, ()> {
+        static L: OnceLock<Mutex<()>> = OnceLock::new();
+        L.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn job(i: u64) -> Job<u64> {
+        Job::new(format!("job{i}"), move || i * 10)
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let _g = guard();
+        let jobs: Vec<Job<u64>> = (0..16).map(job).collect();
+        let outs = run_jobs(jobs, RunCfg::threads(4));
+        assert_eq!(outs.len(), 16);
+        for (i, o) in outs.iter().enumerate() {
+            assert_eq!(o.label, format!("job{i}"));
+            assert_eq!(o.result, i as u64 * 10);
+            assert!(!o.cache_hit);
+        }
+    }
+
+    #[test]
+    fn inline_and_empty_paths() {
+        let _g = guard();
+        assert_eq!(
+            run_jobs((0..2).map(job).collect(), RunCfg::serial()).len(),
+            2
+        );
+        assert_eq!(
+            run_jobs(Vec::<Job<u64>>::new(), RunCfg::threads(8)).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn backpressure_bounds_in_flight_jobs() {
+        let _g = guard();
+        // capacity 2 with 1 worker: submit must block rather than buffer
+        // the whole plan; everything still completes in order.
+        let q: JobQueue<u64> = JobQueue::new(1, 2, None, no_counters);
+        for i in 0..8 {
+            q.submit(job(i));
+        }
+        let outs = q.finish();
+        assert_eq!(outs.len(), 8);
+        for (i, o) in outs.iter().enumerate() {
+            assert_eq!(o.result, i as u64 * 10);
+        }
+    }
+
+    struct MapCache {
+        entries: Mutex<HashMap<CacheKey, u64>>,
+        lookups: AtomicU64,
+        stores: AtomicU64,
+    }
+
+    impl MapCache {
+        fn new() -> Self {
+            MapCache {
+                entries: Mutex::new(HashMap::new()),
+                lookups: AtomicU64::new(0),
+                stores: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl ResultCache<u64> for MapCache {
+        fn lookup(&self, key: &CacheKey, _label: &str) -> Option<u64> {
+            self.lookups.fetch_add(1, Ordering::Relaxed);
+            self.entries.lock().expect("lock").get(key).copied()
+        }
+        fn store(&self, key: &CacheKey, _label: &str, result: &u64) {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+            self.entries.lock().expect("lock").insert(*key, *result);
+        }
+    }
+
+    fn keyed_jobs(n: u64) -> Vec<Job<u64>> {
+        (0..n)
+            .map(|i| {
+                let key = KeyBuilder::new("test", 1).u64_field("i", i).finish();
+                Job::keyed(format!("job{i}"), key, move || i * 10)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cache_hits_skip_execution_and_are_counted() {
+        let _g = guard();
+        drain_telemetry();
+        let cache = Arc::new(MapCache::new());
+        let cfg = |c: &Arc<MapCache>| RunCfg {
+            threads: 2,
+            cache: Some(Arc::clone(c) as Arc<dyn ResultCache<u64>>),
+            counters: no_counters,
+        };
+        let cold = run_jobs(keyed_jobs(6), cfg(&cache));
+        assert!(cold.iter().all(|o| !o.cache_hit));
+        assert_eq!(cache.stores.load(Ordering::Relaxed), 6);
+        let warm = run_jobs(keyed_jobs(6), cfg(&cache));
+        assert!(warm.iter().all(|o| o.cache_hit));
+        assert_eq!(
+            cache.stores.load(Ordering::Relaxed),
+            6,
+            "hits must not re-store"
+        );
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.result, w.result);
+            assert_eq!(c.label, w.label);
+        }
+        let t = drain_telemetry();
+        assert_eq!(t.cache_hits, 6);
+        assert_eq!(t.cache_misses, 6);
+        let hits: Vec<&JobTiming> = t.jobs.iter().filter(|j| j.cache_hit).collect();
+        assert_eq!(hits.len(), 6);
+        // Satellite: hits are not folded into worker busy time. Six tiny
+        // closures can't account for less than the probe-only total, so
+        // just assert busy time only came from the cold batch.
+        let busy: f64 = t.busy_ms.iter().sum();
+        let cold_run: f64 = t
+            .jobs
+            .iter()
+            .filter(|j| !j.cache_hit)
+            .map(|j| j.run_ms)
+            .sum();
+        assert!(
+            (busy - cold_run).abs() < 1e-6,
+            "busy {busy} vs cold runs {cold_run}"
+        );
+    }
+
+    #[test]
+    fn unkeyed_jobs_bypass_an_armed_cache() {
+        let _g = guard();
+        let cache = Arc::new(MapCache::new());
+        let outs = run_jobs(
+            (0..3).map(job).collect(),
+            RunCfg {
+                threads: 1,
+                cache: Some(Arc::clone(&cache) as Arc<dyn ResultCache<u64>>),
+                counters: no_counters,
+            },
+        );
+        assert!(outs.iter().all(|o| !o.cache_hit));
+        assert_eq!(cache.lookups.load(Ordering::Relaxed), 0);
+        assert_eq!(cache.stores.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn telemetry_records_every_job() {
+        let _g = guard();
+        drain_telemetry();
+        let outs = run_jobs((0..4).map(job).collect(), RunCfg::threads(2));
+        assert_eq!(outs.len(), 4);
+        let t = drain_telemetry();
+        assert!(t.batches >= 1);
+        let mine: Vec<&JobTiming> = t
+            .jobs
+            .iter()
+            .filter(|j| j.label.starts_with("job"))
+            .collect();
+        assert!(mine.len() >= 4);
+        for j in mine {
+            assert!(j.run_ms >= 0.0 && j.queue_ms >= 0.0, "{}", j.label);
+        }
+        assert!(!t.utilization().is_empty());
+        assert!((0.0..=1.0).contains(&t.stale_rate()));
+    }
+}
