@@ -4,7 +4,10 @@
 //! capture armed (every open carrying a tagged [`WakeOrigin`]) and with
 //! metrics recording live: the engine's gate-wait/fan-out histograms are
 //! fed inline by every open, and `osim_metrics::Histogram` record/merge
-//! is additionally hammered directly inside the armed window.
+//! is additionally hammered directly inside the armed window — as is the
+//! observability plane's recording side (a running [`FlightRecorder`]
+//! with its sampler parked, relaxed counter bumps, a shared pre-allocated
+//! histogram, and the disarmed host-trace fast path).
 //!
 //! A counting `#[global_allocator]` is armed from inside the simulation
 //! after a warm-up window (slab slots claimed, wheel buckets and queues at
@@ -14,12 +17,14 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use osim_engine::{SchedulerKind, Sim, WakeOrigin};
-use osim_metrics::Histogram;
+use osim_metrics::{FlightCfg, FlightRecorder, Histogram, Registry};
 
 struct CountingAlloc;
 
@@ -63,9 +68,38 @@ fn steady_state_gate_and_dispatch_are_allocation_free() {
     const DISARM_AT: u64 = 900;
     const WAITERS: usize = 16;
 
+    // Records what the hot loop does on the observability recording side:
+    // the same primitives the instrumented layers use (relaxed counter,
+    // pre-allocated histogram behind a mutex).
+    static TICKS: AtomicU64 = AtomicU64::new(0);
+
     for kind in [SchedulerKind::CalendarQueue, SchedulerKind::BinaryHeap] {
         ARMED.store(false, Ordering::SeqCst);
         ALLOCS.store(0, Ordering::SeqCst);
+        TICKS.store(0, Ordering::SeqCst);
+
+        // Flight recorder armed across the window. Its sampler thread
+        // parks far beyond the test (collection allocates by design and is
+        // driven via `sample_now` strictly outside the counted window), so
+        // what stays inside the window is exactly the recording side.
+        let wait_hist = Arc::new(Mutex::new(Histogram::new()));
+        let collect_hist = Arc::clone(&wait_hist);
+        let recorder = FlightRecorder::start(
+            FlightCfg {
+                interval: Duration::from_secs(3600),
+                capacity: 8,
+            },
+            Arc::new(move |reg: &mut Registry| {
+                reg.counter_add("osim_test_ticks_total", &[], TICKS.load(Ordering::Relaxed));
+                reg.hist_mut("osim_test_wait_us", &[])
+                    .merge(&collect_hist.lock().expect("hist lock"));
+            }),
+        )
+        .expect("start recorder");
+        recorder.sample_now();
+        // Warm the recording-side mutex and the disarmed host-trace path.
+        wait_hist.lock().expect("hist lock").record(1);
+        let trace_t0 = std::time::Instant::now();
 
         let sim = Sim::with_scheduler(kind);
         let h = sim.handle();
@@ -85,6 +119,7 @@ fn steady_state_gate_and_dispatch_are_allocation_free() {
         {
             let h = h.clone();
             let local_hist = Rc::clone(&local_hist);
+            let wait_hist = Arc::clone(&wait_hist);
             sim.spawn(async move {
                 for round in 0..ROUNDS {
                     if round == ARM_AT {
@@ -110,6 +145,13 @@ fn steady_state_gate_and_dispatch_are_allocation_free() {
                         a.record(round << 8);
                         b.merge(a);
                     }
+                    // The observability recording side, live inside the
+                    // counted window: relaxed counter bump, shared
+                    // pre-allocated histogram record, and the disarmed
+                    // host-trace fast path (one relaxed load).
+                    TICKS.fetch_add(1, Ordering::Relaxed);
+                    wait_hist.lock().expect("hist lock").record(round);
+                    osim_metrics::host_trace_span("job", "noop", 0, trace_t0);
                     h.sleep(1).await;
                 }
             });
@@ -129,5 +171,17 @@ fn steady_state_gate_and_dispatch_are_allocation_free() {
         assert_eq!(eng.wake_fanout.count(), ROUNDS);
         assert_eq!(eng.gate_wait.count(), WAITERS as u64 * ROUNDS);
         assert_eq!(local_hist.borrow().0.count(), 2 * ROUNDS);
+        // The recorder observed the recording-side traffic: a second
+        // sample (outside the window) turns the counter's final value into
+        // the window-delta sum.
+        recorder.sample_now();
+        let ticks: u64 = recorder
+            .windows()
+            .iter()
+            .flat_map(|w| w.counters.iter())
+            .filter(|(name, _)| name == "osim_test_ticks_total")
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(ticks, ROUNDS, "{kind:?}: recorder missed ticks");
     }
 }

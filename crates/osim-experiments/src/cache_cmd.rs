@@ -15,7 +15,7 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
-use osim_jobq::TextStore;
+use osim_jobq::{CacheKey, TextStore};
 use osim_report::json::{obj, Json};
 
 use crate::runcache::{decode_entry, ENGINE_SEMANTICS_VERSION};
@@ -40,15 +40,25 @@ fn scan(store: &TextStore) -> (Vec<String>, u64, Vec<Blame>) {
     let mut blames = Vec::new();
     for path in store.disk_entries() {
         let name = file_name(&path);
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) => {
-                blames.push(Blame {
-                    path: name,
-                    reason: format!("unreadable: {e}"),
-                });
-                continue;
-            }
+        // Entries whose stem parses as a key are read through the store
+        // itself — the same timed path lookups use — so `stats` can report
+        // real read-latency quantiles from the store's histogram. The raw
+        // filesystem read stays as the fallback (and as the blame source:
+        // `get` collapses every failure to a miss).
+        let stem = name.strip_suffix(".json").unwrap_or(&name);
+        let via_store = CacheKey::from_hex(stem).and_then(|k| store.get(&k));
+        let text = match via_store {
+            Some(t) => t.to_string(),
+            None => match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    blames.push(Blame {
+                        path: name,
+                        reason: format!("unreadable: {e}"),
+                    });
+                    continue;
+                }
+            },
         };
         bytes += text.len() as u64;
         match decode_entry(&text) {
@@ -84,6 +94,9 @@ pub fn stats(dir: &Path, json: bool) -> i32 {
     let (labels, bytes, blames) = scan(&store);
     let figs = by_figure(&labels);
     if json {
+        // Entry reads above went through the store's timed path; surface
+        // the same quantile shape BENCH_cache.json uses.
+        let h = store.read_hist();
         let doc = obj(vec![
             ("schema", Json::Str("osim-cache-stats-v1".to_string())),
             ("dir", Json::Str(dir.display().to_string())),
@@ -98,6 +111,15 @@ pub fn stats(dir: &Path, json: bool) -> i32 {
                         .map(|(k, &v)| (k.clone(), Json::from_u64(v)))
                         .collect(),
                 ),
+            ),
+            (
+                "read_ns",
+                obj(vec![
+                    ("count", Json::from_u64(h.count())),
+                    ("p50", Json::from_u64(h.quantile(0.50))),
+                    ("p90", Json::from_u64(h.quantile(0.90))),
+                    ("p99", Json::from_u64(h.quantile(0.99))),
+                ]),
             ),
         ]);
         println!("{}", doc.to_pretty());

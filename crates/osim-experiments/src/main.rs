@@ -5,7 +5,8 @@
 //! cargo run -p osim-experiments --release -- <experiment> [--full|--tiny]
 //!     [--scale <quick|tiny|full>] [--jobs <n>] [--stats] [--json <path>]
 //!     [--chrome <path>] [--scheduler <calendar|heap>] [--progress]
-//!     [--sweep-json <path>]
+//!     [--sweep-json <path>] [--metrics-addr <host:port|off>]
+//!     [--host-chrome <path>]
 //! cargo run -p osim-experiments --release -- compare <a.json> <b.json>
 //!     [--json <path>]
 //! cargo run -p osim-experiments --release -- cache <stats|verify|clear>
@@ -105,6 +106,21 @@
 //! (the default) disables it. `perf --cache-bench` measures the cold
 //! vs warm sweep and writes `BENCH_cache.json`.
 //!
+//! `--metrics-addr <host:port>` (default `off`) arms the live
+//! observability plane for the invocation: a flight recorder sampling
+//! every instrumented layer (jobq pool, concurrent store, vacuum, run
+//! cache) on a fixed cadence, and a std-only HTTP endpoint serving
+//! `GET /metrics` (Prometheus text), `GET /metrics.json` and
+//! `GET /window` (recent per-window deltas). Port 0 binds an ephemeral
+//! port; the bound address is announced on **stderr**, so stdout and
+//! every compared artifact stay byte-identical with the plane armed. See
+//! `EXPERIMENTS.md` § "Live observability".
+//!
+//! `--host-chrome <path>` records *host* wall-clock spans — worker jobs,
+//! vacuum passes, cache probes — and writes them as a Chrome trace-event
+//! document when the invocation ends (alongside the simulated-cycle
+//! `--chrome` export, which is unchanged).
+//!
 //! `--inject <spec>` applies a deterministic fault-injection plan
 //! ([`osim_uarch::FaultPlan::parse`]) to every machine the invocation
 //! builds: version-block pool shrinks, transient OS-carve failures,
@@ -131,6 +147,7 @@ mod fig7;
 mod fig8;
 mod fig9;
 mod gc;
+mod obsv;
 mod ostructs_perf;
 mod perf;
 mod runcache;
@@ -243,6 +260,8 @@ fn main() {
     let json_path = take_value(&mut args, "--json");
     let chrome_path = take_value(&mut args, "--chrome");
     let sweep_json = take_value(&mut args, "--sweep-json");
+    let metrics_addr = take_value(&mut args, "--metrics-addr").filter(|v| v != "off");
+    let host_chrome = take_value(&mut args, "--host-chrome");
     let progress = if let Some(i) = args.iter().position(|a| a == "--progress") {
         args.remove(i);
         true
@@ -382,6 +401,12 @@ fn main() {
     if let Some(dir) = &cache_flag {
         runner::set_cache(Some(std::sync::Arc::new(osim_jobq::TextStore::at_dir(dir))));
     }
+    if let Some(path) = host_chrome {
+        obsv::host_chrome_arm(path);
+    }
+    if let Some(spec) = &metrics_addr {
+        obsv::arm(spec);
+    }
 
     let mut reports: Vec<SimReport> = Vec::new();
     let mut chrome_doc: Option<Json> = None;
@@ -400,6 +425,7 @@ fn main() {
             std::process::exit(2);
         }
         let code = compare_cmd::run(&files[0], &files[1], json_path.as_deref());
+        obsv::host_chrome_flush();
         std::process::exit(code);
     }
 
@@ -445,6 +471,7 @@ fn main() {
             });
             let first_seed = shake_seed.unwrap_or(1);
             let code = stress::run(&scale, scale_name, first_seed, seeds, fig_filter, jobs);
+            obsv::host_chrome_flush();
             std::process::exit(code);
         }
         "perf" if ostructs => ostructs_perf::run(scale_name, reps, "BENCH_ostructs.json"),
@@ -486,6 +513,7 @@ fn main() {
                  [--shake-seed <n>] [--seeds <n>] \
                  [--progress] [--sweep-json <path>] [--ostructs] [--cache-bench] \
                  [--cache <dir|off>] \
+                 [--metrics-addr <host:port|off>] [--host-chrome <path>] \
                  [--inject <spec>] [--baseline-ms <ms> [--baseline-ref <label>]]\n\
                  \n\
                  osim-experiments compare <a.json> <b.json> [--json <path>]\n\
@@ -524,6 +552,14 @@ fn main() {
                  cause, and latency histogram, and prints a ranked regression\n\
                  attribution per pair. Exit code 0 = identical, 1 = deltas.\n\
                  \n\
+                 --metrics-addr <host:port>: live scrape endpoint (GET /metrics\n\
+                 in Prometheus text, /metrics.json, /window) over the flight\n\
+                 recorder sampling every instrumented layer (jobq, store,\n\
+                 vacuum, cache). Port 0 binds ephemeral; the bound address is\n\
+                 announced on stderr. Default: off (nothing starts).\n\
+                 --host-chrome <path>: host wall-clock spans (worker jobs,\n\
+                 vacuum passes, cache probes) as a Chrome trace document.\n\
+                 \n\
                  --progress: live sweep status line on stderr (jobs queued/\n\
                  running/done, ETA, per-worker state); stdout is untouched.\n\
                  --sweep-json <path>: host-side sweep telemetry (per-job wall\n\
@@ -544,6 +580,8 @@ fn main() {
             std::process::exit(2);
         }
     }
+
+    obsv::host_chrome_flush();
 
     if let Some(path) = json_path {
         for r in &reports {

@@ -1,0 +1,239 @@
+//! The invocation's live observability plane.
+//!
+//! `--metrics-addr <host:port>` arms three cooperating pieces for the
+//! duration of the process:
+//!
+//! * a **shared collector** that folds every instrumented layer into one
+//!   point-in-time [`Registry`]: the jobq pool (`osim_jobq_*`), the
+//!   concurrent store's process-global hot-path counters (`osim_store_*`),
+//!   the vacuum roll-up (`osim_vacuum_*`), and the run cache
+//!   (`osim_cache_*` — the armed `--cache` store when present, always the
+//!   heartbeat canary below);
+//! * a [`FlightRecorder`] sampling that collector on a fixed cadence into
+//!   a bounded ring of per-window deltas (served as `/window`);
+//! * a [`MetricsServer`] — the std-only scrape endpoint (`/metrics`,
+//!   `/metrics.json`, `/window`).
+//!
+//! **Heartbeat canary.** The figure workloads run on the *simulated*
+//! machine; nothing in a sweep touches `ostructs-core` or a `TextStore`
+//! unless `--cache` is armed. So that every scrape of a long-running
+//! invocation shows all four layers *live* (non-zero and moving between
+//! two scrapes), each collector tick drives one real operation through
+//! each layer: a versioned store into a canary `OCell`, a pin/unpin and a
+//! vacuum pass against a private `ReaderRegistry`, and a memory-tier
+//! cache probe. These exercise the genuine instrumented code paths — the
+//! numbers are real measurements of real (tiny) work, not synthetic
+//! gauges — and the canary's registries are process-global, so workload
+//! activity (when present) lands in the same families.
+//!
+//! Everything here lives in a process-wide [`OnceLock`] and is never torn
+//! down: `stress` and `compare` leave via `std::process::exit`, and the
+//! sampler/accept threads must stay scrape-able until the very end. With
+//! the flag absent (`off`) nothing is constructed, no thread starts, and
+//! no byte of output changes.
+
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use osim_jobq::{CacheKey, TextStore};
+use osim_metrics::flight::Collector;
+use osim_metrics::{FlightCfg, FlightRecorder, Registry};
+use osim_serve::{MetricsServer, WindowSource};
+use ostructs_core::vacuum::{ReaderRegistry, Vacuum, VacuumCfg};
+use ostructs_core::OCell;
+
+/// Key of the canary cache entry (an arbitrary fixed tag; the canary
+/// store is memory-only and private to the plane).
+const CANARY_KEY: CacheKey = CacheKey(0x0b5e_4ab1_e000_ca11_ab1e_0000_0000_0001);
+
+/// One real operation per layer per collector tick; see the module docs.
+struct Heartbeat {
+    registry: ReaderRegistry,
+    vacuum: Vacuum,
+    canary: OCell<u64>,
+    cache: TextStore,
+}
+
+impl Heartbeat {
+    fn new() -> Self {
+        let registry = ReaderRegistry::new();
+        // The plane drives passes from collector ticks; the background
+        // cadence is parked far out so it never double-fires.
+        let vacuum = Vacuum::start(
+            registry.clone(),
+            VacuumCfg {
+                interval: Duration::from_secs(3600),
+            },
+        );
+        let canary = OCell::with_initial(0, 0u64);
+        vacuum.track(&canary);
+        let cache = TextStore::memory();
+        cache.put(&CANARY_KEY, "heartbeat");
+        Heartbeat {
+            registry,
+            vacuum,
+            canary,
+            cache,
+        }
+    }
+
+    fn tick(&self) {
+        let v = self.registry.next_version();
+        let _ = self.canary.store_version(v, v);
+        drop(self.registry.pin());
+        self.vacuum.run_pass();
+        let _ = self.cache.get(&CANARY_KEY);
+    }
+
+    fn fill(&self, reg: &mut Registry) {
+        self.vacuum.fill_registry(reg);
+        self.cache.fill_registry(reg);
+    }
+}
+
+/// The armed plane; held (never dropped) in a process-wide static. The
+/// recorder handle is retained purely to keep the sampler alive — and
+/// joinable by anyone who later grows a shutdown path.
+struct Plane {
+    _recorder: Arc<FlightRecorder>,
+}
+
+fn plane_slot() -> &'static OnceLock<Plane> {
+    static PLANE: OnceLock<Plane> = OnceLock::new();
+    &PLANE
+}
+
+/// The one collector every consumer (sampler, scrape routes) shares.
+fn collector(hb: Arc<Heartbeat>) -> Collector {
+    Arc::new(move |reg: &mut Registry| {
+        hb.tick();
+        osim_jobq::fill_live_registry(reg);
+        ostructs_core::fill_store_registry(reg);
+        ostructs_core::fill_vacuum_registry(reg);
+        if let Some(store) = crate::runner::cache_store() {
+            store.fill_registry(reg);
+        }
+        hb.fill(reg);
+    })
+}
+
+/// Arms the plane on `spec` (a `host:port`; port 0 binds ephemeral).
+/// Announces the bound address on stderr — stdout stays byte-identical.
+/// Exits with code 2 when the address cannot be bound: a user who asked
+/// for a scrape endpoint must not silently run without one.
+pub fn arm(spec: &str) {
+    let hb = Arc::new(Heartbeat::new());
+    let collect = collector(hb);
+    let recorder = match FlightRecorder::start(FlightCfg::default(), Arc::clone(&collect)) {
+        Ok(r) => Arc::new(r),
+        Err(e) => {
+            eprintln!("--metrics-addr: cannot start flight recorder: {e}");
+            std::process::exit(2);
+        }
+    };
+    let window: WindowSource = {
+        let recorder = Arc::clone(&recorder);
+        Arc::new(move || recorder.window_json())
+    };
+    let server = match MetricsServer::start(spec, collect, window) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("--metrics-addr {spec}: cannot bind: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("metrics: listening on http://{}/metrics", server.addr());
+    // The server must outlive `main` (stress/compare exit the process
+    // directly); parking it in the static disables its Drop-stop.
+    std::mem::forget(server);
+    let _ = plane_slot().set(Plane {
+        _recorder: recorder,
+    });
+}
+
+/// Where `--host-chrome` output goes, once armed.
+fn host_chrome_slot() -> &'static Mutex<Option<String>> {
+    static PATH: Mutex<Option<String>> = Mutex::new(None);
+    &PATH
+}
+
+/// Arms host-thread span collection, to be written to `path` by
+/// [`host_chrome_flush`].
+pub fn host_chrome_arm(path: String) {
+    *host_chrome_slot().lock().unwrap_or_else(|e| e.into_inner()) = Some(path);
+    osim_metrics::host_trace_arm(true);
+}
+
+/// Drains collected host spans into the armed `--host-chrome` file. No-op
+/// when the flag is absent. Called at the end of `main` and before every
+/// `std::process::exit` a subcommand performs, whichever comes first.
+pub fn host_chrome_flush() {
+    let path = host_chrome_slot()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take();
+    let Some(path) = path else {
+        return;
+    };
+    osim_metrics::host_trace_arm(false);
+    let spans = osim_metrics::host_trace_drain();
+    let doc = osim_report::host_trace_doc(&spans);
+    if let Err(e) = std::fs::write(&path, doc.to_pretty()) {
+        eprintln!("cannot write --host-chrome output {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote host trace ({} span(s)) to {path}", spans.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeat_moves_all_four_layers() {
+        let hb = Heartbeat::new();
+        let mut before = Registry::new();
+        osim_jobq::fill_live_registry(&mut before);
+        ostructs_core::fill_store_registry(&mut before);
+        ostructs_core::fill_vacuum_registry(&mut before);
+        hb.fill(&mut before);
+
+        for _ in 0..3 {
+            hb.tick();
+        }
+
+        let mut after = Registry::new();
+        osim_jobq::fill_live_registry(&mut after);
+        ostructs_core::fill_store_registry(&mut after);
+        ostructs_core::fill_vacuum_registry(&mut after);
+        hb.fill(&mut after);
+
+        // Store, vacuum and cache counters all advanced. (The jobq family
+        // is driven by real sweep jobs, not the heartbeat; other tests in
+        // this binary exercise it.)
+        assert!(
+            after.counter("osim_store_snapshot_publish_total", &[])
+                >= before.counter("osim_store_snapshot_publish_total", &[]) + 3
+        );
+        assert!(
+            after.counter("osim_vacuum_passes_total", &[])
+                >= before.counter("osim_vacuum_passes_total", &[]) + 3
+        );
+        assert!(
+            after.counter("osim_cache_hits_total", &[])
+                >= before.counter("osim_cache_hits_total", &[]) + 3
+        );
+        assert!(after.counter("ostructs_vacuum_passes_total", &[]) >= 3);
+    }
+
+    #[test]
+    fn collector_is_shareable_and_fills_every_family() {
+        let collect = collector(Arc::new(Heartbeat::new()));
+        let mut reg = Registry::new();
+        collect(&mut reg);
+        let text = reg.to_prometheus();
+        for family in ["osim_jobq_", "osim_store_", "osim_vacuum_", "osim_cache_"] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+    }
+}

@@ -25,7 +25,7 @@ pub mod store;
 
 pub use key::{CacheKey, KeyBuilder};
 pub use queue::{
-    drain_telemetry, no_counters, run_jobs, set_progress, CountersFn, Job, JobQueue, JobTiming,
-    Outcome, ResultCache, RunCfg, Telemetry,
+    drain_telemetry, fill_live_registry, no_counters, run_jobs, set_progress, CountersFn, Job,
+    JobQueue, JobTiming, Outcome, ResultCache, RunCfg, Telemetry,
 };
 pub use store::{StoreCounts, TextStore};

@@ -34,11 +34,105 @@
 //! the host timing does.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
+use osim_metrics::trace::{host_trace_armed, host_trace_span};
+use osim_metrics::{Histogram, Registry};
+
 use crate::key::CacheKey;
+
+/// Worker tracks beyond this index fold into the last busy counter; 64
+/// matches the `OMap` shard count and far exceeds any realistic `--jobs`.
+const MAX_TRACKED_WORKERS: usize = 64;
+
+/// Monotone live counters for the scrape plane.
+///
+/// Unlike [`Telemetry`] (drained once per invocation into `--sweep-json`),
+/// these never reset: the flight recorder and external scrapers diff
+/// consecutive snapshots to recover rates. The recording side is raw
+/// atomics plus pre-allocated histograms — no allocation, so an armed
+/// recorder cannot fail the counting-allocator guard.
+struct LiveMetrics {
+    jobs_total: AtomicU64,
+    cache_hits_total: AtomicU64,
+    backpressure_waits_total: AtomicU64,
+    /// Jobs sitting in a bounded queue, not yet claimed by a worker.
+    queued: AtomicU64,
+    /// Jobs currently executing (or probing the cache).
+    running: AtomicU64,
+    backpressure_wait_us: Mutex<Histogram>,
+    job_latency_us: Mutex<Histogram>,
+    worker_busy_us: [AtomicU64; MAX_TRACKED_WORKERS],
+}
+
+fn live() -> &'static LiveMetrics {
+    static LIVE: OnceLock<LiveMetrics> = OnceLock::new();
+    LIVE.get_or_init(|| LiveMetrics {
+        jobs_total: AtomicU64::new(0),
+        cache_hits_total: AtomicU64::new(0),
+        backpressure_waits_total: AtomicU64::new(0),
+        queued: AtomicU64::new(0),
+        running: AtomicU64::new(0),
+        backpressure_wait_us: Mutex::new(Histogram::default()),
+        job_latency_us: Mutex::new(Histogram::default()),
+        worker_busy_us: std::array::from_fn(|_| AtomicU64::new(0)),
+    })
+}
+
+/// Snapshots the queue's live metrics into `reg` under the
+/// `osim_jobq_*` family names. Called by the scrape plane's collector.
+pub fn fill_live_registry(reg: &mut Registry) {
+    let m = live();
+    reg.counter_add(
+        "osim_jobq_jobs_total",
+        &[],
+        m.jobs_total.load(Ordering::Relaxed),
+    );
+    reg.counter_add(
+        "osim_jobq_cache_hits_total",
+        &[],
+        m.cache_hits_total.load(Ordering::Relaxed),
+    );
+    reg.counter_add(
+        "osim_jobq_backpressure_waits_total",
+        &[],
+        m.backpressure_waits_total.load(Ordering::Relaxed),
+    );
+    reg.gauge_set(
+        "osim_jobq_queue_depth",
+        &[],
+        m.queued.load(Ordering::Relaxed) as f64,
+    );
+    reg.gauge_set(
+        "osim_jobq_running",
+        &[],
+        m.running.load(Ordering::Relaxed) as f64,
+    );
+    {
+        let h = m
+            .backpressure_wait_us
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        reg.hist_mut("osim_jobq_backpressure_wait_us", &[])
+            .merge(&h);
+    }
+    {
+        let h = m.job_latency_us.lock().unwrap_or_else(|e| e.into_inner());
+        reg.hist_mut("osim_jobq_job_latency_us", &[]).merge(&h);
+    }
+    for (i, busy) in m.worker_busy_us.iter().enumerate() {
+        let us = busy.load(Ordering::Relaxed);
+        if us > 0 {
+            reg.counter_add(
+                "osim_jobq_worker_busy_us_total",
+                &[("worker", &i.to_string())],
+                us,
+            );
+        }
+    }
+}
 
 /// One unit of work: an opaque closure plus the label and optional cache
 /// key the queue needs to report and deduplicate it.
@@ -304,9 +398,19 @@ impl Progress {
         );
     }
 
+    /// Terminates the live line and prints the batch's final summary,
+    /// including the cache hit/miss split that `--sweep-json` carries but
+    /// the stderr surface previously omitted.
     fn close(&self) {
         if PROGRESS.load(Ordering::Relaxed) {
+            let done = self.done.load(Ordering::Relaxed);
+            let hits = self.hits.load(Ordering::Relaxed);
+            let misses = done.saturating_sub(hits);
+            let elapsed = self.started.elapsed().as_secs_f64();
             eprintln!();
+            eprintln!(
+                "[sweep] done: {done} jobs in {elapsed:.1}s ({hits} cache hits, {misses} misses)"
+            );
         }
     }
 }
@@ -323,10 +427,25 @@ fn exec_timed<R>(
 ) -> Outcome<R> {
     let Job { label, key, run } = job;
     let queue_ms = batch_start.elapsed().as_secs_f64() * 1e3;
+    let m = live();
+    m.running.fetch_add(1, Ordering::Relaxed);
     if let (Some(k), Some(c)) = (key.as_ref(), cache) {
         let probe_started = Instant::now();
-        if let Some(result) = c.lookup(k, &label) {
+        let hit = c.lookup(k, &label);
+        if host_trace_armed() {
+            let outcome = if hit.is_some() { "hit" } else { "miss" };
+            host_trace_span(
+                "cache",
+                &format!("probe:{outcome} {label}"),
+                worker as u64,
+                probe_started,
+            );
+        }
+        if let Some(result) = hit {
             let probe_ms = probe_started.elapsed().as_secs_f64() * 1e3;
+            m.jobs_total.fetch_add(1, Ordering::Relaxed);
+            m.cache_hits_total.fetch_add(1, Ordering::Relaxed);
+            m.running.fetch_sub(1, Ordering::Relaxed);
             progress.hit(worker, &label);
             let (events_dispatched, stale_events) = counters(&result);
             let mut t = telemetry().lock().expect("telemetry mutex poisoned");
@@ -352,6 +471,17 @@ fn exec_timed<R>(
     let started = Instant::now();
     let result = run();
     let run_ms = started.elapsed().as_secs_f64() * 1e3;
+    if host_trace_armed() {
+        host_trace_span("job", &label, worker as u64, started);
+    }
+    let run_us = (run_ms * 1e3) as u64;
+    m.jobs_total.fetch_add(1, Ordering::Relaxed);
+    m.job_latency_us
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .record(run_us);
+    m.worker_busy_us[worker.min(MAX_TRACKED_WORKERS - 1)].fetch_add(run_us, Ordering::Relaxed);
+    m.running.fetch_sub(1, Ordering::Relaxed);
     if let (Some(k), Some(c)) = (key.as_ref(), cache) {
         c.store(k, &label, &result);
     }
@@ -491,17 +621,30 @@ impl<R: Send + 'static> JobQueue<R> {
     /// Returns the job's submission index.
     pub fn submit(&self, job: Job<R>) -> usize {
         let mut st = qlock(&self.shared);
+        let mut wait_started: Option<Instant> = None;
         while st.submitted - st.completed >= self.shared.capacity {
+            if wait_started.is_none() {
+                wait_started = Some(Instant::now());
+            }
             st = self
                 .shared
                 .not_full
                 .wait(st)
                 .expect("job queue mutex poisoned");
         }
+        if let Some(t0) = wait_started {
+            let m = live();
+            m.backpressure_waits_total.fetch_add(1, Ordering::Relaxed);
+            m.backpressure_wait_us
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .record(t0.elapsed().as_micros() as u64);
+        }
         let idx = st.submitted;
         st.submitted += 1;
         st.results.push(None);
         st.pending.push_back((idx, job));
+        live().queued.fetch_add(1, Ordering::Relaxed);
         drop(st);
         self.shared.progress.add_total(1);
         self.shared.progress.render();
@@ -535,6 +678,7 @@ fn worker_loop<R: Send + 'static>(shared: &Shared<R>, worker: usize) {
             let mut st = qlock(shared);
             loop {
                 if let Some(x) = st.pending.pop_front() {
+                    live().queued.fetch_sub(1, Ordering::Relaxed);
                     break x;
                 }
                 if st.closed {
@@ -760,6 +904,54 @@ mod tests {
         assert!(outs.iter().all(|o| !o.cache_hit));
         assert_eq!(cache.lookups.load(Ordering::Relaxed), 0);
         assert_eq!(cache.stores.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn live_registry_reflects_executed_jobs() {
+        let _g = guard();
+        let before = {
+            let mut reg = Registry::new();
+            fill_live_registry(&mut reg);
+            reg.counter("osim_jobq_jobs_total", &[])
+        };
+        let outs = run_jobs((0..5).map(job).collect(), RunCfg::threads(2));
+        assert_eq!(outs.len(), 5);
+        let mut reg = Registry::new();
+        fill_live_registry(&mut reg);
+        let after = reg.counter("osim_jobq_jobs_total", &[]);
+        assert!(
+            after >= before + 5,
+            "jobs_total {after} should advance by at least 5 over {before}"
+        );
+        // All five jobs completed, so nothing is left queued or running.
+        assert!(reg.hist("osim_jobq_job_latency_us", &[]).is_some());
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE osim_jobq_jobs_total counter"));
+        assert!(text.contains("osim_jobq_queue_depth 0"));
+        assert!(text.contains("osim_jobq_running 0"));
+    }
+
+    #[test]
+    fn backpressure_wait_is_recorded_live() {
+        let _g = guard();
+        let before = {
+            let mut reg = Registry::new();
+            fill_live_registry(&mut reg);
+            reg.counter("osim_jobq_backpressure_waits_total", &[])
+        };
+        // Capacity 1 with a slow worker forces every later submit to wait.
+        let q: JobQueue<u64> = JobQueue::new(1, 1, None, no_counters);
+        for i in 0..4 {
+            q.submit(Job::new(format!("slow{i}"), move || {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                i
+            }));
+        }
+        q.finish();
+        let mut reg = Registry::new();
+        fill_live_registry(&mut reg);
+        let after = reg.counter("osim_jobq_backpressure_waits_total", &[]);
+        assert!(after > before, "submit never blocked: {before} -> {after}");
     }
 
     #[test]

@@ -1,0 +1,403 @@
+//! Flight recorder: a background sampler that snapshots a shared
+//! [`Registry`] into a fixed-size ring of time windows.
+//!
+//! The recorder separates the *recording side* from the *sampling side*.
+//! Instrumented layers record into their own process-global atomics and
+//! pre-allocated histograms — nothing on that side allocates, so the
+//! counting-allocator guard in `osim-engine` stays satisfiable with a
+//! recorder armed. Only the sampler thread (and explicit [`FlightRecorder::
+//! sample_now`] calls) builds `Registry` values: each tick it invokes the
+//! collector closure, flattens the result with [`Registry::samples`], and
+//! diffs it against the previous snapshot to produce one [`Window`] of
+//! per-window deltas (counters and histogram count/sum advance; gauges are
+//! point-in-time). The ring keeps the most recent `capacity` windows; the
+//! `/window` route of `osim-serve` renders them as JSON.
+
+use crate::json::{obj, Json};
+use crate::registry::{Registry, Sample};
+use std::collections::VecDeque;
+use std::io;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::{Builder, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Builds a point-in-time registry for one sample. Shared with
+/// `osim-serve`, so a scrape and a flight-recorder tick see the same
+/// sources.
+pub type Collector = Arc<dyn Fn(&mut Registry) + Send + Sync>;
+
+/// Sampler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FlightCfg {
+    /// Time between automatic samples.
+    pub interval: Duration,
+    /// Number of windows retained in the ring.
+    pub capacity: usize,
+}
+
+impl Default for FlightCfg {
+    fn default() -> Self {
+        FlightCfg {
+            interval: Duration::from_millis(250),
+            capacity: 120,
+        }
+    }
+}
+
+/// One completed sampling window: the change in every metric between two
+/// consecutive snapshots.
+#[derive(Debug, Clone)]
+pub struct Window {
+    /// Monotone window number (0 is the first window after recorder start).
+    pub seq: u64,
+    /// Window end, milliseconds since recorder start.
+    pub at_ms: u64,
+    /// Window length in milliseconds (wall clock, so an explicit
+    /// `sample_now` produces a shorter window than the configured interval).
+    pub dur_ms: u64,
+    /// Counter deltas over the window.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values at the window end.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram `(id, count delta, sum delta)` over the window.
+    pub hists: Vec<(String, u64, u64)>,
+}
+
+struct State {
+    prev: Vec<(String, Sample)>,
+    prev_at: Duration,
+    ring: VecDeque<Window>,
+    seq: u64,
+}
+
+/// Sampler lifecycle flags, guarded by the mutex the sampler parks on so
+/// `stop()` can never fire its wakeup into the gap between the sampler's
+/// flag check and its condvar wait.
+struct Park {
+    ready: bool,
+    stop: bool,
+}
+
+struct Shared {
+    collect: Collector,
+    state: Mutex<State>,
+    park: Mutex<Park>,
+    wake: Condvar,
+    start: Instant,
+    cfg: FlightCfg,
+}
+
+impl Shared {
+    /// Takes one sample: collect outside the state lock, then fold the
+    /// delta window into the ring under it.
+    fn sample(&self) {
+        let mut reg = Registry::new();
+        (self.collect)(&mut reg);
+        let cur = reg.samples();
+        let now = self.start.elapsed();
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut hists = Vec::new();
+        for (id, sample) in &cur {
+            let prev = st.prev.iter().find(|(pid, _)| pid == id).map(|(_, s)| *s);
+            match (*sample, prev) {
+                (Sample::Counter(c), Some(Sample::Counter(p))) => {
+                    counters.push((id.clone(), c.saturating_sub(p)));
+                }
+                (Sample::Counter(c), _) => counters.push((id.clone(), c)),
+                (Sample::Gauge(g), _) => gauges.push((id.clone(), g)),
+                (Sample::Hist { count, sum }, Some(Sample::Hist { count: pc, sum: ps })) => {
+                    hists.push((id.clone(), count.saturating_sub(pc), sum.saturating_sub(ps)));
+                }
+                (Sample::Hist { count, sum }, _) => hists.push((id.clone(), count, sum)),
+            }
+        }
+        let window = Window {
+            seq: st.seq,
+            at_ms: now.as_millis() as u64,
+            dur_ms: now.saturating_sub(st.prev_at).as_millis() as u64,
+            counters,
+            gauges,
+            hists,
+        };
+        st.seq += 1;
+        st.prev = cur;
+        st.prev_at = now;
+        if st.ring.len() >= self.cfg.capacity.max(1) {
+            st.ring.pop_front();
+        }
+        st.ring.push_back(window);
+    }
+}
+
+/// Handle to a running flight recorder. Dropping it stops and joins the
+/// sampler thread.
+pub struct FlightRecorder {
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl FlightRecorder {
+    /// Spawns the sampler thread. The first window materializes one
+    /// `cfg.interval` after start (or at the first [`sample_now`]).
+    ///
+    /// Returns only after the sampler has finished its own thread startup
+    /// and parked: past this point the thread allocates nothing until a
+    /// sample fires, so callers (like the zero-alloc guard) can rely on a
+    /// quiescent recorder.
+    ///
+    /// [`sample_now`]: FlightRecorder::sample_now
+    pub fn start(cfg: FlightCfg, collect: Collector) -> io::Result<FlightRecorder> {
+        let shared = Arc::new(Shared {
+            collect,
+            state: Mutex::new(State {
+                prev: Vec::new(),
+                prev_at: Duration::ZERO,
+                ring: VecDeque::new(),
+                seq: 0,
+            }),
+            park: Mutex::new(Park {
+                ready: false,
+                stop: false,
+            }),
+            wake: Condvar::new(),
+            start: Instant::now(),
+            cfg,
+        });
+        let worker = Arc::clone(&shared);
+        let thread = Builder::new()
+            .name("osim-flight".to_string())
+            .spawn(move || {
+                let mut park = worker.park.lock().unwrap_or_else(PoisonError::into_inner);
+                park.ready = true;
+                worker.wake.notify_all();
+                loop {
+                    if park.stop {
+                        break;
+                    }
+                    park = worker
+                        .wake
+                        .wait_timeout(park, worker.cfg.interval)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                    if park.stop {
+                        break;
+                    }
+                    drop(park);
+                    worker.sample();
+                    park = worker.park.lock().unwrap_or_else(PoisonError::into_inner);
+                }
+            })?;
+        let mut park = shared.park.lock().unwrap_or_else(PoisonError::into_inner);
+        while !park.ready {
+            park = shared
+                .wake
+                .wait(park)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(park);
+        Ok(FlightRecorder {
+            shared,
+            thread: Some(thread),
+        })
+    }
+
+    /// Takes a sample immediately on the calling thread (in addition to
+    /// the periodic ones). Used by tests and by scrape handlers that want
+    /// a fresh window.
+    pub fn sample_now(&self) {
+        self.shared.sample();
+    }
+
+    /// The retained windows, oldest first.
+    pub fn windows(&self) -> Vec<Window> {
+        let st = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        st.ring.iter().cloned().collect()
+    }
+
+    /// JSON document for the `/window` route.
+    pub fn window_json(&self) -> Json {
+        let windows: Vec<Json> = self
+            .windows()
+            .into_iter()
+            .map(|w| {
+                let counters = w
+                    .counters
+                    .into_iter()
+                    .map(|(id, d)| (id, Json::from_u64(d)))
+                    .collect();
+                let gauges = w
+                    .gauges
+                    .into_iter()
+                    .map(|(id, g)| (id, Json::Num(g)))
+                    .collect();
+                let hists = w
+                    .hists
+                    .into_iter()
+                    .map(|(id, count, sum)| {
+                        (
+                            id,
+                            obj(vec![
+                                ("count", Json::from_u64(count)),
+                                ("sum", Json::from_u64(sum)),
+                            ]),
+                        )
+                    })
+                    .collect();
+                obj(vec![
+                    ("seq", Json::from_u64(w.seq)),
+                    ("at_ms", Json::from_u64(w.at_ms)),
+                    ("dur_ms", Json::from_u64(w.dur_ms)),
+                    ("counters", Json::Obj(counters)),
+                    ("gauges", Json::Obj(gauges)),
+                    ("hists", Json::Obj(hists)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("schema", Json::Str("osim-flight-v1".to_string())),
+            (
+                "interval_ms",
+                Json::from_u64(self.shared.cfg.interval.as_millis() as u64),
+            ),
+            ("capacity", Json::from_u64(self.shared.cfg.capacity as u64)),
+            ("windows", Json::Arr(windows)),
+        ])
+    }
+
+    /// Stops and joins the sampler thread. Idempotent; also runs on drop.
+    pub fn stop(&mut self) {
+        {
+            let mut park = self
+                .shared
+                .park
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            park.stop = true;
+            self.shared.wake.notify_all();
+        }
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FlightRecorder {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn recorder_with_counter(ticks: Arc<AtomicU64>) -> FlightRecorder {
+        let collect: Collector = Arc::new(move |reg: &mut Registry| {
+            reg.counter_add("ticks_total", &[], ticks.load(Ordering::Relaxed));
+            reg.gauge_set("depth", &[], 2.5);
+            reg.hist_record("lat_us", &[], 7);
+        });
+        let cfg = FlightCfg {
+            interval: Duration::from_secs(3600),
+            capacity: 4,
+        };
+        FlightRecorder::start(cfg, collect).expect("spawn flight recorder")
+    }
+
+    #[test]
+    fn windows_carry_counter_deltas_and_gauge_values() {
+        let ticks = Arc::new(AtomicU64::new(0));
+        let rec = recorder_with_counter(Arc::clone(&ticks));
+        ticks.store(5, Ordering::Relaxed);
+        rec.sample_now();
+        ticks.store(12, Ordering::Relaxed);
+        rec.sample_now();
+        let windows = rec.windows();
+        assert_eq!(windows.len(), 2);
+        // First window sees the absolute value (no previous snapshot);
+        // the second sees only the advance.
+        assert_eq!(windows[0].counters, vec![("ticks_total".to_string(), 5)]);
+        assert_eq!(windows[1].counters, vec![("ticks_total".to_string(), 7)]);
+        assert_eq!(windows[1].gauges, vec![("depth".to_string(), 2.5)]);
+        // The collector records one fresh histogram sample per tick, so
+        // each window's count delta is relative to the previous snapshot's
+        // count of 1 — zero advance — which still lists the family.
+        assert_eq!(windows[1].hists, vec![("lat_us".to_string(), 0, 0)]);
+        assert_eq!(windows[1].seq, 1);
+    }
+
+    #[test]
+    fn ring_is_bounded_by_capacity() {
+        let ticks = Arc::new(AtomicU64::new(0));
+        let rec = recorder_with_counter(Arc::clone(&ticks));
+        for _ in 0..10 {
+            rec.sample_now();
+        }
+        let windows = rec.windows();
+        assert_eq!(windows.len(), 4);
+        assert_eq!(windows.last().map(|w| w.seq), Some(9));
+    }
+
+    #[test]
+    fn window_json_shape() {
+        let ticks = Arc::new(AtomicU64::new(3));
+        let rec = recorder_with_counter(ticks);
+        rec.sample_now();
+        let doc = rec.window_json();
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.as_str()),
+            Some("osim-flight-v1")
+        );
+        let windows = doc.get("windows").and_then(|w| w.as_arr()).expect("arr");
+        assert_eq!(windows.len(), 1);
+        let counters = windows[0]
+            .get("counters")
+            .and_then(|c| c.as_obj())
+            .expect("obj");
+        assert_eq!(counters[0].0, "ticks_total");
+    }
+
+    #[test]
+    fn stop_returns_promptly_despite_hour_long_interval() {
+        // The stop flag lives under the park mutex, so the wakeup cannot
+        // land in the gap between the sampler's flag check and its wait;
+        // with a 3600s interval, a lost wakeup would hang this test.
+        let ticks = Arc::new(AtomicU64::new(0));
+        let mut rec = recorder_with_counter(ticks);
+        let t0 = Instant::now();
+        rec.stop();
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "stop lost its wakeup"
+        );
+        rec.stop(); // idempotent
+    }
+
+    #[test]
+    fn background_thread_samples_on_its_own() {
+        let ticks = Arc::new(AtomicU64::new(1));
+        let collect: Collector = {
+            let ticks = Arc::clone(&ticks);
+            Arc::new(move |reg: &mut Registry| {
+                reg.counter_add("ticks_total", &[], ticks.load(Ordering::Relaxed));
+            })
+        };
+        let cfg = FlightCfg {
+            interval: Duration::from_millis(10),
+            capacity: 64,
+        };
+        let rec = FlightRecorder::start(cfg, collect).expect("spawn flight recorder");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while rec.windows().is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!rec.windows().is_empty(), "sampler never ticked");
+    }
+}

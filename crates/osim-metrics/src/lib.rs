@@ -9,8 +9,13 @@
 //!   scheduler-invariant, and safe to embed in byte-compared reports.
 //! * [`Registry`] — labeled counters/gauges/histograms with lossless
 //!   merge and a Prometheus-style text exposition writer (the scrape
-//!   surface for the planned `osim-serve` sweep service). Used host-side
-//!   by the parallel sweep pool.
+//!   surface served live by `osim-serve`). Used host-side by the
+//!   parallel sweep pool.
+//! * [`FlightRecorder`] — a background sampler thread that snapshots a
+//!   collector-built registry into a fixed-size ring of per-window
+//!   deltas; the recording side stays allocation-free.
+//! * [`trace`] — process-global host-thread span collection (disarmed by
+//!   default) feeding the `--host-chrome` wall-clock trace export.
 //! * [`json`] — the hand-rolled JSON value model, writer, and parser
 //!   shared with `osim-report` (which re-exports it; the build
 //!   environment has no crates.io access, so serde is unavailable).
@@ -19,9 +24,13 @@
 //! this crate, so it must stay a leaf: no dependencies, no simulated-time
 //! types.
 
+pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod registry;
+pub mod trace;
 
+pub use flight::{Collector, FlightCfg, FlightRecorder, Window};
 pub use hist::{Histogram, BUCKETS};
-pub use registry::{MetricKey, Registry};
+pub use registry::{MetricKey, Registry, Sample};
+pub use trace::{host_trace_arm, host_trace_armed, host_trace_drain, host_trace_span, HostSpan};

@@ -36,10 +36,35 @@ impl MetricKey {
         let inner: Vec<String> = self
             .labels
             .iter()
-            .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
             .collect();
         format!("{{{}}}", inner.join(","))
     }
+}
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote, and line feed must be backslash-escaped so a
+/// hostile value can never break out of its quoted position or inject an
+/// extra exposition line.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// One flattened metric value, as returned by [`Registry::samples`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sample {
+    Counter(u64),
+    Gauge(f64),
+    Hist { count: u64, sum: u64 },
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -102,6 +127,15 @@ impl Registry {
         match self.slot(MetricKey::new(name, labels), Value::Gauge(0.0)) {
             Value::Gauge(g) => *g = v,
             other => panic!("metric '{name}' is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Reads a gauge back, if present.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let key = MetricKey::new(name, labels);
+        match self.metrics.iter().find(|(k, _)| *k == key) {
+            Some((_, Value::Gauge(g))) => Some(*g),
+            _ => None,
         }
     }
 
@@ -208,6 +242,29 @@ impl Registry {
         out
     }
 
+    /// Flattened point-in-time view keyed by exposition identity
+    /// (`name{label="v"}`), sorted. Histograms collapse to their
+    /// `(count, sum)` pair — exactly what the flight recorder needs to
+    /// compute per-window rate deltas without holding full bucket arrays
+    /// for every window in the ring.
+    pub fn samples(&self) -> Vec<(String, Sample)> {
+        self.sorted()
+            .into_iter()
+            .map(|(key, value)| {
+                let id = format!("{}{}", key.name, key.label_text());
+                let sample = match value {
+                    Value::Counter(c) => Sample::Counter(*c),
+                    Value::Gauge(g) => Sample::Gauge(*g),
+                    Value::Hist(h) => Sample::Hist {
+                        count: h.count(),
+                        sum: h.sum(),
+                    },
+                };
+                (id, sample)
+            })
+            .collect()
+    }
+
     /// JSON form: `{"counters": {...}, "gauges": {...}, "hists": {...}}`
     /// with `name{label="v"}` exposition-style keys, sorted.
     pub fn to_json(&self) -> Json {
@@ -231,7 +288,10 @@ impl Registry {
 }
 
 fn le_line(name: &str, labels: &[(String, String)], le: &str, cum: u64) -> String {
-    let mut inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    let mut inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
     inner.push(format!("le=\"{le}\""));
     format!("{name}_bucket{{{}}} {cum}\n", inner.join(","))
 }

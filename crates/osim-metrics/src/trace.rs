@@ -1,0 +1,122 @@
+//! Host-thread span collection for wall-clock Chrome traces.
+//!
+//! The simulator's Chrome export (`osim-report::chrome`) draws simulated
+//! cycles; this module captures what the *host* threads did — worker jobs,
+//! vacuum passes, cache probes — so `--host-chrome` can plot the real
+//! machine next to the simulated one. Collection is process-global and
+//! disarmed by default: [`host_trace_span`] is a single relaxed atomic
+//! load when disarmed, so instrumented layers can call it unconditionally
+//! without perturbing byte-compared runs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// One completed wall-clock span.
+#[derive(Debug, Clone)]
+pub struct HostSpan {
+    /// Span category; the exporter groups categories into Chrome
+    /// processes ("job", "vacuum", "cache").
+    pub cat: &'static str,
+    /// Display name (job label, pass kind, probe outcome, ...).
+    pub name: String,
+    /// Track within the category (worker index, or 0 for singletons).
+    pub tid: u64,
+    /// Start offset in microseconds since the trace was armed.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn spans() -> &'static Mutex<Vec<HostSpan>> {
+    static SPANS: OnceLock<Mutex<Vec<HostSpan>>> = OnceLock::new();
+    SPANS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Arms or disarms host-span collection. Arming pins the trace epoch.
+pub fn host_trace_arm(on: bool) {
+    if on {
+        let _ = epoch();
+    }
+    ARMED.store(on, Ordering::Release);
+}
+
+/// Whether spans are currently being collected. Callers that need to
+/// build a span name can check this first and skip the formatting work.
+#[inline]
+pub fn host_trace_armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Records a span that started at `start` and ends now. No-op when
+/// disarmed.
+pub fn host_trace_span(cat: &'static str, name: &str, tid: u64, start: Instant) {
+    if !host_trace_armed() {
+        return;
+    }
+    let e = epoch();
+    let start_us = start.saturating_duration_since(e).as_micros() as u64;
+    let dur_us = start.elapsed().as_micros() as u64;
+    let span = HostSpan {
+        cat,
+        name: name.to_string(),
+        tid,
+        start_us,
+        dur_us,
+    };
+    spans()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(span);
+}
+
+/// Takes all collected spans, leaving the buffer empty.
+pub fn host_trace_drain() -> Vec<HostSpan> {
+    std::mem::take(&mut *spans().lock().unwrap_or_else(PoisonError::into_inner))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    // The collector is process-global; serialize tests that arm it.
+    fn guard() -> MutexGuard<'static, ()> {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disarmed_records_nothing() {
+        let _g = guard();
+        host_trace_arm(false);
+        let _ = host_trace_drain();
+        host_trace_span("job", "noop", 0, Instant::now());
+        assert!(host_trace_drain().is_empty());
+    }
+
+    #[test]
+    fn armed_spans_roundtrip_and_drain_empties() {
+        let _g = guard();
+        host_trace_arm(true);
+        let _ = host_trace_drain();
+        let start = Instant::now();
+        host_trace_span("vacuum", "pass", 3, start);
+        host_trace_arm(false);
+        let spans = host_trace_drain();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].cat, "vacuum");
+        assert_eq!(spans[0].name, "pass");
+        assert_eq!(spans[0].tid, 3);
+        assert!(host_trace_drain().is_empty());
+    }
+}

@@ -354,6 +354,7 @@ impl<T> Inner<T> {
     /// Publishes the current state as a fresh snapshot. Callers hold the
     /// state mutex, so publications are totally ordered.
     fn publish(&self, st: &State<T>) {
+        crate::metrics::note_publish();
         self.published.set(Arc::new(st.snapshot()));
     }
 }
@@ -489,12 +490,14 @@ impl<T> OCell<T> {
             }
         }
         let mut st = self.inner.state.lock();
+        let mut timer = crate::metrics::WaitTimer::new();
         loop {
             if let Some(slot) = st.versions.get(&version) {
                 if slot.locked_by.is_none() {
                     return Arc::clone(&slot.value);
                 }
             }
+            timer.note_wait();
             self.inner.changed.wait(&mut st);
         }
     }
@@ -526,12 +529,14 @@ impl<T> OCell<T> {
             }
         }
         let mut st = self.inner.state.lock();
+        let mut timer = crate::metrics::WaitTimer::new();
         loop {
             if let Some((&v, slot)) = st.versions.range(..=cap).next_back() {
                 if slot.locked_by.is_none() {
                     return (v, Arc::clone(&slot.value));
                 }
             }
+            timer.note_wait();
             self.inner.changed.wait(&mut st);
         }
     }
@@ -741,12 +746,14 @@ impl<T: Clone> OCell<T> {
         }
         let deadline = std::time::Instant::now() + dur;
         let mut st = self.inner.state.lock();
+        let mut timer = crate::metrics::WaitTimer::new();
         loop {
             if let Some(slot) = st.versions.get(&version) {
                 if slot.locked_by.is_none() {
                     return Some((*slot.value).clone());
                 }
             }
+            timer.note_wait();
             if self.inner.changed.wait_until(&mut st, deadline).timed_out() {
                 return None;
             }
@@ -787,6 +794,7 @@ impl<T: Clone> OCell<T> {
             return Err(OError::ReservedTaskId);
         }
         let mut st = self.inner.state.lock();
+        let mut timer = crate::metrics::WaitTimer::new();
         loop {
             if let Some(slot) = st.versions.get_mut(&version) {
                 if slot.locked_by.is_none() {
@@ -797,6 +805,7 @@ impl<T: Clone> OCell<T> {
                     return Ok(value);
                 }
             }
+            timer.note_wait();
             self.inner.changed.wait(&mut st);
         }
     }
@@ -829,6 +838,7 @@ impl<T: Clone> OCell<T> {
             return Err(OError::ReservedTaskId);
         }
         let mut st = self.inner.state.lock();
+        let mut timer = crate::metrics::WaitTimer::new();
         loop {
             let found = st
                 .versions
@@ -844,6 +854,7 @@ impl<T: Clone> OCell<T> {
                 self.inner.publish(&st);
                 return Ok((v, value));
             }
+            timer.note_wait();
             self.inner.changed.wait(&mut st);
         }
     }

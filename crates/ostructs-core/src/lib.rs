@@ -36,6 +36,7 @@ pub mod cell;
 pub mod error;
 pub mod istructs;
 pub mod map;
+pub mod metrics;
 pub mod runtime;
 pub mod vacuum;
 pub mod versioned;
@@ -43,8 +44,11 @@ pub mod versioned;
 pub use cell::OCell;
 pub use error::OError;
 pub use map::OMap;
+pub use metrics::fill_store_registry;
 pub use runtime::ORuntime;
-pub use vacuum::{ReaderGuard, ReaderRegistry, Vacuum, VacuumCfg, VacuumStats};
+pub use vacuum::{
+    fill_vacuum_registry, ReaderGuard, ReaderRegistry, Vacuum, VacuumCfg, VacuumStats,
+};
 pub use versioned::Versioned;
 
 /// A version identifier. Under task-based execution these are task ids, so

@@ -107,7 +107,8 @@ impl Hasher for FxHasher {
     }
 }
 
-type Shard<K, V> = RwLock<BTreeMap<K, OCell<Option<Arc<V>>>>>;
+type ShardMap<K, V> = BTreeMap<K, OCell<Option<Arc<V>>>>;
+type Shard<K, V> = RwLock<ShardMap<K, V>>;
 
 struct MapInner<K, V> {
     /// `shards.len()` is a power of two; selection is `hash & mask`.
@@ -119,10 +120,40 @@ impl<K, V> MapInner<K, V>
 where
     K: Hash,
 {
-    fn shard(&self, key: &K) -> &Shard<K, V> {
+    fn shard(&self, key: &K) -> (usize, &Shard<K, V>) {
         let mut h = FxHasher::new();
         key.hash(&mut h);
-        &self.shards[(h.finish() & self.mask) as usize]
+        let idx = (h.finish() & self.mask) as usize;
+        (idx, &self.shards[idx])
+    }
+}
+
+/// Shard read lock with contention accounting: a failed try-lock counts
+/// against the shard before falling back to the blocking acquire.
+fn read_counted<K, V>(
+    idx: usize,
+    shard: &Shard<K, V>,
+) -> parking_lot::RwLockReadGuard<'_, ShardMap<K, V>> {
+    match shard.try_read() {
+        Some(guard) => guard,
+        None => {
+            crate::metrics::note_shard_contention(idx);
+            shard.read()
+        }
+    }
+}
+
+/// Shard write lock with contention accounting.
+fn write_counted<K, V>(
+    idx: usize,
+    shard: &Shard<K, V>,
+) -> parking_lot::RwLockWriteGuard<'_, ShardMap<K, V>> {
+    match shard.try_write() {
+        Some(guard) => guard,
+        None => {
+            crate::metrics::note_shard_contention(idx);
+            shard.write()
+        }
     }
 }
 
@@ -222,17 +253,18 @@ impl<K: Ord + Hash + Clone, V> OMap<K, V> {
     /// shard lock is released before this returns, so callers may block
     /// on the cell freely.
     fn cell_for(&self, key: &K) -> OCell<Option<Arc<V>>> {
-        let shard = self.inner.shard(key);
-        if let Some(cell) = shard.read().get(key) {
+        let (idx, shard) = self.inner.shard(key);
+        if let Some(cell) = read_counted(idx, shard).get(key) {
             return cell.clone();
         }
-        let mut w = shard.write();
+        let mut w = write_counted(idx, shard);
         w.entry(key.clone()).or_default().clone()
     }
 
     /// The cell for `key` if one exists (no creation).
     fn cell_get(&self, key: &K) -> Option<OCell<Option<Arc<V>>>> {
-        self.inner.shard(key).read().get(key).cloned()
+        let (idx, shard) = self.inner.shard(key);
+        read_counted(idx, shard).get(key).cloned()
     }
 
     /// Publishes `key -> value` at `version`.

@@ -1,0 +1,182 @@
+//! Process-global live instrumentation of the store's real-thread hot
+//! paths.
+//!
+//! Per-instance metrics (the vacuum's `fill_registry`) only cover objects
+//! the caller holds; this module aggregates what the *whole process* does
+//! to any cell or map — snapshot publications, blocking condvar waits,
+//! shard-lock contention — so the scrape plane can export it without
+//! threading a registry handle through every `OCell`. Recording is raw
+//! relaxed atomics plus one pre-allocated histogram behind a mutex:
+//! nothing allocates, and disarmed cost on the publish path is a single
+//! `fetch_add`.
+
+use osim_metrics::{Histogram, Registry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Matches the default `OMap` shard count; maps with more shards fold the
+/// excess into the last slot.
+const TRACKED_SHARDS: usize = 64;
+
+struct StoreMetrics {
+    /// Snapshot publications (every store, lock, unlock, or prune that
+    /// changed the published fast-read snapshot).
+    publishes: AtomicU64,
+    /// Operations that actually parked on a cell's condvar (fast-path
+    /// reads and uncontended lock loads never count).
+    blocking_waits: AtomicU64,
+    blocking_wait_us: Mutex<Histogram>,
+    /// Shard-index lock acquisitions that found the lock held.
+    contention_total: AtomicU64,
+    contention_by_shard: [AtomicU64; TRACKED_SHARDS],
+}
+
+fn store() -> &'static StoreMetrics {
+    static STORE: OnceLock<StoreMetrics> = OnceLock::new();
+    STORE.get_or_init(|| StoreMetrics {
+        publishes: AtomicU64::new(0),
+        blocking_waits: AtomicU64::new(0),
+        blocking_wait_us: Mutex::new(Histogram::default()),
+        contention_total: AtomicU64::new(0),
+        contention_by_shard: std::array::from_fn(|_| AtomicU64::new(0)),
+    })
+}
+
+#[inline]
+pub(crate) fn note_publish() {
+    store().publishes.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn note_shard_contention(shard: usize) {
+    let m = store();
+    m.contention_total.fetch_add(1, Ordering::Relaxed);
+    m.contention_by_shard[shard.min(TRACKED_SHARDS - 1)].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Times one potentially-blocking cell operation: `note_wait` is called
+/// just before each condvar park, and the drop records the total blocked
+/// duration (covering every return path of the enclosing function).
+pub(crate) struct WaitTimer {
+    started: Option<Instant>,
+}
+
+impl WaitTimer {
+    pub(crate) fn new() -> Self {
+        WaitTimer { started: None }
+    }
+
+    #[inline]
+    pub(crate) fn note_wait(&mut self) {
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+            store().blocking_waits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for WaitTimer {
+    fn drop(&mut self) {
+        if let Some(t0) = self.started {
+            let us = t0.elapsed().as_micros() as u64;
+            store()
+                .blocking_wait_us
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .record(us);
+        }
+    }
+}
+
+/// Snapshots the process-global store metrics into `reg` under the
+/// `osim_store_*` family names.
+pub fn fill_store_registry(reg: &mut Registry) {
+    let m = store();
+    reg.counter_add(
+        "osim_store_snapshot_publish_total",
+        &[],
+        m.publishes.load(Ordering::Relaxed),
+    );
+    reg.counter_add(
+        "osim_store_blocking_waits_total",
+        &[],
+        m.blocking_waits.load(Ordering::Relaxed),
+    );
+    reg.counter_add(
+        "osim_store_lock_contention_total",
+        &[],
+        m.contention_total.load(Ordering::Relaxed),
+    );
+    {
+        let h = m.blocking_wait_us.lock().unwrap_or_else(|e| e.into_inner());
+        reg.hist_mut("osim_store_blocking_wait_us", &[]).merge(&h);
+    }
+    for (i, shard) in m.contention_by_shard.iter().enumerate() {
+        let n = shard.load(Ordering::Relaxed);
+        if n > 0 {
+            reg.counter_add(
+                "osim_store_shard_contention_total",
+                &[("shard", &i.to_string())],
+                n,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OCell;
+
+    #[test]
+    fn publishes_and_waits_surface_in_registry() {
+        let mut before = Registry::new();
+        fill_store_registry(&mut before);
+        let publishes0 = before.counter("osim_store_snapshot_publish_total", &[]);
+        let waits0 = before.counter("osim_store_blocking_waits_total", &[]);
+
+        let cell: OCell<u64> = OCell::new();
+        cell.store_version(1, 10).expect("store");
+        cell.store_version(2, 20).expect("store");
+        // Force a genuine blocked load: version 3 arrives from another
+        // thread after this reader has parked.
+        let writer = {
+            let cell = cell.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                cell.store_version(3, 30).expect("store");
+            })
+        };
+        assert_eq!(cell.load_version_arc(3).as_ref(), &30);
+        writer.join().expect("writer");
+
+        let mut after = Registry::new();
+        fill_store_registry(&mut after);
+        assert!(
+            after.counter("osim_store_snapshot_publish_total", &[]) >= publishes0 + 3,
+            "three stores must publish at least three snapshots"
+        );
+        assert!(
+            after.counter("osim_store_blocking_waits_total", &[]) > waits0,
+            "the parked load must count as a blocking wait"
+        );
+        let h = after
+            .hist("osim_store_blocking_wait_us", &[])
+            .expect("wait histogram present");
+        assert!(h.count() >= 1);
+    }
+
+    #[test]
+    fn shard_contention_counts_are_labeled() {
+        note_shard_contention(3);
+        note_shard_contention(3);
+        note_shard_contention(9999);
+        let mut reg = Registry::new();
+        fill_store_registry(&mut reg);
+        assert!(reg.counter("osim_store_lock_contention_total", &[]) >= 3);
+        assert!(reg.counter("osim_store_shard_contention_total", &[("shard", "3")]) >= 2);
+        // Out-of-range shards fold into the last tracked slot.
+        assert!(reg.counter("osim_store_shard_contention_total", &[("shard", "63")]) >= 1);
+    }
+}

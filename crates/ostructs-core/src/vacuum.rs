@@ -44,8 +44,12 @@ pub struct ReaderRegistry {
 struct RegistryInner {
     /// Monotone version clock: the next version a writer should use.
     clock: AtomicU64,
-    /// Multiset of pinned caps (a cap may be pinned by several readers).
-    pinned: Mutex<std::collections::BTreeMap<Version, usize>>,
+    /// Multiset of pinned caps (a cap may be pinned by several readers);
+    /// each pin carries its creation instant so pin ages are observable
+    /// while the guard is still parked.
+    pinned: Mutex<std::collections::BTreeMap<Version, Vec<Instant>>>,
+    /// Completed pin lifetimes, recorded at unpin.
+    pin_age_us: Mutex<osim_metrics::Histogram>,
 }
 
 impl Clone for ReaderRegistry {
@@ -70,6 +74,7 @@ impl ReaderRegistry {
             inner: Arc::new(RegistryInner {
                 clock: AtomicU64::new(1),
                 pinned: Mutex::new(std::collections::BTreeMap::new()),
+                pin_age_us: Mutex::new(osim_metrics::Histogram::new()),
             }),
         }
     }
@@ -110,7 +115,7 @@ impl ReaderRegistry {
         // never observe "no readers" after this reader chose its cap.
         let mut pinned = self.inner.pinned.lock();
         let cap = self.inner.clock.load(Ordering::Relaxed).saturating_sub(1);
-        *pinned.entry(cap).or_insert(0) += 1;
+        pinned.entry(cap).or_default().push(Instant::now());
         drop(pinned);
         ReaderGuard {
             registry: self.clone(),
@@ -121,7 +126,12 @@ impl ReaderRegistry {
     /// Pins an explicit cap (for readers replaying a historical snapshot
     /// they know is still live).
     pub fn pin_at(&self, cap: Version) -> ReaderGuard {
-        *self.inner.pinned.lock().entry(cap).or_insert(0) += 1;
+        self.inner
+            .pinned
+            .lock()
+            .entry(cap)
+            .or_default()
+            .push(Instant::now());
         ReaderGuard {
             registry: self.clone(),
             cap,
@@ -142,16 +152,48 @@ impl ReaderRegistry {
 
     /// Number of live reader guards.
     pub fn live_readers(&self) -> usize {
-        self.inner.pinned.lock().values().sum()
+        self.inner.pinned.lock().values().map(Vec::len).sum()
+    }
+
+    /// How far the version clock has run ahead of the reclamation
+    /// boundary: 0 when no reader holds the watermark back, growing while
+    /// a parked guard pins an old cap and writers keep allocating. The
+    /// software analogue of Louvre-style version-table occupancy.
+    pub fn watermark_lag(&self) -> u64 {
+        self.current().saturating_sub(self.watermark())
+    }
+
+    /// Pin-age distribution in microseconds: completed pin lifetimes plus
+    /// the *current* age of every live pin, so a parked guard is visible
+    /// before it unpins.
+    pub fn pin_ages_us(&self) -> osim_metrics::Histogram {
+        let mut h = self.inner.pin_age_us.lock().clone();
+        let pinned = self.inner.pinned.lock();
+        for pins in pinned.values() {
+            for t0 in pins {
+                h.record(t0.elapsed().as_micros() as u64);
+            }
+        }
+        h
     }
 
     fn unpin(&self, cap: Version) {
         let mut pinned = self.inner.pinned.lock();
-        if let Some(n) = pinned.get_mut(&cap) {
-            *n -= 1;
-            if *n == 0 {
+        let age = if let Some(pins) = pinned.get_mut(&cap) {
+            let age = pins.pop();
+            if pins.is_empty() {
                 pinned.remove(&cap);
             }
+            age
+        } else {
+            None
+        };
+        drop(pinned);
+        if let Some(t0) = age {
+            self.inner
+                .pin_age_us
+                .lock()
+                .record(t0.elapsed().as_micros() as u64);
         }
     }
 }
@@ -234,11 +276,71 @@ impl VacuumShared {
             stats.reclaimed += reclaimed;
             stats.last_watermark = boundary;
         }
-        self.pause_us
-            .lock()
-            .record(started.elapsed().as_micros() as u64);
+        let pause = started.elapsed().as_micros() as u64;
+        self.pause_us.lock().record(pause);
+        let g = global();
+        g.passes.fetch_add(1, Ordering::Relaxed);
+        g.reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
+        g.last_watermark.store(boundary, Ordering::Relaxed);
+        g.watermark_lag
+            .store(self.registry.watermark_lag(), Ordering::Relaxed);
+        g.pause_us.lock().record(pause);
+        if osim_metrics::host_trace_armed() {
+            osim_metrics::host_trace_span("vacuum", "pass", 0, started);
+        }
         reclaimed
     }
+}
+
+/// Process-global roll-up across every vacuum instance, so the scrape
+/// plane can export vacuum activity without holding a handle on each
+/// [`Vacuum`]. Per-instance telemetry stays on
+/// [`Vacuum::fill_registry`] under the `ostructs_vacuum_*` names.
+struct GlobalVacuum {
+    passes: AtomicU64,
+    reclaimed: AtomicU64,
+    last_watermark: AtomicU64,
+    watermark_lag: AtomicU64,
+    pause_us: Mutex<osim_metrics::Histogram>,
+}
+
+fn global() -> &'static GlobalVacuum {
+    static GLOBAL: std::sync::OnceLock<GlobalVacuum> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(|| GlobalVacuum {
+        passes: AtomicU64::new(0),
+        reclaimed: AtomicU64::new(0),
+        last_watermark: AtomicU64::new(0),
+        watermark_lag: AtomicU64::new(0),
+        pause_us: Mutex::new(osim_metrics::Histogram::new()),
+    })
+}
+
+/// Snapshots the process-global vacuum roll-up into `reg` under the
+/// `osim_vacuum_*` family names.
+pub fn fill_vacuum_registry(reg: &mut osim_metrics::Registry) {
+    let g = global();
+    reg.counter_add(
+        "osim_vacuum_passes_total",
+        &[],
+        g.passes.load(Ordering::Relaxed),
+    );
+    reg.counter_add(
+        "osim_vacuum_reclaimed_total",
+        &[],
+        g.reclaimed.load(Ordering::Relaxed),
+    );
+    reg.gauge_set(
+        "osim_vacuum_watermark",
+        &[],
+        g.last_watermark.load(Ordering::Relaxed) as f64,
+    );
+    reg.gauge_set(
+        "osim_vacuum_watermark_lag",
+        &[],
+        g.watermark_lag.load(Ordering::Relaxed) as f64,
+    );
+    reg.hist_mut("osim_vacuum_pause_us", &[])
+        .merge(&g.pause_us.lock());
 }
 
 /// Background reclamation daemon over a [`ReaderRegistry`].
@@ -327,8 +429,12 @@ impl Vacuum {
 
     /// Folds the vacuum's telemetry into an `osim-metrics` registry:
     /// `ostructs_vacuum_passes_total`, `ostructs_vacuum_reclaimed_total`,
-    /// `ostructs_vacuum_watermark`, and the per-pass
-    /// `ostructs_vacuum_pause_us` histogram.
+    /// `ostructs_vacuum_watermark`, the live
+    /// `ostructs_vacuum_watermark_lag` (clock minus watermark — how much
+    /// history a parked reader is holding back), the per-pass
+    /// `ostructs_vacuum_pause_us` histogram, and the
+    /// `ostructs_vacuum_reader_pin_age_us` pin-age distribution (live pins
+    /// included).
     pub fn fill_registry(&self, reg: &mut osim_metrics::Registry) {
         let stats = self.stats();
         reg.counter_add("ostructs_vacuum_passes_total", &[], stats.passes);
@@ -338,8 +444,15 @@ impl Vacuum {
             &[],
             stats.last_watermark as f64,
         );
+        reg.gauge_set(
+            "ostructs_vacuum_watermark_lag",
+            &[],
+            self.shared.registry.watermark_lag() as f64,
+        );
         reg.hist_mut("ostructs_vacuum_pause_us", &[])
             .merge(&self.shared.pause_us.lock());
+        reg.hist_mut("ostructs_vacuum_reader_pin_age_us", &[])
+            .merge(&self.shared.registry.pin_ages_us());
     }
 
     /// Stops the background thread and joins it. Idempotent; also run by
@@ -503,6 +616,68 @@ mod tests {
             vac.track(&cell);
         }
         assert_eq!(vac.run_pass(), 0, "dead weak refs are skipped");
+    }
+
+    #[test]
+    fn parked_reader_grows_watermark_lag() {
+        let reg = ReaderRegistry::new();
+        let vac = Vacuum::start(reg.clone(), fast_cfg());
+        for _ in 0..5 {
+            reg.next_version();
+        }
+        let parked = reg.pin();
+        let mut m0 = osim_metrics::Registry::new();
+        vac.fill_registry(&mut m0);
+        let lag0 = m0.gauge("ostructs_vacuum_watermark_lag", &[]).unwrap();
+        // Writers keep allocating while the guard stays parked: the lag
+        // must grow with every allocation the pin holds back.
+        for _ in 0..40 {
+            reg.next_version();
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        let mut m1 = osim_metrics::Registry::new();
+        vac.fill_registry(&mut m1);
+        let lag1 = m1.gauge("ostructs_vacuum_watermark_lag", &[]).unwrap();
+        assert!(
+            lag1 >= lag0 + 40.0,
+            "parked guard must make the lag grow: {lag0} -> {lag1}"
+        );
+        let ages = m1
+            .hist("ostructs_vacuum_reader_pin_age_us", &[])
+            .expect("pin-age histogram present");
+        assert!(ages.count() >= 1, "live pin must appear in the age hist");
+        drop(parked);
+        let mut m2 = osim_metrics::Registry::new();
+        vac.fill_registry(&mut m2);
+        let lag2 = m2.gauge("ostructs_vacuum_watermark_lag", &[]).unwrap();
+        assert_eq!(lag2, 0.0, "lag collapses once the guard drops");
+    }
+
+    #[test]
+    fn global_rollup_ticks_on_every_pass() {
+        let mut before = osim_metrics::Registry::new();
+        fill_vacuum_registry(&mut before);
+        let passes0 = before.counter("osim_vacuum_passes_total", &[]);
+
+        let reg = ReaderRegistry::new();
+        let vac = Vacuum::start(reg.clone(), fast_cfg());
+        let cell = OCell::with_initial(0, 0u64);
+        vac.track(&cell);
+        for _ in 0..10 {
+            let v = reg.next_version();
+            cell.store_version(v, v).unwrap();
+        }
+        vac.run_pass();
+        vac.run_pass();
+
+        let mut after = osim_metrics::Registry::new();
+        fill_vacuum_registry(&mut after);
+        assert!(after.counter("osim_vacuum_passes_total", &[]) >= passes0 + 2);
+        assert!(after.counter("osim_vacuum_reclaimed_total", &[]) >= 10);
+        let h = after.hist("osim_vacuum_pause_us", &[]).unwrap();
+        assert!(h.count() >= 2);
+        assert!(after.gauge("osim_vacuum_watermark", &[]).is_some());
+        assert!(after.gauge("osim_vacuum_watermark_lag", &[]).is_some());
     }
 
     #[test]

@@ -109,9 +109,29 @@ impl<T: ?Sized> RwLock<T> {
         }
     }
 
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(g) => Some(RwLockReadGuard { guard: g }),
+            Err(sync::TryLockError::Poisoned(e)) => Some(RwLockReadGuard {
+                guard: e.into_inner(),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         RwLockWriteGuard {
             guard: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(g) => Some(RwLockWriteGuard { guard: g }),
+            Err(sync::TryLockError::Poisoned(e)) => Some(RwLockWriteGuard {
+                guard: e.into_inner(),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
         }
     }
 
@@ -257,5 +277,23 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() = 7;
         assert_eq!(*l.read(), 7);
+    }
+
+    #[test]
+    fn rwlock_try_variants() {
+        let l = RwLock::new(1u32);
+        {
+            let r = l.try_read().expect("uncontended try_read");
+            assert_eq!(*r, 1);
+            // A reader blocks writers but not other readers.
+            assert!(l.try_write().is_none());
+            assert!(l.try_read().is_some());
+        }
+        {
+            let mut w = l.try_write().expect("uncontended try_write");
+            *w = 2;
+            assert!(l.try_read().is_none());
+        }
+        assert_eq!(*l.read(), 2);
     }
 }
